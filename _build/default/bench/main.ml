@@ -1,0 +1,376 @@
+(* The reproduction harness: one section per table and figure of the
+   paper's evaluation, each printing the paper's reported values next to
+   what this implementation measures.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe fig9 table3     run selected experiments
+     bench/main.exe micro           Bechamel microbenchmarks of the core
+                                    data structures
+     bench/main.exe --list          list experiment names *)
+
+open Nezha_engine
+open Nezha_workloads
+open Nezha_harness
+open Nezha_core
+
+let banner title = Printf.printf "\n==== %s ====\n%!" title
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* ------------------------------------------------------------------ *)
+(* Testbed experiments (§6.2) *)
+
+let fig9 () =
+  banner
+    "Fig. 9 — performance gain vs #FEs (paper: CPS ~3.3x and #flows ~3.8x plateau beyond 4 FEs; #vNICs proportional to #FEs)";
+  note "%4s  %10s  %12s  %12s" "#FEs" "CPS gain" "#flows gain" "#vNICs gain";
+  List.iter
+    (fun r ->
+      note "%4d  %9.2fx  %11.2fx  %11.2fx" r.Experiments.fes r.Experiments.cps_gain
+        r.Experiments.flows_gain r.Experiments.vnics_gain)
+    (Experiments.fig9 ~fes_list:[ 1; 2; 3; 4; 6; 8 ] ());
+  note "#vNICs on the paper's wider axis (every vNIC's tables replicate on min(4, #FEs) FEs):";
+  note "  %s"
+    (String.concat "  "
+       (List.map
+          (fun (fes, g) -> Printf.sprintf "%d FEs: %.0fx" fes g)
+          (Experiments.fig9_vnics ())))
+
+let fig10 () =
+  banner
+    "Fig. 10 — CPS vs #vCPUs in the VM (paper: without Nezha flat at the vSwitch cap; with Nezha grows sublinearly, ~3.25x from 8 to 64 cores)";
+  note "%6s  %14s  %14s" "vCPUs" "CPS w/o Nezha" "CPS w/ Nezha";
+  List.iter
+    (fun r ->
+      note "%6d  %14.0f  %14.0f" r.Experiments.vcpus r.Experiments.cps_without
+        r.Experiments.cps_with)
+    (Experiments.fig10 ())
+
+let fig11 () =
+  banner
+    "Fig. 11 — CPU utilization during offloading/scaling (paper: BE climbs to 70% -> offload to 4 FEs -> BE ~10%; FE >40% -> scale-out to 8)";
+  note "%6s  %8s  %7s  %7s  %5s" "t(s)" "CPS" "BE cpu" "FE cpu" "#FEs";
+  List.iter
+    (fun p ->
+      if int_of_float (p.Experiments.t *. 2.0) mod 4 = 0 then
+        note "%6.1f  %8.0f  %7.2f  %7.2f  %5d" p.Experiments.t p.Experiments.cps
+          p.Experiments.be_cpu p.Experiments.fe_cpu p.Experiments.n_fes)
+    (Experiments.fig11 ())
+
+let fig12 () =
+  banner
+    "Fig. 12 — end-to-end latency vs load (paper: identical <70%; small extra-hop cost after offload; without Nezha explodes past capacity)";
+  note "%6s  %14s  %14s  %10s  %10s" "load" "w/o Nezha (us)" "w/ Nezha (us)" "loss w/o" "loss w/";
+  List.iter
+    (fun r ->
+      note "%6.2f  %14.1f  %14.1f  %10.3f  %10.3f" r.Experiments.load
+        r.Experiments.lat_without_us r.Experiments.lat_with_us r.Experiments.lost_without
+        r.Experiments.lost_with)
+    (Experiments.fig12 ())
+
+let table3 () =
+  banner
+    "Table 3 — middlebox gains (paper: CPS 4x/4.4x/3x; #vNICs >40x; #flows 5.04x/50.4x/15.3x)";
+  note "%-16s  %9s  %12s  %12s" "middlebox" "CPS gain" "#vNICs gain" "#flows gain";
+  List.iter
+    (fun r ->
+      note "%-16s  %8.2fx  %11.1fx  %11.2fx"
+        (Middlebox.to_string r.Experiments.kind)
+        r.Experiments.cps_gain r.Experiments.vnics_gain r.Experiments.flows_gain)
+    (Experiments.table3 ())
+
+let table4 () =
+  banner
+    "Table 4 — completion time for activating offloading (paper: avg 1077 / P90 1503 / P99 2087 / P999 2858 ms)";
+  let h = Experiments.table4 ~events:250 () in
+  note "measured (ms): avg %.0f / P90 %.0f / P99 %.0f / P999 %.0f over %d activations"
+    (Stats.Histogram.mean h)
+    (Stats.Histogram.percentile h 90.0)
+    (Stats.Histogram.percentile h 99.0)
+    (Stats.Histogram.percentile h 99.9)
+    (Stats.Histogram.count h)
+
+let fig14 () =
+  banner
+    "Fig. 14 — packet loss during FE crash (paper: a surge lasting ~2 s, bounded by the dead FE's 1/M traffic share)";
+  note "%6s  %9s" "t(s)" "loss rate";
+  List.iter
+    (fun (t, loss) -> if t >= 3.0 && t <= 9.0 then note "%6.2f  %9.3f" t loss)
+    (Experiments.fig14 ())
+
+let tableA1 () =
+  banner
+    "Table A1 — rule-lookup throughput in Mpps (paper: 6.61 at 64B/0 rules, declining to 4.76 at 512B/1000 rules)";
+  let rows = Experiments.tableA1 () in
+  (match rows with
+  | (_, cols) :: _ ->
+    note "%9s %s" "pkt\\rules"
+      (String.concat "" (List.map (fun (n, _) -> Printf.sprintf "%9d" n) cols))
+  | [] -> ());
+  List.iter
+    (fun (size, cols) ->
+      note "%8dB %s" size
+        (String.concat "" (List.map (fun (_, mpps) -> Printf.sprintf "%8.3fM" mpps) cols)))
+    rows
+
+let appB2 () =
+  banner
+    "App. B.2 — 30-day scale-out accounting (paper: 2499 offloads, 10062 FEs, <=66 scale-outs = 2.6%)";
+  let r = Experiments.appB2 () in
+  note "measured: %d offloads, %d FEs provisioned, %d scale-outs (%.1f%%)"
+    r.Experiments.offload_events r.Experiments.fes_provisioned r.Experiments.scale_out_events
+    (100.0 *. r.Experiments.scale_out_ratio)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet experiments (§2.2, §6.3) *)
+
+let fig2 () =
+  banner
+    "Fig. 2 — CPU of high-CPS VMs vs their vSwitches (paper: vSwitch >95% everywhere; 90% of VMs <60%)";
+  let rng = Rng.create 42 in
+  let pts = Region.high_cps_vm_sample rng ~n:10_000 in
+  let vm_cpu = Array.map fst pts and sw_cpu = Array.map snd pts in
+  note "vSwitch CPU: min %.1f%%  (all >= 95%%)" (100.0 *. Array.fold_left Float.min 1.0 sw_cpu);
+  let below60 = Array.fold_left (fun a v -> if v < 0.6 then a + 1 else a) 0 vm_cpu in
+  note "VM CPU: P50 %.0f%%, share below 60%% = %.0f%%"
+    (100.0 *. Stats.percentile vm_cpu 50.0)
+    (100.0 *. float_of_int below60 /. 10_000.0)
+
+let fig3 () =
+  banner "Fig. 3 — hotspot distribution (paper: CPS ~61%, #flows ~30%, #vNICs ~9%)";
+  let rng = Rng.create 42 in
+  let fleet = Region.sample_fleet rng ~n:100_000 in
+  let counts = Region.classify Region.default_capacities fleet in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 counts in
+  List.iter
+    (fun (cause, n) ->
+      note "%-18s %5.1f%%  (%d vSwitches)"
+        (Format.asprintf "%a" Region.pp_cause cause)
+        (100.0 *. float_of_int n /. float_of_int (max 1 total))
+        n)
+    counts
+
+let fig4 () =
+  banner
+    "Fig. 4 — utilization CDF over O(10K) vSwitches (paper CPU: avg 5 / P90 15 / P99 41 / P999 68 / P9999 90%; mem: 1.5 / 15 / 34 / 93 / 96%)";
+  let rng = Rng.create 42 in
+  let fleet = Region.sample_fleet rng ~n:50_000 in
+  let report name arr =
+    note "%-6s avg %4.1f%%  P90 %4.1f%%  P99 %4.1f%%  P999 %4.1f%%  P9999 %4.1f%%" name
+      (100.0 *. Stats.mean arr)
+      (100.0 *. Stats.percentile arr 90.0)
+      (100.0 *. Stats.percentile arr 99.0)
+      (100.0 *. Stats.percentile arr 99.9)
+      (100.0 *. Stats.percentile arr 99.99)
+  in
+  report "CPU" (Array.map (fun p -> p.Region.cpu) fleet);
+  report "memory" (Array.map (fun p -> p.Region.mem) fleet)
+
+let table1 () =
+  banner "Table 1 — service usage share of the P9999 user (paper: CPS 0.53/1.41/6.41/18.38/100%)";
+  note "%-8s %8s %8s %8s %8s %8s" "" "P50" "P90" "P99" "P999" "P9999";
+  let row name q =
+    note "%-8s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%" name (100.0 *. q 0.5) (100.0 *. q 0.9)
+      (100.0 *. q 0.99) (100.0 *. q 0.999) (100.0 *. q 0.9999)
+  in
+  row "CPS" Region.cps_demand_quantile;
+  row "#flows" Region.flows_demand_quantile;
+  row "#vNICs" Region.vnics_demand_quantile
+
+let fig13 () =
+  banner
+    "Fig. 13 — daily overloads before/after Nezha (paper: >99.9% resolved for CPS and #flows; 100% for #vNICs)";
+  let rng = Rng.create 42 in
+  List.iter
+    (fun cause ->
+      let days =
+        Region.daily_overloads rng ~n_vswitches:20_000 ~capacities:Region.default_capacities
+          ~cause ~days:30 ()
+      in
+      let before = List.fold_left (fun a d -> a + d.Region.before) 0 days in
+      let after = List.fold_left (fun a d -> a + d.Region.after) 0 days in
+      note "%-18s before: %5d/month   after: %3d/month   resolved: %.2f%%"
+        (Format.asprintf "%a" Region.pp_cause cause)
+        before after
+        (100.0 *. (1.0 -. (float_of_int after /. float_of_int (max 1 before)))))
+    [ Region.Cps; Region.Flows; Region.Vnics ]
+
+let fig15 () =
+  banner "Fig. 15 — average state size (paper: 5-8 B vs the fixed 64 B slot)";
+  let rng = Rng.create 42 in
+  for region = 1 to 5 do
+    let sizes = Region.state_size_samples (Rng.split rng) ~n:20_000 in
+    note "region %d: avg %.1f B (max %.0f B, slot 64 B)" region (Stats.mean sizes)
+      (Array.fold_left Float.max 0.0 sizes)
+  done
+
+let table5 () =
+  banner
+    "Table 5 — deployment costs (paper: Sailfish 100+48+20 P-M, 1-3 months to scale out; Nezha 15 P-M, 1-7 days)";
+  List.iter
+    (fun sol ->
+      let c = Costs.cost_of sol in
+      note "%-9s hw %3.0f P-M  sw %3.0f P-M  iteration %3.0f P-M  scale-out %g-%g days"
+        (Format.asprintf "%a" Costs.pp_solution sol)
+        c.Costs.hardware_dev_pm c.Costs.software_dev_pm c.Costs.iteration_pm
+        c.Costs.scale_out_days_min c.Costs.scale_out_days_max)
+    [ Costs.Sailfish; Costs.Nezha ];
+  note "Nezha / Sailfish development effort: %.0f%%" (100.0 *. Costs.development_ratio ())
+
+let figA1 () =
+  banner
+    "Fig. A1 — VM migration downtime vs resources (paper: grows with vCPUs and memory; vs Nezha's ~2 s offload)";
+  let rng = Rng.create 42 in
+  note "%6s %8s %14s %16s" "vCPUs" "mem(GB)" "downtime(s)" "completion(s)";
+  List.iter
+    (fun (v, m) ->
+      let avg f =
+        List.init 40 (fun _ -> f ()) |> List.fold_left ( +. ) 0.0 |> fun s -> s /. 40.0
+      in
+      note "%6d %8d %14.2f %16.1f" v m
+        (avg (fun () -> Region.migration_downtime_s rng ~vcpus:v ~mem_gb:m))
+        (avg (fun () -> Region.migration_completion_s rng ~vcpus:v ~mem_gb:m)))
+    [ (8, 32); (16, 64); (32, 128); (64, 256); (128, 1024) ];
+  note "versus remote offloading at P99 ~2 s, independent of VM size (§7.2)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablations () =
+  banner "Ablation — Nezha vs Sirius-style replication on identical hardware (4 idle SmartNICs)";
+  let s = Experiments.ablation_sirius () in
+  note
+    "Nezha CPS %.0f vs Sirius CPS %.0f (%.2fx): in-line replication consumed the backup cards (%d ping-pongs)"
+    s.Experiments.nezha_cps s.Experiments.sirius_cps
+    (s.Experiments.nezha_cps /. s.Experiments.sirius_cps)
+    s.Experiments.sirius_pingpongs;
+  banner "Ablation — flow-level vs packet-level load balancing (§3.2.3)";
+  List.iter
+    (fun r ->
+      note "%-13s FE rule lookups %6d  cached flows %6d  CPS %7.0f" r.Experiments.mode
+        r.Experiments.fe_rule_lookups r.Experiments.fe_cached_flows r.Experiments.cps)
+    (Experiments.ablation_flow_vs_packet_lb ());
+  banner "Ablation — fixed 64 B vs variable 8 B state slots (§7.1)";
+  List.iter
+    (fun r ->
+      note "slot %2d B: %d concurrent flows" r.Experiments.slot_bytes r.Experiments.flows_supported)
+    (Experiments.ablation_state_size ());
+  banner "Ablation — failover with TCP retransmission (§6.3.4)";
+  let f = Experiments.ablation_failover_retransmit () in
+  note
+    "FE crash during closed-loop CRR: %d connections failed without retransmission, %d with it (%d retransmissions, %d completed) — retries outlive the ~2 s failover"
+    f.Experiments.failed_without_retx f.Experiments.failed_with_retx
+    f.Experiments.retransmissions f.Experiments.completed_with_retx;
+  banner "Ablation — FE placement locality (App. B.1)";
+  List.iter
+    (fun r -> note "%-28s P50 connection latency %8.1f us" r.Experiments.placement r.Experiments.p50_latency_us)
+    (Experiments.ablation_fe_locality ());
+  banner "Ablation — notify packet rate (§3.2.2)";
+  note "notify packets per data packet: %.4f (TX-first sessions with a statistics policy)"
+    (Experiments.ablation_notify_rate ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core data structures *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let ip = Nezha_net.Ipv4.of_octets in
+  let lpm =
+    let t = Nezha_tables.Lpm.create () in
+    for i = 0 to 999 do
+      Nezha_tables.Lpm.insert t (Nezha_net.Ipv4.Prefix.make (ip 10 (i / 256) (i mod 256) 0) 24) i
+    done;
+    t
+  in
+  let acl =
+    let t = Nezha_tables.Acl.create () in
+    for i = 1 to 100 do
+      Nezha_tables.Acl.add t
+        (Nezha_tables.Acl.rule ~priority:i
+           ~src:(Nezha_net.Ipv4.Prefix.make (ip 172 16 (i mod 256) 0) 24)
+           Nezha_tables.Acl.Deny)
+    done;
+    t
+  in
+  let tuple =
+    Nezha_net.Five_tuple.make ~src:(ip 10 0 0 1) ~dst:(ip 10 0 0 2) ~src_port:43210
+      ~dst_port:443 ~proto:Nezha_net.Five_tuple.Tcp
+  in
+  let pkt =
+    Nezha_net.Packet.create ~vpc:(Nezha_net.Vpc.make 7) ~flow:tuple
+      ~direction:Nezha_net.Packet.Tx ~flags:Nezha_net.Packet.syn ~payload_len:100 ()
+  in
+  let encoded = Nezha_net.Packet.encode pkt in
+  let tests =
+    [
+      Test.make ~name:"five_tuple_hash" (Staged.stage (fun () -> Nezha_net.Five_tuple.hash tuple));
+      Test.make ~name:"lpm_lookup_1k_prefixes"
+        (Staged.stage (fun () -> Nezha_tables.Lpm.lookup lpm (ip 10 1 77 5)));
+      Test.make ~name:"acl_scan_100_rules"
+        (Staged.stage (fun () -> Nezha_tables.Acl.lookup acl tuple));
+      Test.make ~name:"packet_encode" (Staged.stage (fun () -> Nezha_net.Packet.encode pkt));
+      Test.make ~name:"packet_decode" (Staged.stage (fun () -> Nezha_net.Packet.decode encoded));
+      Test.make ~name:"state_codec_roundtrip"
+        (Staged.stage (fun () ->
+             let st = Nezha_vswitch.State.init ~first_dir:Nezha_net.Packet.Tx () in
+             Nezha_vswitch.State.decode (Nezha_vswitch.State.encode st)));
+    ]
+  in
+  let results =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"core" tests) in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  banner "Microbenchmarks (ns per call)";
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> note "%-34s %10.1f ns" name est
+      | Some _ | None -> note "%-34s (no estimate)" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table1", table1);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("table3", table3);
+    ("table4", table4);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("table5", table5);
+    ("tableA1", tableA1);
+    ("figA1", figA1);
+    ("appB2", appB2);
+    ("ablations", ablations);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
+  | [] ->
+    Printf.printf "Nezha reproduction bench — regenerating every table and figure\n";
+    List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (try --list)\n" name;
+          exit 1)
+      names

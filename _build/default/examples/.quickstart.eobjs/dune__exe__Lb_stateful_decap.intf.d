@@ -1,0 +1,1 @@
+examples/lb_stateful_decap.mli:

@@ -1,0 +1,1 @@
+examples/region_hotspots.ml: Array Float Format List Nezha_engine Nezha_workloads Printf Region Rng Stats

@@ -1,0 +1,1 @@
+lib/baselines/sirius.mli: Fabric Nezha_fabric Nezha_vswitch Topology Vnic Vswitch

@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap, specialised by a comparison function.
+
+    Used as the event queue of the simulator: O(log n) insert and
+    extract-min, O(1) peek, amortised O(1) space reuse. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] makes an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removal. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (for inspection in tests). *)

@@ -1,0 +1,104 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+(* Positive 62-bit int from the top bits, avoiding sign issues. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection to avoid modulo bias. *)
+  let mask_range = max_int / n * n in
+  let rec draw () =
+    let v = bits t in
+    if v < mask_range then v mod n else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 random bits into [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v *. 0x1p-53
+
+let float t x = unit_float t *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let chance t p =
+  if p >= 1.0 then true
+  else if p <= 0.0 then false
+  else unit_float t < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1.0 -. unit_float t in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Rng.pareto: parameters must be positive";
+  let u = 1.0 -. unit_float t in
+  scale /. (u ** (1.0 /. shape))
+
+let gaussian t ~mean ~stddev =
+  let u1 = 1.0 -. unit_float t and u2 = unit_float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)
+
+(* Rejection-inversion sampling for the Zipf distribution
+   (Hörmann & Derflinger, 1996).  Expected O(1) per draw. *)
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if s <= 0.0 then invalid_arg "Rng.zipf: s must be positive";
+  if n = 1 then 1
+  else begin
+    let h x = if Float.abs (s -. 1.0) < 1e-9 then log x else (x ** (1.0 -. s)) /. (1.0 -. s) in
+    let h_inv x =
+      if Float.abs (s -. 1.0) < 1e-9 then exp x
+      else ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s))
+    in
+    let hx0 = h 0.5 -. (1.0 /. (0.5 ** s)) in
+    let hn = h (float_of_int n +. 0.5) in
+    let rec draw () =
+      let u = hx0 +. (unit_float t *. (hn -. hx0)) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k = if k < 1.0 then 1.0 else if k > float_of_int n then float_of_int n else k in
+      if u >= h (k +. 0.5) -. (1.0 /. (k ** s)) then int_of_float k else draw ()
+    in
+    draw ()
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,78 @@
+type handle = { mutable alive : bool }
+
+type event = { time : float; order : int; handle : handle; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+  queue : event Heap.t;
+}
+
+let cmp_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.order b.order
+
+let create () =
+  { clock = 0.0; seq = 0; executed = 0; queue = Heap.create ~cmp:cmp_event }
+
+let now t = t.clock
+
+let at t ~time action =
+  let time = if time < t.clock then t.clock else time in
+  let handle = { alive = true } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; order = t.seq; handle; action };
+  handle
+
+let schedule t ~delay action =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  at t ~time:(t.clock +. delay) action
+
+let cancel _t handle = handle.alive <- false
+
+let cancelled handle = not handle.alive
+
+let every t ~period ?(jitter = fun () -> 0.0) f =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  let rec tick sim =
+    if f sim then
+      ignore (schedule sim ~delay:(period +. jitter ()) tick : handle)
+  in
+  ignore (schedule t ~delay:0.0 tick : handle)
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    if ev.handle.alive then begin
+      ev.handle.alive <- false;
+      t.executed <- t.executed + 1;
+      ev.action t
+    end;
+    true
+
+let run ?until ?max_events t =
+  let fits_budget () =
+    match max_events with None -> true | Some m -> t.executed < m
+  in
+  let rec loop () =
+    if fits_budget () then begin
+      match Heap.peek t.queue with
+      | None -> ()
+      | Some ev ->
+        (match until with
+         | Some stop when ev.time > stop -> t.clock <- stop
+         | Some _ | None ->
+           if step t then loop ())
+    end
+  in
+  loop ();
+  match until with
+  | Some stop when Heap.is_empty t.queue && t.clock < stop -> t.clock <- stop
+  | Some _ | None -> ()
+
+let pending t = Heap.length t.queue
+
+let events_executed t = t.executed

@@ -1,0 +1,49 @@
+(** Discrete-event simulation core.
+
+    A simulation owns a virtual clock and a priority queue of events.
+    Events scheduled for the same instant fire in scheduling order
+    (a monotone sequence number breaks ties), which keeps runs
+    deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+(** A fresh simulation with the clock at 0. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays
+    are clamped to 0 (fire "now", after currently queued same-time
+    events). *)
+
+val at : t -> time:float -> (t -> unit) -> handle
+(** Absolute-time variant.  Times before [now] are clamped to [now]. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event.  Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val every : t -> period:float -> ?jitter:(unit -> float) -> (t -> bool) -> unit
+(** [every t ~period f] runs [f] now and then every [period] (plus
+    [jitter ()] if given) until [f] returns [false].
+    @raise Invalid_argument if [period <= 0]. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  Stops when the queue is empty, when the next
+    event would fire after [until], or after [max_events] events.  When
+    stopped by [until], the clock is advanced to [until] exactly. *)
+
+val step : t -> bool
+(** Execute exactly one event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled placeholders). *)
+
+val events_executed : t -> int

@@ -1,0 +1,79 @@
+type 'a timer = {
+  mutable state : [ `Pending | `Cancelled | `Fired ];
+  deadline : float;
+  value : 'a;
+  owner : 'a t;
+}
+
+and 'a t = {
+  tick : float;
+  slots : int;
+  wheel : 'a timer list array; (* per-slot buckets, unordered *)
+  mutable cursor : int; (* next slot to sweep *)
+  mutable cursor_time : float; (* time corresponding to [cursor]'s start *)
+  mutable live : int;
+}
+
+let create ~tick ~slots =
+  if tick <= 0.0 then invalid_arg "Timer_wheel.create: tick must be positive";
+  if slots <= 0 then invalid_arg "Timer_wheel.create: slots must be positive";
+  { tick; slots; wheel = Array.make slots []; cursor = 0; cursor_time = 0.0; live = 0 }
+
+let slot_of t deadline = int_of_float (deadline /. t.tick) mod t.slots
+
+let add t ~now ~deadline value =
+  let deadline = if deadline < now +. t.tick then now +. t.tick else deadline in
+  let timer = { state = `Pending; deadline; value; owner = t } in
+  let s = slot_of t deadline in
+  t.wheel.(s) <- timer :: t.wheel.(s);
+  t.live <- t.live + 1;
+  timer
+
+(* Cancellation is O(1): the timer stays in its slot and the sweep
+   discards it lazily, but the live count drops immediately. *)
+let cancel timer =
+  if timer.state = `Pending then begin
+    timer.state <- `Cancelled;
+    timer.owner.live <- timer.owner.live - 1
+  end
+
+let cancelled timer = timer.state = `Cancelled
+
+let payload timer = timer.value
+
+let advance t ~now f =
+  let fired = ref 0 in
+  (* Sweep whole slots whose time window has fully passed; within each,
+     fire due timers and retain the rest (they belong to later
+     revolutions). *)
+  let sweep_slot s =
+    let keep =
+      List.filter
+        (fun timer ->
+          match timer.state with
+          | `Cancelled | `Fired -> false
+          | `Pending ->
+            if timer.deadline <= now then begin
+              timer.state <- `Fired;
+              t.live <- t.live - 1;
+              incr fired;
+              f timer.value;
+              false
+            end
+            else true)
+        t.wheel.(s)
+    in
+    t.wheel.(s) <- keep
+  in
+  let rec loop () =
+    if t.cursor_time +. t.tick <= now then begin
+      sweep_slot t.cursor;
+      t.cursor <- (t.cursor + 1) mod t.slots;
+      t.cursor_time <- t.cursor_time +. t.tick;
+      loop ()
+    end
+  in
+  loop ();
+  !fired
+
+let pending t = t.live

@@ -1,0 +1,36 @@
+(** Hashed timer wheel for mass expirations.
+
+    The session table ages out millions of entries; a binary-heap timer per
+    entry would dominate the event queue.  A timer wheel gives O(1)
+    insert/cancel and amortised O(1) expiry at a fixed tick granularity,
+    which matches how flow-aging hardware works (coarse timestamps, lazy
+    sweeps). *)
+
+type 'a t
+
+type 'a timer
+(** A scheduled expiration carrying a payload of type ['a]. *)
+
+val create : tick:float -> slots:int -> 'a t
+(** [create ~tick ~slots] covers a horizon of [tick *. slots] seconds per
+    revolution; longer deadlines simply survive extra revolutions.
+    @raise Invalid_argument if [tick <= 0] or [slots <= 0]. *)
+
+val add : 'a t -> now:float -> deadline:float -> 'a -> 'a timer
+(** Schedule [payload] to expire at [deadline] (clamped to at least one
+    tick in the future). *)
+
+val cancel : 'a timer -> unit
+(** O(1); expired or already-cancelled timers are no-ops. *)
+
+val cancelled : 'a timer -> bool
+
+val payload : 'a timer -> 'a
+
+val advance : 'a t -> now:float -> ('a -> unit) -> int
+(** [advance t ~now f] fires [f] on every timer whose deadline is
+    [<= now], in deadline-slot order; returns the count fired.  Must be
+    called with monotonically non-decreasing [now]. *)
+
+val pending : 'a t -> int
+(** Live (non-cancelled, non-fired) timers. *)

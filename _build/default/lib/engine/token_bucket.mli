@@ -1,0 +1,23 @@
+(** Token-bucket rate limiter.
+
+    Used for vNIC-level QoS enforcement.  Under Nezha every TX packet
+    still passes the one BE, so a single bucket enforces the VM-level
+    limit exactly — no distributed rate limiting across pool nodes, which
+    §2.3.3 calls out as a weakness of architectures that spread a vNIC's
+    traffic over stateful cards. *)
+
+type t
+
+val create : rate_bytes_per_s:float -> burst_bytes:float -> t
+(** @raise Invalid_argument unless both are positive. *)
+
+val take : t -> now:float -> bytes:int -> bool
+(** Refill for the elapsed time, then try to spend [bytes]; [false]
+    means the packet exceeds the configured rate and should drop.
+    [now] must be non-decreasing across calls. *)
+
+val available : t -> now:float -> float
+(** Current token count after refill (bytes). *)
+
+val rate : t -> float
+val burst : t -> float

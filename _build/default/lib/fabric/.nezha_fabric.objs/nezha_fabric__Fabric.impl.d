@@ -1,0 +1,1 @@
+lib/fabric/fabric.ml: Array Gateway Hashtbl Ipv4 Nezha_engine Nezha_net Nezha_vswitch Packet Printf Sim Topology Vm Vnic Vswitch

@@ -1,0 +1,1 @@
+lib/fabric/fabric.mli: Gateway Nezha_engine Nezha_net Nezha_vswitch Params Sim Topology Vm Vnic Vswitch

@@ -1,0 +1,1 @@
+lib/fabric/gateway.ml: Array Five_tuple Ipv4 Nezha_net Nezha_vswitch Packet Vnic Vpc

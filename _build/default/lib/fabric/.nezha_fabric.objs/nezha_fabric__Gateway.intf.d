@@ -1,0 +1,1 @@
+lib/fabric/gateway.mli: Ipv4 Nezha_net Nezha_vswitch Packet Vnic

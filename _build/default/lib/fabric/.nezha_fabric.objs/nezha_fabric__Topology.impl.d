@@ -1,0 +1,1 @@
+lib/fabric/topology.ml: Fun Int32 Ipv4 List Nezha_net

@@ -1,0 +1,1 @@
+lib/fabric/topology.mli: Ipv4 Nezha_net

@@ -1,0 +1,1 @@
+lib/fabric/vm.ml: Float Nezha_engine Nezha_net Packet Sim

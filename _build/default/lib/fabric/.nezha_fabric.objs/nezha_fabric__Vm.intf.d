@@ -1,0 +1,1 @@
+lib/fabric/vm.mli: Nezha_engine Nezha_net Packet Sim

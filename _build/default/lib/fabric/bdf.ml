@@ -1,0 +1,41 @@
+type mode = Legacy | Sriov
+
+type t = {
+  mode : mode;
+  capacity : int;
+  mutable next : int;
+  allocated : (int, int) Hashtbl.t; (* bdf -> child count *)
+}
+
+let space = function Legacy -> 256 | Sriov -> 512
+
+let create ?(mode = Legacy) ?(reserved = 220) () =
+  if reserved < 0 || reserved > space mode then
+    invalid_arg "Bdf.create: reserved outside the address space";
+  { mode; capacity = space mode - reserved; next = 0; allocated = Hashtbl.create 32 }
+
+let mode t = t.mode
+let capacity t = t.capacity
+let allocated t = Hashtbl.length t.allocated
+
+let children t = Hashtbl.fold (fun _ c acc -> acc + c) t.allocated 0
+
+let allocate_vnic t =
+  if Hashtbl.length t.allocated >= t.capacity then Error `No_bdf
+  else begin
+    let bdf = t.next in
+    t.next <- t.next + 1;
+    Hashtbl.replace t.allocated bdf 0;
+    Ok bdf
+  end
+
+let release_vnic t bdf = Hashtbl.remove t.allocated bdf
+
+let attach_child t ~parent =
+  match Hashtbl.find_opt t.allocated parent with
+  | None -> Error `No_parent
+  | Some c ->
+    Hashtbl.replace t.allocated parent (c + 1);
+    Ok ()
+
+let total_vnics t = allocated t + children t

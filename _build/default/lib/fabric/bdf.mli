@@ -1,0 +1,40 @@
+(** PCI bus/device/function (BDF) budget of a VM (§7.4).
+
+    Once Nezha removes the vSwitch memory ceiling, the next #vNIC
+    bottleneck is PCI addressing: without SR-IOV/SIOV each vNIC burns one
+    of the 256 bus numbers, most of which essential functions (storage,
+    compute, encryption) already hold.  The two §7.4 escapes are modeled:
+    virtual-function expansion (device(5)+function(3) bits add 256 more
+    addresses) and child vNICs multiplexed over a parent's I/O adapter
+    with packet tags, consuming no BDF at all. *)
+
+type mode =
+  | Legacy  (** bus field only: 256 addresses *)
+  | Sriov  (** SR-IOV/SIOV: device and function fields usable too *)
+
+type t
+
+val create : ?mode:mode -> ?reserved:int -> unit -> t
+(** [reserved] (default 220) addresses are pre-allocated to storage,
+    compute and encryption functions.
+    @raise Invalid_argument if [reserved] exceeds the address space. *)
+
+val mode : t -> mode
+val capacity : t -> int
+(** Addresses available to vNICs. *)
+
+val allocated : t -> int
+val children : t -> int
+
+val allocate_vnic : t -> (int, [ `No_bdf ]) result
+(** Claim a BDF for a full vNIC; the int is the address. *)
+
+val release_vnic : t -> int -> unit
+
+val attach_child : t -> parent:int -> (unit, [ `No_parent ]) result
+(** Bind a child vNIC to an allocated parent adapter: tagged traffic
+    shares the parent's I/O path, no BDF consumed.  Fails if [parent]
+    is not an allocated address. *)
+
+val total_vnics : t -> int
+(** Full vNICs + children: what the VM can actually address. *)

@@ -1,0 +1,120 @@
+open Nezha_engine
+open Nezha_net
+open Nezha_vswitch
+
+type t = {
+  sim : Sim.t;
+  topology : Topology.t;
+  gateway : Gateway.t;
+  switches : Vswitch.t option array;
+  vms : (int * Vnic.id, Vm.t) Hashtbl.t;
+  mutable delivered_to_vms : int;
+  mutable lost : int;
+  mutable tap : (time:float -> Packet.t -> unit) option;
+}
+
+let create ~sim ~topology =
+  let t =
+    {
+      sim;
+      topology;
+      gateway = Gateway.create ();
+      switches = Array.make (Topology.server_count topology) None;
+      vms = Hashtbl.create 64;
+      delivered_to_vms = 0;
+      lost = 0;
+      tap = None;
+    }
+  in
+  Gateway.set_forward t.gateway (fun ~dst pkt ->
+      match Topology.server_of_ip topology dst with
+      | None -> t.lost <- t.lost + 1
+      | Some target ->
+        let delay = Topology.latency_to_gateway topology target in
+        ignore
+          (Sim.schedule t.sim ~delay (fun _ ->
+               match t.switches.(target) with
+               | Some vs -> Vswitch.from_net vs pkt
+               | None -> t.lost <- t.lost + 1)
+            : Sim.handle));
+  t
+
+let sim t = t.sim
+let topology t = t.topology
+let gateway t = t.gateway
+
+let deliver_to_server t ~src pkt =
+  (match t.tap with Some tap -> tap ~time:(Sim.now t.sim) pkt | None -> ());
+  match pkt.Packet.vxlan with
+  | None -> t.lost <- t.lost + 1
+  | Some v ->
+    let outer_dst = v.Packet.outer_dst in
+    if Ipv4.equal outer_dst (Topology.gateway_ip t.topology) then begin
+      let delay = Topology.latency_to_gateway t.topology src in
+      ignore (Sim.schedule t.sim ~delay (fun _ -> Gateway.handle t.gateway pkt) : Sim.handle)
+    end
+    else begin
+      match Topology.server_of_ip t.topology outer_dst with
+      | None -> t.lost <- t.lost + 1
+      | Some target ->
+        let delay = Topology.latency t.topology src target in
+        ignore
+          (Sim.schedule t.sim ~delay (fun _ ->
+               match t.switches.(target) with
+               | Some vs -> Vswitch.from_net vs pkt
+               | None -> t.lost <- t.lost + 1)
+            : Sim.handle)
+    end
+
+let add_server t sid ~params =
+  if sid < 0 || sid >= Array.length t.switches then invalid_arg "Fabric.add_server: bad id";
+  (match t.switches.(sid) with
+  | Some _ -> invalid_arg "Fabric.add_server: server already populated"
+  | None -> ());
+  let vs =
+    Vswitch.create ~sim:t.sim ~params
+      ~name:(Printf.sprintf "vs-%d" sid)
+      ~underlay_ip:(Topology.underlay_ip t.topology sid)
+      ~gateway:(Topology.gateway_ip t.topology) ()
+  in
+  (* On-demand vNIC-server learning from the gateway (200 ms interval). *)
+  Vswitch.set_mapping_learner vs
+    (Some
+       (fun addr ->
+         match Gateway.lookup t.gateway addr with
+         | Some targets -> Some (targets, 0.2)
+         | None -> None));
+  Vswitch.set_transmit vs (function
+    | Vswitch.To_net pkt -> deliver_to_server t ~src:sid pkt
+    | Vswitch.To_vm (vid, pkt) -> (
+      t.delivered_to_vms <- t.delivered_to_vms + 1;
+      match Hashtbl.find_opt t.vms (sid, vid) with
+      | Some vm -> Vm.deliver vm pkt
+      | None -> ()));
+  t.switches.(sid) <- Some vs;
+  vs
+
+let vswitch_opt t sid =
+  if sid < 0 || sid >= Array.length t.switches then None else t.switches.(sid)
+
+let vswitch t sid =
+  match vswitch_opt t sid with Some vs -> vs | None -> raise Not_found
+
+let server_of_vswitch t vs =
+  let n = Array.length t.switches in
+  let rec probe i =
+    if i >= n then raise Not_found
+    else begin
+      match t.switches.(i) with Some v when v == vs -> i | Some _ | None -> probe (i + 1)
+    end
+  in
+  probe 0
+
+let attach_vm t sid vid vm = Hashtbl.replace t.vms (sid, vid) vm
+
+let vm_of t sid vid = Hashtbl.find_opt t.vms (sid, vid)
+
+let set_tap t tap = t.tap <- tap
+
+let delivered_to_vms t = t.delivered_to_vms
+let lost t = t.lost

@@ -1,0 +1,43 @@
+(** The delivery engine: wires vSwitches, VMs and the gateway together
+    over the topology's latencies. *)
+
+open Nezha_engine
+open Nezha_vswitch
+
+type t
+
+val create : sim:Sim.t -> topology:Topology.t -> t
+
+val sim : t -> Sim.t
+val topology : t -> Topology.t
+val gateway : t -> Gateway.t
+
+val add_server : t -> Topology.server_id -> params:Params.t -> Vswitch.t
+(** Create a vSwitch on the server, install its transmit path, and
+    register it for delivery.  @raise Invalid_argument if the server
+    already has one or the id is out of range. *)
+
+val vswitch : t -> Topology.server_id -> Vswitch.t
+(** @raise Not_found when the server has no vSwitch. *)
+
+val vswitch_opt : t -> Topology.server_id -> Vswitch.t option
+
+val server_of_vswitch : t -> Vswitch.t -> Topology.server_id
+
+val attach_vm : t -> Topology.server_id -> Vnic.id -> Vm.t -> unit
+(** Deliveries ([To_vm]) for this vNIC reach the VM's kernel model.
+    Unattached vNICs sink their deliveries (still counted). *)
+
+val vm_of : t -> Topology.server_id -> Vnic.id -> Vm.t option
+
+val set_tap : t -> (time:float -> Nezha_net.Packet.t -> unit) option -> unit
+(** A wire tap: invoked for every packet as it enters the underlay
+    (still encapsulated).  Pair with {!Nezha_net.Frame.synthesize} and
+    {!Nezha_net.Pcap} to capture simulation traffic as a pcap file. *)
+
+val delivered_to_vms : t -> int
+(** Packets handed to VM models or sunk. *)
+
+val lost : t -> int
+(** Packets whose outer destination matched no server — a wiring bug or
+    a crashed/removed node. *)

@@ -1,0 +1,54 @@
+open Nezha_net
+open Nezha_vswitch
+
+type t = {
+  routes : Ipv4.t array Vnic.Addr.Table.t;
+  mutable forward : dst:Ipv4.t -> Packet.t -> unit;
+  mutable forwarded : int;
+  mutable dropped : int;
+}
+
+let create () =
+  {
+    routes = Vnic.Addr.Table.create 256;
+    forward = (fun ~dst:_ _ -> failwith "Gateway: forward not installed");
+    forwarded = 0;
+    dropped = 0;
+  }
+
+let set_route t addr servers =
+  if Array.length servers = 0 then invalid_arg "Gateway.set_route: empty target set";
+  Vnic.Addr.Table.replace t.routes addr (Array.copy servers)
+
+let remove_route t addr =
+  if Vnic.Addr.Table.mem t.routes addr then begin
+    Vnic.Addr.Table.remove t.routes addr;
+    true
+  end
+  else false
+
+let lookup t addr = Vnic.Addr.Table.find_opt t.routes addr
+
+let route_count t = Vnic.Addr.Table.length t.routes
+
+let set_forward t f = t.forward <- f
+
+let handle t pkt =
+  let addr = { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst } in
+  match Vnic.Addr.Table.find_opt t.routes addr with
+  | None -> t.dropped <- t.dropped + 1
+  | Some targets ->
+    let dst = targets.(Five_tuple.session_hash pkt.Packet.flow mod Array.length targets) in
+    (* Preserve the original outer source: stateful decap needs it even
+       when the path detours through the gateway. *)
+    let outer_src =
+      match pkt.Packet.vxlan with
+      | Some v -> v.Packet.outer_src
+      | None -> Ipv4.of_octets 192 168 0 1
+    in
+    Packet.encap_vxlan pkt ~vni:(Vpc.to_int pkt.Packet.vpc) ~outer_src ~outer_dst:dst;
+    t.forwarded <- t.forwarded + 1;
+    t.forward ~dst pkt
+
+let forwarded t = t.forwarded
+let dropped t = t.dropped

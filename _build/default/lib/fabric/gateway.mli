@@ -1,0 +1,36 @@
+(** Region gateway holding the authoritative vNIC-server mapping table.
+
+    Most vSwitches keep only a learned subset of the global routing table
+    and punt unknown destinations to the gateway (§4.2.1).  The gateway
+    resolves the overlay address and bounces the packet to the hosting
+    server — the "gray data flow" senders follow until they learn the
+    latest entry. *)
+
+open Nezha_net
+open Nezha_vswitch
+
+type t
+
+val create : unit -> t
+
+val set_route : t -> Vnic.Addr.t -> Ipv4.t array -> unit
+(** Authoritative entry: a vNIC is served at these underlay addresses
+    (several when offloaded to FEs).  @raise Invalid_argument on empty. *)
+
+val remove_route : t -> Vnic.Addr.t -> bool
+
+val lookup : t -> Vnic.Addr.t -> Ipv4.t array option
+(** What vSwitches learn on demand. *)
+
+val route_count : t -> int
+
+val set_forward : t -> (dst:Ipv4.t -> Packet.t -> unit) -> unit
+(** Installed by the fabric: how the gateway re-sends packets. *)
+
+val handle : t -> Packet.t -> unit
+(** A packet arrived at the gateway: resolve the inner destination, pick
+    a target by 5-tuple hash, re-encapsulate and forward; count a drop
+    when the overlay address is unknown. *)
+
+val forwarded : t -> int
+val dropped : t -> int

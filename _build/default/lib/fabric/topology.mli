@@ -1,0 +1,38 @@
+(** Data-center topology: servers under ToR switches under an
+    aggregation layer.
+
+    Nezha's FE-selection strategy prefers idle vSwitches under the same
+    ToR as the BE and widens to higher layers only when necessary
+    (§4.2.1, App. B.1), so the topology must expose rack locality and a
+    hop-dependent latency. *)
+
+open Nezha_net
+
+type server_id = int
+
+type t
+
+val create : racks:int -> servers_per_rack:int -> t
+(** @raise Invalid_argument on non-positive dimensions. *)
+
+val server_count : t -> int
+val servers : t -> server_id list
+val rack_of : t -> server_id -> int
+val servers_in_rack : t -> int -> server_id list
+val same_rack : t -> server_id -> server_id -> bool
+
+val underlay_ip : t -> server_id -> Ipv4.t
+(** Stable per-server underlay address. *)
+
+val server_of_ip : t -> Ipv4.t -> server_id option
+
+val gateway_ip : t -> Ipv4.t
+(** The region gateway's underlay address (not a server). *)
+
+val latency : t -> server_id -> server_id -> float
+(** One-way delivery latency in seconds: same server ~2 µs (NIC
+    loopback), same rack ~10 µs (one ToR hop), cross-rack ~25 µs
+    (through aggregation).  These are the "few tens of µs" of §3.2.1. *)
+
+val latency_to_gateway : t -> server_id -> float
+(** Gateways sit behind the core: ~40 µs. *)

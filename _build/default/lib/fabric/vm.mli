@@ -1,0 +1,53 @@
+(** Tenant VM model with a kernel-stack bottleneck.
+
+    §6.2.2: once Nezha removes the vSwitch bottleneck, CPS is limited by
+    the VM's kernel — locks and per-connection work that do not scale
+    linearly with vCPUs.  The model is a rate server whose effective
+    capacity saturates in the number of cores:
+
+      [effective = per_core_rate × v / (1 + contention × (v − 1))]
+
+    Each admitted packet costs kernel work (more for a connection-opening
+    SYN); a bounded backlog overflows into [Vm_overload] drops. *)
+
+open Nezha_engine
+open Nezha_net
+
+type kernel = {
+  per_core_hz : float;  (** kernel cycles/s contributed by one vCPU *)
+  contention : float;  (** lock-contention factor α in the saturation law *)
+  packet_cycles : int;  (** kernel cost of an ordinary packet *)
+  connection_cycles : int;  (** extra cost of accepting a new connection *)
+  backlog : int;  (** listen/accept queue depth *)
+}
+
+val default_kernel : kernel
+
+type t
+
+val create : sim:Sim.t -> name:string -> vcpus:int -> ?kernel:kernel -> unit -> t
+(** @raise Invalid_argument if [vcpus <= 0]. *)
+
+val name : t -> string
+val vcpus : t -> int
+
+val effective_hz : t -> float
+(** Saturating capacity in kernel cycles/s. *)
+
+val max_cps : t -> float
+(** Upper bound on connection acceptances/s implied by the kernel model
+    (SYN cost only; payload packets reduce it further). *)
+
+val set_app : t -> (Sim.t -> Packet.t -> unit) -> unit
+(** The application handler, invoked after the kernel admits a packet. *)
+
+val deliver : t -> Packet.t -> unit
+(** A packet arrived from the vNIC.  Charged against the kernel; dropped
+    with an overload count when the backlog is full. *)
+
+val packets_delivered : t -> int
+val packets_dropped : t -> int
+val connections_accepted : t -> int
+
+val utilization_since_last_sample : t -> float
+(** VM CPU busy fraction since the last call — Fig. 2's per-VM axis. *)

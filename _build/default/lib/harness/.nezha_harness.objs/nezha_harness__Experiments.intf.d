@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Middlebox Nezha_engine Nezha_workloads Stats

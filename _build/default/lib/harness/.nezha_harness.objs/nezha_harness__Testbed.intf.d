@@ -1,0 +1,1 @@
+lib/harness/testbed.mli: Controller Fabric Ipv4 Middlebox Nezha_core Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Nezha_workloads Params Rng Ruleset Sim Tcp_crr Topology Vm Vnic Vpc

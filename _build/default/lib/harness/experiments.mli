@@ -1,0 +1,150 @@
+(** One function per table and figure of the paper's evaluation.
+
+    Testbed experiments (Figs. 9–12, 14, Tables 3–4, A1 and the
+    ablations) run the discrete-event simulator; fleet experiments
+    (Figs. 2–4, 13, 15, Table 1, App. B.2) use the quantile-matched
+    region model; Table 5 and Fig. A1 are cost models.  Every function
+    takes a seed so benches are reproducible. *)
+
+open Nezha_engine
+open Nezha_workloads
+
+(** {1 Fig. 9 — performance gain vs #FEs} *)
+
+type fig9_row = {
+  fes : int;
+  cps_gain : float;
+  flows_gain : float;
+  vnics_gain : float;
+}
+
+val fig9 : ?seed:int -> ?fes_list:int list -> unit -> fig9_row list
+(** Defaults sweep 1, 2, 3, 4, 6, 8 FEs (auto-scaling disabled, §6.2.1). *)
+
+val fig9_vnics : ?fes_list:int list -> unit -> (int * float) list
+(** The #vNICs series on the paper's wider 1–128 FE axis: gain is
+    proportional to the pool size once it exceeds the 4-way replication
+    factor. *)
+
+(** {1 Fig. 10 — CPS vs #vCPUs in the VM} *)
+
+type fig10_row = { vcpus : int; cps_without : float; cps_with : float }
+
+val fig10 : ?seed:int -> ?vcpus_list:int list -> unit -> fig10_row list
+
+(** {1 Fig. 11 — CPU utilization during offloading/scaling} *)
+
+type fig11_point = { t : float; cps : float; be_cpu : float; fe_cpu : float; n_fes : int }
+
+val fig11 : ?seed:int -> unit -> fig11_point list
+(** Ramping CPS triggers offload at 70% BE utilization, then FE
+    scale-out at 40% average FE utilization. *)
+
+(** {1 Fig. 12 — end-to-end latency vs load} *)
+
+type fig12_row = {
+  load : float;  (** offered load as a fraction of local capacity *)
+  lat_without_us : float;  (** P50 one-way latency, µs *)
+  lat_with_us : float;
+  lost_without : float;  (** fraction of probes lost *)
+  lost_with : float;
+}
+
+val fig12 : ?seed:int -> ?loads:float list -> unit -> fig12_row list
+
+(** {1 Table 3 — middlebox gains} *)
+
+type table3_row = {
+  kind : Middlebox.kind;
+  cps_gain : float;
+  vnics_gain : float;
+  flows_gain : float;
+}
+
+val table3 : ?seed:int -> unit -> table3_row list
+
+(** {1 Table 4 — offload activation completion time} *)
+
+val table4 : ?seed:int -> ?events:int -> unit -> Stats.Histogram.t
+(** Milliseconds; repeated offload/fallback cycles through the full
+    dual-running workflow. *)
+
+(** {1 Fig. 14 — packet loss during FE crash and failover} *)
+
+val fig14 : ?seed:int -> unit -> (float * float) list
+(** (time, loss-rate) samples; one of four FEs crashes at t = 4 s. *)
+
+(** {1 Table A1 — rule-lookup throughput (Mpps)} *)
+
+val tableA1 : unit -> (int * (int * float) list) list
+(** [(pkt_size, [(n_acl_rules, mpps); ...]); ...] from the full-scale
+    cost model. *)
+
+(** {1 App. B.2 — scale-out frequency over 30 days} *)
+
+type appB2_result = {
+  offload_events : int;
+  fes_provisioned : int;
+  scale_out_events : int;
+  scale_out_ratio : float;
+}
+
+val appB2 : ?seed:int -> ?events:int -> unit -> appB2_result
+
+(** {1 Ablations} *)
+
+type sirius_vs_nezha = {
+  nezha_cps : float;
+  sirius_cps : float;
+  sirius_pingpongs : int;
+  nezha_notify : int;
+}
+
+val ablation_sirius : ?seed:int -> unit -> sirius_vs_nezha
+(** Same pool hardware (4 idle SmartNICs): Nezha's stateless FEs versus
+    Sirius's primary/backup pairs with in-line replication. *)
+
+type lb_ablation = {
+  mode : string;
+  fe_rule_lookups : int;
+  fe_cached_flows : int;
+  cps : float;
+}
+
+val ablation_flow_vs_packet_lb : ?seed:int -> unit -> lb_ablation list
+(** Flow-level vs packet-level balancing of TX traffic (§3.2.3 point 3):
+    packet spraying duplicates rule lookups and cached flows. *)
+
+type state_size_ablation = {
+  slot_bytes : int;
+  flows_supported : int;
+}
+
+val ablation_state_size : ?seed:int -> unit -> state_size_ablation list
+(** §7.1: fixed 64 B state slots vs an 8 B variable-size allocation. *)
+
+val ablation_notify_rate : ?seed:int -> unit -> float
+(** Notify packets per data packet under a stats-enabled workload —
+    §3.2.2 argues this stays far below 1. *)
+
+val measure_flows : ?seed:int -> fes:int -> unit -> int
+(** Sustained #concurrent flows on the heavy vNIC with a 1.5 MB (scaled)
+    rule table; [fes = 0] is the local baseline (Fig. 9's right series). *)
+
+type failover_retx = {
+  failed_without_retx : int;  (** connections abandoned during the crash window *)
+  failed_with_retx : int;
+  retransmissions : int;
+  completed_with_retx : int;
+}
+
+val ablation_failover_retransmit : ?seed:int -> unit -> failover_retx
+(** §6.3.4's "customers are not perceptibly impacted": with TCP
+    retransmission, connections caught by an FE crash retry past the
+    ~2 s failover window instead of failing. *)
+
+type locality_row = { placement : string; p50_latency_us : float }
+
+val ablation_fe_locality : ?seed:int -> unit -> locality_row list
+(** App. B.1: FE selection prefers the BE's ToR.  Compares connection
+    latency with same-rack FEs against FEs forced into a distant rack. *)

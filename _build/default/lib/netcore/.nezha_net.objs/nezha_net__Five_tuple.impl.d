@@ -1,0 +1,1 @@
+lib/netcore/five_tuple.ml: Format Int Int32 Int64 Ipv4 Printf

@@ -1,0 +1,1 @@
+lib/netcore/frame.ml: Bytes Char Five_tuple Int32 Int64 Ipv4 Mac Option Packet Wire

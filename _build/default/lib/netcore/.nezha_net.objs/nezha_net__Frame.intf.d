@@ -1,0 +1,1 @@
+lib/netcore/frame.mli: Ipv4 Mac Packet

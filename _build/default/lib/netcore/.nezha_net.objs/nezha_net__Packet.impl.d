@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Bytes Five_tuple Format Ipv4 List Option Printf String Vpc Wire

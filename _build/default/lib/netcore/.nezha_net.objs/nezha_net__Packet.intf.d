@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Five_tuple Format Ipv4 Vpc

@@ -1,0 +1,1 @@
+lib/netcore/pcap.ml: Bytes Fun Int32 List Wire

@@ -1,0 +1,1 @@
+lib/netcore/vpc.ml: Format Int

@@ -1,0 +1,84 @@
+type proto = Tcp | Udp | Icmp
+
+let proto_to_string = function Tcp -> "tcp" | Udp -> "udp" | Icmp -> "icmp"
+let pp_proto ppf p = Format.pp_print_string ppf (proto_to_string p)
+let proto_code = function Tcp -> 6 | Udp -> 17 | Icmp -> 1
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  src_port : int;
+  dst_port : int;
+  proto : proto;
+}
+
+let make ~src ~dst ~src_port ~dst_port ~proto =
+  { src; dst; src_port = src_port land 0xffff; dst_port = dst_port land 0xffff; proto }
+
+let reverse t = { t with src = t.dst; dst = t.src; src_port = t.dst_port; dst_port = t.src_port }
+
+let endpoint_le (a, ap) (b, bp) =
+  let c = Ipv4.compare a b in
+  c < 0 || (c = 0 && ap <= bp)
+
+let is_canonical t = endpoint_le (t.src, t.src_port) (t.dst, t.dst_port)
+
+let canonical t = if is_canonical t then t else reverse t
+
+let compare a b =
+  let c = Ipv4.compare a.src b.src in
+  if c <> 0 then c
+  else begin
+    let c = Ipv4.compare a.dst b.dst in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.src_port b.src_port in
+      if c <> 0 then c
+      else begin
+        let c = Int.compare a.dst_port b.dst_port in
+        if c <> 0 then c else Int.compare (proto_code a.proto) (proto_code b.proto)
+      end
+    end
+  end
+
+let equal a b = compare a b = 0
+
+(* FNV-1a, folding each field byte-wise; cheap and well distributed for
+   the bucket counts we use. *)
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_fold_int h v n_bytes =
+  let h = ref h in
+  for i = 0 to n_bytes - 1 do
+    let byte = (v lsr (8 * i)) land 0xff in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+(* FNV's low-order bits avalanche poorly (a known weakness: the final
+   multiply leaves the bottom bits nearly affine in the input), and FE
+   selection takes [hash mod #FEs], so we finish with a strong mixer. *)
+let avalanche z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_raw t =
+  let h = fnv_offset in
+  let h = fnv_fold_int h (Int32.to_int (Ipv4.to_int32 t.src) land 0xffffffff) 4 in
+  let h = fnv_fold_int h (Int32.to_int (Ipv4.to_int32 t.dst) land 0xffffffff) 4 in
+  let h = fnv_fold_int h t.src_port 2 in
+  let h = fnv_fold_int h t.dst_port 2 in
+  let h = fnv_fold_int h (proto_code t.proto) 1 in
+  Int64.to_int (avalanche h) land max_int
+
+let hash t = hash_raw t
+
+let session_hash t = hash_raw (canonical t)
+
+let to_string t =
+  Printf.sprintf "%s:%d>%s:%d/%s" (Ipv4.to_string t.src) t.src_port (Ipv4.to_string t.dst)
+    t.dst_port (proto_to_string t.proto)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

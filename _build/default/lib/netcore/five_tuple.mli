@@ -1,0 +1,46 @@
+(** Transport 5-tuples and their canonical (session) form.
+
+    The vSwitch records *bidirectional* flows and their session state in a
+    single entry (§2.1), so session lookups key on a direction-independent
+    canonical form.  Load balancing across FEs keys on the directed tuple's
+    hash (§3.2.3); both hashes are provided. *)
+
+type proto = Tcp | Udp | Icmp
+
+val proto_to_string : proto -> string
+val pp_proto : Format.formatter -> proto -> unit
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  src_port : int;
+  dst_port : int;
+  proto : proto;
+}
+
+val make :
+  src:Ipv4.t -> dst:Ipv4.t -> src_port:int -> dst_port:int -> proto:proto -> t
+(** Ports are masked to 16 bits. *)
+
+val reverse : t -> t
+(** Swap endpoints: the return-path tuple of the same session. *)
+
+val canonical : t -> t
+(** A direction-independent representative: [canonical t = canonical
+    (reverse t)].  The representative orders endpoints by (address, port). *)
+
+val is_canonical : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** FNV-1a over the directed tuple.  Used for FE selection: forward and
+    reverse directions of a session generally hash to different FEs, which
+    Nezha explicitly permits because state lives only on the BE. *)
+
+val session_hash : t -> int
+(** Hash of the canonical form: equal for both directions. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,234 @@
+type addressing = {
+  src_mac : Mac.t;
+  dst_mac : Mac.t;
+  outer_src_mac : Mac.t;
+  outer_dst_mac : Mac.t;
+}
+
+let default_addressing =
+  {
+    src_mac = Option.get (Mac.of_string "02:00:00:00:00:01");
+    dst_mac = Option.get (Mac.of_string "02:00:00:00:00:02");
+    outer_src_mac = Option.get (Mac.of_string "02:00:00:00:01:01");
+    outer_dst_mac = Option.get (Mac.of_string "02:00:00:00:01:02");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* RFC 1071 checksums *)
+
+let ones_complement_sum buf ~off ~len =
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be buf !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  (* Fold carries. *)
+  let s = ref !sum in
+  while !s land 0xFFFF0000 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  !s
+
+let ipv4_header_checksum buf ~off = lnot (ones_complement_sum buf ~off ~len:20) land 0xffff
+
+let verify_ipv4_header buf ~off = ones_complement_sum buf ~off ~len:20 = 0xffff
+
+let transport_checksum ~src ~dst ~proto buf ~off ~len =
+  (* Pseudo-header: src, dst, zero, protocol, length. *)
+  let pseudo = Bytes.create 12 in
+  Bytes.set_int32_be pseudo 0 (Ipv4.to_int32 src);
+  Bytes.set_int32_be pseudo 4 (Ipv4.to_int32 dst);
+  Bytes.set_uint8 pseudo 8 0;
+  Bytes.set_uint8 pseudo 9 proto;
+  Bytes.set_uint16_be pseudo 10 len;
+  let sum =
+    ones_complement_sum pseudo ~off:0 ~len:12 + ones_complement_sum buf ~off ~len
+  in
+  let s = ref sum in
+  while !s land 0xFFFF0000 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  let c = lnot !s land 0xffff in
+  if c = 0 then 0xffff else c
+
+(* ------------------------------------------------------------------ *)
+(* Header emitters *)
+
+let put_mac w mac =
+  let v = Mac.to_int64 mac in
+  for i = 5 downto 0 do
+    Wire.Writer.u8 w (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let ethernet w ~src ~dst ~ethertype =
+  put_mac w dst;
+  put_mac w src;
+  Wire.Writer.u16 w ethertype
+
+let proto_number = function Five_tuple.Tcp -> 6 | Five_tuple.Udp -> 17 | Five_tuple.Icmp -> 1
+
+(* Emit an IPv4 header + payload; returns the complete bytes. *)
+let ipv4_packet ~src ~dst ~proto ~payload =
+  let total = 20 + Bytes.length payload in
+  let buf = Bytes.create total in
+  Bytes.set_uint8 buf 0 0x45 (* v4, IHL 5 *);
+  Bytes.set_uint8 buf 1 0;
+  Bytes.set_uint16_be buf 2 total;
+  Bytes.set_uint16_be buf 4 0 (* id *);
+  Bytes.set_uint16_be buf 6 0x4000 (* DF *);
+  Bytes.set_uint8 buf 8 64 (* ttl *);
+  Bytes.set_uint8 buf 9 proto;
+  Bytes.set_uint16_be buf 10 0 (* checksum placeholder *);
+  Bytes.set_int32_be buf 12 (Ipv4.to_int32 src);
+  Bytes.set_int32_be buf 16 (Ipv4.to_int32 dst);
+  Bytes.set_uint16_be buf 10 (ipv4_header_checksum buf ~off:0);
+  Bytes.blit payload 0 buf 20 (Bytes.length payload);
+  buf
+
+let tcp_segment ~src ~dst ~(flow : Five_tuple.t) ~(flags : Packet.tcp_flags) ~payload_len =
+  let len = 20 + payload_len in
+  let buf = Bytes.create len in
+  Bytes.set_uint16_be buf 0 flow.Five_tuple.src_port;
+  Bytes.set_uint16_be buf 2 flow.Five_tuple.dst_port;
+  Bytes.set_int32_be buf 4 1l (* seq *);
+  Bytes.set_int32_be buf 8 (if flags.Packet.ack then 1l else 0l);
+  let flag_bits =
+    (if flags.Packet.fin then 0x01 else 0)
+    lor (if flags.Packet.syn then 0x02 else 0)
+    lor (if flags.Packet.rst then 0x04 else 0)
+    lor if flags.Packet.ack then 0x10 else 0
+  in
+  Bytes.set_uint16_be buf 12 ((5 lsl 12) lor flag_bits);
+  Bytes.set_uint16_be buf 14 65535 (* window *);
+  Bytes.set_uint16_be buf 16 0 (* checksum placeholder *);
+  Bytes.set_uint16_be buf 18 0 (* urgent *);
+  Bytes.set_uint16_be buf 16 (transport_checksum ~src ~dst ~proto:6 buf ~off:0 ~len);
+  buf
+
+let udp_datagram ~src ~dst ~src_port ~dst_port ~payload =
+  let len = 8 + Bytes.length payload in
+  let buf = Bytes.create len in
+  Bytes.set_uint16_be buf 0 src_port;
+  Bytes.set_uint16_be buf 2 dst_port;
+  Bytes.set_uint16_be buf 4 len;
+  Bytes.set_uint16_be buf 6 0;
+  Bytes.blit payload 0 buf 8 (Bytes.length payload);
+  Bytes.set_uint16_be buf 6 (transport_checksum ~src ~dst ~proto:17 buf ~off:0 ~len);
+  buf
+
+let icmp_message ~payload_len =
+  let len = 8 + payload_len in
+  let buf = Bytes.create len in
+  Bytes.set_uint8 buf 0 8 (* echo request *);
+  Bytes.set_uint8 buf 1 0;
+  Bytes.set_uint16_be buf 2 0;
+  let sum = ones_complement_sum buf ~off:0 ~len in
+  Bytes.set_uint16_be buf 2 (lnot sum land 0xffff);
+  buf
+
+(* NSH (RFC 8300): base header + service path header + our metadata as a
+   type-2 (variable-length) context carrying the state/pre-action blobs. *)
+let nsh_header (n : Packet.nsh) ~inner_protocol =
+  let w = Wire.Writer.create () in
+  (* Build metadata first to know the total length. *)
+  let mw = Wire.Writer.create () in
+  let mput tag = function
+    | None -> ()
+    | Some b ->
+      Wire.Writer.u16 mw 0x0101;
+      Wire.Writer.u8 mw tag;
+      Wire.Writer.u8 mw (Bytes.length b);
+      Wire.Writer.raw mw b
+  in
+  mput 1 n.Packet.carried_state;
+  mput 2 n.Packet.carried_pre_actions;
+  (match n.Packet.orig_outer_src with
+  | Some a ->
+    Wire.Writer.u16 mw 0x0101;
+    Wire.Writer.u8 mw 3;
+    Wire.Writer.u8 mw 4;
+    Wire.Writer.u32 mw (Ipv4.to_int32 a)
+  | None -> ());
+  let metadata = Wire.Writer.contents mw in
+  (* Pad metadata to a 4-byte boundary as RFC 8300 requires. *)
+  let pad = (4 - (Bytes.length metadata mod 4)) mod 4 in
+  let total_words = 2 + ((Bytes.length metadata + pad) / 4) in
+  (* Base header: ver 0, O bit for notify, length in 4-byte words,
+     MD type 2, next protocol. *)
+  let b0 = if n.Packet.notify then 0x20 else 0x00 in
+  Wire.Writer.u8 w b0;
+  Wire.Writer.u8 w (total_words land 0x3f);
+  Wire.Writer.u8 w 0x02 (* MD type 2 *);
+  Wire.Writer.u8 w inner_protocol;
+  (* Service path header: SPI 1, SI 255. *)
+  Wire.Writer.u32 w 0x000001FFl;
+  Wire.Writer.raw w metadata;
+  for _ = 1 to pad do
+    Wire.Writer.u8 w 0
+  done;
+  Wire.Writer.contents w
+
+let inner_frame ?(addressing = default_addressing) (p : Packet.t) =
+  let flow = p.Packet.flow in
+  let payload = Bytes.make p.Packet.payload_len '\x00' in
+  let l4 =
+    match flow.Five_tuple.proto with
+    | Five_tuple.Tcp ->
+      tcp_segment ~src:flow.Five_tuple.src ~dst:flow.Five_tuple.dst ~flow ~flags:p.Packet.flags
+        ~payload_len:p.Packet.payload_len
+    | Five_tuple.Udp ->
+      udp_datagram ~src:flow.Five_tuple.src ~dst:flow.Five_tuple.dst
+        ~src_port:flow.Five_tuple.src_port ~dst_port:flow.Five_tuple.dst_port ~payload
+    | Five_tuple.Icmp -> icmp_message ~payload_len:p.Packet.payload_len
+  in
+  let ip =
+    ipv4_packet ~src:flow.Five_tuple.src ~dst:flow.Five_tuple.dst
+      ~proto:(proto_number flow.Five_tuple.proto) ~payload:l4
+  in
+  let w = Wire.Writer.create ~capacity:(Bytes.length ip + 14) () in
+  ethernet w ~src:addressing.src_mac ~dst:addressing.dst_mac ~ethertype:0x0800;
+  Wire.Writer.raw w ip;
+  Wire.Writer.contents w
+
+let vxlan_port = 4789
+
+let synthesize ?(addressing = default_addressing) (p : Packet.t) =
+  let inner = inner_frame ~addressing p in
+  match p.Packet.vxlan with
+  | None -> inner
+  | Some v ->
+    (* VXLAN (or VXLAN-GPE when NSH metadata is present). *)
+    let vxlan_payload =
+      let w = Wire.Writer.create () in
+      (match p.Packet.nsh with
+      | None ->
+        (* Plain VXLAN: flags 0x08, reserved, VNI, reserved. *)
+        Wire.Writer.u8 w 0x08;
+        Wire.Writer.u8 w 0;
+        Wire.Writer.u16 w 0;
+        Wire.Writer.u32 w (Int32.shift_left (Int32.of_int (v.Packet.vni land 0xFFFFFF)) 8);
+        Wire.Writer.raw w inner
+      | Some n ->
+        (* VXLAN-GPE: flags 0x0C (I+P), next protocol 4 = NSH. *)
+        Wire.Writer.u8 w 0x0C;
+        Wire.Writer.u16 w 0;
+        Wire.Writer.u8 w 0x04;
+        Wire.Writer.u32 w (Int32.shift_left (Int32.of_int (v.Packet.vni land 0xFFFFFF)) 8);
+        (* NSH next protocol 3 = Ethernet. *)
+        Wire.Writer.raw w (nsh_header n ~inner_protocol:0x03);
+        Wire.Writer.raw w inner);
+      Wire.Writer.contents w
+    in
+    let udp =
+      udp_datagram ~src:v.Packet.outer_src ~dst:v.Packet.outer_dst
+        ~src_port:(0xC000 lor (Five_tuple.hash p.Packet.flow land 0x3FFF))
+        ~dst_port:vxlan_port ~payload:vxlan_payload
+    in
+    let ip = ipv4_packet ~src:v.Packet.outer_src ~dst:v.Packet.outer_dst ~proto:17 ~payload:udp in
+    let w = Wire.Writer.create ~capacity:(Bytes.length ip + 14) () in
+    ethernet w ~src:addressing.outer_src_mac ~dst:addressing.outer_dst_mac ~ethertype:0x0800;
+    Wire.Writer.raw w ip;
+    Wire.Writer.contents w

@@ -1,0 +1,37 @@
+(** Byte-level frame synthesis.
+
+    Renders a simulated {!Packet.t} as a real wire frame — Ethernet,
+    IPv4 (with a correct header checksum), TCP/UDP/ICMP (with correct
+    transport checksums over a zero payload), and, when the packet is
+    encapsulated, an outer Ethernet/IPv4/UDP/VXLAN stack; NSH metadata
+    rides a VXLAN-GPE next-protocol header carrying the state and
+    pre-action blobs as fixed-length context.  The output is what
+    {!Pcap} writes, so simulation traces open in Wireshark. *)
+
+type addressing = {
+  src_mac : Mac.t;
+  dst_mac : Mac.t;
+  outer_src_mac : Mac.t;
+  outer_dst_mac : Mac.t;
+}
+
+val default_addressing : addressing
+
+val synthesize : ?addressing:addressing -> Packet.t -> bytes
+(** The full frame, outermost header first. *)
+
+(** {1 Checksum primitives} *)
+
+val ones_complement_sum : bytes -> off:int -> len:int -> int
+(** 16-bit one's-complement sum (RFC 1071), without the final inversion. *)
+
+val ipv4_header_checksum : bytes -> off:int -> int
+(** Checksum of a 20-byte IPv4 header whose checksum field is zeroed. *)
+
+val verify_ipv4_header : bytes -> off:int -> bool
+(** True when the header checksums to 0xffff as received. *)
+
+val transport_checksum :
+  src:Ipv4.t -> dst:Ipv4.t -> proto:int -> bytes -> off:int -> len:int -> int
+(** TCP/UDP checksum with the IPv4 pseudo-header; the segment's checksum
+    field must be zeroed. *)

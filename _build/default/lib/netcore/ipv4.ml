@@ -1,0 +1,81 @@
+type t = int32
+
+let of_int32 x = x
+let to_int32 x = x
+
+let of_octets a b c d =
+  let a = a land 0xff and b = b land 0xff and c = c land 0xff and d = d land 0xff in
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+
+let octet x shift = Int32.to_int (Int32.logand (Int32.shift_right_logical x shift) 0xffl)
+
+let to_string x =
+  Printf.sprintf "%d.%d.%d.%d" (octet x 24) (octet x 16) (octet x 8) (octet x 0)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+    | Some a, Some b, Some c, Some d
+      when a >= 0 && a <= 255 && b >= 0 && b <= 255 && c >= 0 && c <= 255 && d >= 0 && d <= 255 ->
+      Some (of_octets a b c d)
+    | _, _, _, _ -> None)
+  | _ -> None
+
+let of_string_exn s =
+  match of_string s with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)
+
+(* Compare as unsigned 32-bit values so 200.0.0.0 > 100.0.0.0. *)
+let compare a b = Int32.unsigned_compare a b
+let equal a b = Int32.equal a b
+let hash x = Int32.to_int x land max_int
+
+let succ x = Int32.add x 1l
+let add x n = Int32.add x (Int32.of_int n)
+
+module Prefix = struct
+  type addr = t
+
+  type t = { base : addr; len : int }
+
+  let mask_of len =
+    if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+  let make base len =
+    if len < 0 || len > 32 then invalid_arg "Ipv4.Prefix.make: length outside [0,32]";
+    { base = Int32.logand base (mask_of len); len }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> None
+    | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (of_string addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+      | _, _ -> None)
+
+  let base t = t.base
+  let length t = t.len
+
+  let mem addr t = Int32.equal (Int32.logand addr (mask_of t.len)) t.base
+
+  let subsumes outer inner = outer.len <= inner.len && mem inner.base outer
+
+  let to_string t = Printf.sprintf "%s/%d" (to_string t.base) t.len
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+  let compare a b =
+    let c = Int32.unsigned_compare a.base b.base in
+    if c <> 0 then c else Int.compare a.len b.len
+
+  let equal a b = compare a b = 0
+end

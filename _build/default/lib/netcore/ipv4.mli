@@ -1,0 +1,57 @@
+(** IPv4 addresses and prefixes. *)
+
+type t
+(** An IPv4 address.  Total order follows numeric address order. *)
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] builds [a.b.c.d]; each octet is masked to 8 bits. *)
+
+val of_string : string -> t option
+(** Parse dotted-quad notation. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on a malformed address. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val succ : t -> t
+(** Next address, wrapping at 255.255.255.255. *)
+
+val add : t -> int -> t
+(** Offset an address; useful for carving per-host addresses out of a
+    base.  Wraps modulo 2^32. *)
+
+(** {1 Prefixes} *)
+
+module Prefix : sig
+  type addr := t
+
+  type t
+  (** A CIDR prefix such as [10.0.0.0/8]. *)
+
+  val make : addr -> int -> t
+  (** [make base len] masks [base] down to its first [len] bits.
+      @raise Invalid_argument if [len] is outside \[0, 32\]. *)
+
+  val of_string : string -> t option
+  (** Parse ["a.b.c.d/len"]. *)
+
+  val base : t -> addr
+  val length : t -> int
+  val mem : addr -> t -> bool
+  val subsumes : t -> t -> bool
+  (** [subsumes outer inner]: every address of [inner] is in [outer]. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+end

@@ -1,0 +1,33 @@
+type t = int64
+
+let mask = 0xFFFF_FFFF_FFFFL
+
+let of_int64 x = Int64.logand x mask
+let to_int64 x = x
+
+let byte x shift = Int64.to_int (Int64.logand (Int64.shift_right_logical x shift) 0xffL)
+
+let to_string x =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (byte x 40) (byte x 32) (byte x 24)
+    (byte x 16) (byte x 8) (byte x 0)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] ->
+    let parse o = int_of_string_opt ("0x" ^ o) in
+    (match (parse a, parse b, parse c, parse d, parse e, parse f) with
+     | Some a, Some b, Some c, Some d, Some e, Some f
+       when List.for_all (fun v -> v >= 0 && v <= 255) [ a; b; c; d; e; f ] ->
+       let join acc v = Int64.logor (Int64.shift_left acc 8) (Int64.of_int v) in
+       Some (List.fold_left join 0L [ a; b; c; d; e; f ])
+     | _, _, _, _, _, _ -> None)
+  | _ -> None
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)
+
+let broadcast = mask
+let zero = 0L
+
+let compare = Int64.unsigned_compare
+let equal = Int64.equal
+let hash x = Int64.to_int x land max_int

@@ -1,0 +1,21 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t
+
+val of_int64 : int64 -> t
+(** Masks the argument to its low 48 bits. *)
+
+val to_int64 : t -> int64
+
+val of_string : string -> t option
+(** Parse ["aa:bb:cc:dd:ee:ff"]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val broadcast : t
+val zero : t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int

@@ -1,0 +1,218 @@
+type direction = Tx | Rx
+
+let pp_direction ppf d = Format.pp_print_string ppf (match d with Tx -> "tx" | Rx -> "rx")
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+let no_flags = { syn = false; ack = false; fin = false; rst = false }
+let syn = { no_flags with syn = true }
+let syn_ack = { no_flags with syn = true; ack = true }
+let ack = { no_flags with ack = true }
+let fin_ack = { no_flags with fin = true; ack = true }
+let rst = { no_flags with rst = true }
+
+let pp_flags ppf f =
+  let tags =
+    List.filter_map
+      (fun (b, s) -> if b then Some s else None)
+      [ (f.syn, "S"); (f.ack, "A"); (f.fin, "F"); (f.rst, "R") ]
+  in
+  Format.pp_print_string ppf (if tags = [] then "." else String.concat "" tags)
+
+type vxlan = { vni : int; outer_src : Ipv4.t; outer_dst : Ipv4.t }
+
+type nsh = {
+  carried_state : bytes option;
+  carried_pre_actions : bytes option;
+  notify : bool;
+  orig_outer_src : Ipv4.t option;
+}
+
+let empty_nsh =
+  { carried_state = None; carried_pre_actions = None; notify = false; orig_outer_src = None }
+
+type t = {
+  uid : int;
+  vpc : Vpc.t;
+  flow : Five_tuple.t;
+  direction : direction;
+  flags : tcp_flags;
+  payload_len : int;
+  mutable vxlan : vxlan option;
+  mutable nsh : nsh option;
+}
+
+let uid_counter = ref 0
+
+let reset_uid_counter () = uid_counter := 0
+
+let create ~vpc ~flow ~direction ?(flags = no_flags) ?(payload_len = 0) () =
+  incr uid_counter;
+  { uid = !uid_counter; vpc; flow; direction; flags; payload_len; vxlan = None; nsh = None }
+
+(* Header size constants (bytes). *)
+let eth_header = 14
+let ipv4_header = 20
+let udp_header = 8
+let tcp_header = 20
+let icmp_header = 8
+let vxlan_overhead = eth_header + ipv4_header + udp_header + 8 (* VXLAN shim *)
+let nsh_base = 8 (* NSH base + service path headers *)
+
+let l4_header t =
+  match t.flow.Five_tuple.proto with
+  | Five_tuple.Tcp -> tcp_header
+  | Five_tuple.Udp -> udp_header
+  | Five_tuple.Icmp -> icmp_header
+
+let inner_size t = eth_header + ipv4_header + l4_header t + t.payload_len
+
+let nsh_size nsh =
+  let blob = function None -> 0 | Some b -> Bytes.length b in
+  nsh_base + blob nsh.carried_state + blob nsh.carried_pre_actions
+  + (match nsh.orig_outer_src with None -> 0 | Some _ -> 4)
+
+let wire_size t =
+  inner_size t
+  + (match t.vxlan with None -> 0 | Some _ -> vxlan_overhead)
+  + (match t.nsh with None -> 0 | Some nsh -> nsh_size nsh)
+
+let encap_vxlan t ~vni ~outer_src ~outer_dst = t.vxlan <- Some { vni; outer_src; outer_dst }
+
+let decap_vxlan t =
+  let v = t.vxlan in
+  t.vxlan <- None;
+  v
+
+let set_nsh t nsh = t.nsh <- Some nsh
+
+let clear_nsh t =
+  let n = t.nsh in
+  t.nsh <- None;
+  n
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a %a %a [%a] len=%d" t.uid Vpc.pp t.vpc pp_direction t.direction
+    Five_tuple.pp t.flow pp_flags t.flags (wire_size t);
+  (match t.vxlan with
+  | Some v -> Format.fprintf ppf " vxlan(%d,%a>%a)" v.vni Ipv4.pp v.outer_src Ipv4.pp v.outer_dst
+  | None -> ());
+  match t.nsh with
+  | Some n ->
+    Format.fprintf ppf " nsh(state=%b,pre=%b,notify=%b)"
+      (Option.is_some n.carried_state)
+      (Option.is_some n.carried_pre_actions)
+      n.notify
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let proto_tag = function Five_tuple.Tcp -> 0 | Five_tuple.Udp -> 1 | Five_tuple.Icmp -> 2
+
+let proto_of_tag = function
+  | 0 -> Ok Five_tuple.Tcp
+  | 1 -> Ok Five_tuple.Udp
+  | 2 -> Ok Five_tuple.Icmp
+  | n -> Error (Printf.sprintf "unknown protocol tag %d" n)
+
+let flags_byte f =
+  (if f.syn then 1 else 0)
+  lor (if f.ack then 2 else 0)
+  lor (if f.fin then 4 else 0)
+  lor if f.rst then 8 else 0
+
+let flags_of_byte b =
+  { syn = b land 1 <> 0; ack = b land 2 <> 0; fin = b land 4 <> 0; rst = b land 8 <> 0 }
+
+let magic = 0x4E5A (* "NZ" *)
+
+let encode t =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u16 w magic;
+  Wire.Writer.varint w t.uid;
+  Wire.Writer.varint w (Vpc.to_int t.vpc);
+  Wire.Writer.u32 w (Ipv4.to_int32 t.flow.Five_tuple.src);
+  Wire.Writer.u32 w (Ipv4.to_int32 t.flow.Five_tuple.dst);
+  Wire.Writer.u16 w t.flow.Five_tuple.src_port;
+  Wire.Writer.u16 w t.flow.Five_tuple.dst_port;
+  Wire.Writer.u8 w (proto_tag t.flow.Five_tuple.proto);
+  Wire.Writer.u8 w (match t.direction with Tx -> 0 | Rx -> 1);
+  Wire.Writer.u8 w (flags_byte t.flags);
+  Wire.Writer.varint w t.payload_len;
+  (match t.vxlan with
+  | None -> Wire.Writer.u8 w 0
+  | Some v ->
+    Wire.Writer.u8 w 1;
+    Wire.Writer.varint w v.vni;
+    Wire.Writer.u32 w (Ipv4.to_int32 v.outer_src);
+    Wire.Writer.u32 w (Ipv4.to_int32 v.outer_dst));
+  (match t.nsh with
+  | None -> Wire.Writer.u8 w 0
+  | Some n ->
+    Wire.Writer.u8 w 1;
+    let opt_bytes = function
+      | None -> Wire.Writer.u8 w 0
+      | Some b ->
+        Wire.Writer.u8 w 1;
+        Wire.Writer.bytes w b
+    in
+    opt_bytes n.carried_state;
+    opt_bytes n.carried_pre_actions;
+    Wire.Writer.u8 w (if n.notify then 1 else 0);
+    (match n.orig_outer_src with
+    | None -> Wire.Writer.u8 w 0
+    | Some a ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.u32 w (Ipv4.to_int32 a)));
+  Wire.Writer.contents w
+
+let decode buf =
+  let r = Wire.Reader.of_bytes buf in
+  match
+    let m = Wire.Reader.u16 r in
+    if m <> magic then Error (Printf.sprintf "bad magic 0x%04x" m)
+    else begin
+      let uid = Wire.Reader.varint r in
+      let vpc = Vpc.make (Wire.Reader.varint r) in
+      let src = Ipv4.of_int32 (Wire.Reader.u32 r) in
+      let dst = Ipv4.of_int32 (Wire.Reader.u32 r) in
+      let src_port = Wire.Reader.u16 r in
+      let dst_port = Wire.Reader.u16 r in
+      match proto_of_tag (Wire.Reader.u8 r) with
+      | Error _ as e -> e
+      | Ok proto ->
+        let direction = if Wire.Reader.u8 r = 0 then Tx else Rx in
+        let flags = flags_of_byte (Wire.Reader.u8 r) in
+        let payload_len = Wire.Reader.varint r in
+        let vxlan =
+          if Wire.Reader.u8 r = 0 then None
+          else begin
+            let vni = Wire.Reader.varint r in
+            let outer_src = Ipv4.of_int32 (Wire.Reader.u32 r) in
+            let outer_dst = Ipv4.of_int32 (Wire.Reader.u32 r) in
+            Some { vni; outer_src; outer_dst }
+          end
+        in
+        let nsh =
+          if Wire.Reader.u8 r = 0 then None
+          else begin
+            let opt_bytes () =
+              if Wire.Reader.u8 r = 0 then None else Some (Wire.Reader.bytes r)
+            in
+            let carried_state = opt_bytes () in
+            let carried_pre_actions = opt_bytes () in
+            let notify = Wire.Reader.u8 r = 1 in
+            let orig_outer_src =
+              if Wire.Reader.u8 r = 0 then None
+              else Some (Ipv4.of_int32 (Wire.Reader.u32 r))
+            in
+            Some { carried_state; carried_pre_actions; notify; orig_outer_src }
+          end
+        in
+        let flow = Five_tuple.make ~src ~dst ~src_port ~dst_port ~proto in
+        Ok { uid; vpc; flow; direction; flags; payload_len; vxlan; nsh }
+    end
+  with
+  | result -> result
+  | exception Wire.Reader.Truncated -> Error "truncated packet"

@@ -1,0 +1,92 @@
+(** The packet model.
+
+    A packet is a tenant (overlay) frame, optionally wrapped in a VXLAN
+    underlay header and an NSH-style metadata header.  Nezha's central trick
+    rides in the NSH header: TX packets carry serialized session *state*
+    from BE to FE, RX packets carry serialized *pre-actions* from FE to BE,
+    and notify packets instruct the BE to (re)initialize rule-table-involved
+    state (§3.2).  The metadata blobs are opaque bytes at this layer; the
+    vSwitch library owns their codecs. *)
+
+type direction = Tx | Rx
+(** Relative to the tenant VM that owns the vNIC: [Tx] leaves the VM,
+    [Rx] is destined to it. *)
+
+val pp_direction : Format.formatter -> direction -> unit
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+val no_flags : tcp_flags
+val syn : tcp_flags
+val syn_ack : tcp_flags
+val ack : tcp_flags
+val fin_ack : tcp_flags
+val rst : tcp_flags
+val pp_flags : Format.formatter -> tcp_flags -> unit
+
+(** VXLAN-style underlay encapsulation. *)
+type vxlan = { vni : int; outer_src : Ipv4.t; outer_dst : Ipv4.t }
+
+(** NSH-style metadata header used on the BE↔FE hop. *)
+type nsh = {
+  carried_state : bytes option;  (** TX: session state, BE → FE *)
+  carried_pre_actions : bytes option;  (** RX: pre-actions, FE → BE *)
+  notify : bool;  (** designated notify packet (§3.2.2) *)
+  orig_outer_src : Ipv4.t option;
+      (** outer source IP preserved for stateful decap (§5.2) *)
+}
+
+val empty_nsh : nsh
+
+type t = {
+  uid : int;  (** unique per simulation run, for tracing *)
+  vpc : Vpc.t;
+  flow : Five_tuple.t;
+  direction : direction;
+  flags : tcp_flags;
+  payload_len : int;  (** tenant payload bytes *)
+  mutable vxlan : vxlan option;
+  mutable nsh : nsh option;
+}
+
+val create :
+  vpc:Vpc.t ->
+  flow:Five_tuple.t ->
+  direction:direction ->
+  ?flags:tcp_flags ->
+  ?payload_len:int ->
+  unit ->
+  t
+(** A fresh packet with a unique [uid].  Default flags none, default
+    payload 0 (a bare SYN/control segment). *)
+
+val reset_uid_counter : unit -> unit
+(** Restart uid assignment; called at the start of each experiment so runs
+    are reproducible. *)
+
+val inner_size : t -> int
+(** Bytes of the tenant frame: Ethernet + IPv4 + L4 header + payload. *)
+
+val wire_size : t -> int
+(** Bytes on the underlay wire including VXLAN and NSH overheads.  The NSH
+    contribution counts the actual serialized metadata, so carrying state
+    costs what it costs. *)
+
+val encap_vxlan : t -> vni:int -> outer_src:Ipv4.t -> outer_dst:Ipv4.t -> unit
+val decap_vxlan : t -> vxlan option
+(** Remove and return the VXLAN header. *)
+
+val set_nsh : t -> nsh -> unit
+val clear_nsh : t -> nsh option
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Wire codec}
+
+    Serializes the packet *headers* (not the payload, whose bytes are
+    irrelevant to the simulation) to a self-describing binary form and
+    back.  [decode (encode p)] reconstructs every header field including
+    metadata blobs. *)
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result

@@ -1,0 +1,70 @@
+type record = { time : float; frame : bytes }
+
+type t = { snaplen : int; mutable records : record list (* newest first *) }
+
+let create ?(snaplen = 65535) () = { snaplen; records = [] }
+
+let add t ~time frame =
+  let frame =
+    if Bytes.length frame > t.snaplen then Bytes.sub frame 0 t.snaplen else frame
+  in
+  t.records <- { time; frame } :: t.records
+
+let packet_count t = List.length t.records
+
+let magic = 0xA1B2C3D4l
+let linktype_ethernet = 1l
+
+let contents t =
+  let w = Wire.Writer.create ~capacity:4096 () in
+  Wire.Writer.u32 w magic;
+  Wire.Writer.u16 w 2 (* major *);
+  Wire.Writer.u16 w 4 (* minor *);
+  Wire.Writer.u32 w 0l (* thiszone *);
+  Wire.Writer.u32 w 0l (* sigfigs *);
+  Wire.Writer.u32 w (Int32.of_int t.snaplen);
+  Wire.Writer.u32 w linktype_ethernet;
+  List.iter
+    (fun r ->
+      let secs = int_of_float r.time in
+      let usecs = int_of_float ((r.time -. float_of_int secs) *. 1e6) in
+      Wire.Writer.u32 w (Int32.of_int secs);
+      Wire.Writer.u32 w (Int32.of_int usecs);
+      Wire.Writer.u32 w (Int32.of_int (Bytes.length r.frame));
+      Wire.Writer.u32 w (Int32.of_int (Bytes.length r.frame));
+      Wire.Writer.raw w r.frame)
+    (List.rev t.records);
+  Wire.Writer.contents w
+
+let write_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (contents t))
+
+let parse buf =
+  let r = Wire.Reader.of_bytes buf in
+  match
+    let m = Wire.Reader.u32 r in
+    if m <> magic then Error "pcap: bad magic (only big-endian microsecond captures supported)"
+    else begin
+      let _major = Wire.Reader.u16 r and _minor = Wire.Reader.u16 r in
+      let _zone = Wire.Reader.u32 r and _sigfigs = Wire.Reader.u32 r in
+      let _snaplen = Wire.Reader.u32 r and _linktype = Wire.Reader.u32 r in
+      let rec records acc =
+        if Wire.Reader.remaining r = 0 then Ok (List.rev acc)
+        else begin
+          let secs = Int32.to_int (Wire.Reader.u32 r) in
+          let usecs = Int32.to_int (Wire.Reader.u32 r) in
+          let caplen = Int32.to_int (Wire.Reader.u32 r) in
+          let _origlen = Wire.Reader.u32 r in
+          let frame = Wire.Reader.raw r caplen in
+          let time = float_of_int secs +. (float_of_int usecs /. 1e6) in
+          records ((time, frame) :: acc)
+        end
+      in
+      records []
+    end
+  with
+  | result -> result
+  | exception Wire.Reader.Truncated -> Error "pcap: truncated capture"

@@ -1,0 +1,27 @@
+(** Classic pcap (libpcap 2.4) capture files.
+
+    Together with {!Frame.synthesize} this turns simulation traces into
+    files Wireshark and tcpdump open directly — the debugging workflow a
+    real dataplane team would expect. *)
+
+type t
+
+val create : ?snaplen:int -> unit -> t
+(** An in-memory capture; [snaplen] (default 65535) truncates records. *)
+
+val add : t -> time:float -> bytes -> unit
+(** Append one frame captured at simulation time [time] (seconds). *)
+
+val packet_count : t -> int
+
+val contents : t -> bytes
+(** The complete file: global header (magic 0xa1b2c3d4, version 2.4,
+    LINKTYPE_ETHERNET) followed by the records. *)
+
+val write_file : t -> string -> unit
+
+(** {1 Reading} *)
+
+val parse : bytes -> ((float * bytes) list, string) result
+(** Parse a capture produced by this module (or any µs-resolution
+    big-endian-magic-matching classic pcap). *)

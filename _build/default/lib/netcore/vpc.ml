@@ -1,0 +1,8 @@
+type t = int
+
+let make i = i land 0xFFFFFF
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash t = t
+let pp ppf t = Format.fprintf ppf "vpc-%d" t

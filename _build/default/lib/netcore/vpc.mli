@@ -1,0 +1,15 @@
+(** Tenant VPC identifiers.
+
+    Different tenants may reuse the same private 5-tuples; the VPC ID is
+    recorded alongside cached flows to keep them apart (§2.1). *)
+
+type t
+
+val make : int -> t
+(** Masks to 24 bits, the VNI width of VXLAN. *)
+
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create ?(capacity = 64) () = { buf = Bytes.create (max 1 capacity); len = 0 }
+
+  let length t = t.len
+
+  let ensure t n =
+    let cap = Bytes.length t.buf in
+    if t.len + n > cap then begin
+      let ncap = max (t.len + n) (cap * 2) in
+      let nbuf = Bytes.create ncap in
+      Bytes.blit t.buf 0 nbuf 0 t.len;
+      t.buf <- nbuf
+    end
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.chr (v land 0xff));
+    t.len <- t.len + 1
+
+  let u16 t v =
+    ensure t 2;
+    Bytes.set_uint16_be t.buf t.len (v land 0xffff);
+    t.len <- t.len + 2
+
+  let u32 t v =
+    ensure t 4;
+    Bytes.set_int32_be t.buf t.len v;
+    t.len <- t.len + 4
+
+  let u64 t v =
+    ensure t 8;
+    Bytes.set_int64_be t.buf t.len v;
+    t.len <- t.len + 8
+
+  let varint t v =
+    if v < 0 then invalid_arg "Wire.Writer.varint: negative";
+    let rec emit v =
+      if v < 0x80 then u8 t v
+      else begin
+        u8 t (0x80 lor (v land 0x7f));
+        emit (v lsr 7)
+      end
+    in
+    emit v
+
+  let raw t b =
+    let n = Bytes.length b in
+    ensure t n;
+    Bytes.blit b 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let bytes t b =
+    varint t (Bytes.length b);
+    raw t b
+
+  let contents t = Bytes.sub t.buf 0 t.len
+end
+
+module Reader = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes buf = { buf; pos = 0 }
+
+  let remaining t = Bytes.length t.buf - t.pos
+
+  let need t n = if remaining t < n then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.unsafe_get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = Bytes.get_uint16_be t.buf t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Bytes.get_int32_be t.buf t.pos in
+    t.pos <- t.pos + 4;
+    v
+
+  let u64 t =
+    need t 8;
+    let v = Bytes.get_int64_be t.buf t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let varint t =
+    let rec take shift acc =
+      if shift > 62 then raise Truncated;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else take (shift + 7) acc
+    in
+    take 0 0
+
+  let raw t n =
+    need t n;
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let bytes t =
+    let n = varint t in
+    raw t n
+end

@@ -1,0 +1,45 @@
+(** Big-endian binary readers and writers.
+
+    The BE↔FE hop transports state and pre-actions inside packet headers
+    (§3.2.1).  Encoding them through a real byte codec keeps the simulated
+    header sizes honest and catches representational mistakes that a pure
+    in-memory hand-off would hide. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+  val varint : t -> int -> unit
+  (** LEB128 variable-length non-negative integer.
+      @raise Invalid_argument on negative input. *)
+
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed (varint) byte string. *)
+
+  val raw : t -> bytes -> unit
+  (** Bytes with no length prefix. *)
+
+  val contents : t -> bytes
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+  (** Raised when a read runs past the end of the buffer. *)
+
+  val of_bytes : bytes -> t
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val u64 : t -> int64
+  val varint : t -> int
+  val bytes : t -> bytes
+  val raw : t -> int -> bytes
+end

@@ -1,0 +1,1 @@
+lib/nezha/be.ml: Array Five_tuple Flow_key Ipv4 List Nezha_net Nezha_tables Nezha_vswitch Nf Option Packet Params Pre_action State Vnic Vswitch

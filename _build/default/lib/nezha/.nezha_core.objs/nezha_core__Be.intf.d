@@ -1,0 +1,1 @@
+lib/nezha/be.mli: Five_tuple Ipv4 Nezha_net Nezha_vswitch Vnic Vswitch

@@ -1,0 +1,1 @@
+lib/nezha/controller.ml: Array Be Fabric Fe Float Format Gateway Hashtbl List Monitor Nezha_engine Nezha_fabric Nezha_vswitch Option Params Rng Ruleset Sim Smartnic Stats String Topology Vnic Vswitch

@@ -1,0 +1,1 @@
+lib/nezha/controller.mli: Be Fabric Fe Five_tuple Format Monitor Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Rng Ruleset Stats Topology Vnic

@@ -1,0 +1,1 @@
+lib/nezha/costs.mli: Format

@@ -1,0 +1,1 @@
+lib/nezha/fe.ml: Five_tuple Flow_key Flow_table Ipv4 List Nezha_engine Nezha_net Nezha_tables Nezha_vswitch Nf Option Packet Params Pre_action Ruleset Sim Smartnic State Vnic Vswitch

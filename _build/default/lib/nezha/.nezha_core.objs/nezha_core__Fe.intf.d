@@ -1,0 +1,1 @@
+lib/nezha/fe.mli: Ipv4 Nezha_net Nezha_vswitch Ruleset Vnic Vswitch

@@ -1,0 +1,1 @@
+lib/nezha/monitor.ml: Hashtbl List Nezha_engine Sim

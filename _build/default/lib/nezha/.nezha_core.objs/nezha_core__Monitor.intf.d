@@ -1,0 +1,1 @@
+lib/nezha/monitor.mli: Nezha_engine Sim

@@ -1,0 +1,219 @@
+open Nezha_net
+open Nezha_vswitch
+open Nezha_tables
+
+type stage = Dual | Final
+
+type lb_mode = Flow_level | Packet_level
+
+type t = {
+  vs : Vswitch.t;
+  vnic : Vnic.t;
+  vni : int;
+  mutable fes : Ipv4.t array;
+  mutable stage : stage;
+  mutable lb_mode : lb_mode;
+  mutable rr : int;
+  pins : Ipv4.t Flow_key.Table.t;
+  mutable tx_via_fe : int;
+  mutable rx_from_fe : int;
+  mutable notify_received : int;
+  mutable bounced : int;
+}
+
+let pin_key t flow =
+  Flow_key.of_packet_fields ~vpc:t.vnic.Vnic.vpc ~flow
+
+let fe_for t flow =
+  match Flow_key.Table.find_opt t.pins (pin_key t flow) with
+  | Some fe -> fe
+  | None -> (
+    match t.lb_mode with
+    | Flow_level -> t.fes.(Five_tuple.session_hash flow mod Array.length t.fes)
+    | Packet_level ->
+      t.rr <- t.rr + 1;
+      t.fes.(t.rr mod Array.length t.fes))
+
+let key_of pkt = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow
+
+let params t = Vswitch.params t.vs
+
+(* State maintenance on TX packets happens at the BE (the FE cannot write
+   state back).  Connection-tracking advances; statistics counters, when
+   the notify machinery has armed them, accumulate. *)
+let step_state_tx st ~flags ~proto ~wire_bytes =
+  let tcp' = Nf.advance_tcp st.State.tcp ~flags ~proto in
+  let stats' =
+    match st.State.stats with
+    | None -> None
+    | Some s -> Some { State.packets = s.State.packets + 1; bytes = s.State.bytes + wire_bytes }
+  in
+  { st with State.tcp = tcp'; stats = stats' }
+
+let store_state t key st =
+  ignore
+    (Vswitch.store_session t.vs t.vnic.Vnic.id key
+       { Vswitch.pre = None; state = Some st; generation = 0 }
+      : [ `Ok | `Full ])
+
+let send_to_fe t pkt ~nsh =
+  Packet.set_nsh pkt nsh;
+  let fe = fe_for t pkt.Packet.flow in
+  Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:fe;
+  Vswitch.emit t.vs (Vswitch.To_net pkt)
+
+let handle_tx t pkt =
+  let key = key_of pkt in
+  let p = params t in
+  let fresh = Vswitch.find_session t.vs t.vnic.Vnic.id key = None in
+  let cycles =
+    Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+    + p.Params.split_fast_path_cycles + p.Params.encap_cycles
+    + (if fresh then p.Params.state_init_cycles else 0)
+  in
+  Vswitch.charge t.vs ~cycles (fun _sim ->
+      let flags = pkt.Packet.flags and proto = pkt.Packet.flow.Five_tuple.proto in
+      let st =
+        match Vswitch.find_session t.vs t.vnic.Vnic.id key with
+        | Some { Vswitch.state = Some st; _ } ->
+          step_state_tx st ~flags ~proto ~wire_bytes:(Packet.wire_size pkt)
+        | Some { Vswitch.state = None; _ } | None ->
+          State.init ~first_dir:Packet.Tx ?tcp:(Nf.tcp_phase_of_flags flags ~proto) ()
+      in
+      store_state t key st;
+      t.tx_via_fe <- t.tx_via_fe + 1;
+      send_to_fe t pkt ~nsh:{ Packet.empty_nsh with Packet.carried_state = Some (State.encode st) })
+
+let handle_notify t pkt nsh =
+  t.notify_received <- t.notify_received + 1;
+  let p = params t in
+  Vswitch.charge t.vs ~cycles:p.Params.state_update_cycles (fun _ ->
+      match Option.map Pre_action.decode nsh.Packet.carried_pre_actions with
+      | Some (Ok pre) -> (
+        let key = key_of pkt in
+        match Vswitch.find_session t.vs t.vnic.Vnic.id key with
+        | Some { Vswitch.state = Some st; _ } ->
+          (* Arm or disarm the statistics counters per the rule-table
+             lookup the FE just performed (§3.2.2). *)
+          let stats' =
+            match (pre.Pre_action.stats, st.State.stats) with
+            | Some _, Some s -> Some s
+            | Some _, None -> Some { State.packets = 0; bytes = 0 }
+            | None, _ -> None
+          in
+          store_state t key { st with State.stats = stats' }
+        | Some { Vswitch.state = None; _ } | None -> ())
+      | Some (Error _) | None -> ())
+
+let handle_rx_with_pre t pkt nsh pre_blob =
+  match Pre_action.decode pre_blob with
+  | Error _ -> Vswitch.count_drop t.vs Nf.No_route
+  | Ok pre ->
+    let p = params t in
+    let key = key_of pkt in
+    let fresh = Vswitch.find_session t.vs t.vnic.Vnic.id key = None in
+    let cycles =
+      Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+      + p.Params.split_fast_path_cycles
+      + if fresh then p.Params.state_init_cycles else 0
+    in
+    Vswitch.charge t.vs ~cycles (fun _sim ->
+        let prior = Option.bind (Vswitch.find_session t.vs t.vnic.Vnic.id key) (fun s -> s.Vswitch.state) in
+        let verdict, out =
+          Nf.process ~pre ~state:prior ~dir:Packet.Rx ~flags:pkt.Packet.flags
+            ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt)
+            ?decap_src:nsh.Packet.orig_outer_src ()
+        in
+        (match out with
+        | Nf.Init st | Nf.Update st -> store_state t key st
+        | Nf.Keep -> Vswitch.touch_session t.vs t.vnic.Vnic.id key);
+        t.rx_from_fe <- t.rx_from_fe + 1;
+        match verdict with
+        | Nf.Deliver ->
+          ignore (Packet.clear_nsh pkt : Packet.nsh option);
+          Vswitch.deliver_local t.vs t.vnic.Vnic.id pkt
+        | Nf.Drop reason -> Vswitch.count_drop t.vs reason)
+
+let handle_rx_bare t pkt =
+  match t.stage with
+  | Dual -> `Continue
+  | Final ->
+    (* A sender with a stale vNIC-server entry reached us directly after
+       the retention window: bounce the packet through an FE. *)
+    t.bounced <- t.bounced + 1;
+    let p = params t in
+    Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
+        let fe = fe_for t pkt.Packet.flow in
+        Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:fe;
+        Vswitch.emit t.vs (Vswitch.To_net pkt));
+    `Handled
+
+let install ~vs ~vnic ~vni ~fes =
+  if Array.length fes = 0 then invalid_arg "Be.install: empty FE set";
+  let t =
+    {
+      vs;
+      vnic;
+      vni;
+      fes = Array.copy fes;
+      stage = Dual;
+      lb_mode = Flow_level;
+      rr = 0;
+      pins = Flow_key.Table.create 4;
+      tx_via_fe = 0;
+      rx_from_fe = 0;
+      notify_received = 0;
+      bounced = 0;
+    }
+  in
+  Vswitch.set_intercept vs vnic.Vnic.id
+    (Some
+       {
+         Vswitch.on_tx =
+           (fun pkt ->
+             handle_tx t pkt;
+             `Handled);
+         on_rx =
+           (fun pkt ->
+             match Packet.clear_nsh pkt with
+             | Some nsh when nsh.Packet.notify ->
+               handle_notify t pkt nsh;
+               `Handled
+             | Some nsh -> (
+               match nsh.Packet.carried_pre_actions with
+               | Some blob ->
+                 handle_rx_with_pre t pkt nsh blob;
+                 `Handled
+               | None ->
+                 (* Metadata without pre-actions: treat as bare. *)
+                 handle_rx_bare t pkt)
+             | None -> handle_rx_bare t pkt);
+       });
+  t
+
+let uninstall t = Vswitch.set_intercept t.vs t.vnic.Vnic.id None
+
+let vnic t = t.vnic
+let stage t = t.stage
+let set_stage t s = t.stage <- s
+
+let fes t = Array.copy t.fes
+
+let set_fes t fes =
+  if Array.length fes = 0 then invalid_arg "Be.set_fes: empty FE set";
+  t.fes <- Array.copy fes
+
+let remove_fe t fe =
+  let remaining = Array.of_list (List.filter (fun f -> not (Ipv4.equal f fe)) (Array.to_list t.fes)) in
+  if Array.length remaining > 0 then t.fes <- remaining
+
+let set_lb_mode t m = t.lb_mode <- m
+
+let pin_flow t flow fe = Flow_key.Table.replace t.pins (pin_key t flow) fe
+let unpin_flow t flow = Flow_key.Table.remove t.pins (pin_key t flow)
+let pinned_count t = Flow_key.Table.length t.pins
+
+let tx_via_fe t = t.tx_via_fe
+let rx_from_fe t = t.rx_from_fe
+let notify_received t = t.notify_received
+let bounced t = t.bounced

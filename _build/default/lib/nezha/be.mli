@@ -1,0 +1,72 @@
+(** The vNIC backend (BE): the node that keeps the session states, in one
+    copy, locally (§3.2.1).
+
+    Installed as a per-vNIC intercept on the offloaded vNIC's vSwitch.
+
+    TX workflow: look up / initialize the state, encode it into the NSH
+    header, and steer the packet to an FE chosen by 5-tuple hash.  The BE
+    never runs the rule-table pipeline for offloaded vNICs — that is the
+    entire CPS win.
+
+    RX workflow: packets arrive from an FE with pre-actions piggybacked;
+    the BE combines them with the local state ([process_pkt]) and delivers
+    to the VM.  Notify packets update rule-table-involved state without
+    delivery (§3.2.2).
+
+    During the dual-running stage, packets from senders that have not yet
+    learned the new vNIC-server entry arrive without NSH metadata and are
+    handed back to the still-present local tables; in the final stage they
+    are bounced to an FE instead (§4.2.1). *)
+
+open Nezha_net
+open Nezha_vswitch
+
+type stage = Dual | Final
+
+type t
+
+val install : vs:Vswitch.t -> vnic:Vnic.t -> vni:int -> fes:Ipv4.t array -> t
+(** Sets the vNIC's intercept.  @raise Invalid_argument on an empty FE
+    set. *)
+
+val uninstall : t -> unit
+(** Remove the intercept (fallback completed). *)
+
+val vnic : t -> Vnic.t
+val stage : t -> stage
+val set_stage : t -> stage -> unit
+
+val fes : t -> Ipv4.t array
+val set_fes : t -> Ipv4.t array -> unit
+(** Update the FE location config (scale-out/-in, failover).
+    @raise Invalid_argument on an empty set. *)
+
+val remove_fe : t -> Ipv4.t -> unit
+(** Drop one FE from the set; keeps at least one (the caller is
+    responsible for replacing failed FEs per the ≥4 rule). *)
+
+val fe_for : t -> Five_tuple.t -> Ipv4.t
+(** The hash-selected FE for a flow (under packet-level balancing the
+    result varies per call). *)
+
+val pin_flow : t -> Five_tuple.t -> Ipv4.t -> unit
+(** §7.5: override the hash choice for one session (both directions
+    normalize to the canonical tuple) — the elephant-flow escape hatch. *)
+
+val unpin_flow : t -> Five_tuple.t -> unit
+val pinned_count : t -> int
+
+type lb_mode = Flow_level | Packet_level
+
+val set_lb_mode : t -> lb_mode -> unit
+(** Default [Flow_level] (canonical 5-tuple hash).  [Packet_level]
+    sprays packets round-robin — the §3.2.3 ablation showing why Nezha
+    rejects it: duplicated rule lookups and cached flows on every FE. *)
+
+(** Dataplane counters. *)
+val tx_via_fe : t -> int
+
+val rx_from_fe : t -> int
+val notify_received : t -> int
+val bounced : t -> int
+(** Final-stage packets without metadata re-steered to an FE. *)

@@ -1,0 +1,805 @@
+open Nezha_engine
+open Nezha_fabric
+open Nezha_vswitch
+
+type config = {
+  report_interval : float;
+  offload_threshold : float;
+  scale_threshold : float;
+  safe_level : float;
+  overload_level : float;
+  initial_fes : int;
+  min_fes : int;
+  learning_interval : float;
+  rtt : float;
+  rpc_latency : float;
+  push_bytes_per_s : float;
+  ping_interval : float;
+  ping_misses_to_fail : int;
+  fe_cpu_max : float;
+  fe_mem_max : float;
+  auto_offload : bool;
+  auto_scale : bool;
+  auto_fallback : bool;
+  fallback_idle_ticks : int;
+}
+
+let default_config =
+  {
+    report_interval = 1.0;
+    offload_threshold = 0.70;
+    scale_threshold = 0.40;
+    safe_level = 0.40;
+    overload_level = 0.95;
+    initial_fes = 4;
+    min_fes = 4;
+    learning_interval = 0.2;
+    rtt = 0.0005;
+    rpc_latency = 0.18;
+    push_bytes_per_s = 200e6;
+    ping_interval = 0.5;
+    ping_misses_to_fail = 3;
+    fe_cpu_max = 0.30;
+    fe_mem_max = 0.50;
+    auto_offload = true;
+    auto_scale = true;
+    auto_fallback = false;
+    fallback_idle_ticks = 5;
+  }
+
+type offload = {
+  key : int * int; (* (original be_server, vnic id) *)
+  mutable be_server : Topology.server_id;
+  vnic : Vnic.t;
+  vni : int;
+  saved_ruleset : Ruleset.t;
+  triggered_at : float;
+  mutable be : Be.t option;
+  mutable fe_servers : Topology.server_id list;
+  mutable completed_at : float option;
+  mutable active : bool;
+  mutable falling_back : bool;
+  mutable idle_ticks : int;
+}
+
+type t = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  cfg : config;
+  rng : Rng.t;
+  fe_services : (int, Fe.t) Hashtbl.t;
+  offload_tbl : (int * int, offload) Hashtbl.t;
+  mutable offload_order : offload list; (* newest first *)
+  reports : (int, float * float) Hashtbl.t;
+  slow_prev : (int * int, int) Hashtbl.t;
+  remote_prev : (int, int) Hashtbl.t;
+  busy_prev : (int, float) Hashtbl.t;
+  monitor : Monitor.t;
+  completion_ms : Stats.Histogram.t;
+  overloads : (int, int) Hashtbl.t;
+  last_scaled : (int * int, float) Hashtbl.t;
+  scaled_in_until : (int, float) Hashtbl.t;
+  mutable offload_events : int;
+  mutable scale_out_events : int;
+  mutable fes_provisioned : int;
+  mutable started : bool;
+}
+
+let create ?(config = default_config) ~fabric ~rng () =
+  let sim = Fabric.sim fabric in
+  {
+    sim;
+    fabric;
+    cfg = config;
+    rng;
+    fe_services = Hashtbl.create 32;
+    offload_tbl = Hashtbl.create 16;
+    offload_order = [];
+    reports = Hashtbl.create 64;
+    slow_prev = Hashtbl.create 64;
+    remote_prev = Hashtbl.create 32;
+    busy_prev = Hashtbl.create 64;
+    monitor =
+      Monitor.create ~sim ~interval:config.ping_interval
+        ~misses_to_fail:config.ping_misses_to_fail ();
+    completion_ms = Stats.Histogram.create ();
+    overloads = Hashtbl.create 64;
+    last_scaled = Hashtbl.create 16;
+    scaled_in_until = Hashtbl.create 16;
+    offload_events = 0;
+    scale_out_events = 0;
+    fes_provisioned = 0;
+    started = false;
+  }
+
+let config t = t.cfg
+let fabric t = t.fabric
+let monitor t = t.monitor
+
+(* Control-plane RPC latency: median [rpc_latency] with a log-normal
+   tail, which is what produces Table 4's P999/median spread. *)
+let rpc t = t.cfg.rpc_latency *. Rng.lognormal t.rng ~mu:0.0 ~sigma:0.6
+
+let servers_with_vswitch t =
+  List.filter
+    (fun s -> Fabric.vswitch_opt t.fabric s <> None)
+    (Topology.servers (Fabric.topology t.fabric))
+
+let utilization_of t s =
+  match Hashtbl.find_opt t.reports s with
+  | Some (cpu, mem) -> (cpu, mem)
+  | None -> (
+    match Fabric.vswitch_opt t.fabric s with
+    | Some vs ->
+      let nic = Vswitch.nic vs in
+      (Smartnic.peek_utilization nic ~window:t.cfg.report_interval, Smartnic.mem_utilization nic)
+    | None -> (1.0, 1.0))
+
+let last_cpu t s = fst (utilization_of t s)
+let last_mem t s = snd (utilization_of t s)
+
+let fe_service t s = Hashtbl.find_opt t.fe_services s
+
+let fe_service_ensure t s =
+  match Hashtbl.find_opt t.fe_services s with
+  | Some fe -> fe
+  | None ->
+    let fe = Fe.install (Fabric.vswitch t.fabric s) in
+    Hashtbl.replace t.fe_services s fe;
+    fe
+
+(* ------------------------------------------------------------------ *)
+(* FE candidate selection (§4.2.1, App. B.1): idle vSwitches, same ToR
+   as the BE first, then the wider pool; similar load preferred. *)
+
+let select_fe_candidates ?(version_filter = fun _ -> true) t ~be_server ~exclude ~count =
+  let topo = Fabric.topology t.fabric in
+  let eligible s =
+    s <> be_server
+    && (not (List.mem s exclude))
+    && (match Fabric.vswitch_opt t.fabric s with
+       (* A crashed SmartNIC reports zero utilization; never pick it. *)
+       | Some vs ->
+         (not (Smartnic.is_crashed (Vswitch.nic vs)))
+         && version_filter (Vswitch.software_version vs)
+         (* A server that just evicted its FEs needs its resources for
+            local traffic; leave it alone for a while. *)
+         && (match Hashtbl.find_opt t.scaled_in_until s with
+            | Some until -> Sim.now t.sim >= until
+            | None -> true)
+       | None -> false)
+    &&
+    let cpu, mem = utilization_of t s in
+    cpu <= t.cfg.fe_cpu_max && mem <= t.cfg.fe_mem_max
+  in
+  let candidates = List.filter eligible (servers_with_vswitch t) in
+  let same_rack, others = List.partition (fun s -> Topology.same_rack topo s be_server) candidates in
+  let by_cpu l = List.sort (fun a b -> Float.compare (last_cpu t a) (last_cpu t b)) l in
+  let ordered = by_cpu same_rack @ by_cpu others in
+  let rec take n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take count ordered
+
+(* ------------------------------------------------------------------ *)
+(* vNIC-server learning: after the gateway entry changes, every vSwitch
+   holding a mapping for this overlay address refreshes it within the
+   200 ms learning interval (§4.2.1).  Returns the slowest learner's
+   delay, which bounds "all traffic flows through the new targets". *)
+
+let propagate_learning t ~addr ~targets =
+  let max_delay = ref 0.0 in
+  List.iter
+    (fun s ->
+      match Fabric.vswitch_opt t.fabric s with
+      | None -> ()
+      | Some vs ->
+        List.iter
+          (fun vid ->
+            match Vswitch.ruleset vs vid with
+            | None -> ()
+            | Some rs -> (
+              match Ruleset.find_mapping rs addr with
+              | None -> ()
+              | Some current ->
+                if current <> targets then begin
+                  let delay = Rng.float t.rng t.cfg.learning_interval in
+                  if delay > !max_delay then max_delay := delay;
+                  ignore
+                    (Sim.schedule t.sim ~delay (fun _ ->
+                         Ruleset.set_mapping_multi rs addr targets;
+                         ignore (Vswitch.sync_rule_memory vs vid : [ `Ok | `No_memory ]))
+                      : Sim.handle)
+                end))
+          (Vswitch.vnic_ids vs))
+    (servers_with_vswitch t);
+  !max_delay
+
+let fe_ips t servers =
+  Array.of_list
+    (List.map (fun s -> Topology.underlay_ip (Fabric.topology t.fabric) s) servers)
+
+let update_routing t o =
+  let addr = Vnic.addr o.vnic in
+  let targets = fe_ips t o.fe_servers in
+  Gateway.set_route (Fabric.gateway t.fabric) addr targets;
+  (match o.be with Some be -> Be.set_fes be targets | None -> ());
+  propagate_learning t ~addr ~targets
+
+(* ------------------------------------------------------------------ *)
+(* Failover (§4.4) and monitor wiring *)
+
+let rec watch_fe_host t s =
+  match Fabric.vswitch_opt t.fabric s with
+  | None -> ()
+  | Some vs ->
+    Monitor.watch t.monitor ~key:s
+      ~alive:(fun () -> not (Smartnic.is_crashed (Vswitch.nic vs)))
+      ~on_fail:(fun ~key -> failover t key)
+
+and failover t dead_server =
+  (match Hashtbl.find_opt t.fe_services dead_server with
+  | None -> ()
+  | Some fe ->
+    let served = Fe.served_vnics fe in
+    List.iter
+      (fun addr ->
+        let victims =
+          Hashtbl.fold
+            (fun _ o acc ->
+              if o.active && Vnic.Addr.equal (Vnic.addr o.vnic) addr then o :: acc else acc)
+            t.offload_tbl []
+        in
+        List.iter
+          (fun o ->
+            o.fe_servers <- List.filter (fun s -> s <> dead_server) o.fe_servers;
+            ignore (update_routing t o : float);
+            let missing = t.cfg.min_fes - List.length o.fe_servers in
+            if missing > 0 then ignore (scale_out t o ~add:missing : int))
+          victims;
+        Fe.unserve fe addr)
+      served)
+
+(* ------------------------------------------------------------------ *)
+(* Scale-out (§4.3) *)
+
+and scale_out t o ~add =
+  if add <= 0 || not o.active then 0
+  else begin
+    let candidates =
+      select_fe_candidates t ~be_server:o.be_server
+        ~exclude:o.fe_servers ~count:add
+    in
+    let configured = ref [] in
+    List.iter
+      (fun s ->
+        let fe = fe_service_ensure t s in
+        let replica = Ruleset.clone o.saved_ruleset in
+        match
+          Fe.serve fe ~vnic:o.vnic ~ruleset:replica
+            ~be:(Topology.underlay_ip (Fabric.topology t.fabric) o.be_server)
+        with
+        | `Ok ->
+          configured := s :: !configured;
+          watch_fe_host t s
+        | `No_memory -> ())
+      candidates;
+    let added = List.length !configured in
+    if added > 0 then begin
+      t.scale_out_events <- t.scale_out_events + 1;
+      t.fes_provisioned <- t.fes_provisioned + added;
+      (* Config push happens in the background; the new FEs join the
+         routing after the push + RPC delay. *)
+      let delay =
+        rpc t +. (float_of_int (Ruleset.memory_bytes o.saved_ruleset) /. t.cfg.push_bytes_per_s)
+      in
+      ignore
+        (Sim.schedule t.sim ~delay (fun _ ->
+             if o.active then begin
+               o.fe_servers <- o.fe_servers @ List.rev !configured;
+               ignore (update_routing t o : float)
+             end)
+          : Sim.handle)
+    end;
+    added
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Offload (§4.2.1) *)
+
+let find_offload t ~server ~vnic =
+  Hashtbl.find_opt t.offload_tbl (server, Vnic.id_to_int vnic)
+
+let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
+  let num_fes = Option.value num_fes ~default:t.cfg.initial_fes in
+  match Fabric.vswitch_opt t.fabric server with
+  | None -> Error "no vSwitch on this server"
+  | Some vs -> (
+    match find_offload t ~server ~vnic with
+    | Some o when o.active -> Error "vNIC already offloaded"
+    | Some _ | None -> (
+      match (Vswitch.ruleset vs vnic, Vswitch.vnic_info vs vnic) with
+      | None, _ -> Error "vNIC has no local rule tables"
+      | _, None -> Error "unknown vNIC"
+      | Some rs, Some vnic_rec ->
+        let fe_servers =
+          select_fe_candidates ?version_filter t ~be_server:server ~exclude:[] ~count:num_fes
+        in
+        if fe_servers = [] then Error "no idle vSwitches available as FEs"
+        else begin
+          let now = Sim.now t.sim in
+          let o =
+            {
+              key = (server, Vnic.id_to_int vnic);
+              be_server = server;
+              vnic = vnic_rec;
+              vni = Ruleset.vni rs;
+              saved_ruleset = rs;
+              triggered_at = now;
+              be = None;
+              fe_servers = [];
+              completed_at = None;
+              active = true;
+              falling_back = false;
+              idle_ticks = 0;
+            }
+          in
+          Hashtbl.replace t.offload_tbl o.key o;
+          t.offload_order <- o :: t.offload_order;
+          t.offload_events <- t.offload_events + 1;
+          (* Stage 1: push rule tables to every FE (parallel), then wire
+             the locations, then the gateway, then learning. *)
+          let push_time =
+            float_of_int (Ruleset.memory_bytes rs) /. t.cfg.push_bytes_per_s
+          in
+          let push_delays = List.map (fun s -> (s, rpc t +. push_time)) fe_servers in
+          let configured = ref [] in
+          List.iter
+            (fun (s, d) ->
+              ignore
+                (Sim.schedule t.sim ~delay:d (fun _ ->
+                     let fe = fe_service_ensure t s in
+                     let replica = Ruleset.clone rs in
+                     match
+                       Fe.serve fe ~vnic:vnic_rec ~ruleset:replica
+                         ~be:(Topology.underlay_ip (Fabric.topology t.fabric) server)
+                     with
+                     | `Ok ->
+                       configured := s :: !configured;
+                       watch_fe_host t s
+                     | `No_memory -> ())
+                  : Sim.handle))
+            push_delays;
+          let max_push = List.fold_left (fun m (_, d) -> Float.max m d) 0.0 push_delays in
+          let t_cfg = max_push +. rpc t in
+          ignore
+            (Sim.schedule t.sim ~delay:t_cfg (fun sim ->
+                 if o.active then begin
+                   match !configured with
+                   | [] ->
+                     (* No FE accepted the tables: abort the offload. *)
+                     o.active <- false;
+                     Hashtbl.remove t.offload_tbl o.key
+                   | fes ->
+                     o.fe_servers <- List.rev fes;
+                     t.fes_provisioned <- t.fes_provisioned + List.length fes;
+                     let be =
+                       Be.install ~vs ~vnic:vnic_rec ~vni:o.vni ~fes:(fe_ips t o.fe_servers)
+                     in
+                     o.be <- Some be;
+                     (* Stage 2: gateway + learning. *)
+                     let gw_delay = rpc t in
+                     ignore
+                       (Sim.schedule sim ~delay:gw_delay (fun sim' ->
+                            if o.active then begin
+                              let max_learn = update_routing t o in
+                              let done_at = Sim.now sim' +. max_learn in
+                              o.completed_at <- Some done_at;
+                              Stats.Histogram.record t.completion_ms
+                                ((done_at -. o.triggered_at) *. 1000.0);
+                              (* Final stage: retention window, then drop
+                                 the local tables. *)
+                              ignore
+                                (Sim.schedule sim'
+                                   ~delay:(t.cfg.learning_interval +. t.cfg.rtt)
+                                   (fun _ ->
+                                     if o.active && not o.falling_back then begin
+                                       Vswitch.drop_ruleset vs vnic;
+                                       Be.set_stage be Be.Final
+                                     end)
+                                  : Sim.handle)
+                            end)
+                         : Sim.handle)
+                 end)
+              : Sim.handle);
+          Ok o
+        end))
+
+(* ------------------------------------------------------------------ *)
+(* Fallback (§4.2.2) *)
+
+let fallback_vnic t o =
+  if not o.active then Error "offload not active"
+  else if o.falling_back then Error "fallback already in progress"
+  else begin
+    match Fabric.vswitch_opt t.fabric o.be_server with
+    | None -> Error "BE server vanished"
+    | Some vs -> (
+      let restored =
+        (* During the dual-running stage the local tables still exist. *)
+        match Vswitch.ruleset vs o.vnic.Vnic.id with
+        | Some _ -> `Ok
+        | None -> Vswitch.restore_ruleset vs o.vnic.Vnic.id o.saved_ruleset
+      in
+      match restored with
+      | `No_memory -> Error "BE lacks memory to restore rule tables"
+      | `Ok ->
+        o.falling_back <- true;
+        (match o.be with Some be -> Be.set_stage be Be.Dual | None -> ());
+        let addr = Vnic.addr o.vnic in
+        let be_ip = [| Topology.underlay_ip (Fabric.topology t.fabric) o.be_server |] in
+        Gateway.set_route (Fabric.gateway t.fabric) addr be_ip;
+        ignore (propagate_learning t ~addr ~targets:be_ip : float);
+        ignore
+          (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt) (fun _ ->
+               (match o.be with Some be -> Be.uninstall be | None -> ());
+               List.iter
+                 (fun s ->
+                   match Hashtbl.find_opt t.fe_services s with
+                   | Some fe -> Fe.unserve fe addr
+                   | None -> ())
+                 o.fe_servers;
+               o.active <- false;
+               Hashtbl.remove t.offload_tbl o.key)
+            : Sim.handle);
+        Ok ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scale-in (§4.3): evict all FEs on a vSwitch that needs its resources
+   for local traffic. *)
+
+let scale_in_server t server =
+  match Hashtbl.find_opt t.fe_services server with
+  | None -> ()
+  | Some fe ->
+    Hashtbl.replace t.scaled_in_until server
+      (Sim.now t.sim +. (30.0 *. t.cfg.report_interval));
+    let served = Fe.served_vnics fe in
+    List.iter
+      (fun addr ->
+        Hashtbl.iter
+          (fun _ o ->
+            if o.active && Vnic.Addr.equal (Vnic.addr o.vnic) addr then begin
+              o.fe_servers <- List.filter (fun s -> s <> server) o.fe_servers;
+              if o.fe_servers <> [] then ignore (update_routing t o : float);
+              let missing = t.cfg.min_fes - List.length o.fe_servers in
+              if missing > 0 then ignore (scale_out t o ~add:missing : int)
+            end)
+          t.offload_tbl;
+        (* Retain the tables through the learning window so in-flight
+           packets still process, then release. *)
+        ignore
+          (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt) (fun _ ->
+               Fe.unserve fe addr)
+            : Sim.handle))
+      served;
+    Monitor.unwatch t.monitor ~key:server
+
+(* ------------------------------------------------------------------ *)
+(* Tenant rule updates (§3.2.2): one master mutation, fanned out to
+   every replica, with cached flows invalidated everywhere. *)
+
+let update_tenant_rules t o f =
+  let f rs =
+    f rs;
+    (* The mutation may have gone through table handles (e.g. the ACL)
+       that do not bump the generation themselves. *)
+    Ruleset.bump_generation rs
+  in
+  f o.saved_ruleset;
+  let addr = Vnic.addr o.vnic in
+  (* BE-local tables exist during dual-running or after fallback began. *)
+  (match Fabric.vswitch_opt t.fabric o.be_server with
+  | Some vs -> (
+    match Vswitch.ruleset vs o.vnic.Vnic.id with
+    | Some rs when rs != o.saved_ruleset ->
+      f rs;
+      Vswitch.invalidate_cached_flows vs o.vnic.Vnic.id;
+      ignore (Vswitch.sync_rule_memory vs o.vnic.Vnic.id : [ `Ok | `No_memory ])
+    | Some _ ->
+      Vswitch.invalidate_cached_flows vs o.vnic.Vnic.id;
+      ignore (Vswitch.sync_rule_memory vs o.vnic.Vnic.id : [ `Ok | `No_memory ])
+    | None -> ())
+  | None -> ());
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt t.fe_services s with
+      | None -> ()
+      | Some fe ->
+        let delay = rpc t in
+        ignore
+          (Sim.schedule t.sim ~delay (fun _ ->
+               match Fe.ruleset_of fe addr with
+               | Some replica ->
+                 f replica;
+                 Fe.invalidate_cached_flows fe addr
+               | None -> ())
+            : Sim.handle))
+    o.fe_servers
+
+(* ------------------------------------------------------------------ *)
+(* BE relocation (§7.2): the VM live-migrated; only the FE-side BE
+   location config changes.  The offloaded tables never move, and the
+   vNIC-server entries (which point at the FEs) stay valid, which is why
+   this takes effect in under a millisecond. *)
+
+let migrate_be t o ~to_server =
+  if not o.active then Error "offload not active"
+  else begin
+    match (Fabric.vswitch_opt t.fabric o.be_server, Fabric.vswitch_opt t.fabric to_server) with
+    | None, _ -> Error "old BE server has no vSwitch"
+    | _, None -> Error "target server has no vSwitch"
+    | Some old_vs, Some new_vs ->
+      if Vswitch.find_vnic new_vs (Vnic.addr o.vnic) <> None then
+        Error "target already hosts this vNIC"
+      else begin
+        (* Recreate the vNIC on the target with only the BE residual
+           footprint; the hypervisor brings the session states along. *)
+        let shim =
+          Ruleset.create ~vni:o.vni
+            ~fixed_overhead_bytes:(Vswitch.params new_vs).Params.be_residual_bytes_per_vnic ()
+        in
+        match Vswitch.add_vnic new_vs o.vnic shim with
+        | `No_memory -> Error "target lacks memory for BE residual state"
+        | `Ok ->
+          Vswitch.drop_ruleset new_vs o.vnic.Vnic.id;
+          (* Carry the states (the VM migration copies them). *)
+          Vswitch.iter_sessions old_vs o.vnic.Vnic.id (fun key session ->
+              match session.Vswitch.state with
+              | Some _ ->
+                ignore
+                  (Vswitch.store_session new_vs o.vnic.Vnic.id key
+                     { session with Vswitch.pre = None }
+                    : [ `Ok | `Full ])
+              | None -> ());
+          let old_be = o.be in
+          let fes = fe_ips t o.fe_servers in
+          let be' = Be.install ~vs:new_vs ~vnic:o.vnic ~vni:o.vni ~fes in
+          Be.set_stage be'
+            (match old_be with Some b -> Be.stage b | None -> Be.Final);
+          (match old_be with Some b -> Be.uninstall b | None -> ());
+          Vswitch.remove_vnic old_vs o.vnic.Vnic.id;
+          o.be <- Some be';
+          o.be_server <- to_server;
+          (* The sub-millisecond part: point every FE at the new BE. *)
+          let new_ip = Topology.underlay_ip (Fabric.topology t.fabric) to_server in
+          let addr = Vnic.addr o.vnic in
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt t.fe_services s with
+              | Some fe ->
+                ignore
+                  (Sim.schedule t.sim ~delay:0.0005 (fun _ -> Fe.set_be fe addr new_ip)
+                    : Sim.handle)
+              | None -> ())
+            o.fe_servers;
+          Ok ()
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Elephant-flow pinning (§7.5) *)
+
+let pin_elephant t o flow =
+  if not o.active then Error "offload not active"
+  else begin
+    match
+      select_fe_candidates t ~be_server:o.be_server ~exclude:o.fe_servers ~count:1
+    with
+    | [] -> Error "no idle vSwitch available for a dedicated FE"
+    | s :: _ -> (
+      let fe = fe_service_ensure t s in
+      let replica = Ruleset.clone o.saved_ruleset in
+      match
+        Fe.serve fe ~vnic:o.vnic ~ruleset:replica
+          ~be:(Topology.underlay_ip (Fabric.topology t.fabric) o.be_server)
+      with
+      | `No_memory -> Error "candidate FE lacks memory for the tables"
+      | `Ok ->
+        watch_fe_host t s;
+        (match o.be with
+        | Some be -> Be.pin_flow be flow (Topology.underlay_ip (Fabric.topology t.fabric) s)
+        | None -> ());
+        Ok s)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Automatic policies (Fig. 8) *)
+
+let heaviest_vnic t vs ~server ~by_memory =
+  let score vid =
+    if by_memory then float_of_int (Vswitch.vnic_memory_bytes vs vid)
+    else begin
+      let key = (server, Vnic.id_to_int vid) in
+      let current = Vswitch.vnic_slow_execs vs vid in
+      let prev = Option.value (Hashtbl.find_opt t.slow_prev key) ~default:0 in
+      float_of_int (current - prev)
+    end
+  in
+  let candidates =
+    List.filter (fun vid -> Vswitch.ruleset vs vid <> None) (Vswitch.vnic_ids vs)
+  in
+  match candidates with
+  | [] -> None
+  | _ :: _ ->
+    Some
+      (List.fold_left
+         (fun best vid -> if score vid > score best then vid else best)
+         (List.hd candidates) candidates)
+
+let remote_fraction t s =
+  match Hashtbl.find_opt t.fe_services s with
+  | None -> 0.0
+  | Some fe -> (
+    match Fabric.vswitch_opt t.fabric s with
+    | None -> 0.0
+    | Some vs ->
+      let nic = Vswitch.nic vs in
+      let p = Vswitch.params vs in
+      let remote_now = Fe.remote_cycles fe in
+      let remote_prev = Option.value (Hashtbl.find_opt t.remote_prev s) ~default:0 in
+      let busy_now = Smartnic.total_busy_seconds nic in
+      let busy_prev = Option.value (Hashtbl.find_opt t.busy_prev s) ~default:0.0 in
+      Hashtbl.replace t.remote_prev s remote_now;
+      Hashtbl.replace t.busy_prev s busy_now;
+      let remote_secs = float_of_int (remote_now - remote_prev) /. p.Params.cpu_hz in
+      let busy_delta = busy_now -. busy_prev in
+      if busy_delta <= 1e-12 then 0.0 else Float.min 1.0 (remote_secs /. busy_delta))
+
+(* §4.2.2: fall back when the controller estimates the local vSwitch
+   would stay below the safe level even after absorbing the offloaded
+   load — approximated as several consecutive reports with every FE
+   near-idle and the BE well under the safe level. *)
+let consider_fallback t =
+  if t.cfg.auto_fallback then
+    Hashtbl.iter
+      (fun _ o ->
+        if o.active && not o.falling_back && o.completed_at <> None then begin
+          let be_cpu = last_cpu t o.be_server in
+          let fe_busy =
+            List.exists (fun s -> last_cpu t s > 0.05) o.fe_servers
+          in
+          if (not fe_busy) && be_cpu < t.cfg.safe_level /. 2.0 then begin
+            o.idle_ticks <- o.idle_ticks + 1;
+            if o.idle_ticks >= t.cfg.fallback_idle_ticks then
+              ignore (fallback_vnic t o : (unit, string) result)
+          end
+          else o.idle_ticks <- 0
+        end)
+      t.offload_tbl
+
+let report_tick t =
+  List.iter
+    (fun s ->
+      match Fabric.vswitch_opt t.fabric s with
+      | None -> ()
+      | Some vs ->
+        let cpu = ref 0.0 and mem = ref 0.0 in
+        Vswitch.utilization_report vs ~cpu ~mem;
+        Hashtbl.replace t.reports s (!cpu, !mem);
+        if !cpu > t.cfg.overload_level || !mem > t.cfg.overload_level then
+          Hashtbl.replace t.overloads s
+            (1 + Option.value (Hashtbl.find_opt t.overloads s) ~default:0);
+        let hosts_fes =
+          match Hashtbl.find_opt t.fe_services s with
+          | Some fe -> Fe.served_count fe > 0
+          | None -> false
+        in
+        (* Fig. 8 decision tree. *)
+        if hosts_fes && t.cfg.auto_scale && !cpu > t.cfg.scale_threshold then begin
+          let rf = remote_fraction t s in
+          if rf > 0.5 then begin
+            (* Remote pressure: scale out the offload served here —
+               doubling its FE count, but at most once per report
+               interval even if several of its FEs are hot at once. *)
+            match Hashtbl.find_opt t.fe_services s with
+            | Some fe -> (
+              match Fe.served_vnics fe with
+              | addr :: _ ->
+                Hashtbl.iter
+                  (fun _ o ->
+                    if o.active && Vnic.Addr.equal (Vnic.addr o.vnic) addr then begin
+                      let now = Sim.now t.sim in
+                      let recently =
+                        match Hashtbl.find_opt t.last_scaled o.key with
+                        | Some t0 -> now -. t0 < t.cfg.report_interval *. 1.5
+                        | None -> false
+                      in
+                      if not recently then begin
+                        Hashtbl.replace t.last_scaled o.key now;
+                        ignore (scale_out t o ~add:(List.length o.fe_servers) : int)
+                      end
+                    end)
+                  t.offload_tbl
+              | [] -> ())
+            | None -> ()
+          end
+          else scale_in_server t s
+        end
+        else if t.cfg.auto_offload && (!cpu > t.cfg.offload_threshold || !mem > t.cfg.offload_threshold)
+        then begin
+          match heaviest_vnic t vs ~server:s ~by_memory:(!mem > !cpu) with
+          | Some vid when find_offload t ~server:s ~vnic:vid = None ->
+            ignore (offload_vnic t ~server:s ~vnic:vid () : (offload, string) result)
+          | Some _ | None -> ()
+        end;
+        (* Refresh per-vNIC slow-path baselines. *)
+        List.iter
+          (fun vid ->
+            Hashtbl.replace t.slow_prev (s, Vnic.id_to_int vid) (Vswitch.vnic_slow_execs vs vid))
+          (Vswitch.vnic_ids vs))
+    (servers_with_vswitch t);
+  consider_fallback t
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Monitor.start t.monitor;
+    Sim.every t.sim ~period:t.cfg.report_interval (fun _ ->
+        report_tick t;
+        true)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let offloads t = List.filter (fun o -> o.active) t.offload_order
+let offload_vnic_id o = o.vnic.Vnic.id
+let offload_be_server o = o.be_server
+let offload_fe_servers o = o.fe_servers
+
+let offload_be o =
+  match o.be with
+  | Some be -> be
+  | None -> failwith "Controller.offload_be: dual-running stage not reached yet"
+
+let offload_stage o = match o.be with Some be -> Be.stage be | None -> Be.Dual
+let offload_completed_at o = o.completed_at
+
+let completion_times_ms t = t.completion_ms
+let offload_events t = t.offload_events
+let scale_out_events t = t.scale_out_events
+let fes_provisioned t = t.fes_provisioned
+
+let overload_occurrences t s = Option.value (Hashtbl.find_opt t.overloads s) ~default:0
+
+let total_overload_occurrences t =
+  Hashtbl.fold (fun _ n acc -> acc + n) t.overloads 0
+
+let pp_status ppf t =
+  let offs = offloads t in
+  Format.fprintf ppf "@[<v>%d active offload(s); %d offload event(s), %d scale-out(s), %d FE(s) provisioned@,"
+    (List.length offs) t.offload_events t.scale_out_events t.fes_provisioned;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "  %a: BE on server %d (%s), FEs on [%s]"
+        Vnic.pp o.vnic o.be_server
+        (match o.be with
+        | Some be -> ( match Be.stage be with Be.Final -> "final" | Be.Dual -> "dual-running")
+        | None -> "configuring")
+        (String.concat "; " (List.map string_of_int o.fe_servers));
+      (match o.be with
+      | Some be ->
+        Format.fprintf ppf " | tx-via-FE %d, rx-from-FE %d, notify %d, bounced %d, pinned %d"
+          (Be.tx_via_fe be) (Be.rx_from_fe be) (Be.notify_received be) (Be.bounced be)
+          (Be.pinned_count be)
+      | None -> ());
+      Format.fprintf ppf "@,")
+    offs;
+  Format.fprintf ppf "  monitor: %d watched, %d probes, %d failure(s) declared, %d mass-failure suspicion(s)@]"
+    (Monitor.watched t.monitor) (Monitor.probes_sent t.monitor)
+    (Monitor.failures_declared t.monitor)
+    (Monitor.mass_failure_suspected t.monitor)

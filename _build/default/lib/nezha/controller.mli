@@ -1,0 +1,146 @@
+(** The Nezha controller (§4): offload/fallback orchestration, remote-pool
+    scale-out/-in, and failover.
+
+    Every vSwitch periodically reports CPU/memory utilization.  Above the
+    offload threshold the controller offloads the heaviest vNICs to a set
+    of idle FEs through the dual-running two-stage workflow (§4.2.1);
+    FE-hosting vSwitches crossing the (lower) scale threshold either gain
+    FEs elsewhere (remote pressure) or evict their FEs (local pressure),
+    per Fig. 8.  A centralized {!Monitor} detects FE crashes and failover
+    completes by dropping the dead FE from every BE's location config
+    while keeping at least [min_fes] (§4.4). *)
+
+open Nezha_engine
+open Nezha_net
+open Nezha_fabric
+open Nezha_vswitch
+
+type config = {
+  report_interval : float;  (** utilization report period *)
+  offload_threshold : float;  (** §4.2.1 / Fig. 8: 0.70 *)
+  scale_threshold : float;  (** Fig. 8: 0.40 *)
+  safe_level : float;  (** target utilization after mitigation *)
+  overload_level : float;  (** what counts as an overload occurrence (Fig. 13) *)
+  initial_fes : int;  (** 4, App. B.2 *)
+  min_fes : int;  (** failover floor, §4.4 *)
+  learning_interval : float;  (** vNIC-server learning, 200 ms (§4.2.1) *)
+  rtt : float;  (** in-flight retention slack *)
+  rpc_latency : float;  (** mean control-plane RPC latency *)
+  push_bytes_per_s : float;  (** rule-table push bandwidth to an FE *)
+  ping_interval : float;
+  ping_misses_to_fail : int;
+  fe_cpu_max : float;  (** idle-candidate ceiling (CPU) *)
+  fe_mem_max : float;  (** idle-candidate ceiling (memory) *)
+  auto_offload : bool;
+  auto_scale : bool;
+  auto_fallback : bool;
+  fallback_idle_ticks : int;
+      (** consecutive reports with the FEs near-idle and the BE far below
+          the safe level before falling back (§4.2.2: fallback only when
+          the local vSwitch can clearly absorb the load again) *)
+}
+
+val default_config : config
+
+type t
+
+type offload
+(** A live offload: one vNIC whose tables moved to a set of FEs. *)
+
+val create : ?config:config -> fabric:Fabric.t -> rng:Rng.t -> unit -> t
+
+val config : t -> config
+val fabric : t -> Fabric.t
+val monitor : t -> Monitor.t
+
+val start : t -> unit
+(** Begin report sampling, automatic policies and crash monitoring. *)
+
+(** {1 Orchestration} *)
+
+val offload_vnic :
+  t ->
+  server:Topology.server_id ->
+  vnic:Vnic.id ->
+  ?num_fes:int ->
+  ?version_filter:(int -> bool) ->
+  unit ->
+  (offload, string) result
+(** Trigger remote offloading for a vNIC (also called by the automatic
+    policy).  Runs the dual-running stage and schedules the final stage;
+    returns immediately with the offload handle.
+
+    [version_filter] restricts FE candidates by vSwitch software version —
+    §7.2's new capabilities: offload to *upgraded* vSwitches to release a
+    feature without fleet-wide rollout, or to *older, bug-free* ones for
+    cost-effective fault recovery. *)
+
+val fallback_vnic : t -> offload -> (unit, string) result
+(** Reverse an offload (§4.2.2).  Fails if the BE cannot re-host the rule
+    tables. *)
+
+val scale_out : t -> offload -> add:int -> int
+(** Add up to [add] FEs; returns how many were actually added (candidate
+    supply permitting). *)
+
+val scale_in_server : t -> Topology.server_id -> unit
+(** Evict every FE on this server (local pressure or failover),
+    replenishing any offload that falls below [min_fes]. *)
+
+val update_tenant_rules : t -> offload -> (Ruleset.t -> unit) -> unit
+(** Apply a tenant configuration change to an offloaded vNIC: the
+    mutation runs on the master copy and on every FE replica (and on the
+    BE's local tables during dual-running); stale cached flows are
+    invalidated everywhere, exactly as §3.2.2 prescribes — regeneration
+    happens lazily on the next lookups. *)
+
+val migrate_be : t -> offload -> to_server:Topology.server_id -> (unit, string) result
+(** §7.2 "efficient VM live migration": move the BE (the VM moved to a
+    new server) by updating the BE location config on every FE — a
+    sub-millisecond config change instead of re-pushing rule tables.
+    Session states are carried with the VM (the hypervisor migrates
+    them); the offloaded tables never move. *)
+
+val pin_elephant : t -> offload -> Five_tuple.t -> (Topology.server_id, string) result
+(** §7.5: give an elephant flow a dedicated FE.  A fresh candidate is
+    configured with the vNIC's tables and installed as a per-flow
+    override on the BE, so the elephant's TX traffic monopolizes that
+    SmartNIC and stops contending with other tenants.  (Sender-side ECMP
+    for the RX direction is hash-driven and left unchanged.)  Returns
+    the dedicated FE's server. *)
+
+(** {1 Introspection} *)
+
+val find_offload : t -> server:Topology.server_id -> vnic:Vnic.id -> offload option
+val offloads : t -> offload list
+val offload_vnic_id : offload -> Vnic.id
+val offload_be_server : offload -> Topology.server_id
+val offload_fe_servers : offload -> Topology.server_id list
+val offload_be : offload -> Be.t
+val offload_stage : offload -> Be.stage
+val offload_completed_at : offload -> float option
+
+val fe_service : t -> Topology.server_id -> Fe.t option
+(** The FE service installed on a server (if it ever hosted FEs). *)
+
+val last_cpu : t -> Topology.server_id -> float
+val last_mem : t -> Topology.server_id -> float
+
+(** {1 Experiment instrumentation} *)
+
+val completion_times_ms : t -> Stats.Histogram.t
+(** Offload-activation completion times (Table 4). *)
+
+val offload_events : t -> int
+val scale_out_events : t -> int
+val fes_provisioned : t -> int
+(** Cumulative FEs ever configured (App. B.2 accounting). *)
+
+val overload_occurrences : t -> Topology.server_id -> int
+(** Report ticks with utilization above [overload_level] (Fig. 13). *)
+
+val total_overload_occurrences : t -> int
+
+val pp_status : Format.formatter -> t -> unit
+(** Operator view: every active offload with its stage, BE/FE placement
+    and dataplane counters, plus the monitor's health. *)

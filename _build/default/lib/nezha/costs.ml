@@ -1,0 +1,55 @@
+type solution = Sailfish | Nezha
+
+let pp_solution ppf s =
+  Format.pp_print_string ppf (match s with Sailfish -> "Sailfish" | Nezha -> "Nezha")
+
+type cost = {
+  hardware_dev_pm : float;
+  software_dev_pm : float;
+  iteration_pm : float;
+  scale_out_days_min : float;
+  scale_out_days_max : float;
+  new_devices : bool;
+}
+
+(* Table 5 of the paper, verbatim. *)
+let cost_of = function
+  | Sailfish ->
+    {
+      hardware_dev_pm = 100.0;
+      software_dev_pm = 48.0;
+      iteration_pm = 20.0;
+      scale_out_days_min = 30.0;
+      scale_out_days_max = 90.0;
+      new_devices = true;
+    }
+  | Nezha ->
+    {
+      hardware_dev_pm = 0.0;
+      software_dev_pm = 15.0;
+      iteration_pm = 0.0;
+      scale_out_days_min = 1.0;
+      scale_out_days_max = 7.0;
+      new_devices = false;
+    }
+
+let total_person_months c = c.hardware_dev_pm +. c.software_dev_pm +. c.iteration_pm
+
+let development_ratio () =
+  total_person_months (cost_of Nezha) /. total_person_months (cost_of Sailfish)
+
+let rollout_days solution ~clusters ~parallel =
+  if clusters <= 0 then 0.0
+  else begin
+    let parallel = max 1 parallel in
+    let waves = float_of_int ((clusters + parallel - 1) / parallel) in
+    let c = cost_of solution in
+    (* Gray releases overlap almost entirely; hardware rollouts serialize
+       on siting and procurement. *)
+    let per_wave =
+      match solution with
+      | Nezha -> (c.scale_out_days_min +. c.scale_out_days_max) /. 2.0
+      | Sailfish -> c.scale_out_days_max
+    in
+    waves *. per_wave
+  end

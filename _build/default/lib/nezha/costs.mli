@@ -1,0 +1,34 @@
+(** Deployment-cost model (§6.4, Table 5).
+
+    A simple comparative model of what it costs to field a solution that
+    introduces new hardware (Sailfish-class: new devices, wiring, racks)
+    versus one that reuses the deployed SmartNIC fleet (Nezha).  The
+    numbers are the paper's; the model exposes them programmatically so
+    the Table 5 bench can regenerate the comparison and extrapolate
+    rollout times. *)
+
+type solution = Sailfish | Nezha
+
+val pp_solution : Format.formatter -> solution -> unit
+
+type cost = {
+  hardware_dev_pm : float;  (** person-months of hardware development *)
+  software_dev_pm : float;
+  iteration_pm : float;  (** ongoing per-generation iteration effort *)
+  scale_out_days_min : float;  (** fastest region rollout *)
+  scale_out_days_max : float;
+  new_devices : bool;
+}
+
+val cost_of : solution -> cost
+
+val total_person_months : cost -> float
+
+val development_ratio : unit -> float
+(** Nezha's development effort as a fraction of Sailfish's (the paper
+    reports ≈10%). *)
+
+val rollout_days : solution -> clusters:int -> parallel:int -> float
+(** Estimated days to roll out to [clusters] clusters, [parallel] at a
+    time: Nezha is a software gray-release; Sailfish needs racks and
+    possibly procurement per site. *)

@@ -1,0 +1,280 @@
+open Nezha_engine
+open Nezha_net
+open Nezha_tables
+open Nezha_vswitch
+
+type cached = { pre : Pre_action.t; generation : int }
+
+type served = {
+  vnic : Vnic.t;
+  ruleset : Ruleset.t;
+  mutable be : Ipv4.t;
+  flows : cached Flow_table.t;
+  mutable rule_bytes : int;
+}
+
+type t = {
+  vs : Vswitch.t;
+  served : served Vnic.Addr.Table.t;
+  mutable remote_cycles : int;
+  mutable rule_lookups : int;
+  mutable fast_hits : int;
+  mutable notify_sent : int;
+  mutable rx_forwarded : int;
+  mutable tx_finalized : int;
+}
+
+let params t = Vswitch.params t.vs
+
+let flow_entry_bytes t = (params t).Params.session_entry_overhead
+
+(* All FE work is charged through here so the controller can attribute
+   this vSwitch's load to remote serving vs. local vNICs. *)
+let charge t ~cycles k =
+  t.remote_cycles <- t.remote_cycles + cycles;
+  Vswitch.charge t.vs ~cycles k
+
+let key_of pkt = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow
+
+(* Resolve the pre-actions for a packet of a served vNIC.  [flow_tx] is
+   the session tuple in TX orientation (source = the served vNIC). *)
+let resolve_pre t s ~flow_tx ~key =
+  let generation = Ruleset.generation s.ruleset in
+  match Flow_table.find s.flows key with
+  | Some c when c.generation = generation ->
+    t.fast_hits <- t.fast_hits + 1;
+    ignore (Flow_table.touch s.flows ~now:(Sim.now (Vswitch.sim t.vs)) key : bool);
+    Some (c.pre, (params t).Params.split_fast_path_cycles, false)
+  | Some _ | None -> (
+    t.rule_lookups <- t.rule_lookups + 1;
+    match Vswitch.slow_path t.vs s.ruleset ~vpc:s.vnic.Vnic.vpc ~flow_tx with
+    | None -> None
+    | Some { Ruleset.pre; cycles } ->
+      let entry = { pre; generation } in
+      let bytes = flow_entry_bytes t in
+      if Smartnic.mem_reserve (Vswitch.nic t.vs) bytes then begin
+        match Flow_table.insert s.flows ~now:(Sim.now (Vswitch.sim t.vs)) key entry with
+        | `Ok -> ()
+        | `Full -> Smartnic.mem_release (Vswitch.nic t.vs) bytes
+      end;
+      (* Creating the bidirectional cached flow is the expensive share of
+         session setup, and it now happens here, not at the BE. *)
+      Some (pre, cycles + (params t).Params.flow_cache_cycles, true))
+
+let forward_to_be t s pkt ~nsh =
+  Packet.set_nsh pkt nsh;
+  Packet.encap_vxlan pkt ~vni:(Ruleset.vni s.ruleset)
+    ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:s.be;
+  Vswitch.emit t.vs (Vswitch.To_net pkt)
+
+(* RX workflow (§3.2.1 blue flow): query pre-actions, piggyback them and
+   the preserved outer source, forward to the BE. *)
+let handle_rx t s pkt ~outer =
+  let key = key_of pkt in
+  let flow_tx = Five_tuple.reverse pkt.Packet.flow in
+  match resolve_pre t s ~flow_tx ~key with
+  | None ->
+    charge t ~cycles:(params t).Params.table_base_cycles (fun _ ->
+        Vswitch.count_drop t.vs Nf.No_route)
+  | Some (pre, lookup_cycles, _fresh) ->
+    let p = params t in
+    let cycles =
+      Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+      + lookup_cycles + p.Params.encap_cycles
+    in
+    charge t ~cycles (fun _ ->
+        let orig_outer_src =
+          match outer with Some v -> Some v.Packet.outer_src | None -> None
+        in
+        t.rx_forwarded <- t.rx_forwarded + 1;
+        forward_to_be t s pkt
+          ~nsh:
+            {
+              Packet.empty_nsh with
+              Packet.carried_pre_actions = Some (Pre_action.encode pre);
+              orig_outer_src;
+            })
+
+let send_notify t s pkt pre =
+  t.notify_sent <- t.notify_sent + 1;
+  Vswitch.count_notify t.vs;
+  let notify =
+    Packet.create ~vpc:pkt.Packet.vpc
+      ~flow:(Five_tuple.reverse pkt.Packet.flow)
+      ~direction:Packet.Rx ~flags:Packet.no_flags ()
+  in
+  Packet.set_nsh notify
+    { Packet.empty_nsh with Packet.notify = true;
+      carried_pre_actions = Some (Pre_action.encode pre) };
+  Packet.encap_vxlan notify ~vni:(Ruleset.vni s.ruleset)
+    ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:s.be;
+  Vswitch.emit t.vs (Vswitch.To_net notify)
+
+(* TX workflow (§3.2.1 red flow): the packet carries the state; combine
+   with pre-actions and finalize. *)
+let handle_tx t s pkt nsh state_blob =
+  match State.decode state_blob with
+  | Error _ -> Vswitch.count_drop t.vs Nf.No_route
+  | Ok state -> (
+    ignore nsh;
+    let key = key_of pkt in
+    match resolve_pre t s ~flow_tx:pkt.Packet.flow ~key with
+    | None ->
+      charge t ~cycles:(params t).Params.table_base_cycles (fun _ ->
+          Vswitch.count_drop t.vs Nf.No_route)
+    | Some (pre, lookup_cycles, fresh) ->
+      let p = params t in
+      let cycles =
+        Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+        + lookup_cycles + p.Params.encap_cycles
+      in
+      charge t ~cycles (fun _ ->
+          (* Notify the BE when the rule lookup's rule-table-involved
+             state disagrees with what the packet carried (§3.2.2): a
+             notify fires only on fresh lookups, and only on an actual
+             difference — both conditions keep the notify rate low. *)
+          (if fresh then begin
+             let be_has_stats = state.State.stats <> None in
+             let rules_want_stats = pre.Pre_action.stats <> None in
+             if be_has_stats <> rules_want_stats then send_notify t s pkt pre
+           end);
+          let verdict, _state_out =
+            Nf.process ~pre ~state:(Some state) ~dir:Packet.Tx ~flags:pkt.Packet.flags
+              ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
+          in
+          t.tx_finalized <- t.tx_finalized + 1;
+          match verdict with
+          | Nf.Deliver ->
+            ignore (Packet.clear_nsh pkt : Packet.nsh option);
+            Vswitch.maybe_mirror t.vs pre pkt;
+            let vni = pre.Pre_action.vni in
+            let outer_dst =
+              match pre.Pre_action.peer_server with
+              | Some server -> server
+              | None -> Vswitch.gateway t.vs
+            in
+            Packet.encap_vxlan pkt ~vni ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst;
+            Vswitch.emit t.vs (Vswitch.To_net pkt)
+          | Nf.Drop reason -> Vswitch.count_drop t.vs reason))
+
+let hook t pkt ~outer =
+  let dst_addr = { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst } in
+  match Vnic.Addr.Table.find_opt t.served dst_addr with
+  | Some s ->
+    handle_rx t s pkt ~outer;
+    `Handled
+  | None -> (
+    let src_addr = { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.src } in
+    match Vnic.Addr.Table.find_opt t.served src_addr with
+    | Some s -> (
+      match Packet.clear_nsh pkt with
+      | Some ({ Packet.carried_state = Some blob; _ } as nsh) ->
+        handle_tx t s pkt nsh blob;
+        `Handled
+      | Some _ | None -> `Continue)
+    | None -> `Continue)
+
+let install vs =
+  let t =
+    {
+      vs;
+      served = Vnic.Addr.Table.create 8;
+      remote_cycles = 0;
+      rule_lookups = 0;
+      fast_hits = 0;
+      notify_sent = 0;
+      rx_forwarded = 0;
+      tx_finalized = 0;
+    }
+  in
+  Vswitch.set_net_hook vs (Some (fun pkt ~outer -> hook t pkt ~outer));
+  (* Cached-flow aging pump for the served regions. *)
+  let p = Vswitch.params vs in
+  Sim.every (Vswitch.sim vs) ~period:(p.Params.flow_aging /. 4.0) (fun sim ->
+      let now = Sim.now sim in
+      Vnic.Addr.Table.iter
+        (fun _ s ->
+          ignore
+            (Flow_table.expire s.flows ~now ~on_expire:(fun _ _ ->
+                 Smartnic.mem_release (Vswitch.nic vs) (flow_entry_bytes t))
+              : int))
+        t.served;
+      true);
+  t
+
+let vswitch t = t.vs
+
+let release_served t s =
+  Flow_table.iter s.flows (fun _ _ ->
+      Smartnic.mem_release (Vswitch.nic t.vs) (flow_entry_bytes t));
+  Flow_table.clear s.flows;
+  Smartnic.mem_release (Vswitch.nic t.vs) s.rule_bytes
+
+let serve t ~vnic ~ruleset ~be =
+  let addr = Vnic.addr vnic in
+  (match Vnic.Addr.Table.find_opt t.served addr with
+  | Some old -> release_served t old
+  | None -> ());
+  Vnic.Addr.Table.remove t.served addr;
+  let bytes = Ruleset.memory_bytes ruleset in
+  if Smartnic.mem_reserve (Vswitch.nic t.vs) bytes then begin
+    let p = params t in
+    let s =
+      {
+        vnic;
+        ruleset;
+        be;
+        flows =
+          Flow_table.create ~entry_overhead:0
+            ~value_bytes:(fun _ -> flow_entry_bytes t)
+            ~default_aging:p.Params.flow_aging ();
+        rule_bytes = bytes;
+      }
+    in
+    Vnic.Addr.Table.replace t.served addr s;
+    `Ok
+  end
+  else `No_memory
+
+let unserve t addr =
+  match Vnic.Addr.Table.find_opt t.served addr with
+  | None -> ()
+  | Some s ->
+    release_served t s;
+    Vnic.Addr.Table.remove t.served addr
+
+let serves t addr = Vnic.Addr.Table.mem t.served addr
+let served_count t = Vnic.Addr.Table.length t.served
+let served_vnics t = Vnic.Addr.Table.fold (fun a _ acc -> a :: acc) t.served []
+
+let set_be t addr be =
+  match Vnic.Addr.Table.find_opt t.served addr with
+  | Some s -> s.be <- be
+  | None -> ()
+
+let ruleset_of t addr =
+  Option.map (fun s -> s.ruleset) (Vnic.Addr.Table.find_opt t.served addr)
+
+let invalidate_cached_flows t addr =
+  match Vnic.Addr.Table.find_opt t.served addr with
+  | None -> ()
+  | Some s ->
+    let current = Ruleset.generation s.ruleset in
+    let victims = ref [] in
+    Flow_table.iter s.flows (fun k c -> if c.generation <> current then victims := k :: !victims);
+    List.iter
+      (fun k ->
+        if Flow_table.remove s.flows k then
+          Smartnic.mem_release (Vswitch.nic t.vs) (flow_entry_bytes t))
+      !victims
+
+let remote_cycles t = t.remote_cycles
+
+let cached_flow_count t =
+  Vnic.Addr.Table.fold (fun _ s acc -> acc + Flow_table.length s.flows) t.served 0
+
+let rule_lookups t = t.rule_lookups
+let fast_hits t = t.fast_hits
+let notify_sent t = t.notify_sent
+let rx_forwarded t = t.rx_forwarded
+let tx_finalized t = t.tx_finalized

@@ -1,0 +1,67 @@
+(** The vNIC frontend (FE): an idle vSwitch serving a remote vNIC's
+    stateless rule tables and cached flows (§3.2.1).
+
+    One FE service is installed per vSwitch (as its net hook); it can
+    serve many vNICs, each with a replica of the vNIC's rule tables, its
+    own cached-flow region, and the BE location config.
+
+    RX workflow: resolve pre-actions (cached flows, rule lookup on miss),
+    piggyback them — and the preserved original outer source — in the NSH
+    header, and forward to the BE.
+
+    TX workflow: the packet arrives from the BE carrying the session
+    state; combine it with the pre-actions to produce the final action and
+    forward toward the peer.  When a rule-table lookup reveals that the
+    BE's rule-table-involved state is stale (the statistics policy
+    changed), send a notify packet (§3.2.2).
+
+    FEs are completely stateless with respect to sessions: any FE can
+    process any packet of the vNIC, which is what makes plain 5-tuple
+    hashing sufficient for load balancing and active-active failover
+    free of synchronization (§3.2.3). *)
+
+open Nezha_net
+open Nezha_vswitch
+
+type t
+
+val install : Vswitch.t -> t
+(** Registers the vSwitch's net hook.  One service per vSwitch. *)
+
+val vswitch : t -> Vswitch.t
+
+val serve :
+  t -> vnic:Vnic.t -> ruleset:Ruleset.t -> be:Ipv4.t -> [ `Ok | `No_memory ]
+(** Configure this FE for a vNIC: reserves memory for the rule-table
+    replica.  Replaces any previous config for the same vNIC. *)
+
+val unserve : t -> Vnic.Addr.t -> unit
+(** Stop serving: releases the rule replica and cached flows. *)
+
+val serves : t -> Vnic.Addr.t -> bool
+val served_count : t -> int
+val served_vnics : t -> Vnic.Addr.t list
+
+val set_be : t -> Vnic.Addr.t -> Ipv4.t -> unit
+(** Update the BE location (VM live migration, §7.2: takes effect in
+    under a millisecond because only this config changes). *)
+
+val ruleset_of : t -> Vnic.Addr.t -> Ruleset.t option
+(** The served rule-table replica (the controller mutates it on tenant
+    config changes). *)
+
+val invalidate_cached_flows : t -> Vnic.Addr.t -> unit
+(** Drop cached flows made stale by a rule-table change. *)
+
+(** {1 Attribution and counters} *)
+
+val remote_cycles : t -> int
+(** CPU cycles this vSwitch spent on FE (remote) work — the signal that
+    distinguishes scale-out from scale-in pressure (§4.3, Fig. 8). *)
+
+val cached_flow_count : t -> int
+val rule_lookups : t -> int
+val fast_hits : t -> int
+val notify_sent : t -> int
+val rx_forwarded : t -> int
+val tx_finalized : t -> int

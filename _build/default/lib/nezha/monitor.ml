@@ -1,0 +1,86 @@
+open Nezha_engine
+
+type target = {
+  alive : unit -> bool;
+  on_fail : key:int -> unit;
+  mutable misses : int;
+}
+
+type t = {
+  sim : Sim.t;
+  interval : float;
+  misses_to_fail : int;
+  mass_failure_fraction : float;
+  targets : (int, target) Hashtbl.t;
+  mutable running : bool;
+  mutable probes : int;
+  mutable failures : int;
+  mutable mass_suspected : int;
+}
+
+let create ~sim ?(interval = 0.5) ?(misses_to_fail = 3) ?(mass_failure_fraction = 0.8) () =
+  if interval <= 0.0 then invalid_arg "Monitor.create: interval must be positive";
+  {
+    sim;
+    interval;
+    misses_to_fail;
+    mass_failure_fraction;
+    targets = Hashtbl.create 16;
+    running = false;
+    probes = 0;
+    failures = 0;
+    mass_suspected = 0;
+  }
+
+let watch t ~key ~alive ~on_fail = Hashtbl.replace t.targets key { alive; on_fail; misses = 0 }
+
+let unwatch t ~key = Hashtbl.remove t.targets key
+
+let watched t = Hashtbl.length t.targets
+
+let probe_round t =
+  let n = Hashtbl.length t.targets in
+  if n > 0 then begin
+    let newly_failed = ref [] in
+    Hashtbl.iter
+      (fun key target ->
+        t.probes <- t.probes + 1;
+        if target.alive () then target.misses <- 0
+        else begin
+          target.misses <- target.misses + 1;
+          if target.misses >= t.misses_to_fail then newly_failed := (key, target) :: !newly_failed
+        end)
+      t.targets;
+    let failed_count = List.length !newly_failed in
+    if
+      failed_count > 0
+      && float_of_int failed_count >= t.mass_failure_fraction *. float_of_int n
+      && n > 1
+    then begin
+      (* §C.2: a majority of FEs "failing" at once smells like a monitor
+         bug; hold off automatic removal and retry next round. *)
+      t.mass_suspected <- t.mass_suspected + 1;
+      List.iter (fun (_, target) -> target.misses <- t.misses_to_fail - 1) !newly_failed
+    end
+    else
+      List.iter
+        (fun (key, target) ->
+          Hashtbl.remove t.targets key;
+          t.failures <- t.failures + 1;
+          target.on_fail ~key)
+        !newly_failed
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Sim.every t.sim ~period:t.interval (fun _ ->
+        if t.running then probe_round t;
+        t.running)
+  end
+
+let stop t = t.running <- false
+
+let probes_sent t = t.probes
+let failures_declared t = t.failures
+let mass_failure_suspected t = t.mass_suspected

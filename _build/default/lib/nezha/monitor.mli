@@ -1,0 +1,44 @@
+(** Centralized FE crash monitoring (§4.4).
+
+    A single module health-checks every vSwitch hosting FEs (ping
+    polling against the vSwitch's virtual function, so the check reflects
+    the vSwitch and not the SmartNIC's other hypervisors).  A target that
+    misses [misses_to_fail] consecutive probes is declared failed, which
+    bounds detection latency at [interval × misses_to_fail].
+
+    §C.2's lesson is built in: when a probe round finds more than
+    [mass_failure_fraction] of all targets down simultaneously, the
+    module suspects a monitoring bug rather than a real mass outage and
+    suspends automatic removal for that round (counted, so operators —
+    and tests — can see it). *)
+
+open Nezha_engine
+
+type t
+
+val create :
+  sim:Sim.t ->
+  ?interval:float ->
+  ?misses_to_fail:int ->
+  ?mass_failure_fraction:float ->
+  unit ->
+  t
+(** Defaults: probe every 0.5 s, fail after 3 misses, suspect mass
+    failure above 80% of targets. *)
+
+val watch : t -> key:int -> alive:(unit -> bool) -> on_fail:(key:int -> unit) -> unit
+(** Add (or reset) a target.  [alive] is the probe; [on_fail] fires once
+    when the target is declared failed (it is then unwatched). *)
+
+val unwatch : t -> key:int -> unit
+val watched : t -> int
+
+val start : t -> unit
+(** Begin probing.  Idempotent. *)
+
+val stop : t -> unit
+
+val probes_sent : t -> int
+val failures_declared : t -> int
+val mass_failure_suspected : t -> int
+(** Rounds where auto-removal was suspended (§C.2). *)

@@ -1,0 +1,1 @@
+lib/tables/acl.ml: Five_tuple Format Ipv4 List Nezha_net

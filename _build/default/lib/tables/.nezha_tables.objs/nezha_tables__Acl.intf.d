@@ -1,0 +1,1 @@
+lib/tables/acl.mli: Five_tuple Format Ipv4 Nezha_net

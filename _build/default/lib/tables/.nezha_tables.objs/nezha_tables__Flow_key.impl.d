@@ -1,0 +1,1 @@
+lib/tables/flow_key.ml: Five_tuple Format Hashtbl Nezha_net Vpc

@@ -1,0 +1,1 @@
+lib/tables/flow_key.mli: Five_tuple Format Hashtbl Nezha_net Vpc

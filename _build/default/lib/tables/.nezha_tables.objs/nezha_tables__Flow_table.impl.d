@@ -1,0 +1,1 @@
+lib/tables/flow_table.ml: Flow_key Nezha_engine Option Timer_wheel

@@ -1,0 +1,1 @@
+lib/tables/flow_table.mli: Flow_key

@@ -1,0 +1,1 @@
+lib/tables/lpm.ml: Int32 Ipv4 Nezha_net

@@ -1,0 +1,1 @@
+lib/tables/lpm.mli: Ipv4 Nezha_net

@@ -1,0 +1,1 @@
+lib/tables/tss.ml: Acl Five_tuple Hashtbl Int32 Ipv4 List Nezha_net

@@ -1,0 +1,1 @@
+lib/tables/tss.mli: Acl Five_tuple Nezha_net

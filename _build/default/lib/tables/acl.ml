@@ -1,0 +1,77 @@
+open Nezha_net
+
+type action = Permit | Deny
+
+let pp_action ppf a = Format.pp_print_string ppf (match a with Permit -> "permit" | Deny -> "deny")
+
+type rule = {
+  priority : int;
+  src : Ipv4.Prefix.t option;
+  dst : Ipv4.Prefix.t option;
+  src_ports : (int * int) option;
+  dst_ports : (int * int) option;
+  proto : Five_tuple.proto option;
+  action : action;
+}
+
+let rule ?src ?dst ?src_ports ?dst_ports ?proto ~priority action =
+  { priority; src; dst; src_ports; dst_ports; proto; action }
+
+let in_range p (lo, hi) = p >= lo && p <= hi
+
+let matches r (t : Five_tuple.t) =
+  (match r.src with None -> true | Some p -> Ipv4.Prefix.mem t.Five_tuple.src p)
+  && (match r.dst with None -> true | Some p -> Ipv4.Prefix.mem t.Five_tuple.dst p)
+  && (match r.src_ports with None -> true | Some range -> in_range t.Five_tuple.src_port range)
+  && (match r.dst_ports with None -> true | Some range -> in_range t.Five_tuple.dst_port range)
+  && match r.proto with None -> true | Some p -> p = t.Five_tuple.proto
+
+type t = {
+  mutable rules : rule list; (* sorted by priority ascending, stable *)
+  mutable count : int;
+  default : action;
+}
+
+let create ?(default = Permit) () = { rules = []; count = 0; default }
+
+let add t r =
+  let rec place = function
+    | [] -> [ r ]
+    | hd :: tl -> if r.priority < hd.priority then r :: hd :: tl else hd :: place tl
+  in
+  t.rules <- place t.rules;
+  t.count <- t.count + 1
+
+let remove t ~priority =
+  let before = t.count in
+  t.rules <- List.filter (fun r -> r.priority <> priority) t.rules;
+  t.count <- List.length t.rules;
+  t.count <> before
+
+let clear t =
+  t.rules <- [];
+  t.count <- 0
+
+type verdict = { action : action; rules_scanned : int; matched : rule option }
+
+let lookup t tuple =
+  let rec scan rules n =
+    match rules with
+    | [] -> { action = t.default; rules_scanned = n; matched = None }
+    | r :: rest ->
+      if matches r tuple then { action = r.action; rules_scanned = n + 1; matched = Some r }
+      else scan rest (n + 1)
+  in
+  scan t.rules 0
+
+let rule_count t = t.count
+
+(* TCAM-style accounting: each rule occupies a fixed-width match line
+   (src/dst prefix + mask, two port ranges, proto, priority, action). *)
+let rule_bytes = 48
+
+let memory_bytes t = t.count * rule_bytes
+
+let default_action t = t.default
+
+let copy t = { rules = t.rules; count = t.count; default = t.default }

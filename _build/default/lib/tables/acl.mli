@@ -1,0 +1,57 @@
+(** Access-control list with prefix, port-range and protocol matching.
+
+    ACL lookup is the expensive part of the slow path (§2.2.2, Table A1:
+    throughput falls as #rules grows).  The implementation scans rules in
+    priority order and reports how many rules were examined, so the CPU
+    model can charge per-rule work exactly as the paper measures it. *)
+
+open Nezha_net
+
+type action = Permit | Deny
+
+val pp_action : Format.formatter -> action -> unit
+
+type rule = {
+  priority : int;  (** lower value = matched first *)
+  src : Ipv4.Prefix.t option;  (** [None] = any *)
+  dst : Ipv4.Prefix.t option;
+  src_ports : (int * int) option;  (** inclusive range; [None] = any *)
+  dst_ports : (int * int) option;
+  proto : Five_tuple.proto option;
+  action : action;
+}
+
+val rule :
+  ?src:Ipv4.Prefix.t ->
+  ?dst:Ipv4.Prefix.t ->
+  ?src_ports:int * int ->
+  ?dst_ports:int * int ->
+  ?proto:Five_tuple.proto ->
+  priority:int ->
+  action ->
+  rule
+
+val matches : rule -> Five_tuple.t -> bool
+
+type t
+
+val create : ?default:action -> unit -> t
+(** [default] (applied when no rule matches) defaults to [Permit]. *)
+
+val add : t -> rule -> unit
+val remove : t -> priority:int -> bool
+(** Remove all rules at the given priority; [true] if any were removed. *)
+
+val clear : t -> unit
+
+type verdict = { action : action; rules_scanned : int; matched : rule option }
+
+val lookup : t -> Five_tuple.t -> verdict
+
+val rule_count : t -> int
+val memory_bytes : t -> int
+
+val default_action : t -> action
+
+val copy : t -> t
+(** Independent duplicate (used to replicate rule tables onto FEs). *)

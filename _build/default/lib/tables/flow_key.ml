@@ -1,0 +1,25 @@
+open Nezha_net
+
+type t = { vpc : Vpc.t; flow : Five_tuple.t }
+
+let of_packet_fields ~vpc ~flow = { vpc; flow = Five_tuple.canonical flow }
+
+let direction_of t tuple =
+  if Five_tuple.equal t.flow tuple then `Forward else `Reverse
+
+let equal a b = Vpc.equal a.vpc b.vpc && Five_tuple.equal a.flow b.flow
+
+let compare a b =
+  let c = Vpc.compare a.vpc b.vpc in
+  if c <> 0 then c else Five_tuple.compare a.flow b.flow
+
+let hash t = (Vpc.hash t.vpc * 0x9e3779b1) lxor Five_tuple.session_hash t.flow
+
+let pp ppf t = Format.fprintf ppf "%a/%a" Vpc.pp t.vpc Five_tuple.pp t.flow
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,23 @@
+(** Session-table keys: a VPC ID plus the canonical 5-tuple.
+
+    Tenants reuse overlapping private address space, so the VPC ID is part
+    of the cached-flow key (§2.1).  Keys are direction-independent: both
+    directions of a session map to the same key. *)
+
+open Nezha_net
+
+type t = private { vpc : Vpc.t; flow : Five_tuple.t }
+
+val of_packet_fields : vpc:Vpc.t -> flow:Five_tuple.t -> t
+(** Canonicalizes the flow. *)
+
+val direction_of : t -> Five_tuple.t -> [ `Forward | `Reverse ]
+(** Which side of the canonical key a directed tuple is.  The caller must
+    pass a tuple belonging to this session. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,123 @@
+open Nezha_engine
+
+type 'v entry = {
+  mutable value : 'v;
+  mutable bytes : int; (* total accounted size, overhead included *)
+  mutable timer : Flow_key.t Timer_wheel.timer;
+}
+
+type 'v t = {
+  capacity : int option;
+  entry_overhead : int;
+  value_bytes : 'v -> int;
+  default_aging : float;
+  entries : 'v entry Flow_key.Table.t;
+  wheel : Flow_key.t Timer_wheel.t;
+  mutable used_bytes : int;
+}
+
+let create ?capacity_bytes ~entry_overhead ~value_bytes ~default_aging () =
+  if default_aging <= 0.0 then invalid_arg "Flow_table.create: aging must be positive";
+  {
+    capacity = capacity_bytes;
+    entry_overhead;
+    value_bytes;
+    default_aging;
+    entries = Flow_key.Table.create 1024;
+    (* Tick at 1/8 of the aging time: expiry error stays under ~12%. *)
+    wheel = Timer_wheel.create ~tick:(default_aging /. 8.0) ~slots:256;
+    used_bytes = 0;
+  }
+
+let entry_size t v = t.entry_overhead + t.value_bytes v
+
+let fits t extra =
+  match t.capacity with None -> true | Some cap -> t.used_bytes + extra <= cap
+
+let arm t ~now ~aging key =
+  Timer_wheel.add t.wheel ~now ~deadline:(now +. aging) key
+
+let insert t ~now ?aging key v =
+  let aging = Option.value aging ~default:t.default_aging in
+  match Flow_key.Table.find_opt t.entries key with
+  | Some e ->
+    let nbytes = entry_size t v in
+    if fits t (nbytes - e.bytes) then begin
+      t.used_bytes <- t.used_bytes + nbytes - e.bytes;
+      e.value <- v;
+      e.bytes <- nbytes;
+      Timer_wheel.cancel e.timer;
+      e.timer <- arm t ~now ~aging key;
+      `Ok
+    end
+    else `Full
+  | None ->
+    let nbytes = entry_size t v in
+    if fits t nbytes then begin
+      let e = { value = v; bytes = nbytes; timer = arm t ~now ~aging key } in
+      Flow_key.Table.replace t.entries key e;
+      t.used_bytes <- t.used_bytes + nbytes;
+      `Ok
+    end
+    else `Full
+
+let find t key =
+  match Flow_key.Table.find_opt t.entries key with
+  | Some e -> Some e.value
+  | None -> None
+
+let touch t ~now ?aging key =
+  let aging = Option.value aging ~default:t.default_aging in
+  match Flow_key.Table.find_opt t.entries key with
+  | None -> false
+  | Some e ->
+    Timer_wheel.cancel e.timer;
+    e.timer <- arm t ~now ~aging key;
+    true
+
+let update t ~now key f =
+  match Flow_key.Table.find_opt t.entries key with
+  | None -> false
+  | Some e ->
+    let v = f e.value in
+    let nbytes = entry_size t v in
+    t.used_bytes <- t.used_bytes + nbytes - e.bytes;
+    e.value <- v;
+    e.bytes <- nbytes;
+    Timer_wheel.cancel e.timer;
+    e.timer <- arm t ~now ~aging:t.default_aging key;
+    true
+
+let remove t key =
+  match Flow_key.Table.find_opt t.entries key with
+  | None -> false
+  | Some e ->
+    Timer_wheel.cancel e.timer;
+    Flow_key.Table.remove t.entries key;
+    t.used_bytes <- t.used_bytes - e.bytes;
+    true
+
+let expire t ~now ~on_expire =
+  let fired = ref 0 in
+  ignore
+    (Timer_wheel.advance t.wheel ~now (fun key ->
+         match Flow_key.Table.find_opt t.entries key with
+         | None -> ()
+         | Some e ->
+           Flow_key.Table.remove t.entries key;
+           t.used_bytes <- t.used_bytes - e.bytes;
+           incr fired;
+           on_expire key e.value)
+      : int);
+  !fired
+
+let length t = Flow_key.Table.length t.entries
+let memory_bytes t = t.used_bytes
+let capacity_bytes t = t.capacity
+
+let iter t f = Flow_key.Table.iter (fun k e -> f k e.value) t.entries
+
+let clear t =
+  Flow_key.Table.iter (fun _ e -> Timer_wheel.cancel e.timer) t.entries;
+  Flow_key.Table.reset t.entries;
+  t.used_bytes <- 0

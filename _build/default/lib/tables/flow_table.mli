@@ -1,0 +1,47 @@
+(** Exact-match session/flow table with aging and memory accounting.
+
+    This is the fast-path table of §2.1: one bidirectional entry per
+    session, found by exact match on {!Flow_key.t}.  Entries age out on a
+    timer wheel; the per-entry aging time is overridable so incomplete
+    (SYN-state) sessions can be expired early (§7.3).  Memory is accounted
+    as a fixed per-entry overhead plus a caller-supplied variable part, and
+    insertion fails when a capacity budget would be exceeded — which is
+    precisely the mechanism that caps #concurrent flows on a SmartNIC. *)
+
+type 'v t
+
+val create :
+  ?capacity_bytes:int ->
+  entry_overhead:int ->
+  value_bytes:('v -> int) ->
+  default_aging:float ->
+  unit ->
+  'v t
+(** [capacity_bytes] omitted means unbounded.  [default_aging] is the idle
+    time after which an untouched entry expires.
+    @raise Invalid_argument if [default_aging <= 0]. *)
+
+val insert : 'v t -> now:float -> ?aging:float -> Flow_key.t -> 'v -> [ `Ok | `Full ]
+(** Insert or replace.  [`Full] when the entry does not fit in the
+    remaining budget (existing binding, if any, is left untouched). *)
+
+val find : 'v t -> Flow_key.t -> 'v option
+
+val touch : 'v t -> now:float -> ?aging:float -> Flow_key.t -> bool
+(** Refresh the aging deadline of an entry; [false] if absent. *)
+
+val update : 'v t -> now:float -> Flow_key.t -> ('v -> 'v) -> bool
+(** Mutate the value in place (memory accounting is refreshed) and touch
+    it; [false] if absent. *)
+
+val remove : 'v t -> Flow_key.t -> bool
+
+val expire : 'v t -> now:float -> on_expire:(Flow_key.t -> 'v -> unit) -> int
+(** Evict every entry idle past its aging time; returns the count.  Must
+    be called with non-decreasing [now]. *)
+
+val length : 'v t -> int
+val memory_bytes : 'v t -> int
+val capacity_bytes : 'v t -> int option
+val iter : 'v t -> (Flow_key.t -> 'v -> unit) -> unit
+val clear : 'v t -> unit

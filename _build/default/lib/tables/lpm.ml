@@ -1,0 +1,143 @@
+open Nezha_net
+
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable entries : int;
+  mutable nodes : int;
+}
+
+let new_node () = { value = None; zero = None; one = None }
+
+let create () = { root = new_node (); entries = 0; nodes = 1 }
+
+let bit_of addr i =
+  (* Bit [i] counted from the most significant end. *)
+  Int32.logand (Int32.shift_right_logical (Ipv4.to_int32 addr) (31 - i)) 1l = 1l
+
+let insert t prefix v =
+  let base = Ipv4.Prefix.base prefix and len = Ipv4.Prefix.length prefix in
+  let rec descend node depth =
+    if depth = len then begin
+      if node.value = None then t.entries <- t.entries + 1;
+      node.value <- Some v
+    end
+    else begin
+      let child, set =
+        if bit_of base depth then (node.one, fun c -> node.one <- Some c)
+        else (node.zero, fun c -> node.zero <- Some c)
+      in
+      let next =
+        match child with
+        | Some c -> c
+        | None ->
+          let c = new_node () in
+          t.nodes <- t.nodes + 1;
+          set c;
+          c
+      in
+      descend next (depth + 1)
+    end
+  in
+  descend t.root 0
+
+let remove t prefix =
+  let base = Ipv4.Prefix.base prefix and len = Ipv4.Prefix.length prefix in
+  (* Returns [true] when the child subtree became empty and can be pruned. *)
+  let removed = ref false in
+  let rec descend node depth =
+    if depth = len then begin
+      if node.value <> None then begin
+        node.value <- None;
+        t.entries <- t.entries - 1;
+        removed := true
+      end
+    end
+    else begin
+      let child = if bit_of base depth then node.one else node.zero in
+      match child with
+      | None -> ()
+      | Some c ->
+        descend c (depth + 1);
+        if c.value = None && c.zero = None && c.one = None then begin
+          t.nodes <- t.nodes - 1;
+          if bit_of base depth then node.one <- None else node.zero <- None
+        end
+    end
+  in
+  descend t.root 0;
+  !removed
+
+let lookup_with_depth t addr =
+  let rec descend node depth best =
+    let best =
+      match node.value with
+      | Some v -> Some (Ipv4.Prefix.make addr depth, v)
+      | None -> best
+    in
+    if depth = 32 then (best, depth)
+    else begin
+      let child = if bit_of addr depth then node.one else node.zero in
+      match child with
+      | None -> (best, depth)
+      | Some c -> descend c (depth + 1) best
+    end
+  in
+  descend t.root 0 None
+
+let lookup t addr = fst (lookup_with_depth t addr)
+
+let find_exact t prefix =
+  let base = Ipv4.Prefix.base prefix and len = Ipv4.Prefix.length prefix in
+  let rec descend node depth =
+    if depth = len then node.value
+    else begin
+      let child = if bit_of base depth then node.one else node.zero in
+      match child with None -> None | Some c -> descend c (depth + 1)
+    end
+  in
+  descend t.root 0
+
+let length t = t.entries
+
+(* A hardware-ish footprint: each trie node costs two child pointers plus
+   flags (16 B), each bound entry a next-hop record (24 B). *)
+let node_bytes = 16
+let entry_bytes = 24
+
+let memory_bytes t = (t.nodes * node_bytes) + (t.entries * entry_bytes)
+
+let iter t f =
+  (* Reconstruct the prefix on the way down. *)
+  let rec walk node bits len =
+    (match node.value with
+    | Some v ->
+      let addr =
+        if len = 0 then Ipv4.of_int32 0l
+        else Ipv4.of_int32 (Int32.shift_left bits (32 - len))
+      in
+      f (Ipv4.Prefix.make addr len) v
+    | None -> ());
+    (match node.zero with
+    | Some c -> walk c (Int32.shift_left bits 1) (len + 1)
+    | None -> ());
+    match node.one with
+    | Some c -> walk c (Int32.logor (Int32.shift_left bits 1) 1l) (len + 1)
+    | None -> ()
+  in
+  walk t.root 0l 0
+
+let copy t =
+  let fresh = create () in
+  iter t (fun p v -> insert fresh p v);
+  fresh
+
+let clear t =
+  t.root <- new_node ();
+  t.entries <- 0;
+  t.nodes <- 1

@@ -1,0 +1,38 @@
+(** Longest-prefix-match routing table (binary trie).
+
+    Route and VXLAN-routing lookups on the slow path are LPM queries; the
+    number of trie levels visited is returned with each lookup so the
+    vSwitch CPU model can charge cycles proportional to real work. *)
+
+open Nezha_net
+
+type 'a t
+
+val create : unit -> 'a t
+
+val insert : 'a t -> Ipv4.Prefix.t -> 'a -> unit
+(** Replaces any previous value bound at exactly this prefix. *)
+
+val remove : 'a t -> Ipv4.Prefix.t -> bool
+(** [true] if a binding was removed. *)
+
+val lookup : 'a t -> Ipv4.t -> (Ipv4.Prefix.t * 'a) option
+(** Longest matching prefix for the address. *)
+
+val lookup_with_depth : 'a t -> Ipv4.t -> (Ipv4.Prefix.t * 'a) option * int
+(** Also reports trie levels visited (lookup cost). *)
+
+val find_exact : 'a t -> Ipv4.Prefix.t -> 'a option
+
+val length : 'a t -> int
+(** Number of prefixes bound. *)
+
+val memory_bytes : 'a t -> int
+(** Modeled memory footprint: trie nodes plus entry payload slots. *)
+
+val iter : 'a t -> (Ipv4.Prefix.t -> 'a -> unit) -> unit
+
+val copy : 'a t -> 'a t
+(** Independent duplicate (used to replicate rule tables onto FEs). *)
+
+val clear : 'a t -> unit

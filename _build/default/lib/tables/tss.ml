@@ -1,0 +1,153 @@
+open Nezha_net
+
+(* A tuple identifies the mask shape shared by a set of rules. *)
+type tuple = {
+  src_len : int; (* -1 = wildcard *)
+  dst_len : int;
+  has_src_ports : bool;
+  has_dst_ports : bool;
+  has_proto : bool;
+}
+
+type entry = { rule : Acl.rule; order : int }
+
+(* Bucket key: the packet fields masked to the tuple's shape. *)
+type key = { ksrc : int32; kdst : int32; kproto : int }
+
+module Key = struct
+  type t = key
+
+  let equal a b = a.ksrc = b.ksrc && a.kdst = b.kdst && a.kproto = b.kproto
+  let hash k = Hashtbl.hash (k.ksrc, k.kdst, k.kproto)
+end
+
+module Bucket_table = Hashtbl.Make (Key)
+
+type space = { tuple : tuple; buckets : entry list ref Bucket_table.t }
+
+type t = {
+  default : Acl.action;
+  mutable spaces : space list;
+  mutable count : int;
+  mutable next_order : int;
+}
+
+let create ?(default = Acl.Permit) () =
+  { default; spaces = []; count = 0; next_order = 0 }
+
+let mask_bits len =
+  if len <= 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let mask_addr addr len =
+  if len < 0 then 0l else Int32.logand (Ipv4.to_int32 addr) (mask_bits len)
+
+let proto_code = function Five_tuple.Tcp -> 6 | Five_tuple.Udp -> 17 | Five_tuple.Icmp -> 1
+
+let tuple_of_rule (r : Acl.rule) =
+  {
+    src_len = (match r.Acl.src with Some p -> Ipv4.Prefix.length p | None -> -1);
+    dst_len = (match r.Acl.dst with Some p -> Ipv4.Prefix.length p | None -> -1);
+    has_src_ports = r.Acl.src_ports <> None;
+    has_dst_ports = r.Acl.dst_ports <> None;
+    has_proto = r.Acl.proto <> None;
+  }
+
+let key_of_rule tuple (r : Acl.rule) =
+  {
+    ksrc = (match r.Acl.src with Some p -> mask_addr (Ipv4.Prefix.base p) tuple.src_len | None -> 0l);
+    kdst = (match r.Acl.dst with Some p -> mask_addr (Ipv4.Prefix.base p) tuple.dst_len | None -> 0l);
+    kproto = (match r.Acl.proto with Some p -> proto_code p | None -> -1);
+  }
+
+let key_of_packet tuple (t5 : Five_tuple.t) =
+  {
+    ksrc = mask_addr t5.Five_tuple.src tuple.src_len;
+    kdst = mask_addr t5.Five_tuple.dst tuple.dst_len;
+    kproto = (if tuple.has_proto then proto_code t5.Five_tuple.proto else -1);
+  }
+
+let add t rule =
+  let tuple = tuple_of_rule rule in
+  let space =
+    match List.find_opt (fun s -> s.tuple = tuple) t.spaces with
+    | Some s -> s
+    | None ->
+      let s = { tuple; buckets = Bucket_table.create 64 } in
+      t.spaces <- s :: t.spaces;
+      s
+  in
+  let key = key_of_rule tuple rule in
+  let entry = { rule; order = t.next_order } in
+  t.next_order <- t.next_order + 1;
+  (match Bucket_table.find_opt space.buckets key with
+  | Some cell -> cell := entry :: !cell
+  | None -> Bucket_table.replace space.buckets key (ref [ entry ]));
+  t.count <- t.count + 1
+
+let remove t ~priority =
+  let removed = ref false in
+  List.iter
+    (fun space ->
+      Bucket_table.iter
+        (fun _ cell ->
+          let keep = List.filter (fun e -> e.rule.Acl.priority <> priority) !cell in
+          if List.length keep <> List.length !cell then begin
+            removed := true;
+            t.count <- t.count - (List.length !cell - List.length keep);
+            cell := keep
+          end)
+        space.buckets)
+    t.spaces;
+  !removed
+
+let clear t =
+  t.spaces <- [];
+  t.count <- 0
+
+type verdict = {
+  action : Acl.action;
+  tuples_probed : int;
+  bucket_scans : int;
+  matched : Acl.rule option;
+}
+
+(* Matching (Acl.matches) still verifies the full rule: the hash probe
+   only narrows candidates; port ranges in particular are checked here. *)
+let lookup t t5 =
+  let best = ref None in
+  let probes = ref 0 and scans = ref 0 in
+  List.iter
+    (fun space ->
+      incr probes;
+      match Bucket_table.find_opt space.buckets (key_of_packet space.tuple t5) with
+      | None -> ()
+      | Some cell ->
+        List.iter
+          (fun e ->
+            incr scans;
+            if Acl.matches e.rule t5 then begin
+              let better =
+                match !best with
+                | None -> true
+                | Some b ->
+                  e.rule.Acl.priority < b.rule.Acl.priority
+                  || (e.rule.Acl.priority = b.rule.Acl.priority && e.order < b.order)
+              in
+              if better then best := Some e
+            end)
+          !cell)
+    t.spaces;
+  match !best with
+  | Some e ->
+    { action = e.rule.Acl.action; tuples_probed = !probes; bucket_scans = !scans;
+      matched = Some e.rule }
+  | None ->
+    { action = t.default; tuples_probed = !probes; bucket_scans = !scans; matched = None }
+
+let rule_count t = t.count
+let tuple_count t = List.length t.spaces
+
+let rule_bytes = 48
+let tuple_overhead = 64
+
+let memory_bytes t = (t.count * rule_bytes) + (tuple_count t * tuple_overhead)

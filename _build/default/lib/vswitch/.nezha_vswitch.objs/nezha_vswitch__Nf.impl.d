@@ -1,0 +1,1 @@
+lib/vswitch/nf.ml: Acl Five_tuple Format Nezha_net Nezha_tables Packet Pre_action State

@@ -1,0 +1,1 @@
+lib/vswitch/nf.mli: Five_tuple Format Ipv4 Nezha_net Packet Pre_action State

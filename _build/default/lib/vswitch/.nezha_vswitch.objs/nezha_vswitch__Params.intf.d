@@ -1,0 +1,1 @@
+lib/vswitch/params.mli:

@@ -1,0 +1,1 @@
+lib/vswitch/pre_action.ml: Acl Bytes Format Ipv4 Nezha_net Nezha_tables Wire

@@ -1,0 +1,1 @@
+lib/vswitch/pre_action.mli: Acl Format Ipv4 Nezha_net Nezha_tables

@@ -1,0 +1,1 @@
+lib/vswitch/ruleset.ml: Acl Array Five_tuple Ipv4 List Lpm Nezha_net Nezha_tables Params Pre_action Vnic

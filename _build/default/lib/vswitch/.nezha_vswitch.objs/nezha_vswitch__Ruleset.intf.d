@@ -1,0 +1,1 @@
+lib/vswitch/ruleset.mli: Acl Five_tuple Ipv4 Nezha_net Nezha_tables Params Pre_action Vnic Vpc

@@ -1,0 +1,1 @@
+lib/vswitch/smartnic.ml: Array Float Nezha_engine Params Sim

@@ -1,0 +1,1 @@
+lib/vswitch/smartnic.mli: Nezha_engine Params Sim

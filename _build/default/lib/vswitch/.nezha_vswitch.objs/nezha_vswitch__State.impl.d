@@ -1,0 +1,1 @@
+lib/vswitch/state.ml: Bytes Format Ipv4 Nezha_net Packet Printf Wire

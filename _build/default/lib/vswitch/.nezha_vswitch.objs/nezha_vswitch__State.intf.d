@@ -1,0 +1,1 @@
+lib/vswitch/state.mli: Format Ipv4 Nezha_net Packet

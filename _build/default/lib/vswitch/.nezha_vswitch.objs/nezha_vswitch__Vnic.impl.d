@@ -1,0 +1,1 @@
+lib/vswitch/vnic.ml: Format Hashtbl Int Ipv4 Mac Nezha_net Vpc

@@ -1,0 +1,1 @@
+lib/vswitch/vnic.mli: Format Hashtbl Ipv4 Mac Nezha_net Vpc

@@ -1,0 +1,1 @@
+lib/vswitch/vswitch.ml: Five_tuple Flow_key Flow_table Ipv4 List Nezha_engine Nezha_net Nezha_tables Nf Option Packet Params Pre_action Ruleset Sim Smartnic State Stats Token_bucket Vnic

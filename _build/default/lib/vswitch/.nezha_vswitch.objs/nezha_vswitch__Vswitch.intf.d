@@ -1,0 +1,1 @@
+lib/vswitch/vswitch.mli: Five_tuple Flow_key Ipv4 Nezha_engine Nezha_net Nezha_tables Nf Packet Params Pre_action Ruleset Sim Smartnic State Stats Vnic Vpc

@@ -1,0 +1,72 @@
+(** Stateful network-function semantics: [Action = func(pkt, rules, states)].
+
+    This module is the *final action* generator of §2.1: it combines a
+    packet's direction and flags, the pre-actions cached from the rule
+    tables, and the per-session state.  Crucially it is pure — the same
+    code runs on the local vSwitch in the traditional architecture, on the
+    BE for RX packets and on the FE for TX packets under Nezha (§3.2.1),
+    which is how the paper argues processing equivalence. *)
+
+open Nezha_net
+
+type drop_reason =
+  | Acl_denied  (** pre-action deny on the session's first direction *)
+  | Unsolicited  (** RX deny with no locally-initiated session to excuse it *)
+  | No_route
+  | No_vnic
+  | Table_full
+  | Queue_overflow
+  | Rate_limited  (** vNIC-level QoS token bucket exhausted *)
+  | Nic_crashed
+  | Vm_overload
+
+val drop_reason_to_string : drop_reason -> string
+val pp_drop_reason : Format.formatter -> drop_reason -> unit
+
+type verdict = Deliver | Drop of drop_reason
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+type state_out =
+  | Init of State.t  (** first packet: state must be created *)
+  | Update of State.t  (** state changed and must be written back *)
+  | Keep  (** no state change *)
+
+val tcp_phase_of_flags : Packet.tcp_flags -> proto:Five_tuple.proto -> State.tcp_phase option
+(** Connection-tracking phase implied by a packet (TCP only). *)
+
+val advance_tcp :
+  State.tcp_phase option ->
+  flags:Packet.tcp_flags ->
+  proto:Five_tuple.proto ->
+  State.tcp_phase option
+(** Phase transition on a subsequent packet; never regresses. *)
+
+val initial_state :
+  dir:Packet.direction ->
+  flags:Packet.tcp_flags ->
+  proto:Five_tuple.proto ->
+  pre:Pre_action.t ->
+  ?decap_src:Ipv4.t ->
+  unit ->
+  State.t
+(** The state the first packet of a session installs: first-packet
+    direction, TCP phase, stateful-decap source (from the packet's
+    preserved outer header, §5.2) and statistics counters when the
+    stats policy (a rule-table lookup result) asks for them. *)
+
+val process :
+  pre:Pre_action.t ->
+  state:State.t option ->
+  dir:Packet.direction ->
+  flags:Packet.tcp_flags ->
+  proto:Five_tuple.proto ->
+  wire_bytes:int ->
+  ?decap_src:Ipv4.t ->
+  unit ->
+  verdict * state_out
+(** One fast-path execution.  [state = None] means this packet is the
+    session's first at the state holder; [Init] is returned.  The
+    stateful-ACL rule implemented: a direction whose pre-action is [Deny]
+    still passes if the session was initiated from the *other* direction
+    (§5.1 — responses to locally-initiated connections must flow). *)

@@ -1,0 +1,103 @@
+open Nezha_net
+open Nezha_tables
+
+type stats_spec = { count_packets : bool; count_bytes : bool }
+
+type t = {
+  acl_tx : Acl.action;
+  acl_rx : Acl.action;
+  vni : int;
+  peer_server : Ipv4.t option;
+  rate_limit_bps : int option;
+  stats : stats_spec option;
+  stateful_decap : bool;
+  mirror : bool;
+}
+
+let default ~vni =
+  {
+    acl_tx = Acl.Permit;
+    acl_rx = Acl.Permit;
+    vni;
+    peer_server = None;
+    rate_limit_bps = None;
+    stats = None;
+    stateful_decap = false;
+    mirror = false;
+  }
+
+let equal a b =
+  a.acl_tx = b.acl_tx && a.acl_rx = b.acl_rx && a.vni = b.vni
+  && (match (a.peer_server, b.peer_server) with
+     | None, None -> true
+     | Some x, Some y -> Ipv4.equal x y
+     | None, Some _ | Some _, None -> false)
+  && a.rate_limit_bps = b.rate_limit_bps
+  && a.stats = b.stats
+  && a.stateful_decap = b.stateful_decap
+  && a.mirror = b.mirror
+
+let pp ppf t =
+  Format.fprintf ppf "pre{tx=%a rx=%a vni=%d%s%s%s}" Acl.pp_action t.acl_tx Acl.pp_action
+    t.acl_rx t.vni
+    (match t.peer_server with Some s -> " peer=" ^ Ipv4.to_string s | None -> "")
+    (if t.stateful_decap then " decap" else "")
+    (match t.stats with Some _ -> " stats" | None -> "")
+
+let action_bit = function Acl.Permit -> 0 | Acl.Deny -> 1
+
+let action_of_bit = function 0 -> Acl.Permit | _ -> Acl.Deny
+
+let encode t =
+  let w = Wire.Writer.create ~capacity:24 () in
+  let flags =
+    action_bit t.acl_tx
+    lor (action_bit t.acl_rx lsl 1)
+    lor (match t.peer_server with Some _ -> 4 | None -> 0)
+    lor (match t.rate_limit_bps with Some _ -> 8 | None -> 0)
+    lor (match t.stats with Some _ -> 16 | None -> 0)
+    lor (if t.stateful_decap then 32 else 0)
+    lor if t.mirror then 64 else 0
+  in
+  Wire.Writer.u8 w flags;
+  Wire.Writer.varint w t.vni;
+  (match t.peer_server with Some s -> Wire.Writer.u32 w (Ipv4.to_int32 s) | None -> ());
+  (match t.rate_limit_bps with Some r -> Wire.Writer.varint w r | None -> ());
+  (match t.stats with
+  | Some s ->
+    Wire.Writer.u8 w ((if s.count_packets then 1 else 0) lor if s.count_bytes then 2 else 0)
+  | None -> ());
+  Wire.Writer.contents w
+
+let decode buf =
+  let r = Wire.Reader.of_bytes buf in
+  match
+    let flags = Wire.Reader.u8 r in
+    let vni = Wire.Reader.varint r in
+    let peer_server =
+      if flags land 4 <> 0 then Some (Ipv4.of_int32 (Wire.Reader.u32 r)) else None
+    in
+    let rate_limit_bps = if flags land 8 <> 0 then Some (Wire.Reader.varint r) else None in
+    let stats =
+      if flags land 16 <> 0 then begin
+        let b = Wire.Reader.u8 r in
+        Some { count_packets = b land 1 <> 0; count_bytes = b land 2 <> 0 }
+      end
+      else None
+    in
+    Ok
+      {
+        acl_tx = action_of_bit (flags land 1);
+        acl_rx = action_of_bit ((flags lsr 1) land 1);
+        vni;
+        peer_server;
+        rate_limit_bps;
+        stats;
+        stateful_decap = flags land 32 <> 0;
+        mirror = flags land 64 <> 0;
+      }
+  with
+  | result -> result
+  | exception Wire.Reader.Truncated -> Error "truncated pre-action blob"
+
+let encoded_size t = Bytes.length (encode t)

@@ -1,0 +1,42 @@
+(** Preliminary actions: the cached result of a slow-path rule-table
+    lookup (§2.1).
+
+    Pre-actions are *stateless* and bidirectional — the same record serves
+    both directions of a session — which is exactly why Nezha can replicate
+    them freely across FEs.  For stateful NFs they are not final: the BE
+    combines them with the session state to decide (§3.1). *)
+
+open Nezha_net
+open Nezha_tables
+
+(** What flow-level statistics the policy table asked for; this is the
+    canonical "rule-table-involved state" example of §3.2.2. *)
+type stats_spec = { count_packets : bool; count_bytes : bool }
+
+type t = {
+  acl_tx : Acl.action;  (** ACL verdict for TX-direction packets *)
+  acl_rx : Acl.action;  (** ACL verdict for RX-direction packets *)
+  vni : int;  (** tenant VNI for underlay encapsulation *)
+  peer_server : Ipv4.t option;
+      (** underlay address of the server hosting the peer endpoint
+          (vNIC-server mapping result); [None] = route via gateway *)
+  rate_limit_bps : int option;  (** QoS table result *)
+  stats : stats_spec option;  (** statistics-policy table result *)
+  stateful_decap : bool;  (** LB real-server side: record overlay source *)
+  mirror : bool;  (** traffic-mirroring policy result *)
+}
+
+val default : vni:int -> t
+(** Permit both directions, no peer server, no QoS/stats/decap/mirror. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Wire codec}
+
+    RX packets carry the pre-actions from FE to BE inside the NSH header
+    (§3.2.1); this codec produces that blob. *)
+
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+val encoded_size : t -> int

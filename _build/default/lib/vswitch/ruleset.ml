@@ -1,0 +1,163 @@
+open Nezha_net
+open Nezha_tables
+
+type t = {
+  vni : int;
+  acl : Acl.t;
+  rate_limit_bps : int option;
+  stats_rules : (Ipv4.Prefix.t * Pre_action.stats_spec) list;
+  stateful_decap : bool;
+  mirror : bool;
+  extra_tables : int;
+  fixed_overhead_bytes : int;
+  lookup_extra_cycles : int;
+  route : unit Lpm.t;
+  mapping : Ipv4.t array Vnic.Addr.Table.t;
+  mutable generation : int;
+}
+
+let mapping_entry_bytes = 40 (* overlay addr + VPC + underlay addr + MAC + flags *)
+let stats_rule_bytes = 24
+
+let create ~vni ?(acl = Acl.create ()) ?rate_limit_bps ?(stats_rules = []) ?(stateful_decap = false)
+    ?(mirror = false) ?(extra_tables = 0) ?(fixed_overhead_bytes = 2 * 1024 * 1024)
+    ?(lookup_extra_cycles = 0) () =
+  {
+    vni;
+    acl;
+    rate_limit_bps;
+    stats_rules;
+    stateful_decap;
+    mirror;
+    extra_tables = max 0 extra_tables;
+    fixed_overhead_bytes;
+    lookup_extra_cycles = max 0 lookup_extra_cycles;
+    route = Lpm.create ();
+    mapping = Vnic.Addr.Table.create 64;
+    generation = 0;
+  }
+
+let vni t = t.vni
+let acl t = t.acl
+let stateful_decap t = t.stateful_decap
+
+let bump t = t.generation <- t.generation + 1
+
+let add_route t prefix =
+  Lpm.insert t.route prefix ();
+  bump t
+
+let remove_route t prefix =
+  let r = Lpm.remove t.route prefix in
+  if r then bump t;
+  r
+
+let add_mapping t addr server =
+  Vnic.Addr.Table.replace t.mapping addr [| server |];
+  bump t
+
+let set_mapping_multi t addr servers =
+  if Array.length servers = 0 then invalid_arg "Ruleset.set_mapping_multi: empty target set";
+  Vnic.Addr.Table.replace t.mapping addr (Array.copy servers);
+  bump t
+
+let find_mapping t addr = Vnic.Addr.Table.find_opt t.mapping addr
+
+let remove_mapping t addr =
+  if Vnic.Addr.Table.mem t.mapping addr then begin
+    Vnic.Addr.Table.remove t.mapping addr;
+    bump t;
+    true
+  end
+  else false
+
+let mapping_count t = Vnic.Addr.Table.length t.mapping
+
+(* ACL, QoS, policy, VXLAN routing, vNIC-server mapping (§2.2.2). *)
+let base_tables = 5
+
+let table_count t = base_tables + t.extra_tables
+
+type lookup_result = { pre : Pre_action.t; cycles : int }
+
+let stats_for t peer_ip =
+  List.find_map
+    (fun (prefix, spec) -> if Ipv4.Prefix.mem peer_ip prefix then Some spec else None)
+    t.stats_rules
+
+let lookup t ~params ~vpc ~flow_tx =
+  let peer_ip = flow_tx.Five_tuple.dst in
+  let route_hit, lpm_depth = Lpm.lookup_with_depth t.route peer_ip in
+  match route_hit with
+  | None ->
+    (* Unroutable: the slow path still burned the cycles of a failed
+       pipeline walk, but there is nothing to cache. *)
+    None
+  | Some (_, ()) ->
+    let tx_verdict = Acl.lookup t.acl flow_tx in
+    let rx_verdict = Acl.lookup t.acl (Five_tuple.reverse flow_tx) in
+    let scanned = max tx_verdict.Acl.rules_scanned rx_verdict.Acl.rules_scanned in
+    let peer_server =
+      match Vnic.Addr.Table.find_opt t.mapping { Vnic.Addr.vpc; ip = peer_ip } with
+      | None -> None
+      | Some targets ->
+        (* Several targets = the peer is offloaded to several FEs; pick
+           one per session by canonical 5-tuple hash (flow-level load
+           balancing).  Hashing the canonical form makes both directions
+           of a session choose the same FE, so its cached flow is built
+           once; Nezha's design also allows splitting directions across
+           FEs (§3.2.3) at the cost of duplicate rule lookups. *)
+        Some targets.(Five_tuple.session_hash flow_tx mod Array.length targets)
+    in
+    let pre =
+      {
+        Pre_action.acl_tx = tx_verdict.Acl.action;
+        acl_rx = rx_verdict.Acl.action;
+        vni = t.vni;
+        peer_server;
+        rate_limit_bps = t.rate_limit_bps;
+        stats = stats_for t peer_ip;
+        stateful_decap = t.stateful_decap;
+        mirror = t.mirror;
+      }
+    in
+    let cycles =
+      Params.rule_lookup_cycles params ~acl_rules_scanned:scanned ~lpm_depth
+        ~tables:(table_count t)
+      + t.lookup_extra_cycles
+    in
+    Some { pre; cycles }
+
+let extra_target_bytes = 8
+
+let memory_bytes t =
+  let extra_targets =
+    Vnic.Addr.Table.fold (fun _ targets acc -> acc + Array.length targets - 1) t.mapping 0
+  in
+  t.fixed_overhead_bytes + Acl.memory_bytes t.acl + Lpm.memory_bytes t.route
+  + (mapping_count t * mapping_entry_bytes)
+  + (extra_targets * extra_target_bytes)
+  + (List.length t.stats_rules * stats_rule_bytes)
+
+let generation t = t.generation
+
+let bump_generation t = bump t
+
+let clone t =
+  let fresh =
+    {
+      vni = t.vni;
+      acl = Acl.copy t.acl;
+      rate_limit_bps = t.rate_limit_bps;
+      stats_rules = t.stats_rules;
+      stateful_decap = t.stateful_decap;
+      mirror = t.mirror;
+      extra_tables = t.extra_tables;
+      fixed_overhead_bytes = t.fixed_overhead_bytes;
+      lookup_extra_cycles = t.lookup_extra_cycles;
+      route = Lpm.copy t.route;
+      mapping = Vnic.Addr.Table.copy t.mapping;
+      generation = t.generation;
+    }
+  in
+  fresh

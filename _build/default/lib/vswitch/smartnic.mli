@@ -1,0 +1,65 @@
+(** SmartNIC resource model: a finite CPU and a memory budget.
+
+    The CPU is modeled as a single aggregated server (the vSwitch's core
+    allotment) draining a bounded FIFO of jobs, each costing a number of
+    cycles.  Under light load a job's sojourn time is just its service
+    time; as offered cycles approach capacity the queue builds and latency
+    grows sharply — the behaviour behind Fig. 12 — and once the queue is
+    full jobs are dropped, the overload regime of Fig. 2.
+
+    Memory is a byte budget with explicit reserve/release, shared by rule
+    tables and the session table; exhaustion is what caps #vNICs and
+    #concurrent flows. *)
+
+open Nezha_engine
+
+type t
+
+val create : sim:Sim.t -> params:Params.t -> name:string -> t
+
+val name : t -> string
+val params : t -> Params.t
+
+(** {1 CPU} *)
+
+val submit : t -> cycles:int -> (Sim.t -> unit) -> bool
+(** Enqueue a job; the continuation fires when the CPU finishes it.
+    [false] means the queue was full and the job (packet) was dropped. *)
+
+val queue_depth : t -> int
+
+val cpu_time : t -> cycles:int -> float
+(** Service time of [cycles] on this CPU, in seconds. *)
+
+val utilization_since_last_sample : t -> float
+(** Busy fraction since the previous call (or since creation), in
+    \[0, 1\].  This is what a vSwitch periodically reports to the
+    controller (§4.2.1). *)
+
+val peek_utilization : t -> window:float -> float
+(** Non-consuming estimate over the trailing [window] seconds. *)
+
+val total_busy_seconds : t -> float
+val jobs_completed : t -> int
+val jobs_dropped : t -> int
+
+(** {1 Memory} *)
+
+val mem_capacity : t -> int
+val mem_used : t -> int
+val mem_utilization : t -> float
+
+val mem_reserve : t -> int -> bool
+(** [false] (and no change) if the budget would be exceeded. *)
+
+val mem_release : t -> int -> unit
+(** @raise Invalid_argument when releasing more than is reserved. *)
+
+(** {1 Failure injection} *)
+
+val crash : t -> unit
+(** A crashed SmartNIC drops every submitted job and stops serving; used
+    by the failover experiments (§4.4, Fig. 14). *)
+
+val recover : t -> unit
+val is_crashed : t -> bool

@@ -1,0 +1,39 @@
+open Nezha_net
+
+type id = int
+
+let id_of_int i = i
+let id_to_int i = i
+let pp_id ppf i = Format.fprintf ppf "vnic-%d" i
+let equal_id = Int.equal
+let compare_id = Int.compare
+
+module Id_table = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module Addr = struct
+  type t = { vpc : Vpc.t; ip : Ipv4.t }
+
+  let equal a b = Vpc.equal a.vpc b.vpc && Ipv4.equal a.ip b.ip
+  let hash a = (Vpc.hash a.vpc * 0x9e3779b1) lxor Ipv4.hash a.ip
+  let pp ppf a = Format.fprintf ppf "%a@%a" Ipv4.pp a.ip Vpc.pp a.vpc
+
+  module Table = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end
+
+type t = { id : id; vpc : Vpc.t; ip : Ipv4.t; mac : Mac.t }
+
+let make ~id ~vpc ~ip ~mac = { id; vpc; ip; mac }
+
+let addr t = { Addr.vpc = t.vpc; ip = t.ip }
+
+let pp ppf t = Format.fprintf ppf "%a(%a@%a)" pp_id t.id Ipv4.pp t.ip Vpc.pp t.vpc

@@ -1,0 +1,34 @@
+(** Virtual NIC identity.
+
+    A VM needs at least one vNIC to communicate; every vNIC has its own
+    rule tables for tenant isolation (§2.1).  The pair (VPC, overlay IP)
+    is the overlay address other endpoints reach it by. *)
+
+open Nezha_net
+
+type id = private int
+
+val id_of_int : int -> id
+val id_to_int : id -> int
+val pp_id : Format.formatter -> id -> unit
+val equal_id : id -> id -> bool
+val compare_id : id -> id -> int
+
+module Id_table : Hashtbl.S with type key = id
+
+(** Overlay address: how packets address a vNIC. *)
+module Addr : sig
+  type t = { vpc : Vpc.t; ip : Ipv4.t }
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Table : Hashtbl.S with type key = t
+end
+
+type t = { id : id; vpc : Vpc.t; ip : Ipv4.t; mac : Mac.t }
+
+val make : id:int -> vpc:Vpc.t -> ip:Ipv4.t -> mac:Mac.t -> t
+val addr : t -> Addr.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,640 @@
+open Nezha_engine
+open Nezha_net
+open Nezha_tables
+
+type output = To_vm of Vnic.id * Packet.t | To_net of Packet.t
+
+type counters = {
+  rx_packets : Stats.Counter.t;
+  tx_packets : Stats.Counter.t;
+  delivered : Stats.Counter.t;
+  forwarded : Stats.Counter.t;
+  slow_path_execs : Stats.Counter.t;
+  fast_path_hits : Stats.Counter.t;
+  sessions_created : Stats.Counter.t;
+  notify_packets : Stats.Counter.t;
+  drops : (Nf.drop_reason * Stats.Counter.t) list;
+}
+
+type session = { pre : Pre_action.t option; state : State.t option; generation : int }
+
+type intercept = {
+  on_tx : Packet.t -> [ `Handled | `Continue ];
+  on_rx : Packet.t -> [ `Handled | `Continue ];
+}
+
+type flow_record = {
+  key : Flow_key.t;
+  packets : int;
+  bytes : int;
+  first_dir : Packet.direction;
+}
+
+type vnic_entry = {
+  vnic : Vnic.t;
+  mutable ruleset : Ruleset.t option;
+  mutable rule_bytes : int; (* reserved on the NIC for rule tables *)
+  mutable residual_bytes : int; (* BE metadata kept after offload *)
+  sessions : session Flow_table.t;
+  mutable intercept : intercept option;
+  slow_execs : Stats.Counter.t;
+  mutable rate_limit : Token_bucket.t option;
+}
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  name : string;
+  underlay_ip : Ipv4.t;
+  gateway : Ipv4.t;
+  nic : Smartnic.t;
+  vnics : vnic_entry Vnic.Id_table.t;
+  by_addr : Vnic.t Vnic.Addr.Table.t;
+  counters : counters;
+  mutable transmit : output -> unit;
+  mutable version : int;
+  mutable flow_log : (flow_record -> unit) option;
+  mutable flow_records : int;
+  mutable mirror_target : Ipv4.t option;
+  mutable mirrored : int;
+  mutable learner : (Vnic.Addr.t -> (Ipv4.t array * float) option) option;
+  mutable learning : unit Vnic.Addr.Table.t; (* queries in flight *)
+  mutable net_hook : (Packet.t -> outer:Packet.vxlan option -> [ `Handled | `Continue ]) option;
+}
+
+let all_drop_reasons =
+  Nf.
+    [
+      Acl_denied;
+      Unsolicited;
+      No_route;
+      No_vnic;
+      Table_full;
+      Queue_overflow;
+      Rate_limited;
+      Nic_crashed;
+      Vm_overload;
+    ]
+
+let make_counters () =
+  {
+    rx_packets = Stats.Counter.create ();
+    tx_packets = Stats.Counter.create ();
+    delivered = Stats.Counter.create ();
+    forwarded = Stats.Counter.create ();
+    slow_path_execs = Stats.Counter.create ();
+    fast_path_hits = Stats.Counter.create ();
+    sessions_created = Stats.Counter.create ();
+    notify_packets = Stats.Counter.create ();
+    drops = List.map (fun r -> (r, Stats.Counter.create ())) all_drop_reasons;
+  }
+
+(* Accounted size of a session entry: key bytes, plus the cached
+   bidirectional pre-actions when present, plus the fixed state slot. *)
+let key_bytes = 40
+
+let session_bytes params s =
+  key_bytes
+  + (match s.pre with Some _ -> params.Params.session_entry_overhead - key_bytes | None -> 0)
+  + (match s.state with Some _ -> params.Params.state_slot_bytes | None -> 0)
+
+let create ~sim ~params ~name ~underlay_ip ~gateway () =
+  let t =
+    {
+      sim;
+      params;
+      name;
+      underlay_ip;
+      gateway;
+      nic = Smartnic.create ~sim ~params ~name;
+      vnics = Vnic.Id_table.create 16;
+      by_addr = Vnic.Addr.Table.create 16;
+      counters = make_counters ();
+      transmit = (fun _ -> failwith "Vswitch: transmit not installed");
+      version = 0;
+      flow_log = None;
+      flow_records = 0;
+      mirror_target = None;
+      mirrored = 0;
+      learner = None;
+      learning = Vnic.Addr.Table.create 8;
+      net_hook = None;
+    }
+  in
+  (* Aging pump: sweep session tables a few times per aging period. *)
+  let period = params.Params.flow_aging /. 4.0 in
+  Sim.every sim ~period (fun sim' ->
+      let now = Sim.now sim' in
+      Vnic.Id_table.iter
+        (fun _ e ->
+          ignore
+            (Flow_table.expire e.sessions ~now ~on_expire:(fun key v ->
+                 Smartnic.mem_release t.nic (session_bytes t.params v);
+                 (* Flow logging: counted sessions emit a record on exit. *)
+                 match (t.flow_log, v.state) with
+                 | Some sink, Some { State.stats = Some s; first_dir; _ } ->
+                   t.flow_records <- t.flow_records + 1;
+                   sink { key; packets = s.State.packets; bytes = s.State.bytes; first_dir }
+                 | _, _ -> ())
+              : int))
+        t.vnics;
+      true);
+  t
+
+let name t = t.name
+let sim t = t.sim
+let params t = t.params
+let underlay_ip t = t.underlay_ip
+let gateway t = t.gateway
+let nic t = t.nic
+let counters t = t.counters
+
+let software_version t = t.version
+let set_software_version t v = t.version <- v
+
+let drop_counter t reason = List.assoc reason t.counters.drops
+
+let drop_count t reason = Stats.Counter.value (drop_counter t reason)
+
+let total_drops t =
+  List.fold_left (fun acc (_, c) -> acc + Stats.Counter.value c) 0 t.counters.drops
+
+let count_drop t reason = Stats.Counter.incr (drop_counter t reason)
+let count_notify t = Stats.Counter.incr t.counters.notify_packets
+
+let set_transmit t f = t.transmit <- f
+let emit t out =
+  (match out with
+  | To_vm (_, _) -> Stats.Counter.incr t.counters.delivered
+  | To_net _ -> Stats.Counter.incr t.counters.forwarded);
+  t.transmit out
+
+(* ------------------------------------------------------------------ *)
+(* vNIC management *)
+
+let new_sessions t =
+  Flow_table.create ~entry_overhead:0
+    ~value_bytes:(fun s -> session_bytes t.params s)
+    ~default_aging:t.params.Params.flow_aging ()
+
+let add_vnic t vnic ruleset =
+  let bytes = Ruleset.memory_bytes ruleset in
+  if Smartnic.mem_reserve t.nic bytes then begin
+    let entry =
+      {
+        vnic;
+        ruleset = Some ruleset;
+        rule_bytes = bytes;
+        residual_bytes = 0;
+        sessions = new_sessions t;
+        intercept = None;
+        slow_execs = Stats.Counter.create ();
+        rate_limit = None;
+      }
+    in
+    Vnic.Id_table.replace t.vnics vnic.Vnic.id entry;
+    Vnic.Addr.Table.replace t.by_addr (Vnic.addr vnic) vnic;
+    `Ok
+  end
+  else `No_memory
+
+let release_sessions t e =
+  Flow_table.iter e.sessions (fun _ v -> Smartnic.mem_release t.nic (session_bytes t.params v));
+  Flow_table.clear e.sessions
+
+let remove_vnic t vid =
+  match Vnic.Id_table.find_opt t.vnics vid with
+  | None -> ()
+  | Some e ->
+    release_sessions t e;
+    Smartnic.mem_release t.nic (e.rule_bytes + e.residual_bytes);
+    Vnic.Addr.Table.remove t.by_addr (Vnic.addr e.vnic);
+    Vnic.Id_table.remove t.vnics vid
+
+let vnic_count t = Vnic.Id_table.length t.vnics
+let find_vnic t addr = Vnic.Addr.Table.find_opt t.by_addr addr
+let vnic_ids t = Vnic.Id_table.fold (fun id _ acc -> id :: acc) t.vnics []
+
+let entry t vid = Vnic.Id_table.find_opt t.vnics vid
+
+let vnic_info t vid = Option.map (fun e -> e.vnic) (entry t vid)
+
+let ruleset t vid = Option.bind (entry t vid) (fun e -> e.ruleset)
+
+let drop_cached_flows t e =
+  (* Remove entries that carry pre-actions; keep pure-state entries. *)
+  let victims = ref [] in
+  Flow_table.iter e.sessions (fun k v -> if v.pre <> None then victims := (k, v) :: !victims);
+  List.iter
+    (fun (k, v) ->
+      Smartnic.mem_release t.nic (session_bytes t.params v);
+      (match v.state with
+      | Some st ->
+        (* Preserve the state in a slimmed entry (BE keeps state). *)
+        let slim = { pre = None; state = Some st; generation = v.generation } in
+        if Smartnic.mem_reserve t.nic (session_bytes t.params slim) then
+          ignore
+            (Flow_table.insert e.sessions ~now:(Sim.now t.sim) k slim : [ `Ok | `Full ])
+        else ignore (Flow_table.remove e.sessions k : bool)
+      | None -> ignore (Flow_table.remove e.sessions k : bool)))
+    !victims
+
+let drop_ruleset t vid =
+  match entry t vid with
+  | None -> ()
+  | Some e ->
+    Smartnic.mem_release t.nic e.rule_bytes;
+    e.rule_bytes <- 0;
+    e.ruleset <- None;
+    let residual = t.params.Params.be_residual_bytes_per_vnic in
+    if e.residual_bytes = 0 && Smartnic.mem_reserve t.nic residual then
+      e.residual_bytes <- residual;
+    drop_cached_flows t e
+
+let restore_ruleset t vid ruleset =
+  match entry t vid with
+  | None -> `No_memory
+  | Some e ->
+    let bytes = Ruleset.memory_bytes ruleset in
+    if Smartnic.mem_reserve t.nic bytes then begin
+      Smartnic.mem_release t.nic e.residual_bytes;
+      e.residual_bytes <- 0;
+      e.ruleset <- Some ruleset;
+      e.rule_bytes <- bytes;
+      `Ok
+    end
+    else `No_memory
+
+let sync_rule_memory t vid =
+  match entry t vid with
+  | None -> `Ok
+  | Some e -> (
+    match e.ruleset with
+    | None -> `Ok
+    | Some rs ->
+      let want = Ruleset.memory_bytes rs in
+      let delta = want - e.rule_bytes in
+      if delta <= 0 then begin
+        Smartnic.mem_release t.nic (-delta);
+        e.rule_bytes <- want;
+        `Ok
+      end
+      else if Smartnic.mem_reserve t.nic delta then begin
+        e.rule_bytes <- want;
+        `Ok
+      end
+      else `No_memory)
+
+(* ------------------------------------------------------------------ *)
+(* Session table *)
+
+let find_session t vid key =
+  match entry t vid with None -> None | Some e -> Flow_table.find e.sessions key
+
+let aging_for t s =
+  match s.state with
+  | Some st when State.is_establishing st -> Some t.params.Params.syn_aging
+  | Some _ | None -> Some t.params.Params.flow_aging
+
+let store_session t vid key s =
+  match entry t vid with
+  | None -> `Full
+  | Some e ->
+    let old_bytes =
+      match Flow_table.find e.sessions key with
+      | Some old -> session_bytes t.params old
+      | None -> 0
+    in
+    let new_bytes = session_bytes t.params s in
+    let delta = new_bytes - old_bytes in
+    let reserved = if delta > 0 then Smartnic.mem_reserve t.nic delta else true in
+    if not reserved then `Full
+    else begin
+      if delta < 0 then Smartnic.mem_release t.nic (-delta);
+      let aging = aging_for t s in
+      (match Flow_table.insert e.sessions ~now:(Sim.now t.sim) ?aging key s with
+      | `Ok ->
+        if old_bytes = 0 then Stats.Counter.incr t.counters.sessions_created;
+        `Ok
+      | `Full ->
+        (* Unbounded table: cannot happen, but keep accounting honest. *)
+        if delta > 0 then Smartnic.mem_release t.nic delta;
+        `Full)
+    end
+
+let remove_session t vid key =
+  match entry t vid with
+  | None -> false
+  | Some e -> (
+    match Flow_table.find e.sessions key with
+    | None -> false
+    | Some v ->
+      Smartnic.mem_release t.nic (session_bytes t.params v);
+      Flow_table.remove e.sessions key)
+
+let touch_session t vid key =
+  match entry t vid with
+  | None -> ()
+  | Some e ->
+    let aging =
+      match Flow_table.find e.sessions key with
+      | Some s -> aging_for t s
+      | None -> None
+    in
+    ignore (Flow_table.touch e.sessions ~now:(Sim.now t.sim) ?aging key : bool)
+
+let iter_sessions t vid f =
+  match entry t vid with None -> () | Some e -> Flow_table.iter e.sessions f
+
+let session_count t vid =
+  match entry t vid with None -> 0 | Some e -> Flow_table.length e.sessions
+
+let total_sessions t =
+  Vnic.Id_table.fold (fun _ e acc -> acc + Flow_table.length e.sessions) t.vnics 0
+
+let invalidate_cached_flows t vid =
+  match entry t vid with
+  | None -> ()
+  | Some e -> (
+    match e.ruleset with
+    | None -> ()
+    | Some rs ->
+      let current = Ruleset.generation rs in
+      let victims = ref [] in
+      Flow_table.iter e.sessions (fun k v ->
+          if v.pre <> None && v.generation <> current then victims := k :: !victims);
+      List.iter (fun k -> ignore (remove_session t vid k : bool)) !victims)
+
+(* ------------------------------------------------------------------ *)
+(* Datapath *)
+
+let charge t ~cycles k =
+  if not (Smartnic.submit t.nic ~cycles k) then
+    count_drop t
+      (if Smartnic.is_crashed t.nic then Nf.Nic_crashed else Nf.Queue_overflow)
+
+let slow_path t rs ~vpc ~flow_tx =
+  Stats.Counter.incr t.counters.slow_path_execs;
+  Ruleset.lookup rs ~params:t.params ~vpc ~flow_tx
+
+let deliver_local t vid pkt = emit t (To_vm (vid, pkt))
+
+let set_intercept t vid i =
+  match entry t vid with None -> () | Some e -> e.intercept <- i
+
+let set_net_hook t h = t.net_hook <- h
+
+let set_mapping_learner t l = t.learner <- l
+
+(* A slow-path lookup found no vNIC-server entry: the packet detours via
+   the gateway, and we ask for the authoritative entry once; it installs
+   after the learning delay. *)
+let learn_mapping t ~vid ~addr =
+  match t.learner with
+  | None -> ()
+  | Some learner ->
+    if not (Vnic.Addr.Table.mem t.learning addr) then begin
+      Vnic.Addr.Table.replace t.learning addr ();
+      match learner addr with
+      | None -> Vnic.Addr.Table.remove t.learning addr
+      | Some (targets, delay) ->
+        ignore
+          (Sim.schedule t.sim ~delay (fun _ ->
+               Vnic.Addr.Table.remove t.learning addr;
+               match entry t vid with
+               | Some { ruleset = Some current; _ } ->
+                 Ruleset.set_mapping_multi current addr targets;
+                 ignore (sync_rule_memory t vid : [ `Ok | `No_memory ])
+               | Some { ruleset = None; _ } | None -> ())
+            : Sim.handle)
+    end
+
+let set_mirror_target t target = t.mirror_target <- target
+
+let packets_mirrored t = t.mirrored
+
+(* Mirroring: ship an independent copy of the tenant packet to the
+   collector.  The copy is a fresh packet (fresh uid) so tracing tools
+   can tell original and mirror apart. *)
+let maybe_mirror t (pre : Pre_action.t) pkt =
+  match (pre.Pre_action.mirror, t.mirror_target) with
+  | true, Some collector ->
+    let copy =
+      Packet.create ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow ~direction:pkt.Packet.direction
+        ~flags:pkt.Packet.flags ~payload_len:pkt.Packet.payload_len ()
+    in
+    Packet.encap_vxlan copy ~vni:pre.Pre_action.vni ~outer_src:t.underlay_ip
+      ~outer_dst:collector;
+    t.mirrored <- t.mirrored + 1;
+    emit t (To_net copy)
+  | _, _ -> ()
+
+(* Forward a tenant packet to the underlay server [dst] (or the gateway
+   when the mapping is unknown). *)
+let forward_overlay t pkt ~vni ~dst =
+  let outer_dst = match dst with Some server -> server | None -> t.gateway in
+  Packet.encap_vxlan pkt ~vni ~outer_src:t.underlay_ip ~outer_dst;
+  emit t (To_net pkt)
+
+let apply_state_out t vid key ~generation ~pre_opt out =
+  match out with
+  | Nf.Keep -> touch_session t vid key
+  | Nf.Init st | Nf.Update st ->
+    let existing = find_session t vid key in
+    let pre = match pre_opt with Some _ as p -> p | None -> Option.bind existing (fun s -> s.pre) in
+    ignore (store_session t vid key { pre; state = Some st; generation } : [ `Ok | `Full ])
+
+(* Traditional local TX path (§2.1). *)
+let local_tx t e pkt =
+  let vid = e.vnic.Vnic.id in
+  let key = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow in
+  let move = Params.packet_cycles t.params ~wire_bytes:(Packet.wire_size pkt) in
+  match e.ruleset with
+  | None -> count_drop t Nf.No_route
+  | Some rs -> (
+    let generation = Ruleset.generation rs in
+    let cached =
+      match find_session t vid key with
+      | Some ({ pre = Some _; _ } as s) when s.generation = generation -> Some s
+      | Some _ | None -> None
+    in
+    match cached with
+    | Some { pre = Some pre; state; _ } ->
+      Stats.Counter.incr t.counters.fast_path_hits;
+      let cycles = move + t.params.Params.fast_path_cycles + t.params.Params.encap_cycles in
+      charge t ~cycles (fun _sim ->
+          let verdict, out =
+            Nf.process ~pre ~state ~dir:Packet.Tx ~flags:pkt.Packet.flags
+              ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
+          in
+          apply_state_out t vid key ~generation ~pre_opt:(Some pre) out;
+          match verdict with
+          | Nf.Deliver ->
+            maybe_mirror t pre pkt;
+            forward_overlay t pkt ~vni:pre.Pre_action.vni ~dst:pre.Pre_action.peer_server
+          | Nf.Drop reason -> count_drop t reason)
+    | Some _ | None -> (
+      Stats.Counter.incr e.slow_execs;
+      match slow_path t rs ~vpc:pkt.Packet.vpc ~flow_tx:pkt.Packet.flow with
+      | None ->
+        let cycles =
+          move
+          + Params.rule_lookup_cycles t.params ~acl_rules_scanned:0 ~lpm_depth:32
+              ~tables:(Ruleset.table_count rs)
+        in
+        charge t ~cycles (fun _ -> count_drop t Nf.No_route)
+      | Some { Ruleset.pre; cycles } ->
+        if pre.Pre_action.peer_server = None then
+          learn_mapping t ~vid
+            ~addr:{ Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst };
+        let cycles =
+          move + cycles + t.params.Params.session_setup_cycles + t.params.Params.encap_cycles
+        in
+        charge t ~cycles (fun _sim ->
+            let prior_state = Option.bind (find_session t vid key) (fun s -> s.state) in
+            let verdict, out =
+              Nf.process ~pre ~state:prior_state ~dir:Packet.Tx ~flags:pkt.Packet.flags
+                ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
+            in
+            let stored =
+              let state =
+                match out with Nf.Init st | Nf.Update st -> Some st | Nf.Keep -> prior_state
+              in
+              store_session t vid key { pre = Some pre; state; generation }
+            in
+            match (stored, verdict) with
+            | `Full, _ -> count_drop t Nf.Table_full
+            | `Ok, Nf.Deliver ->
+              maybe_mirror t pre pkt;
+              forward_overlay t pkt ~vni:pre.Pre_action.vni ~dst:pre.Pre_action.peer_server
+            | `Ok, Nf.Drop reason -> count_drop t reason)))
+
+(* Traditional local RX path: the packet has been decapped; [outer_src]
+   is the underlay source preserved for stateful decapsulation. *)
+let local_rx t e pkt ~outer_src =
+  let vid = e.vnic.Vnic.id in
+  let key = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow in
+  let move = Params.packet_cycles t.params ~wire_bytes:(Packet.wire_size pkt) in
+  match e.ruleset with
+  | None -> count_drop t Nf.No_route
+  | Some rs -> (
+    let generation = Ruleset.generation rs in
+    let cached =
+      match find_session t vid key with
+      | Some ({ pre = Some _; _ } as s) when s.generation = generation -> Some s
+      | Some _ | None -> None
+    in
+    match cached with
+    | Some { pre = Some pre; state; _ } ->
+      Stats.Counter.incr t.counters.fast_path_hits;
+      let cycles = move + t.params.Params.fast_path_cycles in
+      charge t ~cycles (fun _sim ->
+          let verdict, out =
+            Nf.process ~pre ~state ~dir:Packet.Rx ~flags:pkt.Packet.flags
+              ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt)
+              ?decap_src:outer_src ()
+          in
+          apply_state_out t vid key ~generation ~pre_opt:(Some pre) out;
+          match verdict with
+          | Nf.Deliver ->
+            maybe_mirror t pre pkt;
+            deliver_local t vid pkt
+          | Nf.Drop reason -> count_drop t reason)
+    | Some _ | None -> (
+      (* First packet arrived from outside: run the slow path on the
+         TX-orientation tuple (the reverse of what we received). *)
+      Stats.Counter.incr e.slow_execs;
+      match
+        slow_path t rs ~vpc:pkt.Packet.vpc ~flow_tx:(Five_tuple.reverse pkt.Packet.flow)
+      with
+      | None ->
+        let cycles =
+          move
+          + Params.rule_lookup_cycles t.params ~acl_rules_scanned:0 ~lpm_depth:32
+              ~tables:(Ruleset.table_count rs)
+        in
+        charge t ~cycles (fun _ -> count_drop t Nf.No_route)
+      | Some { Ruleset.pre; cycles } ->
+        let cycles = move + cycles + t.params.Params.session_setup_cycles in
+        charge t ~cycles (fun _sim ->
+            let prior_state = Option.bind (find_session t vid key) (fun s -> s.state) in
+            let verdict, out =
+              Nf.process ~pre ~state:prior_state ~dir:Packet.Rx ~flags:pkt.Packet.flags
+                ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt)
+                ?decap_src:outer_src ()
+            in
+            let stored =
+              let state =
+                match out with Nf.Init st | Nf.Update st -> Some st | Nf.Keep -> prior_state
+              in
+              store_session t vid key { pre = Some pre; state; generation }
+            in
+            match (stored, verdict) with
+            | `Full, _ -> count_drop t Nf.Table_full
+            | `Ok, Nf.Deliver ->
+              maybe_mirror t pre pkt;
+              deliver_local t vid pkt
+            | `Ok, Nf.Drop reason -> count_drop t reason)))
+
+let from_vm t vid pkt =
+  Stats.Counter.incr t.counters.tx_packets;
+  match entry t vid with
+  | None -> count_drop t Nf.No_vnic
+  | Some e ->
+    let admitted =
+      match e.rate_limit with
+      | None -> true
+      | Some bucket ->
+        Token_bucket.take bucket ~now:(Sim.now t.sim) ~bytes:(Packet.wire_size pkt)
+    in
+    if not admitted then count_drop t Nf.Rate_limited
+    else begin
+      match e.intercept with
+      | Some i -> ( match i.on_tx pkt with `Handled -> () | `Continue -> local_tx t e pkt)
+      | None -> local_tx t e pkt
+    end
+
+let from_net t pkt =
+  Stats.Counter.incr t.counters.rx_packets;
+  let outer = Packet.decap_vxlan pkt in
+  let outer_src = Option.map (fun v -> v.Packet.outer_src) outer in
+  let dst_addr = { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst } in
+  match Vnic.Addr.Table.find_opt t.by_addr dst_addr with
+  | Some vnic -> (
+    match entry t vnic.Vnic.id with
+    | None -> count_drop t Nf.No_vnic
+    | Some e -> (
+      match e.intercept with
+      | Some i -> (
+        match i.on_rx pkt with `Handled -> () | `Continue -> local_rx t e pkt ~outer_src)
+      | None -> local_rx t e pkt ~outer_src))
+  | None -> (
+    match t.net_hook with
+    | Some hook -> (
+      match hook pkt ~outer with `Handled -> () | `Continue -> count_drop t Nf.No_vnic)
+    | None -> count_drop t Nf.No_vnic)
+
+let set_flow_log_sink t sink = t.flow_log <- sink
+
+let flow_records_emitted t = t.flow_records
+
+let set_rate_limit t vid ~bps ~burst_bytes =
+  match entry t vid with
+  | None -> ()
+  | Some e ->
+    e.rate_limit <- Some (Token_bucket.create ~rate_bytes_per_s:(bps /. 8.0) ~burst_bytes)
+
+let clear_rate_limit t vid =
+  match entry t vid with None -> () | Some e -> e.rate_limit <- None
+
+let vnic_slow_execs t vid =
+  match entry t vid with None -> 0 | Some e -> Stats.Counter.value e.slow_execs
+
+let vnic_memory_bytes t vid =
+  match entry t vid with
+  | None -> 0
+  | Some e -> e.rule_bytes + e.residual_bytes + Flow_table.memory_bytes e.sessions
+
+let utilization_report t ~cpu ~mem =
+  cpu := Smartnic.utilization_since_last_sample t.nic;
+  mem := Smartnic.mem_utilization t.nic

@@ -1,0 +1,1 @@
+lib/workloads/middlebox.ml: Acl Format Ipv4 Nezha_engine Nezha_net Nezha_tables Nezha_vswitch Pre_action Rng Ruleset

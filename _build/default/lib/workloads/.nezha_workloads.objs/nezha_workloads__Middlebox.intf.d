@@ -1,0 +1,1 @@
+lib/workloads/middlebox.mli: Format Ipv4 Nezha_engine Nezha_net Nezha_vswitch Rng Ruleset

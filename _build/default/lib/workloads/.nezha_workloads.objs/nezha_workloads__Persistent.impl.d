@@ -1,0 +1,1 @@
+lib/workloads/persistent.ml: Five_tuple Ipv4 Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Nf Packet Rng Sim Tcp_crr Vm Vpc Vswitch

@@ -1,0 +1,1 @@
+lib/workloads/persistent.mli: Nezha_engine Nezha_net Rng Sim Tcp_crr Vpc

@@ -1,0 +1,1 @@
+lib/workloads/region.ml: Array Float Format Ipv4 List Nezha_engine Nezha_net Nezha_vswitch Packet Rng State

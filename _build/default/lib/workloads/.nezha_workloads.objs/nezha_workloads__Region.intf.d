@@ -1,0 +1,1 @@
+lib/workloads/region.mli: Format Nezha_engine Rng

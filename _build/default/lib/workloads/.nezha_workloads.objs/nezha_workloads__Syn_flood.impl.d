@@ -1,0 +1,1 @@
+lib/workloads/syn_flood.ml: Five_tuple Ipv4 Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Packet Rng Sim Tcp_crr Vm Vswitch

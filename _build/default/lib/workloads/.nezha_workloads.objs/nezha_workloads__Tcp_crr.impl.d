@@ -1,0 +1,1 @@
+lib/workloads/tcp_crr.ml: Five_tuple Float Hashtbl Ipv4 Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Packet Rng Sim Stats Vm Vnic Vpc Vswitch

@@ -1,0 +1,1 @@
+lib/workloads/tcp_crr.mli: Ipv4 Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Rng Sim Stats Vm Vnic Vpc Vswitch

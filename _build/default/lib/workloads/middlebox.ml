@@ -1,0 +1,71 @@
+open Nezha_engine
+open Nezha_net
+open Nezha_tables
+open Nezha_vswitch
+
+type kind = Load_balancer | Nat_gateway | Transit_router
+
+let all = [ Load_balancer; Nat_gateway; Transit_router ]
+
+let to_string = function
+  | Load_balancer -> "load-balancer"
+  | Nat_gateway -> "nat-gateway"
+  | Transit_router -> "transit-router"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)
+
+let acl_rules = function Load_balancer -> 400 | Nat_gateway -> 600 | Transit_router -> 0
+
+let extra_tables = function Load_balancer -> 3 | Nat_gateway -> 4 | Transit_router -> 1
+
+(* Fitted so Table 3's gains come out: with a ~12.4k CPS VM cap and
+   ~48k-cycle session setup, locals of VMcap/4, VMcap/4.4 and VMcap/3
+   need roughly these lookup surcharges. *)
+let lookup_extra_cycles = function
+  | Load_balancer -> 11_500
+  | Nat_gateway -> 30_000
+  | Transit_router -> 500
+
+(* §6.3.1: rule tables of LB/NAT/TR are generally O(100 MB). *)
+let production_rule_bytes = function
+  | Load_balancer -> 120 * 1024 * 1024
+  | Nat_gateway -> 100 * 1024 * 1024
+  | Transit_router -> 160 * 1024 * 1024
+
+let rule_table_bytes kind ~mem_scale =
+  max (64 * 1024) (int_of_float (float_of_int (production_rule_bytes kind) /. mem_scale))
+
+let make_ruleset kind ~rng ~vni ~mem_scale ?reachable () =
+  let acl = Acl.create () in
+  let rules = acl_rules kind in
+  for i = 1 to rules do
+    (* Tenant-configured rules over scattered prefixes; a handful of
+       deny rules among mostly permits. *)
+    let base = Ipv4.of_octets 10 (Rng.int rng 256) (Rng.int rng 256) 0 in
+    let action = if Rng.chance rng 0.15 then Acl.Deny else Acl.Permit in
+    Acl.add acl
+      (Acl.rule ~priority:i
+         ~src:(Ipv4.Prefix.make base (16 + Rng.int rng 9))
+         ?dst_ports:(if Rng.chance rng 0.5 then Some (1, 1024) else None)
+         action)
+  done;
+  let stats_rules =
+    match kind with
+    | Load_balancer | Nat_gateway ->
+      [ (Ipv4.Prefix.make (Ipv4.of_octets 10 0 0 0) 8,
+         { Pre_action.count_packets = true; count_bytes = true }) ]
+    | Transit_router -> []
+  in
+  let rs =
+    Ruleset.create ~vni ~acl ~stats_rules
+      ~stateful_decap:(kind = Load_balancer)
+      ~extra_tables:(extra_tables kind)
+      ~lookup_extra_cycles:(lookup_extra_cycles kind)
+      ~fixed_overhead_bytes:(rule_table_bytes kind ~mem_scale)
+      ()
+  in
+  let reachable =
+    match reachable with Some p -> p | None -> Ipv4.Prefix.make (Ipv4.of_octets 10 0 0 0) 8
+  in
+  Ruleset.add_route rs reachable;
+  rs

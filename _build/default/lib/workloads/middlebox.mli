@@ -1,0 +1,51 @@
+(** Rule-table profiles of the three production middleboxes of §6.3.1.
+
+    The middleboxes differ in pipeline complexity and table size, which
+    is what differentiates their Table 3 gains:
+
+    - the Transit Router (TR) bypasses ACLs — the simplest lookup, hence
+      the smallest CPS gain (3×);
+    - the Load Balancer (LB) and NAT gateway run ACL lookups (4× / 4.4×),
+      the NAT with the most rules;
+    - the LB uses stateful decapsulation and holds persistent connections
+      (the 30 M-flow session tables);
+    - all three carry rule tables far larger than the 2 MB minimum —
+      O(100 MB) in production, scaled here by [mem_scale]. *)
+
+open Nezha_engine
+open Nezha_net
+open Nezha_vswitch
+
+type kind = Load_balancer | Nat_gateway | Transit_router
+
+val all : kind list
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit
+
+val acl_rules : kind -> int
+(** ACL complexity: LB 400, NAT 600, TR 0 (bypassed). *)
+
+val extra_tables : kind -> int
+(** Advanced-feature lookup stages beyond the base five. *)
+
+val lookup_extra_cycles : kind -> int
+(** Cache-miss surcharge of O(100 MB) production tables on each
+    slow-path execution; the origin of Table 3's CPS-gain spread (the
+    costlier the lookup, the lower the pre-Nezha CPS, the larger the
+    gain). *)
+
+val rule_table_bytes : kind -> mem_scale:float -> int
+(** Production O(100 MB) footprints divided by the experiment's memory
+    scale. *)
+
+val make_ruleset :
+  kind ->
+  rng:Rng.t ->
+  vni:int ->
+  mem_scale:float ->
+  ?reachable:Ipv4.Prefix.t ->
+  unit ->
+  Ruleset.t
+(** A populated ruleset for the middlebox: ACL rules spread over tenant
+    prefixes, routes, QoS, and the statistics policy the middlebox class
+    uses. *)

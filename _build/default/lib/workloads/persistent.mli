@@ -1,0 +1,38 @@
+(** Persistent-connection workload: session-table pressure (§2.2.2).
+
+    L4 load balancers keep long-lived connections to every real server;
+    the resulting session-table bloat is what caps #concurrent flows.
+    This generator opens [target] connections and keeps each alive with
+    periodic keep-alive packets (so aging never reclaims them), then
+    reports how many sessions the vSwitch actually sustained. *)
+
+open Nezha_engine
+open Nezha_net
+
+type t
+
+val start :
+  sim:Sim.t ->
+  rng:Rng.t ->
+  vpc:Vpc.t ->
+  client:Tcp_crr.endpoint ->
+  server:Tcp_crr.endpoint ->
+  target:int ->
+  ?ramp_rate:float ->
+  ?keepalive:float ->
+  unit ->
+  t
+(** Open [target] flows at [ramp_rate]/s (default 2000), each refreshed
+    every [keepalive] seconds (default half the aging time is the
+    caller's job; default 3 s). *)
+
+val opened : t -> int
+val live_flows : t -> unit -> int
+(** Sessions currently held in the server-side vSwitch for the target
+    vNIC. *)
+
+val rejected : t -> int
+(** Keep-alives or opens that found the session gone (table-full
+    eviction). *)
+
+val stop : t -> unit

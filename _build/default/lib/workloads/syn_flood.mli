@@ -1,0 +1,24 @@
+(** SYN-flood workload (§7.3).
+
+    A burst of SYNs that never complete their handshakes.  Without the
+    short SYN aging time, each would pin a session/state slot for the full
+    aging period and waste BE memory; this generator lets the tests and
+    benches measure how quickly the table recovers. *)
+
+open Nezha_engine
+open Nezha_net
+
+type t
+
+val start :
+  sim:Sim.t ->
+  rng:Rng.t ->
+  vpc:Vpc.t ->
+  attacker:Tcp_crr.endpoint ->
+  victim:Tcp_crr.endpoint ->
+  rate:float ->
+  duration:float ->
+  unit ->
+  t
+
+val sent : t -> int

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Format Fun Gen Heap Int List Nezha_engine QCheck QCheck_alcotest Rng Sim Stats String Timer_wheel Token_bucket

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Fabric Five_tuple Gateway Int64 Ipv4 List Mac Nezha_engine Nezha_fabric Nezha_net Nezha_vswitch Option Packet Params Ruleset Sim Topology Vm Vnic Vpc Vswitch

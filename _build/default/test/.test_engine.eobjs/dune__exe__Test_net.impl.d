@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Char Five_tuple Frame Gen Int32 Int64 Ipv4 List Mac Nezha_net Packet Pcap QCheck QCheck_alcotest String Vpc Wire

@@ -1,0 +1,1 @@
+test/test_tables.ml: Acl Alcotest Five_tuple Flow_key Flow_table Fun Gen Int32 Ipv4 List Lpm Nezha_engine Nezha_net Nezha_tables Option QCheck QCheck_alcotest String Tss Vpc

@@ -1,0 +1,195 @@
+(* Controller edge cases: error paths, idempotence guards, capacity
+   limits, and bookkeeping invariants. *)
+
+open Nezha_engine
+open Nezha_vswitch
+open Nezha_fabric
+open Nezha_core
+open Nezha_harness
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let is_error = function Error _ -> true | Ok _ -> false
+
+let offload_now t =
+  Controller.offload_vnic t.Testbed.ctl ~server:t.Testbed.heavy_server
+    ~vnic:Testbed.heavy_vnic_id ()
+
+(* ------------------------------------------------------------------ *)
+
+let test_double_offload_rejected () =
+  let t = Testbed.create () in
+  (match offload_now t with Ok _ -> () | Error e -> Alcotest.fail e);
+  check_bool "second offload rejected" true (is_error (offload_now t));
+  Sim.run t.Testbed.sim ~until:5.0;
+  check_bool "still rejected after completion" true (is_error (offload_now t));
+  check_int "only one offload event" 1 (Controller.offload_events t.Testbed.ctl)
+
+let test_offload_unknown_vnic () =
+  let t = Testbed.create () in
+  check_bool "unknown vnic" true
+    (is_error
+       (Controller.offload_vnic t.Testbed.ctl ~server:t.Testbed.heavy_server
+          ~vnic:(Vnic.id_of_int 777) ()));
+  check_bool "bad server" true
+    (is_error (Controller.offload_vnic t.Testbed.ctl ~server:9999 ~vnic:Testbed.heavy_vnic_id ()))
+
+let test_double_fallback_rejected () =
+  let t = Testbed.create () in
+  let o = Testbed.offload t () in
+  (match Controller.fallback_vnic t.Testbed.ctl o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "second fallback rejected while in progress" true
+    (is_error (Controller.fallback_vnic t.Testbed.ctl o));
+  Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 3.0);
+  check_bool "and after completion (offload gone)" true
+    (is_error (Controller.fallback_vnic t.Testbed.ctl o))
+
+let test_offload_after_fallback_works () =
+  (* The full round trip is repeatable. *)
+  let t = Testbed.create () in
+  let o = Testbed.offload t () in
+  (match Controller.fallback_vnic t.Testbed.ctl o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 3.0);
+  let o2 = Testbed.offload t () in
+  check_int "four FEs again" 4 (List.length (Controller.offload_fe_servers o2));
+  check_int "two offload events" 2 (Controller.offload_events t.Testbed.ctl)
+
+let test_migrate_errors () =
+  let t = Testbed.create () in
+  let o = Testbed.offload t () in
+  check_bool "target without vswitch" true
+    (is_error (Controller.migrate_be t.Testbed.ctl o ~to_server:9999));
+  (* A server can't re-host the vNIC it already has. *)
+  check_bool "same server rejected" true
+    (is_error (Controller.migrate_be t.Testbed.ctl o ~to_server:t.Testbed.heavy_server));
+  (match Controller.fallback_vnic t.Testbed.ctl o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 3.0);
+  check_bool "migrate after fallback rejected" true
+    (is_error (Controller.migrate_be t.Testbed.ctl o ~to_server:5))
+
+let test_pin_errors () =
+  let t = Testbed.create () in
+  let o = Testbed.offload t () in
+  (match Controller.fallback_vnic t.Testbed.ctl o with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 3.0);
+  let flow =
+    Nezha_net.Five_tuple.make ~src:Testbed.heavy_ip
+      ~dst:t.Testbed.clients.(0).Nezha_workloads.Tcp_crr.ip ~src_port:1 ~dst_port:2
+      ~proto:Nezha_net.Five_tuple.Udp
+  in
+  check_bool "pin on inactive offload rejected" true
+    (is_error (Controller.pin_elephant t.Testbed.ctl o flow))
+
+let test_scale_out_limits () =
+  let t = Testbed.create ~racks:2 ~servers_per_rack:4 ~clients:2 () in
+  (* 8 servers: any idle vSwitch but the BE qualifies, clients included
+     (they are barely loaded) — 7 candidates. *)
+  let o = Testbed.offload t ~num_fes:4 () in
+  check_int "zero add is zero" 0 (Controller.scale_out t.Testbed.ctl o ~add:0);
+  let added = Controller.scale_out t.Testbed.ctl o ~add:10 in
+  check_int "supply-bounded" 3 added;
+  Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 3.0);
+  check_int "seven FEs total" 7 (List.length (Controller.offload_fe_servers o))
+
+let test_offload_more_fes_than_pool () =
+  let t = Testbed.create ~racks:2 ~servers_per_rack:4 ~clients:2 () in
+  match
+    Controller.offload_vnic t.Testbed.ctl ~server:t.Testbed.heavy_server
+      ~vnic:Testbed.heavy_vnic_id ~num_fes:64 ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Sim.run t.Testbed.sim ~until:5.0;
+    check_int "capped at the candidate supply" 7 (List.length (Controller.offload_fe_servers o))
+
+let test_completion_bookkeeping () =
+  let t = Testbed.create () in
+  for _ = 1 to 3 do
+    let o = Testbed.offload t () in
+    (match Controller.fallback_vnic t.Testbed.ctl o with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 3.0)
+  done;
+  check_int "three completions recorded" 3
+    (Stats.Histogram.count (Controller.completion_times_ms t.Testbed.ctl));
+  check_int "three events" 3 (Controller.offload_events t.Testbed.ctl);
+  check_int "twelve FEs provisioned" 12 (Controller.fes_provisioned t.Testbed.ctl);
+  let avg = Stats.Histogram.mean (Controller.completion_times_ms t.Testbed.ctl) in
+  check_bool "activation on the second scale" true (avg > 200.0 && avg < 5000.0)
+
+let test_utilization_views_sane () =
+  let t = Testbed.create () in
+  List.iter
+    (fun s ->
+      let cpu = Controller.last_cpu t.Testbed.ctl s and mem = Controller.last_mem t.Testbed.ctl s in
+      check_bool "cpu in range" true (cpu >= 0.0 && cpu <= 1.0);
+      check_bool "mem in range" true (mem >= 0.0 && mem <= 1.0))
+    (Topology.servers (Fabric.topology t.Testbed.fabric));
+  check_bool "unknown server pessimistic" true (Controller.last_cpu t.Testbed.ctl 9999 >= 1.0)
+
+let test_update_rules_during_dual_running () =
+  let t = Testbed.create () in
+  match offload_now t with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    (* Still configuring: BE tables local, no FE replicas yet.  The
+       update must not crash and must reach the master copy. *)
+    Controller.update_tenant_rules t.Testbed.ctl o (fun rs ->
+        Ruleset.add_route rs (Nezha_net.Ipv4.Prefix.make (Nezha_net.Ipv4.of_octets 172 16 0 0) 12));
+    Sim.run t.Testbed.sim ~until:5.0;
+    check_bool "offload still completed" true (Controller.offload_stage o = Be.Final);
+    (* The FE replicas were cloned from the updated master. *)
+    let addr = { Vnic.Addr.vpc = t.Testbed.vpc; ip = Testbed.heavy_ip } in
+    let probe =
+      Nezha_net.Five_tuple.make ~src:Testbed.heavy_ip
+        ~dst:(Nezha_net.Ipv4.of_octets 172 16 0 5) ~src_port:1000 ~dst_port:80
+        ~proto:Nezha_net.Five_tuple.Tcp
+    in
+    List.iter
+      (fun s ->
+        match Controller.fe_service t.Testbed.ctl s with
+        | Some fe -> (
+          match Fe.ruleset_of fe addr with
+          | Some replica ->
+            check_bool "replica has the new route" true
+              (Ruleset.lookup replica ~params:Params.scaled ~vpc:t.Testbed.vpc ~flow_tx:probe
+              <> None)
+          | None -> Alcotest.fail "replica missing")
+        | None -> ())
+      (Controller.offload_fe_servers o)
+
+let () =
+  Alcotest.run "controller"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "double offload rejected" `Quick test_double_offload_rejected;
+          Alcotest.test_case "unknown vnic/server" `Quick test_offload_unknown_vnic;
+          Alcotest.test_case "double fallback rejected" `Quick test_double_fallback_rejected;
+          Alcotest.test_case "migrate errors" `Quick test_migrate_errors;
+          Alcotest.test_case "pin errors" `Quick test_pin_errors;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "scale-out limits" `Quick test_scale_out_limits;
+          Alcotest.test_case "offload capped at pool" `Quick test_offload_more_fes_than_pool;
+        ] );
+      ( "bookkeeping",
+        [
+          Alcotest.test_case "offload after fallback" `Quick test_offload_after_fallback_works;
+          Alcotest.test_case "completion histogram" `Quick test_completion_bookkeeping;
+          Alcotest.test_case "utilization views" `Quick test_utilization_views_sane;
+          Alcotest.test_case "rule update during dual-running" `Quick
+            test_update_rules_during_dual_running;
+        ] );
+    ]

@@ -1,0 +1,532 @@
+(* Tests for the packet/addressing substrate. *)
+
+open Nezha_net
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Ipv4 *)
+
+let ip = Ipv4.of_string_exn
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Ipv4.to_string (ip s)))
+    [ "0.0.0.0"; "10.1.2.3"; "192.168.255.1"; "255.255.255.255" ]
+
+let test_ipv4_parse_invalid () =
+  List.iter
+    (fun s -> check_bool s true (Ipv4.of_string s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "1..2.3" ]
+
+let test_ipv4_unsigned_order () =
+  check_bool "200 > 100" true (Ipv4.compare (ip "200.0.0.1") (ip "100.0.0.1") > 0);
+  check_bool "255.x biggest" true
+    (Ipv4.compare (ip "255.0.0.0") (ip "127.255.255.255") > 0)
+
+let test_ipv4_arith () =
+  check_str "succ" "10.0.0.2" (Ipv4.to_string (Ipv4.succ (ip "10.0.0.1")));
+  check_str "succ carries" "10.0.1.0" (Ipv4.to_string (Ipv4.succ (ip "10.0.0.255")));
+  check_str "add" "10.0.1.4" (Ipv4.to_string (Ipv4.add (ip "10.0.0.0") 260))
+
+let test_prefix_mem () =
+  let p = Ipv4.Prefix.make (ip "10.1.0.0") 16 in
+  check_bool "inside" true (Ipv4.Prefix.mem (ip "10.1.255.255") p);
+  check_bool "outside" false (Ipv4.Prefix.mem (ip "10.2.0.0") p);
+  let zero = Ipv4.Prefix.make (ip "1.2.3.4") 0 in
+  check_bool "default route matches all" true (Ipv4.Prefix.mem (ip "200.9.9.9") zero)
+
+let test_prefix_masking () =
+  let p = Ipv4.Prefix.make (ip "10.1.2.3") 24 in
+  check_str "base masked" "10.1.2.0" (Ipv4.to_string (Ipv4.Prefix.base p));
+  check_int "length" 24 (Ipv4.Prefix.length p)
+
+let test_prefix_subsumes () =
+  let outer = Ipv4.Prefix.make (ip "10.0.0.0") 8 in
+  let inner = Ipv4.Prefix.make (ip "10.5.0.0") 16 in
+  check_bool "outer subsumes inner" true (Ipv4.Prefix.subsumes outer inner);
+  check_bool "inner does not subsume outer" false (Ipv4.Prefix.subsumes inner outer);
+  check_bool "self subsumes" true (Ipv4.Prefix.subsumes outer outer)
+
+let test_prefix_parse () =
+  (match Ipv4.Prefix.of_string "192.168.0.0/24" with
+  | Some p ->
+    check_str "parsed" "192.168.0.0/24" (Ipv4.Prefix.to_string p)
+  | None -> Alcotest.fail "expected parse");
+  check_bool "bad len" true (Ipv4.Prefix.of_string "1.2.3.4/33" = None);
+  check_bool "no slash" true (Ipv4.Prefix.of_string "1.2.3.4" = None)
+
+let prop_prefix_base_in_prefix =
+  QCheck.Test.make ~name:"prefix base is a member" ~count:500
+    QCheck.(pair (make Gen.ui64) (int_range 0 32))
+    (fun (raw, len) ->
+      let a = Ipv4.of_int32 (Int64.to_int32 raw) in
+      let p = Ipv4.Prefix.make a len in
+      Ipv4.Prefix.mem (Ipv4.Prefix.base p) p && Ipv4.Prefix.mem a p)
+
+(* ------------------------------------------------------------------ *)
+(* Mac *)
+
+let test_mac_roundtrip () =
+  List.iter
+    (fun s ->
+      match Mac.of_string s with
+      | Some m -> check_str s s (Mac.to_string m)
+      | None -> Alcotest.fail ("parse " ^ s))
+    [ "00:00:00:00:00:00"; "aa:bb:cc:dd:ee:ff"; "02:42:ac:11:00:02" ]
+
+let test_mac_invalid () =
+  List.iter
+    (fun s -> check_bool s true (Mac.of_string s = None))
+    [ ""; "aa:bb:cc:dd:ee"; "gg:bb:cc:dd:ee:ff" ]
+
+let test_mac_mask48 () =
+  let m = Mac.of_int64 0xFFFF_AABB_CCDD_EEFFL in
+  check_str "only 48 bits" "aa:bb:cc:dd:ee:ff" (Mac.to_string m);
+  check_bool "broadcast" true (Mac.equal Mac.broadcast (Mac.of_int64 (-1L)))
+
+(* ------------------------------------------------------------------ *)
+(* Five_tuple *)
+
+let tuple ?(sport = 1234) ?(dport = 80) ?(proto = Five_tuple.Tcp) src dst =
+  Five_tuple.make ~src:(ip src) ~dst:(ip dst) ~src_port:sport ~dst_port:dport ~proto
+
+let test_tuple_reverse_involution () =
+  let t = tuple "10.0.0.1" "10.0.0.2" in
+  check_bool "double reverse" true (Five_tuple.equal t (Five_tuple.reverse (Five_tuple.reverse t)))
+
+let test_tuple_canonical_direction_free () =
+  let t = tuple "10.0.0.9" "10.0.0.2" ~sport:5555 ~dport:80 in
+  let c1 = Five_tuple.canonical t and c2 = Five_tuple.canonical (Five_tuple.reverse t) in
+  check_bool "same canonical" true (Five_tuple.equal c1 c2);
+  check_bool "canonical is canonical" true (Five_tuple.is_canonical c1)
+
+let test_tuple_session_hash_direction_free () =
+  let t = tuple "172.16.0.1" "10.0.0.2" ~sport:40000 ~dport:443 in
+  check_int "session hash equal" (Five_tuple.session_hash t)
+    (Five_tuple.session_hash (Five_tuple.reverse t))
+
+let test_tuple_hash_spreads () =
+  (* 5-tuple hashing is Nezha's FE load balancer: over many flows the
+     buckets must be roughly even (§3.2.3). *)
+  let buckets = Array.make 4 0 in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    let t =
+      Five_tuple.make
+        ~src:(Ipv4.add (ip "10.0.0.0") i)
+        ~dst:(ip "10.255.0.1") ~src_port:(1024 + (i mod 50000)) ~dst_port:80
+        ~proto:Five_tuple.Tcp
+    in
+    let b = Five_tuple.hash t mod 4 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      check_bool "bucket within 25±3%" true (frac > 0.22 && frac < 0.28))
+    buckets
+
+let test_tuple_port_masking () =
+  let t = tuple "1.1.1.1" "2.2.2.2" ~sport:0x1ffff ~dport:80 in
+  check_int "16-bit port" 0xffff t.Five_tuple.src_port
+
+let prop_canonical_idempotent =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (a, b, sp, dp) ->
+          Five_tuple.make
+            ~src:(Ipv4.of_int32 (Int32.of_int a))
+            ~dst:(Ipv4.of_int32 (Int32.of_int b))
+            ~src_port:sp ~dst_port:dp ~proto:Five_tuple.Tcp)
+        (quad (int_bound 0xFFFFF) (int_bound 0xFFFFF) (int_bound 0xffff) (int_bound 0xffff)))
+  in
+  QCheck.Test.make ~name:"canonical is idempotent and direction-free" ~count:500
+    (QCheck.make gen) (fun t ->
+      let c = Five_tuple.canonical t in
+      Five_tuple.equal c (Five_tuple.canonical c)
+      && Five_tuple.equal c (Five_tuple.canonical (Five_tuple.reverse t)))
+
+(* ------------------------------------------------------------------ *)
+(* Wire *)
+
+let test_wire_roundtrip_scalars () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.u8 w 0xAB;
+  Wire.Writer.u16 w 0xCDEF;
+  Wire.Writer.u32 w 0xDEADBEEFl;
+  Wire.Writer.u64 w 0x0123456789ABCDEFL;
+  let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+  check_int "u8" 0xAB (Wire.Reader.u8 r);
+  check_int "u16" 0xCDEF (Wire.Reader.u16 r);
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (Wire.Reader.u32 r);
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Wire.Reader.u64 r);
+  check_int "drained" 0 (Wire.Reader.remaining r)
+
+let test_wire_varint_boundaries () =
+  List.iter
+    (fun v ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w v;
+      let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+      check_int (string_of_int v) v (Wire.Reader.varint r))
+    [ 0; 1; 127; 128; 300; 16383; 16384; 1 lsl 30; max_int ]
+
+let test_wire_varint_negative () =
+  let w = Wire.Writer.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Wire.Writer.varint: negative")
+    (fun () -> Wire.Writer.varint w (-1))
+
+let test_wire_truncated () =
+  let r = Wire.Reader.of_bytes (Bytes.of_string "\x01") in
+  check_bool "truncated raises" true
+    (match Wire.Reader.u32 r with
+    | _ -> false
+    | exception Wire.Reader.Truncated -> true)
+
+let test_wire_bytes_roundtrip () =
+  let payload = Bytes.of_string "state-blob \x00\xff binary" in
+  let w = Wire.Writer.create () in
+  Wire.Writer.bytes w payload;
+  let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+  Alcotest.(check bytes) "bytes" payload (Wire.Reader.bytes r)
+
+let prop_wire_varint_roundtrip =
+  QCheck.Test.make ~name:"varint round-trips any non-negative int" ~count:1000
+    QCheck.(map abs int)
+    (fun v ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w v;
+      let r = Wire.Reader.of_bytes (Wire.Writer.contents w) in
+      Wire.Reader.varint r = v)
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let mk_packet ?(direction = Packet.Tx) ?(flags = Packet.syn) ?(payload_len = 100) () =
+  Packet.create ~vpc:(Vpc.make 77)
+    ~flow:(tuple "10.0.0.1" "10.0.0.2" ~sport:43210 ~dport:443)
+    ~direction ~flags ~payload_len ()
+
+let test_packet_sizes () =
+  let p = mk_packet () ~payload_len:0 in
+  (* eth 14 + ip 20 + tcp 20 *)
+  check_int "bare tcp" 54 (Packet.inner_size p);
+  check_int "no encap overhead" 54 (Packet.wire_size p);
+  Packet.encap_vxlan p ~vni:77 ~outer_src:(ip "192.168.0.1") ~outer_dst:(ip "192.168.0.2");
+  (* + outer eth 14 + ip 20 + udp 8 + vxlan 8 = 50 *)
+  check_int "vxlan adds 50" 104 (Packet.wire_size p)
+
+let test_packet_nsh_size_counts_blobs () =
+  let p = mk_packet () ~payload_len:0 in
+  let base = Packet.wire_size p in
+  Packet.set_nsh p { Packet.empty_nsh with carried_state = Some (Bytes.create 16) };
+  check_int "nsh base 8 + blob 16" (base + 24) (Packet.wire_size p)
+
+let test_packet_decap () =
+  let p = mk_packet () in
+  Packet.encap_vxlan p ~vni:1 ~outer_src:(ip "1.1.1.1") ~outer_dst:(ip "2.2.2.2");
+  (match Packet.decap_vxlan p with
+  | Some v -> check_int "vni" 1 v.Packet.vni
+  | None -> Alcotest.fail "expected vxlan");
+  check_bool "gone" true (Packet.decap_vxlan p = None)
+
+let test_packet_uid_unique_and_reset () =
+  Packet.reset_uid_counter ();
+  let a = mk_packet () and b = mk_packet () in
+  check_bool "distinct uids" true (a.Packet.uid <> b.Packet.uid);
+  Packet.reset_uid_counter ();
+  let c = mk_packet () in
+  check_int "reset restarts" a.Packet.uid c.Packet.uid
+
+let test_packet_codec_roundtrip () =
+  let p = mk_packet () ~direction:Packet.Rx ~flags:Packet.syn_ack in
+  Packet.encap_vxlan p ~vni:99 ~outer_src:(ip "192.168.1.1") ~outer_dst:(ip "192.168.1.2");
+  Packet.set_nsh p
+    {
+      Packet.carried_state = Some (Bytes.of_string "st");
+      carried_pre_actions = Some (Bytes.of_string "pre-actions");
+      notify = true;
+      orig_outer_src = Some (ip "172.16.0.9");
+    };
+  match Packet.decode (Packet.encode p) with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+    check_int "uid" p.Packet.uid q.Packet.uid;
+    check_bool "vpc" true (Vpc.equal p.Packet.vpc q.Packet.vpc);
+    check_bool "flow" true (Five_tuple.equal p.Packet.flow q.Packet.flow);
+    check_bool "direction" true (q.Packet.direction = Packet.Rx);
+    check_bool "flags" true (q.Packet.flags = Packet.syn_ack);
+    check_int "payload" p.Packet.payload_len q.Packet.payload_len;
+    (match (p.Packet.vxlan, q.Packet.vxlan) with
+    | Some a, Some b ->
+      check_int "vni" a.Packet.vni b.Packet.vni;
+      check_bool "outer src" true (Ipv4.equal a.Packet.outer_src b.Packet.outer_src)
+    | _, _ -> Alcotest.fail "vxlan lost");
+    (match (p.Packet.nsh, q.Packet.nsh) with
+    | Some a, Some b ->
+      check_bool "state blob" true (a.Packet.carried_state = b.Packet.carried_state);
+      check_bool "pre-actions blob" true
+        (a.Packet.carried_pre_actions = b.Packet.carried_pre_actions);
+      check_bool "notify" true b.Packet.notify;
+      check_bool "orig outer src" true (a.Packet.orig_outer_src = b.Packet.orig_outer_src)
+    | _, _ -> Alcotest.fail "nsh lost")
+
+let test_packet_decode_garbage () =
+  check_bool "bad magic" true
+    (match Packet.decode (Bytes.of_string "\x00\x00junk") with Error _ -> true | Ok _ -> false);
+  check_bool "truncated" true
+    (match Packet.decode (Bytes.of_string "\x4e") with Error _ -> true | Ok _ -> false);
+  check_bool "empty" true
+    (match Packet.decode Bytes.empty with Error _ -> true | Ok _ -> false)
+
+let prop_packet_codec_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun ((a, b, sp, dp), (dir, s, payload)) ->
+          let flow =
+            Five_tuple.make
+              ~src:(Ipv4.of_int32 (Int32.of_int a))
+              ~dst:(Ipv4.of_int32 (Int32.of_int b))
+              ~src_port:sp ~dst_port:dp ~proto:Five_tuple.Udp
+          in
+          let p =
+            Packet.create ~vpc:(Vpc.make 3) ~flow
+              ~direction:(if dir then Packet.Tx else Packet.Rx)
+              ~payload_len:payload ()
+          in
+          if s then
+            Packet.set_nsh p
+              { Packet.empty_nsh with carried_state = Some (Bytes.make (payload mod 32) 'x') };
+          p)
+        (pair
+           (quad (int_bound 0xFFFFFF) (int_bound 0xFFFFFF) (int_bound 0xffff) (int_bound 0xffff))
+           (triple bool bool (int_bound 1400))))
+  in
+  QCheck.Test.make ~name:"packet codec round-trips" ~count:300 (QCheck.make gen) (fun p ->
+      match Packet.decode (Packet.encode p) with
+      | Error _ -> false
+      | Ok q ->
+        Five_tuple.equal p.Packet.flow q.Packet.flow
+        && p.Packet.direction = q.Packet.direction
+        && p.Packet.payload_len = q.Packet.payload_len
+        && p.Packet.nsh = q.Packet.nsh)
+
+
+(* ------------------------------------------------------------------ *)
+(* Frame synthesis + checksums *)
+
+let plain_packet ?(proto = Five_tuple.Tcp) () =
+  Packet.create ~vpc:(Vpc.make 7)
+    ~flow:(tuple "10.0.0.1" "10.0.0.2" ~sport:43210 ~dport:443 ~proto)
+    ~direction:Packet.Tx ~flags:Packet.syn ~payload_len:64 ()
+
+let test_frame_plain_tcp () =
+  let frame = Frame.synthesize (plain_packet ()) in
+  (* Ethernet 14 + IPv4 20 + TCP 20 + payload 64. *)
+  check_int "frame length" (14 + 20 + 20 + 64) (Bytes.length frame);
+  check_int "ethertype ipv4" 0x0800 (Bytes.get_uint16_be frame 12);
+  check_bool "ipv4 checksum valid" true (Frame.verify_ipv4_header frame ~off:14);
+  check_int "proto tcp" 6 (Char.code (Bytes.get frame (14 + 9)));
+  check_int "total length field" (20 + 20 + 64) (Bytes.get_uint16_be frame (14 + 2));
+  (* The TCP checksum must sum (with pseudo-header) to 0xffff: recompute
+     over the segment with the stored checksum zeroed and compare. *)
+  let seg_off = 14 + 20 and seg_len = 20 + 64 in
+  let stored = Bytes.get_uint16_be frame (seg_off + 16) in
+  let copy = Bytes.copy frame in
+  Bytes.set_uint16_be copy (seg_off + 16) 0;
+  let expect =
+    Frame.transport_checksum ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~proto:6 copy
+      ~off:seg_off ~len:seg_len
+  in
+  check_int "tcp checksum" expect stored
+
+let test_frame_udp_checksum () =
+  let frame = Frame.synthesize (plain_packet ~proto:Five_tuple.Udp ()) in
+  check_int "udp frame length" (14 + 20 + 8 + 64) (Bytes.length frame);
+  let seg_off = 14 + 20 and seg_len = 8 + 64 in
+  let stored = Bytes.get_uint16_be frame (seg_off + 6) in
+  let copy = Bytes.copy frame in
+  Bytes.set_uint16_be copy (seg_off + 6) 0;
+  check_int "udp checksum" 
+    (Frame.transport_checksum ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~proto:17 copy
+       ~off:seg_off ~len:seg_len)
+    stored
+
+let test_frame_vxlan_encap () =
+  let p = plain_packet () in
+  Packet.encap_vxlan p ~vni:0xABCDE ~outer_src:(ip "192.168.1.1") ~outer_dst:(ip "192.168.1.2");
+  let frame = Frame.synthesize p in
+  (* outer eth 14 + ip 20 + udp 8 + vxlan 8 + inner frame 118. *)
+  check_int "encapsulated length" (14 + 20 + 8 + 8 + 118) (Bytes.length frame);
+  check_bool "outer ipv4 checksum" true (Frame.verify_ipv4_header frame ~off:14);
+  check_int "vxlan udp dport" 4789 (Bytes.get_uint16_be frame (14 + 20 + 2));
+  check_int "vxlan flags" 0x08 (Char.code (Bytes.get frame (14 + 20 + 8)));
+  (* VNI sits in bytes 4-6 of the VXLAN header. *)
+  let vni_off = 14 + 20 + 8 + 4 in
+  let vni =
+    (Char.code (Bytes.get frame vni_off) lsl 16)
+    lor (Char.code (Bytes.get frame (vni_off + 1)) lsl 8)
+    lor Char.code (Bytes.get frame (vni_off + 2))
+  in
+  check_int "vni encoded" 0xABCDE vni;
+  (* The inner frame starts right after and checksums independently. *)
+  check_bool "inner ipv4 checksum" true (Frame.verify_ipv4_header frame ~off:(14 + 20 + 8 + 8 + 14))
+
+let test_frame_nsh_carries_blobs () =
+  let p = plain_packet () in
+  let blob = Bytes.of_string "STATE-BLOB-MARKER" in
+  Packet.set_nsh p { Packet.empty_nsh with Packet.carried_state = Some blob; notify = true };
+  Packet.encap_vxlan p ~vni:7 ~outer_src:(ip "192.168.1.1") ~outer_dst:(ip "192.168.1.2");
+  let frame = Frame.synthesize p in
+  check_int "vxlan-gpe flags (I+P)" 0x0C (Char.code (Bytes.get frame (14 + 20 + 8)));
+  let s = Bytes.to_string frame in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec probe i = i + nl <= hl && (String.sub hay i nl = needle || probe (i + 1)) in
+    probe 0
+  in
+  check_bool "state blob embedded in NSH metadata" true
+    (contains s "STATE-BLOB-MARKER");
+  (* NSH base header: O bit set for notify packets. *)
+  let nsh_off = 14 + 20 + 8 + 8 in
+  check_bool "O bit set" true (Char.code (Bytes.get frame nsh_off) land 0x20 <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pcap *)
+
+let test_pcap_roundtrip () =
+  let cap = Pcap.create () in
+  let f1 = Frame.synthesize (plain_packet ()) in
+  let f2 = Frame.synthesize (plain_packet ~proto:Five_tuple.Udp ()) in
+  Pcap.add cap ~time:1.5 f1;
+  Pcap.add cap ~time:2.25 f2;
+  check_int "count" 2 (Pcap.packet_count cap);
+  match Pcap.parse (Pcap.contents cap) with
+  | Error e -> Alcotest.fail e
+  | Ok records ->
+    (match records with
+    | [ (t1, r1); (t2, r2) ] ->
+      Alcotest.(check (float 1e-5)) "t1" 1.5 t1;
+      Alcotest.(check (float 1e-5)) "t2" 2.25 t2;
+      Alcotest.(check bytes) "frame 1" f1 r1;
+      Alcotest.(check bytes) "frame 2" f2 r2
+    | _ -> Alcotest.fail "expected two records")
+
+let test_pcap_snaplen () =
+  let cap = Pcap.create ~snaplen:40 () in
+  Pcap.add cap ~time:0.0 (Bytes.make 100 'x');
+  match Pcap.parse (Pcap.contents cap) with
+  | Ok [ (_, frame) ] -> check_int "truncated" 40 (Bytes.length frame)
+  | Ok _ -> Alcotest.fail "expected one record"
+  | Error e -> Alcotest.fail e
+
+let test_pcap_rejects_garbage () =
+  check_bool "bad magic" true
+    (match Pcap.parse (Bytes.of_string "notapcapfile0000000000000000") with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let prop_frame_always_checksums =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun ((a, b, sp, dp), payload, encap) ->
+          let p =
+            Packet.create ~vpc:(Vpc.make 5)
+              ~flow:
+                (Five_tuple.make
+                   ~src:(Ipv4.of_int32 (Int32.of_int a))
+                   ~dst:(Ipv4.of_int32 (Int32.of_int b))
+                   ~src_port:sp ~dst_port:dp ~proto:Five_tuple.Tcp)
+              ~direction:Packet.Tx ~payload_len:payload ()
+          in
+          if encap then
+            Packet.encap_vxlan p ~vni:(a land 0xFFFFFF)
+              ~outer_src:(Ipv4.of_octets 192 168 0 1) ~outer_dst:(Ipv4.of_octets 192 168 0 2);
+          p)
+        (triple
+           (quad (int_bound 0xFFFFFF) (int_bound 0xFFFFFF) (int_bound 0xffff) (int_bound 0xffff))
+           (int_bound 256) bool))
+  in
+  QCheck.Test.make ~name:"synthesized outer IPv4 header always checksums" ~count:300
+    (QCheck.make gen) (fun p ->
+      let frame = Frame.synthesize p in
+      Frame.verify_ipv4_header frame ~off:14)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "invalid rejected" `Quick test_ipv4_parse_invalid;
+          Alcotest.test_case "unsigned order" `Quick test_ipv4_unsigned_order;
+          Alcotest.test_case "arithmetic" `Quick test_ipv4_arith;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "membership" `Quick test_prefix_mem;
+          Alcotest.test_case "masking" `Quick test_prefix_masking;
+          Alcotest.test_case "subsumption" `Quick test_prefix_subsumes;
+          Alcotest.test_case "parse" `Quick test_prefix_parse;
+        ]
+        @ qsuite [ prop_prefix_base_in_prefix ] );
+      ( "mac",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mac_roundtrip;
+          Alcotest.test_case "invalid rejected" `Quick test_mac_invalid;
+          Alcotest.test_case "48-bit mask" `Quick test_mac_mask48;
+        ] );
+      ( "five_tuple",
+        [
+          Alcotest.test_case "reverse involution" `Quick test_tuple_reverse_involution;
+          Alcotest.test_case "canonical direction-free" `Quick test_tuple_canonical_direction_free;
+          Alcotest.test_case "session hash direction-free" `Quick
+            test_tuple_session_hash_direction_free;
+          Alcotest.test_case "hash spreads over buckets" `Quick test_tuple_hash_spreads;
+          Alcotest.test_case "port masking" `Quick test_tuple_port_masking;
+        ]
+        @ qsuite [ prop_canonical_idempotent ] );
+      ( "wire",
+        [
+          Alcotest.test_case "scalar roundtrip" `Quick test_wire_roundtrip_scalars;
+          Alcotest.test_case "varint boundaries" `Quick test_wire_varint_boundaries;
+          Alcotest.test_case "varint rejects negative" `Quick test_wire_varint_negative;
+          Alcotest.test_case "truncated read raises" `Quick test_wire_truncated;
+          Alcotest.test_case "length-prefixed bytes" `Quick test_wire_bytes_roundtrip;
+        ]
+        @ qsuite [ prop_wire_varint_roundtrip ] );
+      ( "frame",
+        [
+          Alcotest.test_case "plain tcp frame" `Quick test_frame_plain_tcp;
+          Alcotest.test_case "udp checksum" `Quick test_frame_udp_checksum;
+          Alcotest.test_case "vxlan encapsulation" `Quick test_frame_vxlan_encap;
+          Alcotest.test_case "nsh carries blobs" `Quick test_frame_nsh_carries_blobs;
+        ]
+        @ qsuite [ prop_frame_always_checksums ] );
+      ( "pcap",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
+          Alcotest.test_case "snaplen" `Quick test_pcap_snaplen;
+          Alcotest.test_case "rejects garbage" `Quick test_pcap_rejects_garbage;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "header sizes" `Quick test_packet_sizes;
+          Alcotest.test_case "nsh size counts blobs" `Quick test_packet_nsh_size_counts_blobs;
+          Alcotest.test_case "decap" `Quick test_packet_decap;
+          Alcotest.test_case "uid uniqueness and reset" `Quick test_packet_uid_unique_and_reset;
+          Alcotest.test_case "codec roundtrip" `Quick test_packet_codec_roundtrip;
+          Alcotest.test_case "decode garbage" `Quick test_packet_decode_garbage;
+        ]
+        @ qsuite [ prop_packet_codec_roundtrip ] );
+    ]

@@ -1,0 +1,451 @@
+(* Tests for LPM, ACL and the aging flow table. *)
+
+open Nezha_net
+open Nezha_tables
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let ip = Ipv4.of_string_exn
+let pfx s = Option.get (Ipv4.Prefix.of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Lpm *)
+
+let test_lpm_longest_wins () =
+  let t = Lpm.create () in
+  Lpm.insert t (pfx "10.0.0.0/8") "coarse";
+  Lpm.insert t (pfx "10.1.0.0/16") "mid";
+  Lpm.insert t (pfx "10.1.2.0/24") "fine";
+  (match Lpm.lookup t (ip "10.1.2.3") with
+  | Some (p, v) ->
+    check_str "longest" "fine" v;
+    check_int "len 24" 24 (Ipv4.Prefix.length p)
+  | None -> Alcotest.fail "expected match");
+  (match Lpm.lookup t (ip "10.1.9.9") with
+  | Some (_, v) -> check_str "mid" "mid" v
+  | None -> Alcotest.fail "expected match");
+  (match Lpm.lookup t (ip "10.200.0.1") with
+  | Some (_, v) -> check_str "coarse" "coarse" v
+  | None -> Alcotest.fail "expected match");
+  check_bool "no match outside" true (Lpm.lookup t (ip "11.0.0.1") = None)
+
+let test_lpm_default_route () =
+  let t = Lpm.create () in
+  Lpm.insert t (pfx "0.0.0.0/0") "default";
+  (match Lpm.lookup t (ip "203.0.113.7") with
+  | Some (_, v) -> check_str "default" "default" v
+  | None -> Alcotest.fail "default route must match everything")
+
+let test_lpm_replace_and_remove () =
+  let t = Lpm.create () in
+  Lpm.insert t (pfx "10.0.0.0/8") 1;
+  Lpm.insert t (pfx "10.0.0.0/8") 2;
+  check_int "replace keeps one entry" 1 (Lpm.length t);
+  check_bool "exact" true (Lpm.find_exact t (pfx "10.0.0.0/8") = Some 2);
+  check_bool "removed" true (Lpm.remove t (pfx "10.0.0.0/8"));
+  check_bool "remove again" false (Lpm.remove t (pfx "10.0.0.0/8"));
+  check_int "empty" 0 (Lpm.length t);
+  check_bool "lookup misses" true (Lpm.lookup t (ip "10.1.1.1") = None)
+
+let test_lpm_host_route () =
+  let t = Lpm.create () in
+  Lpm.insert t (pfx "10.0.0.1/32") "host";
+  Lpm.insert t (pfx "10.0.0.0/24") "net";
+  (match Lpm.lookup t (ip "10.0.0.1") with
+  | Some (_, v) -> check_str "host wins" "host" v
+  | None -> Alcotest.fail "expected host route");
+  match Lpm.lookup t (ip "10.0.0.2") with
+  | Some (_, v) -> check_str "net for others" "net" v
+  | None -> Alcotest.fail "expected net route"
+
+let test_lpm_depth_cost () =
+  let t = Lpm.create () in
+  Lpm.insert t (pfx "10.0.0.0/24") "x";
+  let _, depth = Lpm.lookup_with_depth t (ip "10.0.0.1") in
+  check_int "visits 24 levels" 24 depth;
+  let _, depth_miss = Lpm.lookup_with_depth t (ip "192.168.0.1") in
+  check_bool "miss stops early" true (depth_miss < 24)
+
+let test_lpm_memory_grows () =
+  let t = Lpm.create () in
+  let m0 = Lpm.memory_bytes t in
+  Lpm.insert t (pfx "10.0.0.0/8") ();
+  let m1 = Lpm.memory_bytes t in
+  check_bool "memory grows" true (m1 > m0);
+  ignore (Lpm.remove t (pfx "10.0.0.0/8") : bool);
+  check_int "memory returns after prune" m0 (Lpm.memory_bytes t)
+
+let test_lpm_iter_reconstructs () =
+  let t = Lpm.create () in
+  let prefixes = [ "0.0.0.0/0"; "10.0.0.0/8"; "10.1.2.0/24"; "192.168.1.128/25"; "1.2.3.4/32" ] in
+  List.iter (fun s -> Lpm.insert t (pfx s) s) prefixes;
+  let seen = ref [] in
+  Lpm.iter t (fun p v ->
+      check_str "prefix matches payload" v (Ipv4.Prefix.to_string p);
+      seen := v :: !seen);
+  check_int "all seen" (List.length prefixes) (List.length !seen)
+
+let prop_lpm_lookup_member =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 60) (pair (int_bound 0xFFFFFF) (int_range 1 32)))
+  in
+  QCheck.Test.make ~name:"lpm result always contains the address" ~count:200 (QCheck.make gen)
+    (fun specs ->
+      let t = Lpm.create () in
+      List.iter
+        (fun (raw, len) ->
+          Lpm.insert t (Ipv4.Prefix.make (Ipv4.of_int32 (Int32.of_int (raw * 1299721))) len) ())
+        specs;
+      List.for_all
+        (fun (raw, _) ->
+          let addr = Ipv4.of_int32 (Int32.of_int (raw * 1299721)) in
+          match Lpm.lookup t addr with
+          | None -> true
+          | Some (p, ()) -> Ipv4.Prefix.mem addr p)
+        specs)
+
+(* ------------------------------------------------------------------ *)
+(* Acl *)
+
+let tuple ?(sport = 40000) ?(dport = 80) ?(proto = Five_tuple.Tcp) src dst =
+  Five_tuple.make ~src:(ip src) ~dst:(ip dst) ~src_port:sport ~dst_port:dport ~proto
+
+let test_acl_priority_order () =
+  let t = Acl.create ~default:Acl.Deny () in
+  Acl.add t (Acl.rule ~priority:10 ~src:(pfx "10.0.0.0/8") Acl.Deny);
+  Acl.add t (Acl.rule ~priority:5 ~src:(pfx "10.1.0.0/16") Acl.Permit);
+  let v = Acl.lookup t (tuple "10.1.0.5" "8.8.8.8") in
+  check_bool "more specific priority wins" true (v.Acl.action = Acl.Permit);
+  check_int "scanned 1" 1 v.Acl.rules_scanned;
+  let v2 = Acl.lookup t (tuple "10.9.0.5" "8.8.8.8") in
+  check_bool "falls to deny" true (v2.Acl.action = Acl.Deny);
+  check_int "scanned both" 2 v2.Acl.rules_scanned
+
+let test_acl_default () =
+  let t = Acl.create () in
+  let v = Acl.lookup t (tuple "1.1.1.1" "2.2.2.2") in
+  check_bool "default permit" true (v.Acl.action = Acl.Permit);
+  check_int "scanned none" 0 v.Acl.rules_scanned;
+  check_bool "no match" true (v.Acl.matched = None)
+
+let test_acl_port_and_proto_match () =
+  let t = Acl.create ~default:Acl.Deny () in
+  Acl.add t (Acl.rule ~priority:1 ~dst_ports:(80, 443) ~proto:Five_tuple.Tcp Acl.Permit);
+  check_bool "tcp 80 permitted" true
+    ((Acl.lookup t (tuple "1.1.1.1" "2.2.2.2" ~dport:80)).Acl.action = Acl.Permit);
+  check_bool "tcp 443 permitted" true
+    ((Acl.lookup t (tuple "1.1.1.1" "2.2.2.2" ~dport:443)).Acl.action = Acl.Permit);
+  check_bool "tcp 8080 denied" true
+    ((Acl.lookup t (tuple "1.1.1.1" "2.2.2.2" ~dport:8080)).Acl.action = Acl.Deny);
+  check_bool "udp 80 denied" true
+    ((Acl.lookup t (tuple "1.1.1.1" "2.2.2.2" ~dport:80 ~proto:Five_tuple.Udp)).Acl.action
+    = Acl.Deny)
+
+let test_acl_scan_cost_grows () =
+  let t = Acl.create () in
+  for i = 1 to 100 do
+    Acl.add t (Acl.rule ~priority:i ~src:(pfx "172.16.0.0/12") Acl.Deny)
+  done;
+  let v = Acl.lookup t (tuple "10.0.0.1" "10.0.0.2") in
+  check_int "scans all on miss" 100 v.Acl.rules_scanned;
+  check_int "rule count" 100 (Acl.rule_count t);
+  check_bool "memory proportional" true (Acl.memory_bytes t = 100 * 48)
+
+let test_acl_remove () =
+  let t = Acl.create ~default:Acl.Deny () in
+  Acl.add t (Acl.rule ~priority:1 Acl.Permit);
+  check_bool "removed" true (Acl.remove t ~priority:1);
+  check_bool "gone" false (Acl.remove t ~priority:1);
+  check_bool "deny now" true ((Acl.lookup t (tuple "1.1.1.1" "2.2.2.2")).Acl.action = Acl.Deny)
+
+let test_acl_stable_same_priority () =
+  let t = Acl.create () in
+  Acl.add t (Acl.rule ~priority:1 ~proto:Five_tuple.Tcp Acl.Deny);
+  Acl.add t (Acl.rule ~priority:1 ~proto:Five_tuple.Tcp Acl.Permit);
+  (* First-added wins at equal priority. *)
+  check_bool "first added wins" true
+    ((Acl.lookup t (tuple "1.1.1.1" "2.2.2.2")).Acl.action = Acl.Deny)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_table *)
+
+let key ?(vpc = 1) ?(sport = 1000) src dst =
+  Flow_key.of_packet_fields ~vpc:(Vpc.make vpc) ~flow:(tuple src dst ~sport)
+
+let mk_table ?capacity_bytes ?(aging = 8.0) () =
+  Flow_table.create ?capacity_bytes ~entry_overhead:100 ~value_bytes:String.length
+    ~default_aging:aging ()
+
+let test_ft_insert_find () =
+  let t = mk_table () in
+  let k = key "10.0.0.1" "10.0.0.2" in
+  check_bool "insert" true (Flow_table.insert t ~now:0.0 k "v1" = `Ok);
+  check_bool "find" true (Flow_table.find t k = Some "v1");
+  check_int "length" 1 (Flow_table.length t);
+  check_int "memory 100+2" 102 (Flow_table.memory_bytes t)
+
+let test_ft_bidirectional_key () =
+  let t = mk_table () in
+  let fwd = tuple "10.0.0.9" "10.0.0.2" ~sport:5555 ~dport:80 in
+  let k1 = Flow_key.of_packet_fields ~vpc:(Vpc.make 1) ~flow:fwd in
+  let k2 = Flow_key.of_packet_fields ~vpc:(Vpc.make 1) ~flow:(Five_tuple.reverse fwd) in
+  ignore (Flow_table.insert t ~now:0.0 k1 "session" : [ `Ok | `Full ]);
+  check_bool "reverse direction finds same entry" true (Flow_table.find t k2 = Some "session")
+
+let test_ft_vpc_isolation () =
+  let t = mk_table () in
+  let k1 = key ~vpc:1 "10.0.0.1" "10.0.0.2" in
+  let k2 = key ~vpc:2 "10.0.0.1" "10.0.0.2" in
+  ignore (Flow_table.insert t ~now:0.0 k1 "tenant1" : [ `Ok | `Full ]);
+  check_bool "other tenant misses" true (Flow_table.find t k2 = None)
+
+let test_ft_capacity () =
+  let t = mk_table ~capacity_bytes:250 () in
+  check_bool "first fits" true (Flow_table.insert t ~now:0.0 (key "1.1.1.1" "2.2.2.2") "xx" = `Ok);
+  check_bool "second fits" true (Flow_table.insert t ~now:0.0 (key "1.1.1.3" "2.2.2.2") "xx" = `Ok);
+  check_bool "third rejected" true
+    (Flow_table.insert t ~now:0.0 (key "1.1.1.5" "2.2.2.2") "xx" = `Full);
+  check_int "two entries" 2 (Flow_table.length t)
+
+let test_ft_replace_updates_memory () =
+  let t = mk_table () in
+  let k = key "1.1.1.1" "2.2.2.2" in
+  ignore (Flow_table.insert t ~now:0.0 k "ab" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k "abcdef" : [ `Ok | `Full ]);
+  check_int "one entry" 1 (Flow_table.length t);
+  check_int "memory reflects new size" 106 (Flow_table.memory_bytes t)
+
+let test_ft_aging () =
+  let t = mk_table ~aging:8.0 () in
+  let k = key "1.1.1.1" "2.2.2.2" in
+  ignore (Flow_table.insert t ~now:0.0 k "v" : [ `Ok | `Full ]);
+  let expired = ref [] in
+  let n = Flow_table.expire t ~now:4.0 ~on_expire:(fun k' _ -> expired := k' :: !expired) in
+  check_int "alive at 4s" 0 n;
+  let n = Flow_table.expire t ~now:10.0 ~on_expire:(fun k' _ -> expired := k' :: !expired) in
+  check_int "expired after 8s idle" 1 n;
+  check_bool "callback saw key" true (match !expired with [ k' ] -> Flow_key.equal k k' | _ -> false);
+  check_int "gone" 0 (Flow_table.length t);
+  check_int "memory reclaimed" 0 (Flow_table.memory_bytes t)
+
+let test_ft_touch_extends () =
+  let t = mk_table ~aging:8.0 () in
+  let k = key "1.1.1.1" "2.2.2.2" in
+  ignore (Flow_table.insert t ~now:0.0 k "v" : [ `Ok | `Full ]);
+  ignore (Flow_table.expire t ~now:6.0 ~on_expire:(fun _ _ -> ()) : int);
+  check_bool "touch" true (Flow_table.touch t ~now:6.0 k);
+  let n = Flow_table.expire t ~now:10.0 ~on_expire:(fun _ _ -> ()) in
+  check_int "survives original deadline" 0 n;
+  let n = Flow_table.expire t ~now:15.0 ~on_expire:(fun _ _ -> ()) in
+  check_int "expires at refreshed deadline" 1 n
+
+let test_ft_short_aging_override () =
+  (* The SYN-flood defence: states of sessions still establishing get a
+     much shorter aging time (§7.3). *)
+  let t = mk_table ~aging:8.0 () in
+  let syn_k = key "1.1.1.1" "2.2.2.2" in
+  let est_k = key "3.3.3.3" "4.4.4.4" in
+  ignore (Flow_table.insert t ~now:0.0 ~aging:2.0 syn_k "syn" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 est_k "established" : [ `Ok | `Full ]);
+  let n = Flow_table.expire t ~now:3.0 ~on_expire:(fun _ _ -> ()) in
+  check_int "syn entry gone early" 1 n;
+  check_bool "established survives" true (Flow_table.find t est_k = Some "established")
+
+let test_ft_remove () =
+  let t = mk_table () in
+  let k = key "1.1.1.1" "2.2.2.2" in
+  ignore (Flow_table.insert t ~now:0.0 k "v" : [ `Ok | `Full ]);
+  check_bool "removed" true (Flow_table.remove t k);
+  check_bool "again" false (Flow_table.remove t k);
+  check_int "memory zero" 0 (Flow_table.memory_bytes t);
+  (* The cancelled timer must not fire. *)
+  let n = Flow_table.expire t ~now:20.0 ~on_expire:(fun _ _ -> Alcotest.fail "stale fire") in
+  check_int "no expiries" 0 n
+
+let test_ft_update () =
+  let t = mk_table () in
+  let k = key "1.1.1.1" "2.2.2.2" in
+  ignore (Flow_table.insert t ~now:0.0 k "a" : [ `Ok | `Full ]);
+  check_bool "update" true (Flow_table.update t ~now:1.0 k (fun v -> v ^ "b"));
+  check_bool "new value" true (Flow_table.find t k = Some "ab");
+  check_int "memory tracks growth" 102 (Flow_table.memory_bytes t);
+  check_bool "missing update" false (Flow_table.update t ~now:1.0 (key "9.9.9.9" "8.8.8.8") Fun.id)
+
+let prop_ft_memory_consistent =
+  let gen = QCheck.Gen.(list_size (int_range 1 100) (pair (int_bound 1000) (int_bound 20))) in
+  QCheck.Test.make ~name:"flow table memory equals sum of live entries" ~count:100
+    (QCheck.make gen) (fun ops ->
+      let t =
+        Flow_table.create ~entry_overhead:10 ~value_bytes:Fun.id ~default_aging:5.0 ()
+      in
+      List.iter
+        (fun (n, sz) ->
+          let k = key "10.0.0.1" "10.0.0.2" ~sport:(1000 + (n mod 50)) in
+          if n mod 3 = 0 then ignore (Flow_table.remove t k : bool)
+          else ignore (Flow_table.insert t ~now:0.0 k sz : [ `Ok | `Full ]))
+        ops;
+      let sum = ref 0 in
+      Flow_table.iter t (fun _ sz -> sum := !sum + 10 + sz);
+      !sum = Flow_table.memory_bytes t)
+
+
+(* ------------------------------------------------------------------ *)
+(* Tss: tuple-space search classifier *)
+
+let random_rule rng i =
+  let module R = Nezha_engine.Rng in
+  let prefix () =
+    if R.chance rng 0.3 then None
+    else begin
+      let base = Ipv4.of_octets (R.int rng 256) (R.int rng 256) 0 0 in
+      Some (Ipv4.Prefix.make base (8 + (8 * R.int rng 3)))
+    end
+  in
+  let ports () =
+    if R.chance rng 0.7 then None
+    else begin
+      let lo = R.int rng 60000 in
+      Some (lo, lo + R.int rng 2000)
+    end
+  in
+  Acl.rule ~priority:(R.int rng 50) ?src:(prefix ()) ?dst:(prefix ()) ?src_ports:(ports ())
+    ?dst_ports:(ports ())
+    ?proto:(if R.chance rng 0.5 then Some Five_tuple.Tcp else None)
+    (if i mod 2 = 0 then Acl.Permit else Acl.Deny)
+
+let random_tuple rng =
+  let module R = Nezha_engine.Rng in
+  Five_tuple.make
+    ~src:(Ipv4.of_octets (R.int rng 256) (R.int rng 256) (R.int rng 256) (R.int rng 256))
+    ~dst:(Ipv4.of_octets (R.int rng 256) (R.int rng 256) (R.int rng 256) (R.int rng 256))
+    ~src_port:(R.int rng 65536) ~dst_port:(R.int rng 65536)
+    ~proto:(if R.bool rng then Five_tuple.Tcp else Five_tuple.Udp)
+
+let test_tss_matches_acl () =
+  (* Functional equivalence with the linear-scan ACL over random rule
+     sets and packets. *)
+  let rng = Nezha_engine.Rng.create 31 in
+  for _trial = 1 to 20 do
+    let acl = Acl.create ~default:Acl.Deny () in
+    let tss = Tss.create ~default:Acl.Deny () in
+    for i = 1 to 60 do
+      let r = random_rule rng i in
+      Acl.add acl r;
+      Tss.add tss r
+    done;
+    for _ = 1 to 200 do
+      let t5 = random_tuple rng in
+      let a = (Acl.lookup acl t5).Acl.action in
+      let b = (Tss.lookup tss t5).Tss.action in
+      check_bool "same verdict" true (a = b)
+    done
+  done
+
+let test_tss_sublinear_probes () =
+  (* 1000 rules drawn from a handful of mask shapes: lookups probe the
+     tuple count, not the rule count — the Table A1 sub-linearity. *)
+  let tss = Tss.create () in
+  for i = 1 to 1000 do
+    Tss.add tss
+      (Acl.rule ~priority:i
+         ~src:(Ipv4.Prefix.make (Ipv4.of_octets (i mod 250) 16 0 0) 16)
+         ~proto:Five_tuple.Tcp Acl.Deny)
+  done;
+  check_int "rules stored" 1000 (Tss.rule_count tss);
+  check_bool "few tuples" true (Tss.tuple_count tss <= 4);
+  let v = Tss.lookup tss (tuple "10.0.0.1" "10.0.0.2") in
+  check_bool "probes = tuples, not rules" true (v.Tss.tuples_probed <= 4);
+  check_bool "tiny bucket scans" true (v.Tss.bucket_scans <= 8)
+
+let test_tss_priority_and_ties () =
+  let tss = Tss.create () in
+  Tss.add tss (Acl.rule ~priority:10 ~proto:Five_tuple.Tcp Acl.Deny);
+  Tss.add tss (Acl.rule ~priority:5 ~src:(pfx "10.0.0.0/8") Acl.Permit);
+  let v = Tss.lookup tss (tuple "10.1.1.1" "8.8.8.8") in
+  check_bool "lower priority number wins across tuples" true (v.Tss.action = Acl.Permit);
+  (* Equal priority: first-added wins, like Acl. *)
+  let tss2 = Tss.create () in
+  Tss.add tss2 (Acl.rule ~priority:1 ~proto:Five_tuple.Tcp Acl.Deny);
+  Tss.add tss2 (Acl.rule ~priority:1 ~proto:Five_tuple.Tcp Acl.Permit);
+  check_bool "stable tie-break" true
+    ((Tss.lookup tss2 (tuple "1.1.1.1" "2.2.2.2")).Tss.action = Acl.Deny)
+
+let test_tss_remove () =
+  let tss = Tss.create ~default:Acl.Deny () in
+  Tss.add tss (Acl.rule ~priority:1 Acl.Permit);
+  check_bool "removed" true (Tss.remove tss ~priority:1);
+  check_bool "gone" false (Tss.remove tss ~priority:1);
+  check_int "count" 0 (Tss.rule_count tss);
+  check_bool "default now" true
+    ((Tss.lookup tss (tuple "1.1.1.1" "2.2.2.2")).Tss.action = Acl.Deny)
+
+let prop_tss_equivalent =
+  QCheck.Test.make ~name:"tss and acl agree on every packet" ~count:60
+    QCheck.(make Gen.(pair (int_range 0 1000000) (int_range 1 80)))
+    (fun (seed, nrules) ->
+      let rng = Nezha_engine.Rng.create seed in
+      let acl = Acl.create () and tss = Tss.create () in
+      for i = 1 to nrules do
+        let r = random_rule rng i in
+        Acl.add acl r;
+        Tss.add tss r
+      done;
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let t5 = random_tuple rng in
+        if (Acl.lookup acl t5).Acl.action <> (Tss.lookup tss t5).Tss.action then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "tables"
+    [
+      ( "lpm",
+        [
+          Alcotest.test_case "longest wins" `Quick test_lpm_longest_wins;
+          Alcotest.test_case "default route" `Quick test_lpm_default_route;
+          Alcotest.test_case "replace and remove" `Quick test_lpm_replace_and_remove;
+          Alcotest.test_case "host route" `Quick test_lpm_host_route;
+          Alcotest.test_case "depth cost" `Quick test_lpm_depth_cost;
+          Alcotest.test_case "memory accounting" `Quick test_lpm_memory_grows;
+          Alcotest.test_case "iter reconstructs prefixes" `Quick test_lpm_iter_reconstructs;
+        ]
+        @ qsuite [ prop_lpm_lookup_member ] );
+      ( "acl",
+        [
+          Alcotest.test_case "priority order" `Quick test_acl_priority_order;
+          Alcotest.test_case "default action" `Quick test_acl_default;
+          Alcotest.test_case "port and proto match" `Quick test_acl_port_and_proto_match;
+          Alcotest.test_case "scan cost grows with rules" `Quick test_acl_scan_cost_grows;
+          Alcotest.test_case "remove" `Quick test_acl_remove;
+          Alcotest.test_case "stable at same priority" `Quick test_acl_stable_same_priority;
+        ] );
+      ( "tss",
+        [
+          Alcotest.test_case "matches acl" `Quick test_tss_matches_acl;
+          Alcotest.test_case "sublinear probes" `Quick test_tss_sublinear_probes;
+          Alcotest.test_case "priority and ties" `Quick test_tss_priority_and_ties;
+          Alcotest.test_case "remove" `Quick test_tss_remove;
+        ]
+        @ qsuite [ prop_tss_equivalent ] );
+      ( "flow_table",
+        [
+          Alcotest.test_case "insert and find" `Quick test_ft_insert_find;
+          Alcotest.test_case "bidirectional key" `Quick test_ft_bidirectional_key;
+          Alcotest.test_case "vpc isolation" `Quick test_ft_vpc_isolation;
+          Alcotest.test_case "capacity limit" `Quick test_ft_capacity;
+          Alcotest.test_case "replace updates memory" `Quick test_ft_replace_updates_memory;
+          Alcotest.test_case "aging expiry" `Quick test_ft_aging;
+          Alcotest.test_case "touch extends life" `Quick test_ft_touch_extends;
+          Alcotest.test_case "short aging override" `Quick test_ft_short_aging_override;
+          Alcotest.test_case "remove cancels timer" `Quick test_ft_remove;
+          Alcotest.test_case "update in place" `Quick test_ft_update;
+        ]
+        @ qsuite [ prop_ft_memory_consistent ] );
+    ]
