@@ -1,0 +1,42 @@
+#!/bin/sh
+# CI-style gate: build, run the test suite, then exercise the bench's
+# machine-readable mode and make sure its output is real JSON with the
+# sections the schema promises.
+#
+#   bench/check.sh [OUT.json]      (default /tmp/nezha_bench_check.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-/tmp/nezha_bench_check.json}"
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench --json ($out)"
+dune exec --no-build bench/main.exe -- fig9 --json "$out"
+
+echo "== validating $out"
+# The bench already re-parses its own output with the in-tree JSON
+# parser before it exits (and fails loudly if that round-trip breaks);
+# cross-check with an independent parser when one is around.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "nezha-bench/1", doc.get("schema")
+fig9 = doc["experiments"]["fig9"]
+assert len(fig9["gains"]) >= 1
+for side in ("without", "with"):
+    s = fig9["latency_us"][side]
+    for k in ("count", "p50", "p99", "p9999"):
+        assert k in s, (side, k)
+print("ok:", len(fig9["gains"]), "gain rows; latency summaries present")
+PY
+else
+  echo "python3 not found; relying on the bench's built-in round-trip check"
+fi
+
+echo "== all checks passed"

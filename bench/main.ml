@@ -7,12 +7,17 @@
      bench/main.exe fig9 table3     run selected experiments
      bench/main.exe micro           Bechamel microbenchmarks of the core
                                     data structures
-     bench/main.exe --list          list experiment names *)
+     bench/main.exe --list          list experiment names
+     bench/main.exe --json FILE     machine-readable mode: write the
+                                    JSON-capable experiments (fig9 gains
+                                    plus latency summaries, table4) to
+                                    FILE instead of printing tables *)
 
 open Nezha_engine
 open Nezha_workloads
 open Nezha_harness
 open Nezha_core
+open Nezha_telemetry
 
 let banner title = Printf.printf "\n==== %s ====\n%!" title
 
@@ -334,6 +339,89 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output: each JSON-capable experiment contributes a
+   section to the --json document.  The latency summaries come from the
+   telemetry histogram summarizer, so the bench and the simulator's
+   --metrics dumps share one schema for percentile material. *)
+
+let json_summary h = Telemetry.json_of_summary (Telemetry.summarize_histogram h)
+
+(* Tcp_crr records latencies in seconds; export microseconds. *)
+let json_summary_us h =
+  let s = Telemetry.summarize_histogram h in
+  let us v = v *. 1e6 in
+  Telemetry.json_of_summary
+    {
+      s with
+      Telemetry.mean = us s.Telemetry.mean;
+      min = us s.Telemetry.min;
+      max = us s.Telemetry.max;
+      p50 = us s.Telemetry.p50;
+      p90 = us s.Telemetry.p90;
+      p99 = us s.Telemetry.p99;
+      p999 = us s.Telemetry.p999;
+      p9999 = us s.Telemetry.p9999;
+    }
+
+let json_fig9 () =
+  let rows =
+    List.map
+      (fun r ->
+        Json.Obj
+          [
+            ("fes", Json.Int r.Experiments.fes);
+            ("cps_gain", Json.Float r.Experiments.cps_gain);
+            ("flows_gain", Json.Float r.Experiments.flows_gain);
+            ("vnics_gain", Json.Float r.Experiments.vnics_gain);
+          ])
+      (Experiments.fig9 ~fes_list:[ 1; 2; 3; 4; 6; 8 ] ())
+  in
+  let without, with_ = Experiments.fig9_latency () in
+  Json.Obj
+    [
+      ("gains", Json.List rows);
+      ( "latency_us",
+        Json.Obj [ ("without", json_summary_us without); ("with", json_summary_us with_) ] );
+    ]
+
+let json_table4 () =
+  Json.Obj [ ("completion_ms", json_summary (Experiments.table4 ~events:100 ())) ]
+
+let json_experiments = [ ("fig9", json_fig9); ("table4", json_table4) ]
+
+let run_json ~path names =
+  let names = if names = [] then List.map fst json_experiments else names in
+  let sections =
+    List.map
+      (fun name ->
+        match List.assoc_opt name json_experiments with
+        | Some f ->
+          note "computing %s ..." name;
+          (name, f ())
+        | None ->
+          Printf.eprintf "no JSON output for %S (available: %s)\n" name
+            (String.concat ", " (List.map fst json_experiments));
+          exit 1)
+      names
+  in
+  let doc = Json.Obj [ ("schema", Json.String "nezha-bench/1"); ("experiments", Json.Obj sections) ] in
+  let text = Json.to_string_pretty doc in
+  (try
+     let oc = open_out path in
+     output_string oc text;
+     output_char oc '\n';
+     close_out oc
+   with Sys_error e ->
+     Printf.eprintf "cannot write %s: %s\n" path e;
+     exit 1);
+  (* Self-check: the written document must parse back. *)
+  (match Json.of_string text with
+  | Ok reread when Json.equal reread doc -> ()
+  | Ok _ -> failwith "--json self-check: document changed across a round-trip"
+  | Error e -> failwith ("--json self-check: written JSON does not parse: " ^ e));
+  note "wrote %s (%d experiment sections)" path (List.length sections)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -360,12 +448,22 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
-  | [] ->
+  let rec extract_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | [ "--json" ] ->
+      Printf.eprintf "--json needs a file argument\n";
+      exit 1
+    | a :: rest -> extract_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_path, args = extract_json [] args in
+  match (json_path, args) with
+  | Some path, names -> run_json ~path names
+  | None, [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
+  | None, [] ->
     Printf.printf "Nezha reproduction bench — regenerating every table and figure\n";
     List.iter (fun (_, f) -> f ()) experiments
-  | names ->
+  | None, names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with

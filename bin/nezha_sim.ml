@@ -11,8 +11,35 @@ open Nezha_engine
 open Nezha_core
 open Nezha_workloads
 open Nezha_harness
+open Nezha_telemetry
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* Testbed commands accept --metrics FILE: the testbed's telemetry
+   registry is sampled during the run (0.5 s virtual-time period) and the
+   full snapshot + time series lands in FILE as JSON. *)
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write a telemetry snapshot (and sampled time series) as JSON to $(docv).")
+
+let with_metrics metrics (t : Testbed.t) =
+  match metrics with
+  | None -> ()
+  | Some _ -> Telemetry.start_sampler t.Testbed.telemetry ~sim:t.Testbed.sim ()
+
+let dump_metrics metrics (t : Testbed.t) =
+  match metrics with
+  | None -> ()
+  | Some path ->
+    Telemetry.stop_sampler t.Testbed.telemetry;
+    (try Telemetry.write_json_file ~at:(Sim.now t.Testbed.sim) t.Testbed.telemetry ~path
+     with Sys_error e ->
+       Printf.eprintf "nezha_sim: cannot write metrics: %s\n" e;
+       exit 1);
+    say "telemetry: %d metrics (%d sampled points) -> %s"
+      (Telemetry.cardinality t.Testbed.telemetry)
+      (Telemetry.samples_taken t.Testbed.telemetry)
+      path
 
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
@@ -34,18 +61,20 @@ let middlebox_arg =
 (* ------------------------------------------------------------------ *)
 
 let cps_cmd =
-  let run seed fes middlebox =
+  let run seed fes middlebox metrics =
     let t = Testbed.create ~seed ?middlebox () in
     let base = Testbed.measure_cps t () in
     say "local CPS capacity: %.0f" base;
     let t = Testbed.create ~seed ?middlebox () in
     ignore (Testbed.offload t ~num_fes:fes () : Controller.offload);
+    with_metrics metrics t;
     let cps = Testbed.measure_cps t ~concurrency:1024 () in
-    say "with %d FEs:        %.0f  (gain %.2fx)" fes cps (cps /. base)
+    say "with %d FEs:        %.0f  (gain %.2fx)" fes cps (cps /. base);
+    dump_metrics metrics t
   in
   Cmd.v
     (Cmd.info "cps" ~doc:"Measure CPS capacity with and without Nezha.")
-    Term.(const run $ seed_arg $ fes_arg $ middlebox_arg)
+    Term.(const run $ seed_arg $ fes_arg $ middlebox_arg $ metrics_arg)
 
 let flows_cmd =
   let run seed fes =
@@ -60,7 +89,7 @@ let flows_cmd =
     Term.(const run $ seed_arg $ fes_arg)
 
 let offload_cmd =
-  let run seed fes =
+  let run seed fes metrics =
     let t = Testbed.create ~seed () in
     let o = Testbed.offload t ~num_fes:fes () in
     say "offload complete: stage=%s"
@@ -70,23 +99,32 @@ let offload_cmd =
     (match Controller.offload_completed_at o with
     | Some at -> say "activation completed at t=%.3fs (trigger at t=0)" at
     | None -> ());
+    with_metrics metrics t;
     ignore (Testbed.measure_cps t ~duration:2.0 () : float);
-    let be = Controller.offload_be o in
-    say "BE counters: tx-via-FE %d, rx-from-FE %d, notify %d, bounced %d" (Be.tx_via_fe be)
-      (Be.rx_from_fe be) (Be.notify_received be) (Be.bounced be);
+    let bc = Be.counters (Controller.offload_be o) in
+    say "BE counters: tx-via-FE %d, rx-from-FE %d, notify %d, bounced %d"
+      (Stats.Counter.value bc.Be.tx_via_fe)
+      (Stats.Counter.value bc.Be.rx_from_fe)
+      (Stats.Counter.value bc.Be.notify_received)
+      (Stats.Counter.value bc.Be.bounced);
     List.iter
       (fun s ->
         match Controller.fe_service t.Testbed.ctl s with
         | Some fe ->
+          let fc = Fe.counters fe in
           say "FE %d: lookups %d, cache hits %d, cached flows %d, rx->BE %d, tx finalized %d" s
-            (Fe.rule_lookups fe) (Fe.fast_hits fe) (Fe.cached_flow_count fe) (Fe.rx_forwarded fe)
-            (Fe.tx_finalized fe)
+            (Stats.Counter.value fc.Fe.rule_lookups)
+            (Stats.Counter.value fc.Fe.fast_hits)
+            (Fe.cached_flow_count fe)
+            (Stats.Counter.value fc.Fe.rx_forwarded)
+            (Stats.Counter.value fc.Fe.tx_finalized)
         | None -> ())
-      (Controller.offload_fe_servers o)
+      (Controller.offload_fe_servers o);
+    dump_metrics metrics t
   in
   Cmd.v
     (Cmd.info "offload" ~doc:"Offload the testbed's heavy vNIC and show the datapath counters.")
-    Term.(const run $ seed_arg $ fes_arg)
+    Term.(const run $ seed_arg $ fes_arg $ metrics_arg)
 
 let fleet_cmd =
   let size_arg =
@@ -117,16 +155,18 @@ let fleet_cmd =
     Term.(const run $ seed_arg $ size_arg)
 
 let status_cmd =
-  let run seed =
+  let run seed metrics =
     let t = Testbed.create ~seed () in
     ignore (Testbed.offload t () : Controller.offload);
     Controller.start t.Testbed.ctl;
+    with_metrics metrics t;
     ignore (Testbed.measure_cps t ~duration:2.0 () : float);
-    Format.printf "%a@." Controller.pp_status t.Testbed.ctl
+    Format.printf "%a@." Controller.pp_status t.Testbed.ctl;
+    dump_metrics metrics t
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Offload, run traffic, and print the controller's operator view.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ metrics_arg)
 
 let pcap_cmd =
   let out_arg =

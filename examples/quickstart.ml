@@ -39,8 +39,8 @@ let () =
   let client_rules = Ruleset.create ~vni:7 () in
   Ruleset.add_route client_rules (pfx "10.0.0.0/8");
   Ruleset.add_mapping client_rules { Vnic.Addr.vpc; ip = ip "10.0.0.10" } (Topology.underlay_ip topo 0);
-  assert (Vswitch.add_vnic vs0 web web_rules = `Ok);
-  assert (Vswitch.add_vnic vs1 client client_rules = `Ok);
+  assert (Vswitch.add_vnic vs0 web web_rules = Ok ());
+  assert (Vswitch.add_vnic vs1 client client_rules = Ok ());
 
   (* 4. VMs behind the vNICs; the web VM answers SYNs. --------------- *)
   let web_vm = Vm.create ~sim ~name:"web" ~vcpus:16 () in
@@ -106,15 +106,43 @@ let () =
   done;
   Sim.run sim ~until:(Sim.now sim +. 1.0);
   let be = Controller.offload_be o in
+  let bc = Be.counters be in
   say "Nezha path: BE saw %d packets arrive with piggybacked pre-actions and sent %d via FEs"
-    (Be.rx_from_fe be) (Be.tx_via_fe be);
+    (Stats.Counter.value bc.Be.rx_from_fe)
+    (Stats.Counter.value bc.Be.tx_via_fe);
   List.iter
     (fun s ->
       match Controller.fe_service ctl s with
       | Some fe ->
+        let fc = Fe.counters fe in
         say "  FE on server %d: %d rule lookups, %d cached flows, %d packets forwarded to BE" s
-          (Fe.rule_lookups fe) (Fe.cached_flow_count fe) (Fe.rx_forwarded fe)
+          (Stats.Counter.value fc.Fe.rule_lookups)
+          (Fe.cached_flow_count fe)
+          (Stats.Counter.value fc.Fe.rx_forwarded)
       | None -> ())
     (Controller.offload_fe_servers o);
   say "Web VM accepted %d connections in total — service never blinked."
-    (Vm.connections_accepted web_vm)
+    (Vm.connections_accepted web_vm);
+
+  (* 8. One telemetry snapshot replaces the hand-collected reads. ----- *)
+  let open Nezha_telemetry in
+  let reg = Telemetry.create () in
+  List.iter (fun vs -> Vswitch.register_telemetry vs reg) switches;
+  Controller.register_telemetry ctl reg;
+  say "";
+  say "Telemetry registry holds %d metrics; the web vSwitch's view:" (Telemetry.cardinality reg);
+  List.iter
+    (fun name ->
+      let interesting =
+        String.length name > 13 && String.sub name 0 13 = "vswitch/vs-0/"
+        || String.length name > 3 && String.sub name 0 3 = "fe/"
+        || String.length name > 11 && String.sub name 0 11 = "controller/"
+      in
+      if interesting then
+        match Telemetry.read reg name with
+        | Some (Telemetry.Counter n) when n > 0 -> say "  %-40s %d" name n
+        | Some (Telemetry.Gauge g) when g > 0.0 -> say "  %-40s %.2f" name g
+        | Some (Telemetry.Histogram s) when s.Telemetry.count > 0 ->
+          say "  %-40s count=%d p99=%.1f" name s.Telemetry.count s.Telemetry.p99
+        | _ -> ())
+    (Telemetry.names reg)

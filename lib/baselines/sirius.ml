@@ -128,7 +128,7 @@ and process_on_primary t s pair_idx pkt ~outer =
         let store state =
           ignore
             (Flow_table.insert table ~now:(Sim.now (Vswitch.sim vs)) key { pre; state }
-              : [ `Ok | `Full ])
+              : Admission.t)
         in
         match out with
         | Nf.Keep ->
@@ -312,7 +312,7 @@ let rebalance t =
             (Flow_table.insert new_table
                ~now:(Sim.now (Fabric.sim t.fabric))
                key e
-              : [ `Ok | `Full ]);
+              : Admission.t);
           t.transfers <- t.transfers + 1)
         !moves)
     t.served

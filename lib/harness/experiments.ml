@@ -95,6 +95,21 @@ let fig9 ?(seed = 1) ?(fes_list = [ 1; 2; 3; 4; 6; 8 ]) () =
       { fes; cps_gain = cps /. cps0; flows_gain = flows /. flows0; vnics_gain = vnics /. vnics0 })
     fes_list
 
+(* Connection-setup latency distributions under the saturating load of
+   the fig9 CPS measurement: the tail summaries (P50/P99/P9999) the
+   machine-readable bench output reports alongside the gains. *)
+let fig9_latency ?(seed = 1) ?(fes = 4) () =
+  let without =
+    let t = Testbed.create ~seed () in
+    Testbed.measure_latency t ()
+  in
+  let with_ =
+    let t = Testbed.create ~seed () in
+    ignore (Testbed.offload t ~num_fes:fes () : Controller.offload);
+    Testbed.measure_latency t ~concurrency:1024 ()
+  in
+  (without, with_)
+
 (* ------------------------------------------------------------------ *)
 (* Fig. 10 *)
 
@@ -482,7 +497,7 @@ let ablation_sirius ?(seed = 1) () =
       List.fold_left
         (fun acc s ->
           match Controller.fe_service t.Testbed.ctl s with
-          | Some fe -> acc + Fe.notify_sent fe
+          | Some fe -> acc + Stats.Counter.value (Fe.counters fe).Fe.notify_sent
           | None -> acc)
         0
         (Topology.servers (Fabric.topology t.Testbed.fabric))
@@ -521,7 +536,9 @@ let ablation_flow_vs_packet_lb ?(seed = 1) () =
       List.fold_left
         (fun (l, c) s ->
           match Controller.fe_service t.Testbed.ctl s with
-          | Some fe -> (l + Fe.rule_lookups fe, c + Fe.cached_flow_count fe)
+          | Some fe ->
+            ( l + Stats.Counter.value (Fe.counters fe).Fe.rule_lookups,
+              c + Fe.cached_flow_count fe )
           | None -> (l, c))
         (0, 0)
         (Controller.offload_fe_servers o)

@@ -21,6 +21,12 @@ type fig9_row = {
 val fig9 : ?seed:int -> ?fes_list:int list -> unit -> fig9_row list
 (** Defaults sweep 1, 2, 3, 4, 6, 8 FEs (auto-scaling disabled, §6.2.1). *)
 
+val fig9_latency : ?seed:int -> ?fes:int -> unit -> Stats.Histogram.t * Stats.Histogram.t
+(** Connection-setup latency distributions (without, with Nezha) under
+    the saturating closed-loop load of the Fig. 9 measurement — the
+    source of the P50/P99/P9999 summaries in the machine-readable bench
+    output. *)
+
 val fig9_vnics : ?fes_list:int list -> unit -> (int * float) list
 (** The #vNICs series on the paper's wider 1–128 FE axis: gain is
     proportional to the pool size once it exceeds the 4-way replication

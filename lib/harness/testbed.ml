@@ -15,6 +15,7 @@ type t = {
   heavy_server : Topology.server_id;
   server : Tcp_crr.endpoint;
   clients : Tcp_crr.endpoint array;
+  telemetry : Nezha_telemetry.Telemetry.t;
 }
 
 (* The VM kernel at 1/100 CPU scale (like Params.scaled).  With 64 vCPUs
@@ -91,9 +92,8 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
         (Topology.underlay_ip topo s))
     client_servers;
   let heavy_vnic = Vnic.make ~id:1 ~vpc ~ip:heavy_ip ~mac:(Mac.of_int64 1L) in
-  (match Vswitch.add_vnic heavy_vs heavy_vnic heavy_rs with
-  | `Ok -> ()
-  | `No_memory -> failwith "Testbed: heavy vNIC does not fit");
+  Admission.exn ~context:"Testbed: heavy vNIC"
+    (Vswitch.add_vnic heavy_vs heavy_vnic heavy_rs);
   let server_vm = Vm.create ~sim ~name:"heavy-vm" ~vcpus:server_vcpus ~kernel () in
   Fabric.attach_vm fabric heavy_server heavy_vnic.Vnic.id server_vm;
   Gateway.set_route (Fabric.gateway fabric)
@@ -110,9 +110,8 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
            Ruleset.add_route rs ten_slash_8;
            Ruleset.add_mapping rs { Vnic.Addr.vpc; ip = heavy_ip }
              (Topology.underlay_ip topo heavy_server);
-           (match Vswitch.add_vnic vs vnic rs with
-           | `Ok -> ()
-           | `No_memory -> failwith "Testbed: client vNIC does not fit");
+           Admission.exn ~context:"Testbed: client vNIC"
+             (Vswitch.add_vnic vs vnic rs);
            let vm = Vm.create ~sim ~name:(Printf.sprintf "client-%d" i) ~vcpus:64 () in
            Fabric.attach_vm fabric s vnic.Vnic.id vm;
            Gateway.set_route (Fabric.gateway fabric) { Vnic.Addr.vpc; ip = cip }
@@ -134,6 +133,14 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
         end)
       (Topology.servers topo);
   let ctl = Controller.create ~config:controller_config ~fabric ~rng:(Rng.split rng) () in
+  let telemetry = Nezha_telemetry.Telemetry.create () in
+  List.iter
+    (fun s ->
+      match Fabric.vswitch_opt fabric s with
+      | Some vs -> Vswitch.register_telemetry vs telemetry
+      | None -> ())
+    (Topology.servers topo);
+  Controller.register_telemetry ctl telemetry;
   {
     sim;
     rng;
@@ -144,6 +151,7 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
     server =
       { Tcp_crr.vs = heavy_vs; vnic = heavy_vnic.Vnic.id; vm = server_vm; ip = heavy_ip };
     clients = client_eps;
+    telemetry;
   }
 
 let offload t ?num_fes () =
@@ -176,7 +184,7 @@ let local_cps_capacity_estimate t =
   in
   p.Params.cpu_hz /. float_of_int per_conn
 
-let measure_cps t ?(concurrency = 512) ?(duration = 3.0) () =
+let closed_loop_run t ~concurrency ~duration =
   let n = Array.length t.clients in
   let gens =
     Array.to_list
@@ -187,5 +195,17 @@ let measure_cps t ?(concurrency = 512) ?(duration = 3.0) () =
          t.clients)
   in
   Sim.run t.sim ~until:(Sim.now t.sim +. duration +. 3.0);
+  gens
+
+let measure_cps t ?(concurrency = 512) ?(duration = 3.0) () =
+  let gens = closed_loop_run t ~concurrency ~duration in
   let completed = List.fold_left (fun acc g -> acc + Tcp_crr.completed g) 0 gens in
   float_of_int completed /. duration
+
+let measure_latency t ?(concurrency = 512) ?(duration = 3.0) () =
+  let gens = closed_loop_run t ~concurrency ~duration in
+  let merged = Stats.Histogram.create () in
+  List.iter
+    (fun g -> Stats.Histogram.merge_into ~dst:merged ~src:(Tcp_crr.latencies g))
+    gens;
+  merged

@@ -27,6 +27,9 @@ type t = {
   heavy_server : Topology.server_id;
   server : Tcp_crr.endpoint;  (** the high-demand vNIC's endpoint *)
   clients : Tcp_crr.endpoint array;
+  telemetry : Nezha_telemetry.Telemetry.t;
+      (** every vSwitch, the controller and the monitor are registered;
+          FEs and BEs self-register as the controller creates them *)
 }
 
 val scaled_kernel : Vm.kernel
@@ -72,6 +75,11 @@ val measure_cps : t -> ?concurrency:int -> ?duration:float -> unit -> float
 (** Saturation CPS of the heavy vNIC: closed-loop TCP_CRR (spread over
     all clients) keeps [concurrency] connections outstanding and reports
     the completion rate. *)
+
+val measure_latency :
+  t -> ?concurrency:int -> ?duration:float -> unit -> Stats.Histogram.t
+(** Same closed-loop load, returning the merged SYN-to-response latency
+    histogram across all clients (P50…P9999 material). *)
 
 val local_cps_capacity_estimate : t -> float
 (** Closed-form estimate of the heavy vSwitch's local CPS capacity from

@@ -1,3 +1,4 @@
+open Nezha_engine
 open Nezha_net
 open Nezha_vswitch
 open Nezha_tables
@@ -5,6 +6,13 @@ open Nezha_tables
 type stage = Dual | Final
 
 type lb_mode = Flow_level | Packet_level
+
+type counters = {
+  tx_via_fe : Stats.Counter.t;
+  rx_from_fe : Stats.Counter.t;
+  notify_received : Stats.Counter.t;
+  bounced : Stats.Counter.t;
+}
 
 type t = {
   vs : Vswitch.t;
@@ -15,10 +23,7 @@ type t = {
   mutable lb_mode : lb_mode;
   mutable rr : int;
   pins : Ipv4.t Flow_key.Table.t;
-  mutable tx_via_fe : int;
-  mutable rx_from_fe : int;
-  mutable notify_received : int;
-  mutable bounced : int;
+  counters : counters;
 }
 
 let pin_key t flow =
@@ -54,7 +59,7 @@ let store_state t key st =
   ignore
     (Vswitch.store_session t.vs t.vnic.Vnic.id key
        { Vswitch.pre = None; state = Some st; generation = 0 }
-      : [ `Ok | `Full ])
+      : Admission.t)
 
 let send_to_fe t pkt ~nsh =
   Packet.set_nsh pkt nsh;
@@ -81,11 +86,11 @@ let handle_tx t pkt =
           State.init ~first_dir:Packet.Tx ?tcp:(Nf.tcp_phase_of_flags flags ~proto) ()
       in
       store_state t key st;
-      t.tx_via_fe <- t.tx_via_fe + 1;
+      Stats.Counter.incr t.counters.tx_via_fe;
       send_to_fe t pkt ~nsh:{ Packet.empty_nsh with Packet.carried_state = Some (State.encode st) })
 
 let handle_notify t pkt nsh =
-  t.notify_received <- t.notify_received + 1;
+  Stats.Counter.incr t.counters.notify_received;
   let p = params t in
   Vswitch.charge t.vs ~cycles:p.Params.state_update_cycles (fun _ ->
       match Option.map Pre_action.decode nsh.Packet.carried_pre_actions with
@@ -127,7 +132,7 @@ let handle_rx_with_pre t pkt nsh pre_blob =
         (match out with
         | Nf.Init st | Nf.Update st -> store_state t key st
         | Nf.Keep -> Vswitch.touch_session t.vs t.vnic.Vnic.id key);
-        t.rx_from_fe <- t.rx_from_fe + 1;
+        Stats.Counter.incr t.counters.rx_from_fe;
         match verdict with
         | Nf.Deliver ->
           ignore (Packet.clear_nsh pkt : Packet.nsh option);
@@ -140,7 +145,7 @@ let handle_rx_bare t pkt =
   | Final ->
     (* A sender with a stale vNIC-server entry reached us directly after
        the retention window: bounce the packet through an FE. *)
-    t.bounced <- t.bounced + 1;
+    Stats.Counter.incr t.counters.bounced;
     let p = params t in
     Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
         let fe = fe_for t pkt.Packet.flow in
@@ -160,10 +165,13 @@ let install ~vs ~vnic ~vni ~fes =
       lb_mode = Flow_level;
       rr = 0;
       pins = Flow_key.Table.create 4;
-      tx_via_fe = 0;
-      rx_from_fe = 0;
-      notify_received = 0;
-      bounced = 0;
+      counters =
+        {
+          tx_via_fe = Stats.Counter.create ();
+          rx_from_fe = Stats.Counter.create ();
+          notify_received = Stats.Counter.create ();
+          bounced = Stats.Counter.create ();
+        };
     }
   in
   Vswitch.set_intercept vs vnic.Vnic.id
@@ -213,7 +221,22 @@ let pin_flow t flow fe = Flow_key.Table.replace t.pins (pin_key t flow) fe
 let unpin_flow t flow = Flow_key.Table.remove t.pins (pin_key t flow)
 let pinned_count t = Flow_key.Table.length t.pins
 
-let tx_via_fe t = t.tx_via_fe
-let rx_from_fe t = t.rx_from_fe
-let notify_received t = t.notify_received
-let bounced t = t.bounced
+let counters t = t.counters
+
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  let prefix =
+    Printf.sprintf "be/%s/%d/" (Vswitch.name t.vs) (t.vnic.Vnic.id :> int)
+  in
+  let counter name c = T.attach_counter reg ~name:(prefix ^ name) c in
+  counter "tx_via_fe" t.counters.tx_via_fe;
+  counter "rx_from_fe" t.counters.rx_from_fe;
+  counter "notify_received" t.counters.notify_received;
+  counter "bounced" t.counters.bounced;
+  T.register_gauge reg ~name:(prefix ^ "pinned_flows") (fun () ->
+      float_of_int (pinned_count t))
+
+let tx_via_fe t = Stats.Counter.value t.counters.tx_via_fe
+let rx_from_fe t = Stats.Counter.value t.counters.rx_from_fe
+let notify_received t = Stats.Counter.value t.counters.notify_received
+let bounced t = Stats.Counter.value t.counters.bounced

@@ -18,6 +18,7 @@
     handed back to the still-present local tables; in the final stage they
     are bounced to an FE instead (§4.2.1). *)
 
+open Nezha_engine
 open Nezha_net
 open Nezha_vswitch
 
@@ -63,10 +64,36 @@ val set_lb_mode : t -> lb_mode -> unit
     sprays packets round-robin — the §3.2.3 ablation showing why Nezha
     rejects it: duplicated rule lookups and cached flows on every FE. *)
 
-(** Dataplane counters. *)
+(** {1 Dataplane counters} *)
+
+type counters = {
+  tx_via_fe : Stats.Counter.t;
+  rx_from_fe : Stats.Counter.t;
+  notify_received : Stats.Counter.t;
+  bounced : Stats.Counter.t;
+      (** final-stage packets without metadata re-steered to an FE *)
+}
+
+val counters : t -> counters
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Publish the counters (plus a pinned-flows gauge) under
+    [be/<vswitch-name>/<vnic-id>/...]. *)
+
+(** {1 Deprecated getters}
+
+    Superseded by {!counters} and the telemetry registry; kept as thin
+    wrappers for existing callers. *)
+
 val tx_via_fe : t -> int
+  [@@deprecated "read (Be.counters t).tx_via_fe or be/<vs>/<vnic>/tx_via_fe"]
 
 val rx_from_fe : t -> int
+  [@@deprecated "read (Be.counters t).rx_from_fe or be/<vs>/<vnic>/rx_from_fe"]
+
 val notify_received : t -> int
+  [@@deprecated
+    "read (Be.counters t).notify_received or be/<vs>/<vnic>/notify_received"]
+
 val bounced : t -> int
-(** Final-stage packets without metadata re-steered to an FE. *)
+  [@@deprecated "read (Be.counters t).bounced or be/<vs>/<vnic>/bounced"]

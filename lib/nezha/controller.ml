@@ -1,5 +1,6 @@
 open Nezha_engine
 open Nezha_fabric
+open Nezha_tables
 open Nezha_vswitch
 
 type config = {
@@ -83,6 +84,8 @@ type t = {
   mutable scale_out_events : int;
   mutable fes_provisioned : int;
   mutable started : bool;
+  mutable telemetry : Nezha_telemetry.Telemetry.t option;
+      (* propagated to FE services and BEs created after registration *)
 }
 
 let create ?(config = default_config) ~fabric ~rng () =
@@ -110,6 +113,7 @@ let create ?(config = default_config) ~fabric ~rng () =
     scale_out_events = 0;
     fes_provisioned = 0;
     started = false;
+    telemetry = None;
   }
 
 let config t = t.cfg
@@ -146,7 +150,13 @@ let fe_service_ensure t s =
   | None ->
     let fe = Fe.install (Fabric.vswitch t.fabric s) in
     Hashtbl.replace t.fe_services s fe;
+    (match t.telemetry with Some reg -> Fe.register_telemetry fe reg | None -> ());
     fe
+
+let install_be t ~vs ~vnic ~vni ~fes =
+  let be = Be.install ~vs ~vnic ~vni ~fes in
+  (match t.telemetry with Some reg -> Be.register_telemetry be reg | None -> ());
+  be
 
 (* ------------------------------------------------------------------ *)
 (* FE candidate selection (§4.2.1, App. B.1): idle vSwitches, same ToR
@@ -210,7 +220,7 @@ let propagate_learning t ~addr ~targets =
                   ignore
                     (Sim.schedule t.sim ~delay (fun _ ->
                          Ruleset.set_mapping_multi rs addr targets;
-                         ignore (Vswitch.sync_rule_memory vs vid : [ `Ok | `No_memory ]))
+                         ignore (Vswitch.sync_rule_memory vs vid : Admission.t))
                       : Sim.handle)
                 end))
           (Vswitch.vnic_ids vs))
@@ -281,10 +291,10 @@ and scale_out t o ~add =
           Fe.serve fe ~vnic:o.vnic ~ruleset:replica
             ~be:(Topology.underlay_ip (Fabric.topology t.fabric) o.be_server)
         with
-        | `Ok ->
+        | Ok () ->
           configured := s :: !configured;
           watch_fe_host t s
-        | `No_memory -> ())
+        | Error _ -> ())
       candidates;
     let added = List.length !configured in
     if added > 0 then begin
@@ -366,10 +376,10 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
                        Fe.serve fe ~vnic:vnic_rec ~ruleset:replica
                          ~be:(Topology.underlay_ip (Fabric.topology t.fabric) server)
                      with
-                     | `Ok ->
+                     | Ok () ->
                        configured := s :: !configured;
                        watch_fe_host t s
-                     | `No_memory -> ())
+                     | Error _ -> ())
                   : Sim.handle))
             push_delays;
           let max_push = List.fold_left (fun m (_, d) -> Float.max m d) 0.0 push_delays in
@@ -386,7 +396,7 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
                      o.fe_servers <- List.rev fes;
                      t.fes_provisioned <- t.fes_provisioned + List.length fes;
                      let be =
-                       Be.install ~vs ~vnic:vnic_rec ~vni:o.vni ~fes:(fe_ips t o.fe_servers)
+                       install_be t ~vs ~vnic:vnic_rec ~vni:o.vni ~fes:(fe_ips t o.fe_servers)
                      in
                      o.be <- Some be;
                      (* Stage 2: gateway + learning. *)
@@ -430,12 +440,12 @@ let fallback_vnic t o =
       let restored =
         (* During the dual-running stage the local tables still exist. *)
         match Vswitch.ruleset vs o.vnic.Vnic.id with
-        | Some _ -> `Ok
+        | Some _ -> Admission.ok
         | None -> Vswitch.restore_ruleset vs o.vnic.Vnic.id o.saved_ruleset
       in
       match restored with
-      | `No_memory -> Error "BE lacks memory to restore rule tables"
-      | `Ok ->
+      | Error _ -> Error "BE lacks memory to restore rule tables"
+      | Ok () ->
         o.falling_back <- true;
         (match o.be with Some be -> Be.set_stage be Be.Dual | None -> ());
         let addr = Vnic.addr o.vnic in
@@ -508,10 +518,10 @@ let update_tenant_rules t o f =
     | Some rs when rs != o.saved_ruleset ->
       f rs;
       Vswitch.invalidate_cached_flows vs o.vnic.Vnic.id;
-      ignore (Vswitch.sync_rule_memory vs o.vnic.Vnic.id : [ `Ok | `No_memory ])
+      ignore (Vswitch.sync_rule_memory vs o.vnic.Vnic.id : Admission.t)
     | Some _ ->
       Vswitch.invalidate_cached_flows vs o.vnic.Vnic.id;
-      ignore (Vswitch.sync_rule_memory vs o.vnic.Vnic.id : [ `Ok | `No_memory ])
+      ignore (Vswitch.sync_rule_memory vs o.vnic.Vnic.id : Admission.t)
     | None -> ())
   | None -> ());
   List.iter
@@ -553,8 +563,8 @@ let migrate_be t o ~to_server =
             ~fixed_overhead_bytes:(Vswitch.params new_vs).Params.be_residual_bytes_per_vnic ()
         in
         match Vswitch.add_vnic new_vs o.vnic shim with
-        | `No_memory -> Error "target lacks memory for BE residual state"
-        | `Ok ->
+        | Error _ -> Error "target lacks memory for BE residual state"
+        | Ok () ->
           Vswitch.drop_ruleset new_vs o.vnic.Vnic.id;
           (* Carry the states (the VM migration copies them). *)
           Vswitch.iter_sessions old_vs o.vnic.Vnic.id (fun key session ->
@@ -563,11 +573,11 @@ let migrate_be t o ~to_server =
                 ignore
                   (Vswitch.store_session new_vs o.vnic.Vnic.id key
                      { session with Vswitch.pre = None }
-                    : [ `Ok | `Full ])
+                    : Admission.t)
               | None -> ());
           let old_be = o.be in
           let fes = fe_ips t o.fe_servers in
-          let be' = Be.install ~vs:new_vs ~vnic:o.vnic ~vni:o.vni ~fes in
+          let be' = install_be t ~vs:new_vs ~vnic:o.vnic ~vni:o.vni ~fes in
           Be.set_stage be'
             (match old_be with Some b -> Be.stage b | None -> Be.Final);
           (match old_be with Some b -> Be.uninstall b | None -> ());
@@ -607,8 +617,8 @@ let pin_elephant t o flow =
         Fe.serve fe ~vnic:o.vnic ~ruleset:replica
           ~be:(Topology.underlay_ip (Fabric.topology t.fabric) o.be_server)
       with
-      | `No_memory -> Error "candidate FE lacks memory for the tables"
-      | `Ok ->
+      | Error _ -> Error "candidate FE lacks memory for the tables"
+      | Ok () ->
         watch_fe_host t s;
         (match o.be with
         | Some be -> Be.pin_flow be flow (Topology.underlay_ip (Fabric.topology t.fabric) s)
@@ -649,7 +659,7 @@ let remote_fraction t s =
     | Some vs ->
       let nic = Vswitch.nic vs in
       let p = Vswitch.params vs in
-      let remote_now = Fe.remote_cycles fe in
+      let remote_now = Stats.Counter.value (Fe.counters fe).Fe.remote_cycles in
       let remote_prev = Option.value (Hashtbl.find_opt t.remote_prev s) ~default:0 in
       let busy_now = Smartnic.total_busy_seconds nic in
       let busy_prev = Option.value (Hashtbl.find_opt t.busy_prev s) ~default:0.0 in
@@ -779,6 +789,28 @@ let overload_occurrences t s = Option.value (Hashtbl.find_opt t.overloads s) ~de
 let total_overload_occurrences t =
   Hashtbl.fold (fun _ n acc -> acc + n) t.overloads 0
 
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  t.telemetry <- Some reg;
+  T.register_counter reg ~name:"controller/offload_events" (fun () ->
+      t.offload_events);
+  T.register_counter reg ~name:"controller/scale_out_events" (fun () ->
+      t.scale_out_events);
+  T.register_counter reg ~name:"controller/fes_provisioned" (fun () ->
+      t.fes_provisioned);
+  T.register_counter reg ~name:"controller/overload_occurrences" (fun () ->
+      total_overload_occurrences t);
+  T.register_gauge reg ~name:"controller/active_offloads" (fun () ->
+      float_of_int (List.length (offloads t)));
+  T.register_histogram reg ~name:"controller/completion_ms" t.completion_ms;
+  Monitor.register_telemetry t.monitor reg;
+  (* Components the controller already spawned; later ones register at
+     creation via [t.telemetry]. *)
+  Hashtbl.iter (fun _ fe -> Fe.register_telemetry fe reg) t.fe_services;
+  Hashtbl.iter
+    (fun _ o -> match o.be with Some be -> Be.register_telemetry be reg | None -> ())
+    t.offload_tbl
+
 let pp_status ppf t =
   let offs = offloads t in
   Format.fprintf ppf "@[<v>%d active offload(s); %d offload event(s), %d scale-out(s), %d FE(s) provisioned@,"
@@ -793,8 +825,12 @@ let pp_status ppf t =
         (String.concat "; " (List.map string_of_int o.fe_servers));
       (match o.be with
       | Some be ->
+        let c = Be.counters be in
         Format.fprintf ppf " | tx-via-FE %d, rx-from-FE %d, notify %d, bounced %d, pinned %d"
-          (Be.tx_via_fe be) (Be.rx_from_fe be) (Be.notify_received be) (Be.bounced be)
+          (Stats.Counter.value c.Be.tx_via_fe)
+          (Stats.Counter.value c.Be.rx_from_fe)
+          (Stats.Counter.value c.Be.notify_received)
+          (Stats.Counter.value c.Be.bounced)
           (Be.pinned_count be)
       | None -> ());
       Format.fprintf ppf "@,")

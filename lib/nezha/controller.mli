@@ -141,6 +141,13 @@ val overload_occurrences : t -> Topology.server_id -> int
 
 val total_overload_occurrences : t -> int
 
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Publish controller metrics ([controller/...], including the
+    completion-time histogram) and the monitor's ([monitor/...]), and
+    remember the registry: FE services and BEs the controller creates
+    from now on self-register under [fe/...] and [be/...], as do any
+    already alive. *)
+
 val pp_status : Format.formatter -> t -> unit
 (** Operator view: every active offload with its stage, BE/FE placement
     and dataplane counters, plus the monitor's health. *)

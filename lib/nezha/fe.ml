@@ -13,15 +13,19 @@ type served = {
   mutable rule_bytes : int;
 }
 
+type counters = {
+  remote_cycles : Stats.Counter.t;
+  rule_lookups : Stats.Counter.t;
+  fast_hits : Stats.Counter.t;
+  notify_sent : Stats.Counter.t;
+  rx_forwarded : Stats.Counter.t;
+  tx_finalized : Stats.Counter.t;
+}
+
 type t = {
   vs : Vswitch.t;
   served : served Vnic.Addr.Table.t;
-  mutable remote_cycles : int;
-  mutable rule_lookups : int;
-  mutable fast_hits : int;
-  mutable notify_sent : int;
-  mutable rx_forwarded : int;
-  mutable tx_finalized : int;
+  counters : counters;
 }
 
 let params t = Vswitch.params t.vs
@@ -31,7 +35,7 @@ let flow_entry_bytes t = (params t).Params.session_entry_overhead
 (* All FE work is charged through here so the controller can attribute
    this vSwitch's load to remote serving vs. local vNICs. *)
 let charge t ~cycles k =
-  t.remote_cycles <- t.remote_cycles + cycles;
+  Stats.Counter.add t.counters.remote_cycles cycles;
   Vswitch.charge t.vs ~cycles k
 
 let key_of pkt = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow
@@ -42,11 +46,11 @@ let resolve_pre t s ~flow_tx ~key =
   let generation = Ruleset.generation s.ruleset in
   match Flow_table.find s.flows key with
   | Some c when c.generation = generation ->
-    t.fast_hits <- t.fast_hits + 1;
+    Stats.Counter.incr t.counters.fast_hits;
     ignore (Flow_table.touch s.flows ~now:(Sim.now (Vswitch.sim t.vs)) key : bool);
     Some (c.pre, (params t).Params.split_fast_path_cycles, false)
   | Some _ | None -> (
-    t.rule_lookups <- t.rule_lookups + 1;
+    Stats.Counter.incr t.counters.rule_lookups;
     match Vswitch.slow_path t.vs s.ruleset ~vpc:s.vnic.Vnic.vpc ~flow_tx with
     | None -> None
     | Some { Ruleset.pre; cycles } ->
@@ -54,8 +58,8 @@ let resolve_pre t s ~flow_tx ~key =
       let bytes = flow_entry_bytes t in
       if Smartnic.mem_reserve (Vswitch.nic t.vs) bytes then begin
         match Flow_table.insert s.flows ~now:(Sim.now (Vswitch.sim t.vs)) key entry with
-        | `Ok -> ()
-        | `Full -> Smartnic.mem_release (Vswitch.nic t.vs) bytes
+        | Ok () -> ()
+        | Error _ -> Smartnic.mem_release (Vswitch.nic t.vs) bytes
       end;
       (* Creating the bidirectional cached flow is the expensive share of
          session setup, and it now happens here, not at the BE. *)
@@ -86,7 +90,7 @@ let handle_rx t s pkt ~outer =
         let orig_outer_src =
           match outer with Some v -> Some v.Packet.outer_src | None -> None
         in
-        t.rx_forwarded <- t.rx_forwarded + 1;
+        Stats.Counter.incr t.counters.rx_forwarded;
         forward_to_be t s pkt
           ~nsh:
             {
@@ -96,7 +100,7 @@ let handle_rx t s pkt ~outer =
             })
 
 let send_notify t s pkt pre =
-  t.notify_sent <- t.notify_sent + 1;
+  Stats.Counter.incr t.counters.notify_sent;
   Vswitch.count_notify t.vs;
   let notify =
     Packet.create ~vpc:pkt.Packet.vpc
@@ -142,7 +146,7 @@ let handle_tx t s pkt nsh state_blob =
             Nf.process ~pre ~state:(Some state) ~dir:Packet.Tx ~flags:pkt.Packet.flags
               ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
           in
-          t.tx_finalized <- t.tx_finalized + 1;
+          Stats.Counter.incr t.counters.tx_finalized;
           match verdict with
           | Nf.Deliver ->
             ignore (Packet.clear_nsh pkt : Packet.nsh option);
@@ -179,12 +183,15 @@ let install vs =
     {
       vs;
       served = Vnic.Addr.Table.create 8;
-      remote_cycles = 0;
-      rule_lookups = 0;
-      fast_hits = 0;
-      notify_sent = 0;
-      rx_forwarded = 0;
-      tx_finalized = 0;
+      counters =
+        {
+          remote_cycles = Stats.Counter.create ();
+          rule_lookups = Stats.Counter.create ();
+          fast_hits = Stats.Counter.create ();
+          notify_sent = Stats.Counter.create ();
+          rx_forwarded = Stats.Counter.create ();
+          tx_finalized = Stats.Counter.create ();
+        };
     }
   in
   Vswitch.set_net_hook vs (Some (fun pkt ~outer -> hook t pkt ~outer));
@@ -232,9 +239,9 @@ let serve t ~vnic ~ruleset ~be =
       }
     in
     Vnic.Addr.Table.replace t.served addr s;
-    `Ok
+    Admission.ok
   end
-  else `No_memory
+  else Admission.no_memory
 
 let unserve t addr =
   match Vnic.Addr.Table.find_opt t.served addr with
@@ -268,13 +275,29 @@ let invalidate_cached_flows t addr =
           Smartnic.mem_release (Vswitch.nic t.vs) (flow_entry_bytes t))
       !victims
 
-let remote_cycles t = t.remote_cycles
+let counters t = t.counters
 
 let cached_flow_count t =
   Vnic.Addr.Table.fold (fun _ s acc -> acc + Flow_table.length s.flows) t.served 0
 
-let rule_lookups t = t.rule_lookups
-let fast_hits t = t.fast_hits
-let notify_sent t = t.notify_sent
-let rx_forwarded t = t.rx_forwarded
-let tx_finalized t = t.tx_finalized
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  let prefix = "fe/" ^ Vswitch.name t.vs ^ "/" in
+  let counter name c = T.attach_counter reg ~name:(prefix ^ name) c in
+  counter "remote_cycles" t.counters.remote_cycles;
+  counter "rule_lookups" t.counters.rule_lookups;
+  counter "fast_hits" t.counters.fast_hits;
+  counter "notify_sent" t.counters.notify_sent;
+  counter "rx_forwarded" t.counters.rx_forwarded;
+  counter "tx_finalized" t.counters.tx_finalized;
+  T.register_gauge reg ~name:(prefix ^ "cached_flows") (fun () ->
+      float_of_int (cached_flow_count t));
+  T.register_gauge reg ~name:(prefix ^ "served_vnics") (fun () ->
+      float_of_int (served_count t))
+
+let remote_cycles t = Stats.Counter.value t.counters.remote_cycles
+let rule_lookups t = Stats.Counter.value t.counters.rule_lookups
+let fast_hits t = Stats.Counter.value t.counters.fast_hits
+let notify_sent t = Stats.Counter.value t.counters.notify_sent
+let rx_forwarded t = Stats.Counter.value t.counters.rx_forwarded
+let tx_finalized t = Stats.Counter.value t.counters.tx_finalized

@@ -20,7 +20,9 @@
     hashing sufficient for load balancing and active-active failover
     free of synchronization (§3.2.3). *)
 
+open Nezha_engine
 open Nezha_net
+open Nezha_tables
 open Nezha_vswitch
 
 type t
@@ -30,10 +32,10 @@ val install : Vswitch.t -> t
 
 val vswitch : t -> Vswitch.t
 
-val serve :
-  t -> vnic:Vnic.t -> ruleset:Ruleset.t -> be:Ipv4.t -> [ `Ok | `No_memory ]
+val serve : t -> vnic:Vnic.t -> ruleset:Ruleset.t -> be:Ipv4.t -> Admission.t
 (** Configure this FE for a vNIC: reserves memory for the rule-table
-    replica.  Replaces any previous config for the same vNIC. *)
+    replica ([Error `No_memory] when it does not fit).  Replaces any
+    previous config for the same vNIC. *)
 
 val unserve : t -> Vnic.Addr.t -> unit
 (** Stop serving: releases the rule replica and cached flows. *)
@@ -55,13 +57,45 @@ val invalidate_cached_flows : t -> Vnic.Addr.t -> unit
 
 (** {1 Attribution and counters} *)
 
-val remote_cycles : t -> int
-(** CPU cycles this vSwitch spent on FE (remote) work — the signal that
-    distinguishes scale-out from scale-in pressure (§4.3, Fig. 8). *)
+type counters = {
+  remote_cycles : Stats.Counter.t;
+      (** CPU cycles this vSwitch spent on FE (remote) work — the signal
+          that distinguishes scale-out from scale-in pressure (§4.3,
+          Fig. 8). *)
+  rule_lookups : Stats.Counter.t;
+  fast_hits : Stats.Counter.t;
+  notify_sent : Stats.Counter.t;
+  rx_forwarded : Stats.Counter.t;
+  tx_finalized : Stats.Counter.t;
+}
+
+val counters : t -> counters
 
 val cached_flow_count : t -> int
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Publish every counter (plus cached-flow and served-vNIC gauges)
+    under [fe/<vswitch-name>/...]. *)
+
+(** {1 Deprecated getters}
+
+    Superseded by {!counters} and the telemetry registry; kept as thin
+    wrappers for existing callers. *)
+
+val remote_cycles : t -> int
+  [@@deprecated "read (Fe.counters t).remote_cycles or fe/<vs>/remote_cycles"]
+
 val rule_lookups : t -> int
+  [@@deprecated "read (Fe.counters t).rule_lookups or fe/<vs>/rule_lookups"]
+
 val fast_hits : t -> int
+  [@@deprecated "read (Fe.counters t).fast_hits or fe/<vs>/fast_hits"]
+
 val notify_sent : t -> int
+  [@@deprecated "read (Fe.counters t).notify_sent or fe/<vs>/notify_sent"]
+
 val rx_forwarded : t -> int
+  [@@deprecated "read (Fe.counters t).rx_forwarded or fe/<vs>/rx_forwarded"]
+
 val tx_finalized : t -> int
+  [@@deprecated "read (Fe.counters t).tx_finalized or fe/<vs>/tx_finalized"]

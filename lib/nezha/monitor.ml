@@ -84,3 +84,12 @@ let stop t = t.running <- false
 let probes_sent t = t.probes
 let failures_declared t = t.failures
 let mass_failure_suspected t = t.mass_suspected
+
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  T.register_counter reg ~name:"monitor/probes_sent" (fun () -> t.probes);
+  T.register_counter reg ~name:"monitor/failures_declared" (fun () -> t.failures);
+  T.register_counter reg ~name:"monitor/mass_failure_suspected" (fun () ->
+      t.mass_suspected);
+  T.register_gauge reg ~name:"monitor/watched" (fun () ->
+      float_of_int (watched t))

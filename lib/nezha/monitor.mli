@@ -42,3 +42,7 @@ val probes_sent : t -> int
 val failures_declared : t -> int
 val mass_failure_suspected : t -> int
 (** Rounds where auto-removal was suspended (§C.2). *)
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Publish probe/failure counters and the watched-target gauge under
+    [monitor/...]. *)

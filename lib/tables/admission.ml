@@ -1,0 +1,32 @@
+type error =
+  [ `No_memory
+  | `Table_full
+  ]
+
+type t = (unit, error) result
+
+let ok : t = Ok ()
+let no_memory : t = Error `No_memory
+let table_full : t = Error `Table_full
+
+let is_ok = function Ok () -> true | Error _ -> false
+
+let error_to_string = function
+  | `No_memory -> "no_memory"
+  | `Table_full -> "table_full"
+
+let to_string = function
+  | Ok () -> "ok"
+  | Error e -> error_to_string e
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let exn ?context t =
+  match t with
+  | Ok () -> ()
+  | Error e ->
+    let what = error_to_string e in
+    failwith
+      (match context with
+      | Some c -> Printf.sprintf "%s: admission rejected (%s)" c what
+      | None -> Printf.sprintf "admission rejected (%s)" what)

@@ -1,0 +1,35 @@
+(** The shared admission result for capacity-gated insertions.
+
+    Every layer that accepts work against a finite budget — flow-table
+    entries against SmartNIC memory, vNICs against an FE's rule memory,
+    rulesets restored on fallback — answers the same question: was the
+    thing admitted, and if not, which resource was exhausted?  Before
+    this type each module answered with its own polymorphic variant
+    ([[ `Ok | `Full ]] here, [[ `Ok | `No_memory ]] there), which made
+    the results impossible to thread through common error paths.
+
+    The type is a plain [result], so [Result.is_ok], [let*] and friends
+    all apply. *)
+
+type error =
+  [ `No_memory  (** rule/ruleset memory on the NIC or FE is exhausted *)
+  | `Table_full  (** the flow/session table's byte budget is exhausted *)
+  ]
+
+type t = (unit, error) result
+
+val ok : t
+(** [Ok ()]. *)
+
+val no_memory : t
+val table_full : t
+
+val is_ok : t -> bool
+
+val error_to_string : error -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val exn : ?context:string -> t -> unit
+(** [exn r] is [()] on [Ok] and raises [Failure] otherwise — for call
+    sites (tests, examples) that treat rejection as a bug. *)

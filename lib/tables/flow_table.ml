@@ -48,18 +48,18 @@ let insert t ~now ?aging key v =
       e.bytes <- nbytes;
       Timer_wheel.cancel e.timer;
       e.timer <- arm t ~now ~aging key;
-      `Ok
+      Admission.ok
     end
-    else `Full
+    else Admission.table_full
   | None ->
     let nbytes = entry_size t v in
     if fits t nbytes then begin
       let e = { value = v; bytes = nbytes; timer = arm t ~now ~aging key } in
       Flow_key.Table.replace t.entries key e;
       t.used_bytes <- t.used_bytes + nbytes;
-      `Ok
+      Admission.ok
     end
-    else `Full
+    else Admission.table_full
 
 let find t key =
   match Flow_key.Table.find_opt t.entries key with

@@ -21,9 +21,10 @@ val create :
     time after which an untouched entry expires.
     @raise Invalid_argument if [default_aging <= 0]. *)
 
-val insert : 'v t -> now:float -> ?aging:float -> Flow_key.t -> 'v -> [ `Ok | `Full ]
-(** Insert or replace.  [`Full] when the entry does not fit in the
-    remaining budget (existing binding, if any, is left untouched). *)
+val insert : 'v t -> now:float -> ?aging:float -> Flow_key.t -> 'v -> Admission.t
+(** Insert or replace.  [Error `Table_full] when the entry does not fit
+    in the remaining budget (existing binding, if any, is left
+    untouched). *)
 
 val find : 'v t -> Flow_key.t -> 'v option
 

@@ -1,0 +1,350 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal that parses back exactly; non-finite becomes null
+   (the caller sees "null" where JSON has no number spelling). *)
+let float_repr f =
+  if not (Float.is_finite f) then None
+  else if Float.is_integer f && Float.abs f < 1e15 then Some (Printf.sprintf "%.1f" f)
+  else begin
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then Some s else Some (Printf.sprintf "%.17g" f)
+  end
+
+let rec write ~indent ~level buf t =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> (
+    match float_repr f with
+    | Some s -> Buffer.add_string buf s
+    | None -> Buffer.add_string buf "null")
+  | String s -> escape_to buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        write ~indent ~level:(level + 1) buf item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    newline ();
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          newline ()
+        end;
+        pad (level + 1);
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        if indent then Buffer.add_char buf ' ';
+        write ~indent ~level:(level + 1) buf v)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let render ~indent t =
+  let buf = Buffer.create 256 in
+  write ~indent ~level:0 buf t;
+  Buffer.contents buf
+
+let to_string t = render ~indent:false t
+let to_string_pretty t = render ~indent:true t
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: plain recursive descent over a string. *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 c =
+  let d ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> error c "bad \\u escape"
+  in
+  if c.pos + 4 > String.length c.src then error c "truncated \\u escape";
+  let v =
+    (d c.src.[c.pos] lsl 12)
+    lor (d c.src.[c.pos + 1] lsl 8)
+    lor (d c.src.[c.pos + 2] lsl 4)
+    lor d c.src.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+      | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+      | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+      | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+      | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+      | Some 'u' ->
+        advance c;
+        let u = hex4 c in
+        let u =
+          (* Surrogate pair: a high surrogate must be followed by a low
+             one; anything else degrades to U+FFFD. *)
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            if
+              c.pos + 2 <= String.length c.src
+              && c.src.[c.pos] = '\\'
+              && c.src.[c.pos + 1] = 'u'
+            then begin
+              c.pos <- c.pos + 2;
+              let lo = hex4 c in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+              else 0xFFFD
+            end
+            else 0xFFFD
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then 0xFFFD
+          else u
+        in
+        add_utf8 buf u;
+        go ()
+      | _ -> error c "bad escape")
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  if s = "" then error c "expected number";
+  let is_float = String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s in
+  if is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> error c "malformed number"
+  else begin
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      (* An integer literal too large for [int]: keep it as a float. *)
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error c "malformed number")
+  end
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          Obj (List.rev ((k, v) :: acc))
+        | _ -> error c "expected ',' or '}'"
+      in
+      fields []
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List (List.rev (v :: acc))
+        | _ -> error c "expected ',' or ']'"
+      in
+      items []
+    end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None
+let string_opt = function String s -> Some s | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | String x, String y -> String.equal x y
+  | List x, List y -> List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) x y
+  | _, _ -> false

@@ -1,0 +1,53 @@
+(** A minimal, dependency-free JSON value with a printer and parser.
+
+    The bench and telemetry exporters need machine-readable output, and
+    the check tooling needs to validate it, without pulling a JSON
+    library into the build.  This covers exactly RFC 8259: objects,
+    arrays, strings (with escapes), numbers, booleans and null.
+
+    Printing is canonical enough to round-trip: floats are rendered
+    with the shortest decimal form that parses back to the same value,
+    and non-finite floats degrade to [null] (JSON has no spelling for
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering (for files a human may open). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Parsing} *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an
+    error.  Numbers without [.]/[e] that fit an [int] parse as [Int],
+    everything else as [Float]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)]; [None] on missing key or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert. *)
+
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+val string_opt : t -> string option
+
+val equal : t -> t -> bool
+(** Structural equality; object key order is significant (the printers
+    and parsers here preserve it). *)

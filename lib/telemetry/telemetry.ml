@@ -1,0 +1,383 @@
+open Nezha_engine
+
+type instrument =
+  | ICounter of (unit -> int)
+  | IGauge of (unit -> float)
+  | IHisto of Stats.Histogram.t
+
+type entry = { labels : (string * string) list; instrument : instrument }
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  series_tbl : (string, Stats.Series.t) Hashtbl.t;
+  mutable sampler_generation : int;
+      (* start_sampler bumps this; an in-flight Sim.every callback from an
+         older generation sees the mismatch and stops rescheduling. *)
+  mutable sampler_active : bool;
+  mutable sample_count : int;
+}
+
+let create () =
+  {
+    entries = Hashtbl.create 64;
+    series_tbl = Hashtbl.create 64;
+    sampler_generation = 0;
+    sampler_active = false;
+    sample_count = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registration *)
+
+let register t name labels instrument =
+  Hashtbl.replace t.entries name { labels; instrument }
+
+let register_counter t ~name ?(labels = []) read =
+  register t name labels (ICounter read)
+
+let register_gauge t ~name ?(labels = []) read =
+  register t name labels (IGauge read)
+
+let register_histogram t ~name ?(labels = []) h = register t name labels (IHisto h)
+
+let attach_counter t ~name ?labels c =
+  register_counter t ~name ?labels (fun () -> Stats.Counter.value c)
+
+let unregister t name = Hashtbl.remove t.entries name
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let unregister_prefix t ~prefix =
+  let doomed =
+    Hashtbl.fold
+      (fun name _ acc -> if starts_with ~prefix name then name :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) doomed
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+type histogram_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  p9999 : float;
+}
+
+let summarize_histogram h =
+  let p q = Stats.Histogram.percentile h q in
+  {
+    count = Stats.Histogram.count h;
+    mean = Stats.Histogram.mean h;
+    min = Stats.Histogram.min_value h;
+    max = Stats.Histogram.max_value h;
+    p50 = p 50.0;
+    p90 = p 90.0;
+    p99 = p 99.0;
+    p999 = p 99.9;
+    p9999 = p 99.99;
+  }
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+let poll = function
+  | ICounter read -> Counter (read ())
+  | IGauge read -> Gauge (read ())
+  | IHisto h -> Histogram (summarize_histogram h)
+
+let mem t name = Hashtbl.mem t.entries name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.entries []
+  |> List.sort String.compare
+
+let cardinality t = Hashtbl.length t.entries
+
+let read t name =
+  match Hashtbl.find_opt t.entries name with
+  | None -> None
+  | Some e -> Some (poll e.instrument)
+
+let read_counter t name =
+  match read t name with Some (Counter v) -> Some v | _ -> None
+
+let read_gauge t name =
+  match read t name with Some (Gauge v) -> Some v | _ -> None
+
+let read_histogram t name =
+  match read t name with Some (Histogram v) -> Some v | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+type snapshot = { at : float; metrics : metric list }
+
+let snapshot ?(at = 0.0) t =
+  let metrics =
+    names t
+    |> List.map (fun name ->
+         let e = Hashtbl.find t.entries name in
+         { name; labels = e.labels; value = poll e.instrument })
+  in
+  { at; metrics }
+
+(* ------------------------------------------------------------------ *)
+(* Time series *)
+
+let numeric_value = function
+  | ICounter read -> Some (float_of_int (read ()))
+  | IGauge read -> Some (read ())
+  | IHisto _ -> None
+
+let sample t ~now =
+  Hashtbl.iter
+    (fun name e ->
+      match numeric_value e.instrument with
+      | None -> ()
+      | Some v ->
+        let s =
+          match Hashtbl.find_opt t.series_tbl name with
+          | Some s -> s
+          | None ->
+            let s = Stats.Series.create ~name in
+            Hashtbl.add t.series_tbl name s;
+            s
+        in
+        Stats.Series.add s ~time:now v)
+    t.entries;
+  t.sample_count <- t.sample_count + 1
+
+let start_sampler t ~sim ?(period = 0.5) () =
+  t.sampler_generation <- t.sampler_generation + 1;
+  t.sampler_active <- true;
+  let generation = t.sampler_generation in
+  Sim.every sim ~period (fun sim ->
+      if t.sampler_active && t.sampler_generation = generation then begin
+        sample t ~now:(Sim.now sim);
+        true
+      end
+      else false)
+
+let stop_sampler t = t.sampler_active <- false
+let sampler_running t = t.sampler_active
+let samples_taken t = t.sample_count
+
+let series t name = Hashtbl.find_opt t.series_tbl name
+
+let all_series t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.series_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let schema = "nezha-telemetry/1"
+
+let json_of_summary s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+      ("p999", Json.Float s.p999);
+      ("p9999", Json.Float s.p9999);
+    ]
+
+let json_of_metric m =
+  let kind, value =
+    match m.value with
+    | Counter v -> ("counter", Json.Int v)
+    | Gauge v -> ("gauge", Json.Float v)
+    | Histogram s -> ("histogram", json_of_summary s)
+  in
+  let base =
+    [ ("name", Json.String m.name); ("kind", Json.String kind); ("value", value) ]
+  in
+  let labels =
+    match m.labels with
+    | [] -> []
+    | ls ->
+      [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ls)) ]
+  in
+  Json.Obj (base @ labels)
+
+let json_of_snapshot snap =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("at", Json.Float snap.at);
+      ("metrics", Json.List (List.map json_of_metric snap.metrics));
+    ]
+
+(* Reading back: used by tests and check tooling to validate exports. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field ?(where = "object") name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing %S in %s" name where)
+
+let float_field ?where name j =
+  let* v = field ?where name j in
+  match Json.to_float_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%S is not a number" name)
+
+let int_field ?where name j =
+  let* v = field ?where name j in
+  match Json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%S is not an integer" name)
+
+let summary_of_json j =
+  let* count = int_field "count" j in
+  let* mean = float_field "mean" j in
+  let* min = float_field "min" j in
+  let* max = float_field "max" j in
+  let* p50 = float_field "p50" j in
+  let* p90 = float_field "p90" j in
+  let* p99 = float_field "p99" j in
+  let* p999 = float_field "p999" j in
+  let* p9999 = float_field "p9999" j in
+  Ok { count; mean; min; max; p50; p90; p99; p999; p9999 }
+
+let metric_of_json j =
+  let where = "metric" in
+  let* name_j = field ~where "name" j in
+  let* name =
+    match Json.string_opt name_j with
+    | Some s -> Ok s
+    | None -> Error "\"name\" is not a string"
+  in
+  let* kind_j = field ~where "kind" j in
+  let* kind =
+    match Json.string_opt kind_j with
+    | Some s -> Ok s
+    | None -> Error "\"kind\" is not a string"
+  in
+  let* value_j = field ~where "value" j in
+  let* value =
+    match kind with
+    | "counter" -> (
+      match Json.to_int_opt value_j with
+      | Some v -> Ok (Counter v)
+      | None -> Error (Printf.sprintf "counter %S value is not an integer" name))
+    | "gauge" -> (
+      match Json.to_float_opt value_j with
+      | Some v -> Ok (Gauge v)
+      | None -> Error (Printf.sprintf "gauge %S value is not a number" name))
+    | "histogram" ->
+      let* s = summary_of_json value_j in
+      Ok (Histogram s)
+    | k -> Error (Printf.sprintf "unknown metric kind %S" k)
+  in
+  let labels =
+    match Json.member "labels" j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match Json.string_opt v with Some s -> Some (k, s) | None -> None)
+        fields
+    | _ -> []
+  in
+  Ok { name; labels; value }
+
+let snapshot_of_json j =
+  let where = "snapshot" in
+  let* schema_j = field ~where "schema" j in
+  let* () =
+    match Json.string_opt schema_j with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
+    | None -> Error "\"schema\" is not a string"
+  in
+  let* at = float_field ~where "at" j in
+  let* metrics_j = field ~where "metrics" j in
+  let* items =
+    match Json.to_list_opt metrics_j with
+    | Some l -> Ok l
+    | None -> Error "\"metrics\" is not an array"
+  in
+  let* metrics =
+    List.fold_left
+      (fun acc m ->
+        let* acc = acc in
+        let* m = metric_of_json m in
+        Ok (m :: acc))
+      (Ok []) items
+  in
+  Ok { at; metrics = List.rev metrics }
+
+let json_of_series (name, s) =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ( "points",
+        Json.List
+          (Stats.Series.points s |> Array.to_list
+          |> List.map (fun (time, v) -> Json.List [ Json.Float time; Json.Float v ]))
+      );
+    ]
+
+let dump_json ?at t =
+  match json_of_snapshot (snapshot ?at t) with
+  | Json.Obj fields ->
+    Json.Obj (fields @ [ ("series", Json.List (List.map json_of_series (all_series t))) ])
+  | j -> j
+
+let dump_json_string ?at t = Json.to_string_pretty (dump_json ?at t)
+
+let write_json_file ?at t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (dump_json_string ?at t);
+      output_char oc '\n')
+
+let csv_cell v =
+  (* Metric names never need quoting today, but guard anyway. *)
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') v then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' v) ^ "\""
+  else v
+
+let dump_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,metric,value\n";
+  List.iter
+    (fun (name, s) ->
+      Array.iter
+        (fun (time, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%.6f,%s,%.17g\n" time (csv_cell name) v))
+        (Stats.Series.points s))
+    (all_series t);
+  Buffer.contents buf
+
+let write_csv_file t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_csv t))

@@ -1,0 +1,152 @@
+(** Unified telemetry: a metrics registry, a virtual-time sampler, and
+    JSON/CSV exporters.
+
+    The paper's whole evaluation is measurement — P9999 utilization
+    tails over O(10K) vSwitches (Fig. 2/4), per-FE cycle attribution
+    driving scale-out and scale-in (§4.3, Fig. 8), latency/CPS curves
+    over time (Figs. 11–12) — so every component registers its
+    instruments here instead of exposing ad-hoc getters.
+
+    {2 Instruments}
+
+    Three kinds, all {e polled}: the registry stores a closure (or a
+    {!Stats.Histogram.t} handle) and reads it at snapshot time, so
+    registration costs nothing on the datapath.
+
+    - {b counters}: monotone ints (packets forwarded, rule lookups);
+    - {b gauges}: instantaneous floats (CPU utilization, queue depth);
+    - {b histograms}: {!Stats.Histogram.t} distributions, exported as
+      count/mean/min/max and P50/P90/P99/P999/P9999 summaries.
+
+    {2 Naming scheme}
+
+    Names are slash-separated paths:
+    [<component>/<instance>/<metric>], e.g.
+    [fe/vs-3/rule_lookups], [smartnic/vs-0/cpu_util],
+    [controller/offload_events].  Optional [labels] carry extra
+    dimensions (drop reason, vNIC id) without multiplying path names —
+    but the full name must still be unique, so per-vNIC instruments put
+    the vNIC in the path.  Re-registering a name replaces the previous
+    instrument (components may be torn down and rebuilt). *)
+
+open Nezha_engine
+
+type t
+(** A registry.  Typically one per simulation/testbed. *)
+
+val create : unit -> t
+
+(** {1 Registration} *)
+
+val register_counter :
+  t -> name:string -> ?labels:(string * string) list -> (unit -> int) -> unit
+
+val register_gauge :
+  t -> name:string -> ?labels:(string * string) list -> (unit -> float) -> unit
+
+val register_histogram :
+  t -> name:string -> ?labels:(string * string) list -> Stats.Histogram.t -> unit
+
+val attach_counter :
+  t -> name:string -> ?labels:(string * string) list -> Stats.Counter.t -> unit
+(** Convenience: register an existing {!Stats.Counter.t}. *)
+
+val unregister : t -> string -> unit
+val unregister_prefix : t -> prefix:string -> unit
+(** Drop every instrument whose name starts with [prefix] (component
+    teardown). *)
+
+(** {1 Lookup and reads} *)
+
+type histogram_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+  p9999 : float;
+}
+
+val summarize_histogram : Stats.Histogram.t -> histogram_summary
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+val mem : t -> string -> bool
+val names : t -> string list
+(** Sorted; deterministic across runs. *)
+
+val cardinality : t -> int
+
+val read : t -> string -> value option
+val read_counter : t -> string -> int option
+(** [None] when absent {e or} not a counter; same for the others. *)
+
+val read_gauge : t -> string -> float option
+val read_histogram : t -> string -> histogram_summary option
+
+(** {1 Snapshots} *)
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  value : value;
+}
+
+type snapshot = {
+  at : float;  (** virtual time of the snapshot *)
+  metrics : metric list;  (** sorted by name *)
+}
+
+val snapshot : ?at:float -> t -> snapshot
+(** Poll every instrument.  [at] defaults to 0 for registries not bound
+    to a simulation; pass [Sim.now sim] when there is one. *)
+
+(** {1 Time series}
+
+    [start_sampler] drives {!Sim.every}: each period it polls every
+    gauge and counter into a {!Stats.Series.t} keyed by metric name
+    (histograms are excluded — their summaries only make sense at
+    dump time).  Sampling is part of the event schedule, so two
+    identical runs produce identical series. *)
+
+val start_sampler : t -> sim:Sim.t -> ?period:float -> unit -> unit
+(** Default period 0.5 s of virtual time.  Starting a second sampler
+    stops the first. *)
+
+val stop_sampler : t -> unit
+val sampler_running : t -> bool
+val samples_taken : t -> int
+
+val series : t -> string -> Stats.Series.t option
+val all_series : t -> (string * Stats.Series.t) list
+(** Sorted by name. *)
+
+(** {1 Export} *)
+
+val json_of_summary : histogram_summary -> Json.t
+val json_of_snapshot : snapshot -> Json.t
+(** [{"schema": "nezha-telemetry/1", "at": t, "metrics": [...]}]. *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!json_of_snapshot} (exact round-trip, including float
+    values). *)
+
+val dump_json : ?at:float -> t -> Json.t
+(** Snapshot plus every sampled series:
+    [{..snapshot fields.., "series": [{"name", "points": [[t, v]..]}]}]. *)
+
+val dump_json_string : ?at:float -> t -> string
+val write_json_file : ?at:float -> t -> path:string -> unit
+
+val dump_csv : t -> string
+(** The sampled time series in long form:
+    [time,metric,value] rows, header included, sorted by name then
+    time. *)
+
+val write_csv_file : t -> path:string -> unit

@@ -145,3 +145,17 @@ let mem_release t bytes =
 let crash t = t.crashed <- true
 let recover t = t.crashed <- false
 let is_crashed t = t.crashed
+
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  let prefix = "smartnic/" ^ t.name ^ "/" in
+  (* cpu_util must stay non-consuming: the controller's report path owns
+     the consuming [utilization_since_last_sample]. *)
+  T.register_gauge reg ~name:(prefix ^ "cpu_util") (fun () ->
+      peek_utilization t ~window:1.0);
+  T.register_gauge reg ~name:(prefix ^ "queue_depth") (fun () ->
+      float_of_int t.queued);
+  T.register_gauge reg ~name:(prefix ^ "mem_util") (fun () -> mem_utilization t);
+  T.register_counter reg ~name:(prefix ^ "mem_used_bytes") (fun () -> t.mem_used);
+  T.register_counter reg ~name:(prefix ^ "jobs_completed") (fun () -> t.completed);
+  T.register_counter reg ~name:(prefix ^ "jobs_dropped") (fun () -> t.dropped)

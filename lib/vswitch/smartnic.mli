@@ -63,3 +63,9 @@ val crash : t -> unit
 
 val recover : t -> unit
 val is_crashed : t -> bool
+
+(** {1 Telemetry} *)
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Publish CPU utilization (non-consuming trailing-window gauge), queue
+    depth, memory use and job counters under [smartnic/<name>/...]. *)

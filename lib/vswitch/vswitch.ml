@@ -194,9 +194,9 @@ let add_vnic t vnic ruleset =
     in
     Vnic.Id_table.replace t.vnics vnic.Vnic.id entry;
     Vnic.Addr.Table.replace t.by_addr (Vnic.addr vnic) vnic;
-    `Ok
+    Admission.ok
   end
-  else `No_memory
+  else Admission.no_memory
 
 let release_sessions t e =
   Flow_table.iter e.sessions (fun _ v -> Smartnic.mem_release t.nic (session_bytes t.params v));
@@ -234,7 +234,7 @@ let drop_cached_flows t e =
         let slim = { pre = None; state = Some st; generation = v.generation } in
         if Smartnic.mem_reserve t.nic (session_bytes t.params slim) then
           ignore
-            (Flow_table.insert e.sessions ~now:(Sim.now t.sim) k slim : [ `Ok | `Full ])
+            (Flow_table.insert e.sessions ~now:(Sim.now t.sim) k slim : Admission.t)
         else ignore (Flow_table.remove e.sessions k : bool)
       | None -> ignore (Flow_table.remove e.sessions k : bool)))
     !victims
@@ -253,7 +253,7 @@ let drop_ruleset t vid =
 
 let restore_ruleset t vid ruleset =
   match entry t vid with
-  | None -> `No_memory
+  | None -> Admission.no_memory
   | Some e ->
     let bytes = Ruleset.memory_bytes ruleset in
     if Smartnic.mem_reserve t.nic bytes then begin
@@ -261,29 +261,29 @@ let restore_ruleset t vid ruleset =
       e.residual_bytes <- 0;
       e.ruleset <- Some ruleset;
       e.rule_bytes <- bytes;
-      `Ok
+      Admission.ok
     end
-    else `No_memory
+    else Admission.no_memory
 
 let sync_rule_memory t vid =
   match entry t vid with
-  | None -> `Ok
+  | None -> Admission.ok
   | Some e -> (
     match e.ruleset with
-    | None -> `Ok
+    | None -> Admission.ok
     | Some rs ->
       let want = Ruleset.memory_bytes rs in
       let delta = want - e.rule_bytes in
       if delta <= 0 then begin
         Smartnic.mem_release t.nic (-delta);
         e.rule_bytes <- want;
-        `Ok
+        Admission.ok
       end
       else if Smartnic.mem_reserve t.nic delta then begin
         e.rule_bytes <- want;
-        `Ok
+        Admission.ok
       end
-      else `No_memory)
+      else Admission.no_memory)
 
 (* ------------------------------------------------------------------ *)
 (* Session table *)
@@ -298,7 +298,7 @@ let aging_for t s =
 
 let store_session t vid key s =
   match entry t vid with
-  | None -> `Full
+  | None -> Admission.table_full
   | Some e ->
     let old_bytes =
       match Flow_table.find e.sessions key with
@@ -308,18 +308,18 @@ let store_session t vid key s =
     let new_bytes = session_bytes t.params s in
     let delta = new_bytes - old_bytes in
     let reserved = if delta > 0 then Smartnic.mem_reserve t.nic delta else true in
-    if not reserved then `Full
+    if not reserved then Admission.table_full
     else begin
       if delta < 0 then Smartnic.mem_release t.nic (-delta);
       let aging = aging_for t s in
       (match Flow_table.insert e.sessions ~now:(Sim.now t.sim) ?aging key s with
-      | `Ok ->
+      | Ok () ->
         if old_bytes = 0 then Stats.Counter.incr t.counters.sessions_created;
-        `Ok
-      | `Full ->
+        Admission.ok
+      | Error _ ->
         (* Unbounded table: cannot happen, but keep accounting honest. *)
         if delta > 0 then Smartnic.mem_release t.nic delta;
-        `Full)
+        Admission.table_full)
     end
 
 let remove_session t vid key =
@@ -404,7 +404,7 @@ let learn_mapping t ~vid ~addr =
                match entry t vid with
                | Some { ruleset = Some current; _ } ->
                  Ruleset.set_mapping_multi current addr targets;
-                 ignore (sync_rule_memory t vid : [ `Ok | `No_memory ])
+                 ignore (sync_rule_memory t vid : Admission.t)
                | Some { ruleset = None; _ } | None -> ())
             : Sim.handle)
     end
@@ -442,7 +442,7 @@ let apply_state_out t vid key ~generation ~pre_opt out =
   | Nf.Init st | Nf.Update st ->
     let existing = find_session t vid key in
     let pre = match pre_opt with Some _ as p -> p | None -> Option.bind existing (fun s -> s.pre) in
-    ignore (store_session t vid key { pre; state = Some st; generation } : [ `Ok | `Full ])
+    ignore (store_session t vid key { pre; state = Some st; generation } : Admission.t)
 
 (* Traditional local TX path (§2.1). *)
 let local_tx t e pkt =
@@ -503,11 +503,11 @@ let local_tx t e pkt =
               store_session t vid key { pre = Some pre; state; generation }
             in
             match (stored, verdict) with
-            | `Full, _ -> count_drop t Nf.Table_full
-            | `Ok, Nf.Deliver ->
+            | Error _, _ -> count_drop t Nf.Table_full
+            | Ok (), Nf.Deliver ->
               maybe_mirror t pre pkt;
               forward_overlay t pkt ~vni:pre.Pre_action.vni ~dst:pre.Pre_action.peer_server
-            | `Ok, Nf.Drop reason -> count_drop t reason)))
+            | Ok (), Nf.Drop reason -> count_drop t reason)))
 
 (* Traditional local RX path: the packet has been decapped; [outer_src]
    is the underlay source preserved for stateful decapsulation. *)
@@ -570,11 +570,11 @@ let local_rx t e pkt ~outer_src =
               store_session t vid key { pre = Some pre; state; generation }
             in
             match (stored, verdict) with
-            | `Full, _ -> count_drop t Nf.Table_full
-            | `Ok, Nf.Deliver ->
+            | Error _, _ -> count_drop t Nf.Table_full
+            | Ok (), Nf.Deliver ->
               maybe_mirror t pre pkt;
               deliver_local t vid pkt
-            | `Ok, Nf.Drop reason -> count_drop t reason)))
+            | Ok (), Nf.Drop reason -> count_drop t reason)))
 
 let from_vm t vid pkt =
   Stats.Counter.incr t.counters.tx_packets;
@@ -638,3 +638,30 @@ let vnic_memory_bytes t vid =
 let utilization_report t ~cpu ~mem =
   cpu := Smartnic.utilization_since_last_sample t.nic;
   mem := Smartnic.mem_utilization t.nic
+
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  let prefix = "vswitch/" ^ t.name ^ "/" in
+  let counter name c = T.attach_counter reg ~name:(prefix ^ name) c in
+  counter "rx_packets" t.counters.rx_packets;
+  counter "tx_packets" t.counters.tx_packets;
+  counter "delivered" t.counters.delivered;
+  counter "forwarded" t.counters.forwarded;
+  counter "slow_path_execs" t.counters.slow_path_execs;
+  counter "fast_path_hits" t.counters.fast_path_hits;
+  counter "sessions_created" t.counters.sessions_created;
+  counter "notify_packets" t.counters.notify_packets;
+  List.iter
+    (fun (reason, c) ->
+      T.attach_counter reg
+        ~name:(prefix ^ "drops/" ^ Nf.drop_reason_to_string reason)
+        ~labels:[ ("reason", Nf.drop_reason_to_string reason) ]
+        c)
+    t.counters.drops;
+  T.register_counter reg ~name:(prefix ^ "flow_records") (fun () -> t.flow_records);
+  T.register_counter reg ~name:(prefix ^ "packets_mirrored") (fun () -> t.mirrored);
+  T.register_gauge reg ~name:(prefix ^ "vnics") (fun () ->
+      float_of_int (vnic_count t));
+  T.register_gauge reg ~name:(prefix ^ "sessions") (fun () ->
+      float_of_int (total_sessions t));
+  Smartnic.register_telemetry t.nic reg

@@ -73,9 +73,9 @@ val set_transmit : t -> (output -> unit) -> unit
 
 (** {1 vNIC management} *)
 
-val add_vnic : t -> Vnic.t -> Ruleset.t -> [ `Ok | `No_memory ]
-(** Reserves the ruleset's memory footprint; [`No_memory] models the
-    #vNICs-limited-by-memory bottleneck (§2.2.2). *)
+val add_vnic : t -> Vnic.t -> Ruleset.t -> Admission.t
+(** Reserves the ruleset's memory footprint; [Error `No_memory] models
+    the #vNICs-limited-by-memory bottleneck (§2.2.2). *)
 
 val remove_vnic : t -> Vnic.id -> unit
 val vnic_count : t -> int
@@ -125,10 +125,10 @@ val drop_ruleset : t -> Vnic.id -> unit
     offloading, §4.2.1).  States are kept; a residual
     [be_residual_bytes_per_vnic] footprint remains reserved. *)
 
-val restore_ruleset : t -> Vnic.id -> Ruleset.t -> [ `Ok | `No_memory ]
+val restore_ruleset : t -> Vnic.id -> Ruleset.t -> Admission.t
 (** Re-install rule tables locally (fallback, §4.2.2). *)
 
-val sync_rule_memory : t -> Vnic.id -> [ `Ok | `No_memory ]
+val sync_rule_memory : t -> Vnic.id -> Admission.t
 (** Re-reserve memory after the controller mutated the vNIC's tables.
     Call after bulk mapping/ACL changes. *)
 
@@ -142,8 +142,7 @@ type session = { pre : Pre_action.t option; state : State.t option; generation :
 
 val find_session : t -> Vnic.id -> Flow_key.t -> session option
 
-val store_session :
-  t -> Vnic.id -> Flow_key.t -> session -> [ `Ok | `Full ]
+val store_session : t -> Vnic.id -> Flow_key.t -> session -> Admission.t
 (** Inserts or replaces, charging the memory model.  Establishing
     sessions get the short SYN aging time automatically (§7.3). *)
 
@@ -217,3 +216,8 @@ val count_notify : t -> unit
 val utilization_report : t -> cpu:float ref -> mem:float ref -> unit
 (** Sample CPU (consuming, since last call) and memory utilization — the
     periodic report each vSwitch sends the controller (§4.2.1). *)
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Publish every datapath counter (including per-reason drops) and
+    vNIC/session gauges under [vswitch/<name>/...], and the SmartNIC's
+    instruments under [smartnic/<name>/...]. *)

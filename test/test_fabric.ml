@@ -138,7 +138,7 @@ let make_duo ?(know_peer = true) () =
   in
   let rs1 = basic_ruleset ~mapping:[ ("10.0.0.1", "192.168.1.1") ] () in
   (match (Vswitch.add_vnic vs0 v1 rs0, Vswitch.add_vnic vs1 v2 rs1) with
-  | `Ok, `Ok -> ()
+  | Ok (), Ok () -> ()
   | _, _ -> Alcotest.fail "vnics must fit");
   let vm0 = Vm.create ~sim ~name:"vm0" ~vcpus:8 () in
   let vm1 = Vm.create ~sim ~name:"vm1" ~vcpus:8 () in

@@ -134,7 +134,7 @@ let make_world ?(acl_deny_rx = false) ?(stats_on = false) ?(stateful_decap = fal
   Ruleset.add_route client_rs (pfx "10.0.0.0/8");
   Ruleset.add_mapping client_rs heavy_addr (ip "192.168.1.1");
   (match (Vswitch.add_vnic heavy_vs heavy heavy_rs, Vswitch.add_vnic client_vs client client_rs) with
-  | `Ok, `Ok -> ()
+  | Ok (), Ok () -> ()
   | _, _ -> Alcotest.fail "vnics must fit");
   let heavy_vm = Vm.create ~sim ~name:"heavy" ~vcpus:16 () in
   let client_vm = Vm.create ~sim ~name:"client" ~vcpus:8 () in

@@ -181,7 +181,7 @@ let mk_table ?capacity_bytes ?(aging = 8.0) () =
 let test_ft_insert_find () =
   let t = mk_table () in
   let k = key "10.0.0.1" "10.0.0.2" in
-  check_bool "insert" true (Flow_table.insert t ~now:0.0 k "v1" = `Ok);
+  check_bool "insert" true (Flow_table.insert t ~now:0.0 k "v1" = Ok ());
   check_bool "find" true (Flow_table.find t k = Some "v1");
   check_int "length" 1 (Flow_table.length t);
   check_int "memory 100+2" 102 (Flow_table.memory_bytes t)
@@ -191,36 +191,36 @@ let test_ft_bidirectional_key () =
   let fwd = tuple "10.0.0.9" "10.0.0.2" ~sport:5555 ~dport:80 in
   let k1 = Flow_key.of_packet_fields ~vpc:(Vpc.make 1) ~flow:fwd in
   let k2 = Flow_key.of_packet_fields ~vpc:(Vpc.make 1) ~flow:(Five_tuple.reverse fwd) in
-  ignore (Flow_table.insert t ~now:0.0 k1 "session" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k1 "session" : Admission.t);
   check_bool "reverse direction finds same entry" true (Flow_table.find t k2 = Some "session")
 
 let test_ft_vpc_isolation () =
   let t = mk_table () in
   let k1 = key ~vpc:1 "10.0.0.1" "10.0.0.2" in
   let k2 = key ~vpc:2 "10.0.0.1" "10.0.0.2" in
-  ignore (Flow_table.insert t ~now:0.0 k1 "tenant1" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k1 "tenant1" : Admission.t);
   check_bool "other tenant misses" true (Flow_table.find t k2 = None)
 
 let test_ft_capacity () =
   let t = mk_table ~capacity_bytes:250 () in
-  check_bool "first fits" true (Flow_table.insert t ~now:0.0 (key "1.1.1.1" "2.2.2.2") "xx" = `Ok);
-  check_bool "second fits" true (Flow_table.insert t ~now:0.0 (key "1.1.1.3" "2.2.2.2") "xx" = `Ok);
+  check_bool "first fits" true (Flow_table.insert t ~now:0.0 (key "1.1.1.1" "2.2.2.2") "xx" = Ok ());
+  check_bool "second fits" true (Flow_table.insert t ~now:0.0 (key "1.1.1.3" "2.2.2.2") "xx" = Ok ());
   check_bool "third rejected" true
-    (Flow_table.insert t ~now:0.0 (key "1.1.1.5" "2.2.2.2") "xx" = `Full);
+    (Flow_table.insert t ~now:0.0 (key "1.1.1.5" "2.2.2.2") "xx" = Error `Table_full);
   check_int "two entries" 2 (Flow_table.length t)
 
 let test_ft_replace_updates_memory () =
   let t = mk_table () in
   let k = key "1.1.1.1" "2.2.2.2" in
-  ignore (Flow_table.insert t ~now:0.0 k "ab" : [ `Ok | `Full ]);
-  ignore (Flow_table.insert t ~now:0.0 k "abcdef" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k "ab" : Admission.t);
+  ignore (Flow_table.insert t ~now:0.0 k "abcdef" : Admission.t);
   check_int "one entry" 1 (Flow_table.length t);
   check_int "memory reflects new size" 106 (Flow_table.memory_bytes t)
 
 let test_ft_aging () =
   let t = mk_table ~aging:8.0 () in
   let k = key "1.1.1.1" "2.2.2.2" in
-  ignore (Flow_table.insert t ~now:0.0 k "v" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k "v" : Admission.t);
   let expired = ref [] in
   let n = Flow_table.expire t ~now:4.0 ~on_expire:(fun k' _ -> expired := k' :: !expired) in
   check_int "alive at 4s" 0 n;
@@ -233,7 +233,7 @@ let test_ft_aging () =
 let test_ft_touch_extends () =
   let t = mk_table ~aging:8.0 () in
   let k = key "1.1.1.1" "2.2.2.2" in
-  ignore (Flow_table.insert t ~now:0.0 k "v" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k "v" : Admission.t);
   ignore (Flow_table.expire t ~now:6.0 ~on_expire:(fun _ _ -> ()) : int);
   check_bool "touch" true (Flow_table.touch t ~now:6.0 k);
   let n = Flow_table.expire t ~now:10.0 ~on_expire:(fun _ _ -> ()) in
@@ -247,8 +247,8 @@ let test_ft_short_aging_override () =
   let t = mk_table ~aging:8.0 () in
   let syn_k = key "1.1.1.1" "2.2.2.2" in
   let est_k = key "3.3.3.3" "4.4.4.4" in
-  ignore (Flow_table.insert t ~now:0.0 ~aging:2.0 syn_k "syn" : [ `Ok | `Full ]);
-  ignore (Flow_table.insert t ~now:0.0 est_k "established" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 ~aging:2.0 syn_k "syn" : Admission.t);
+  ignore (Flow_table.insert t ~now:0.0 est_k "established" : Admission.t);
   let n = Flow_table.expire t ~now:3.0 ~on_expire:(fun _ _ -> ()) in
   check_int "syn entry gone early" 1 n;
   check_bool "established survives" true (Flow_table.find t est_k = Some "established")
@@ -256,7 +256,7 @@ let test_ft_short_aging_override () =
 let test_ft_remove () =
   let t = mk_table () in
   let k = key "1.1.1.1" "2.2.2.2" in
-  ignore (Flow_table.insert t ~now:0.0 k "v" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k "v" : Admission.t);
   check_bool "removed" true (Flow_table.remove t k);
   check_bool "again" false (Flow_table.remove t k);
   check_int "memory zero" 0 (Flow_table.memory_bytes t);
@@ -267,7 +267,7 @@ let test_ft_remove () =
 let test_ft_update () =
   let t = mk_table () in
   let k = key "1.1.1.1" "2.2.2.2" in
-  ignore (Flow_table.insert t ~now:0.0 k "a" : [ `Ok | `Full ]);
+  ignore (Flow_table.insert t ~now:0.0 k "a" : Admission.t);
   check_bool "update" true (Flow_table.update t ~now:1.0 k (fun v -> v ^ "b"));
   check_bool "new value" true (Flow_table.find t k = Some "ab");
   check_int "memory tracks growth" 102 (Flow_table.memory_bytes t);
@@ -284,7 +284,7 @@ let prop_ft_memory_consistent =
         (fun (n, sz) ->
           let k = key "10.0.0.1" "10.0.0.2" ~sport:(1000 + (n mod 50)) in
           if n mod 3 = 0 then ignore (Flow_table.remove t k : bool)
-          else ignore (Flow_table.insert t ~now:0.0 k sz : [ `Ok | `Full ]))
+          else ignore (Flow_table.insert t ~now:0.0 k sz : Admission.t))
         ops;
       let sum = ref 0 in
       Flow_table.iter t (fun _ sz -> sum := !sum + 10 + sz);

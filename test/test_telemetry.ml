@@ -1,0 +1,252 @@
+(* Tests for the telemetry subsystem: registry, sampler, JSON codec. *)
+
+open Nezha_engine
+open Nezha_telemetry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let check_float msg expected got =
+  Alcotest.(check (float 1e-9)) msg expected got
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_register_and_read () =
+  let reg = Telemetry.create () in
+  let hits = ref 0 in
+  Telemetry.register_counter reg ~name:"fe/vs-1/rule_lookups" (fun () -> !hits);
+  Telemetry.register_gauge reg ~name:"smartnic/vs-1/cpu_util" (fun () -> 0.25);
+  check_bool "registered" true (Telemetry.mem reg "fe/vs-1/rule_lookups");
+  check_bool "absent name" false (Telemetry.mem reg "fe/vs-9/rule_lookups");
+  check_int "cardinality" 2 (Telemetry.cardinality reg);
+  check_int "counter reads live" 0
+    (Option.get (Telemetry.read_counter reg "fe/vs-1/rule_lookups"));
+  hits := 7;
+  check_int "counter tracks source" 7
+    (Option.get (Telemetry.read_counter reg "fe/vs-1/rule_lookups"));
+  check_float "gauge" 0.25 (Option.get (Telemetry.read_gauge reg "smartnic/vs-1/cpu_util"));
+  (* Kind-mismatched reads answer None rather than raising. *)
+  check_bool "counter is not a gauge" true
+    (Telemetry.read_gauge reg "fe/vs-1/rule_lookups" = None);
+  check_bool "names sorted" true
+    (Telemetry.names reg = [ "fe/vs-1/rule_lookups"; "smartnic/vs-1/cpu_util" ])
+
+let test_reregister_replaces () =
+  let reg = Telemetry.create () in
+  Telemetry.register_counter reg ~name:"x" (fun () -> 1);
+  Telemetry.register_counter reg ~name:"x" (fun () -> 2);
+  check_int "still one entry" 1 (Telemetry.cardinality reg);
+  check_int "latest instrument wins" 2 (Option.get (Telemetry.read_counter reg "x"))
+
+let test_unregister_prefix () =
+  let reg = Telemetry.create () in
+  List.iter
+    (fun n -> Telemetry.register_counter reg ~name:n (fun () -> 0))
+    [ "fe/vs-1/a"; "fe/vs-1/b"; "fe/vs-2/a"; "be/vs-1/a" ];
+  Telemetry.unregister_prefix reg ~prefix:"fe/vs-1/";
+  check_bool "prefix gone" false (Telemetry.mem reg "fe/vs-1/a");
+  check_int "others survive" 2 (Telemetry.cardinality reg);
+  Telemetry.unregister reg "be/vs-1/a";
+  check_int "single unregister" 1 (Telemetry.cardinality reg)
+
+let test_attach_counter () =
+  let reg = Telemetry.create () in
+  let c = Stats.Counter.create () in
+  Telemetry.attach_counter reg ~name:"vswitch/vs-0/rx_packets" c;
+  Stats.Counter.add c 41;
+  Stats.Counter.incr c;
+  check_int "attached counter polls" 42
+    (Option.get (Telemetry.read_counter reg "vswitch/vs-0/rx_packets"))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots *)
+
+let test_snapshot () =
+  let reg = Telemetry.create () in
+  Telemetry.register_counter reg ~name:"b/count" (fun () -> 3);
+  Telemetry.register_gauge reg ~name:"a/util" ~labels:[ ("kind", "cpu") ] (fun () -> 0.5);
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.record h) [ 1.0; 2.0; 3.0; 4.0 ];
+  Telemetry.register_histogram reg ~name:"c/lat" h;
+  let s = Telemetry.snapshot ~at:12.5 reg in
+  check_float "timestamp" 12.5 s.Telemetry.at;
+  check_int "all metrics present" 3 (List.length s.Telemetry.metrics);
+  (match s.Telemetry.metrics with
+  | [ a; b; c ] ->
+    check_str "sorted by name" "a/util" a.Telemetry.name;
+    check_bool "labels kept" true (a.Telemetry.labels = [ ("kind", "cpu") ]);
+    check_bool "counter value" true (b.Telemetry.value = Telemetry.Counter 3);
+    (match c.Telemetry.value with
+    | Telemetry.Histogram hs ->
+      check_int "histo count" 4 hs.Telemetry.count;
+      check_bool "histo p50 in range" true (hs.Telemetry.p50 >= 1.0 && hs.Telemetry.p50 <= 3.0);
+      check_bool "histo max" true (hs.Telemetry.max >= 3.9)
+    | _ -> Alcotest.fail "expected a histogram value")
+  | _ -> Alcotest.fail "expected three metrics")
+
+(* ------------------------------------------------------------------ *)
+(* Sampler *)
+
+(* A small simulated workload: a counter that grows each 0.1 s and a
+   gauge derived from virtual time.  Returns the registry after [run_for]
+   seconds of virtual time. *)
+let sampled_run ?(period = 0.5) ~run_for () =
+  let sim = Sim.create () in
+  let reg = Telemetry.create () in
+  let work = ref 0 in
+  Telemetry.register_counter reg ~name:"w/count" (fun () -> !work);
+  Telemetry.register_gauge reg ~name:"w/phase" (fun () -> Float.rem (Sim.now sim) 2.0);
+  Sim.every sim ~period:0.1 (fun _ ->
+      incr work;
+      Sim.now sim < run_for);
+  Telemetry.start_sampler reg ~sim ~period ();
+  Sim.run sim ~until:run_for;
+  reg
+
+let test_sampler_collects () =
+  let reg = sampled_run ~run_for:3.0 () in
+  check_bool "sampler running" true (Telemetry.sampler_running reg);
+  check_bool "took samples" true (Telemetry.samples_taken reg >= 6);
+  let s = Option.get (Telemetry.series reg "w/count") in
+  check_bool "series has points" true (Stats.Series.length s >= 6);
+  let pts = Stats.Series.points s in
+  let t0, v0 = pts.(0) and tn, vn = pts.(Array.length pts - 1) in
+  check_bool "time advances" true (tn > t0);
+  check_bool "counter series is monotone" true (vn >= v0);
+  (* Histograms never enter the series tables. *)
+  check_int "series count" 2 (List.length (Telemetry.all_series reg));
+  Telemetry.stop_sampler reg;
+  check_bool "stopped" false (Telemetry.sampler_running reg)
+
+let test_sampler_deterministic () =
+  let pts r = List.map (fun (n, s) -> (n, Array.to_list (Stats.Series.points s)))
+      (Telemetry.all_series r) in
+  let a = sampled_run ~run_for:4.0 () in
+  let b = sampled_run ~run_for:4.0 () in
+  check_bool "two identical runs sample identically" true (pts a = pts b)
+
+let test_sampler_restart () =
+  let sim = Sim.create () in
+  let reg = Telemetry.create () in
+  Telemetry.register_gauge reg ~name:"g" (fun () -> 1.0);
+  Telemetry.start_sampler reg ~sim ~period:0.5 ();
+  Sim.run sim ~until:1.0;
+  let before = Telemetry.samples_taken reg in
+  (* Restarting with a new period replaces the old schedule instead of
+     doubling the sampling rate. *)
+  Telemetry.start_sampler reg ~sim ~period:1.0 ();
+  Sim.run sim ~until:5.0;
+  let g = Option.get (Telemetry.series reg "g") in
+  check_bool "no double sampling" true
+    (Stats.Series.length g - before <= 6)
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_parse_basics () =
+  (match Json.of_string {| {"a": [1, 2.5, true, null], "b": "xé"} |} with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float f; Json.Bool true; Json.Null ]); ("b", Json.String s) ]) ->
+    check_float "float" 2.5 f;
+    check_str "unicode escape" "x\xc3\xa9" s
+  | Ok j -> Alcotest.fail ("unexpected shape: " ^ Json.to_string j)
+  | Error e -> Alcotest.fail e);
+  check_bool "trailing garbage rejected" true
+    (match Json.of_string "{} x" with Error _ -> true | Ok _ -> false);
+  check_bool "bad escape rejected" true
+    (match Json.of_string {| "\q" |} with Error _ -> true | Ok _ -> false)
+
+let test_json_roundtrip_values () =
+  List.iter
+    (fun j ->
+      match Json.of_string (Json.to_string j) with
+      | Ok back -> check_bool (Json.to_string j) true (Json.equal back j)
+      | Error e -> Alcotest.fail (Json.to_string j ^ ": " ^ e))
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float 1e-300;
+      Json.Float (-.Float.pi);
+      Json.String "quotes \" and \\ and \ncontrol \001 bytes";
+      Json.List [];
+      Json.Obj [ ("nested", Json.Obj [ ("deep", Json.List [ Json.Int 1 ]) ]) ];
+    ]
+
+let test_snapshot_json_roundtrip () =
+  let reg = Telemetry.create () in
+  Telemetry.register_counter reg ~name:"fe/vs-2/rule_lookups" (fun () -> 1234);
+  Telemetry.register_gauge reg ~name:"smartnic/vs-2/cpu_util"
+    ~labels:[ ("window", "1s") ] (fun () -> 0.375);
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do Stats.Histogram.record h (float_of_int i) done;
+  Telemetry.register_histogram reg ~name:"controller/completion_ms" h;
+  let snap = Telemetry.snapshot ~at:7.25 reg in
+  match Telemetry.snapshot_of_json (Telemetry.json_of_snapshot snap) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    check_float "at survives" snap.Telemetry.at back.Telemetry.at;
+    check_bool "metrics survive exactly" true
+      (back.Telemetry.metrics = snap.Telemetry.metrics)
+
+let test_dump_json_has_series () =
+  let reg = sampled_run ~run_for:2.0 () in
+  let txt = Telemetry.dump_json_string ~at:2.0 reg in
+  match Json.of_string txt with
+  | Error e -> Alcotest.fail e
+  | Ok doc ->
+    check_bool "schema tag" true
+      (Json.member "schema" doc = Some (Json.String "nezha-telemetry/1"));
+    let series = Option.get (Json.to_list_opt (Option.get (Json.member "series" doc))) in
+    check_int "both sampled series exported" 2 (List.length series);
+    let first = List.hd series in
+    let points = Option.get (Json.to_list_opt (Option.get (Json.member "points" first))) in
+    check_bool "points are pairs" true
+      (List.for_all
+         (fun p -> match p with Json.List [ _; _ ] -> true | _ -> false)
+         points)
+
+let test_csv_export () =
+  let reg = sampled_run ~run_for:1.0 () in
+  let csv = Telemetry.dump_csv reg in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_str "header" "time,metric,value" (List.hd lines);
+  check_bool "has rows" true (List.length lines > 2);
+  check_bool "rows have three fields" true
+    (List.for_all
+       (fun l -> List.length (String.split_on_char ',' l) = 3)
+       (List.tl lines))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "register and read" `Quick test_register_and_read;
+          Alcotest.test_case "re-register replaces" `Quick test_reregister_replaces;
+          Alcotest.test_case "unregister prefix" `Quick test_unregister_prefix;
+          Alcotest.test_case "attach existing counter" `Quick test_attach_counter;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "snapshot polls everything" `Quick test_snapshot;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "collects series" `Quick test_sampler_collects;
+          Alcotest.test_case "deterministic across runs" `Quick test_sampler_deterministic;
+          Alcotest.test_case "restart replaces schedule" `Quick test_sampler_restart;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parser basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "value round-trips" `Quick test_json_roundtrip_values;
+          Alcotest.test_case "snapshot round-trips" `Quick test_snapshot_json_roundtrip;
+          Alcotest.test_case "dump includes series" `Quick test_dump_json_has_series;
+          Alcotest.test_case "csv long form" `Quick test_csv_export;
+        ] );
+    ]

@@ -391,8 +391,8 @@ let make_world ?(params = test_params) ?(acl_deny_rx = false) () =
     { Vnic.Addr.vpc = Vpc.make 5; ip = ip "10.0.0.2" }
     (ip "192.168.0.2");
   (match Vswitch.add_vnic vs vnic_a rs with
-  | `Ok -> ()
-  | `No_memory -> Alcotest.fail "vnic must fit");
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "vnic must fit");
   { sim; vs; to_net; to_vm }
 
 let tx_packet ?(flags = Packet.syn) ?(dst = "10.0.0.2") ?(sport = 40000) () =
@@ -559,7 +559,7 @@ let test_vs_add_vnic_no_memory () =
       ~gateway:(ip "192.168.255.254") ()
   in
   let rs = Ruleset.create ~vni:1 () in
-  check_bool "vnic rejected" true (Vswitch.add_vnic vs vnic_a rs = `No_memory);
+  check_bool "vnic rejected" true (Vswitch.add_vnic vs vnic_a rs = Error `No_memory);
   check_int "none added" 0 (Vswitch.vnic_count vs)
 
 let test_vs_drop_and_restore_ruleset () =
@@ -584,7 +584,7 @@ let test_vs_drop_and_restore_ruleset () =
   (* Restore (fallback). *)
   let rs = Ruleset.create ~vni:5 () in
   Ruleset.add_route rs (pfx "10.0.0.0/8");
-  check_bool "restore ok" true (Vswitch.restore_ruleset w.vs vnic_a.Vnic.id rs = `Ok);
+  check_bool "restore ok" true (Vswitch.restore_ruleset w.vs vnic_a.Vnic.id rs = Ok ());
   check_bool "ruleset back" true (Vswitch.ruleset w.vs vnic_a.Vnic.id <> None)
 
 let test_vs_generation_invalidation () =
@@ -628,8 +628,8 @@ let test_vs_flow_logging () =
     (ip "192.168.0.2");
   Vswitch.drop_ruleset w.vs vnic_a.Vnic.id;
   (match Vswitch.restore_ruleset w.vs vnic_a.Vnic.id stats_rs with
-  | `Ok -> ()
-  | `No_memory -> Alcotest.fail "restore");
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "restore");
   let records = ref [] in
   Vswitch.set_flow_log_sink w.vs (Some (fun r -> records := r :: !records));
   Vswitch.from_vm w.vs vnic_a.Vnic.id (tx_packet ~flags:Packet.no_flags ());
@@ -654,8 +654,8 @@ let test_vs_mirroring () =
     (ip "192.168.0.2");
   Vswitch.drop_ruleset w.vs vnic_a.Vnic.id;
   (match Vswitch.restore_ruleset w.vs vnic_a.Vnic.id mirror_rs with
-  | `Ok -> ()
-  | `No_memory -> Alcotest.fail "restore");
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "restore");
   (* Without a collector nothing is copied. *)
   Vswitch.from_vm w.vs vnic_a.Vnic.id (tx_packet ~sport:40100 ());
   Sim.run w.sim ~until:0.5;

@@ -45,7 +45,7 @@ let make_duo ?(racks = 1) ?(servers_per_rack = 8) ?(params = test_params) ?clien
   Ruleset.add_route rs1 (pfx "10.0.0.0/8");
   Ruleset.add_mapping rs1 { Vnic.Addr.vpc; ip = ip "10.0.0.1" } (ip "192.168.1.1");
   (match (Vswitch.add_vnic vs0 server_vnic rs0, Vswitch.add_vnic vs1 client_vnic rs1) with
-  | `Ok, `Ok -> ()
+  | Ok (), Ok () -> ()
   | _, _ -> Alcotest.fail "vnics must fit");
   let server_vm = Vm.create ~sim ~name:"server" ~vcpus:32 () in
   let client_vm = Vm.create ~sim ~name:"client" ~vcpus:32 () in
