@@ -39,4 +39,29 @@ else
   echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
+echo "== bench micro --json (BENCH_micro.json)"
+dune exec --no-build bench/main.exe -- micro --json BENCH_micro.json
+
+echo "== validating BENCH_micro.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_micro.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "nezha-bench/1", doc.get("schema")
+micro = doc["experiments"]["micro"]
+ns = micro["ns_per_op"]
+for k in ("acl_linear_1k", "acl_tss_1k", "acl_cached_1k", "five_tuple_hash",
+          "lpm_lookup_1k", "flow_table_insert", "flow_table_find"):
+    assert k in ns and ns[k] == ns[k] and ns[k] > 0.0, k  # present, not NaN
+# The whole point of the classifier backends: TSS and the megaflow
+# cache must beat the linear scan at 1k rules.
+assert ns["acl_tss_1k"] < ns["acl_linear_1k"], (ns["acl_tss_1k"], ns["acl_linear_1k"])
+assert ns["acl_cached_1k"] < ns["acl_linear_1k"], (ns["acl_cached_1k"], ns["acl_linear_1k"])
+print("ok: micro ns/op sane; tss %.1fx and cached %.1fx faster than linear"
+      % (ns["acl_linear_1k"] / ns["acl_tss_1k"], ns["acl_linear_1k"] / ns["acl_cached_1k"]))
+PY
+else
+  echo "python3 not found; relying on the bench's built-in round-trip check"
+fi
+
 echo "== all checks passed"

@@ -10,8 +10,9 @@
      bench/main.exe --list          list experiment names
      bench/main.exe --json FILE     machine-readable mode: write the
                                     JSON-capable experiments (fig9 gains
-                                    plus latency summaries, table4) to
-                                    FILE instead of printing tables *)
+                                    plus latency summaries, table4, and
+                                    the micro ns/op numbers) to FILE
+                                    instead of printing tables *)
 
 open Nezha_engine
 open Nezha_workloads
@@ -276,9 +277,33 @@ let ablations () =
     (Experiments.ablation_notify_rate ())
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks of the core data structures *)
+(* Bechamel microbenchmarks of the core data structures.
 
-let micro () =
+   The slow-path numbers here bound the paper's CPS ceiling (§2.3,
+   Table 3): every new connection pays one classification + pipeline
+   walk, so ns/op for the ACL backends and the megaflow cache translate
+   directly into connections per second per core. *)
+
+let micro_acl_rules = 1_000
+
+(* 1k deny rules spread over 6 tuple shapes (3 prefix lengths x proto
+   present/absent) on 172.16/12 space; the probe tuple (src 10.0.0.1)
+   misses every rule, so the linear backend pays the full scan while TSS
+   pays one hash probe per shape. *)
+let micro_make_acl () =
+  let ip = Nezha_net.Ipv4.of_octets in
+  let t = Nezha_tables.Acl.create () in
+  let lens = [| 8; 16; 24 |] in
+  for i = 0 to micro_acl_rules - 1 do
+    Nezha_tables.Acl.add t
+      (Nezha_tables.Acl.rule ~priority:(i + 1)
+         ~src:(Nezha_net.Ipv4.Prefix.make (ip 172 16 (i mod 200) 0) lens.(i mod 3))
+         ?proto:(if i land 1 = 0 then Some Nezha_net.Five_tuple.Tcp else None)
+         Nezha_tables.Acl.Deny)
+  done;
+  t
+
+let micro_results () =
   let open Bechamel in
   let open Toolkit in
   let ip = Nezha_net.Ipv4.of_octets in
@@ -289,32 +314,78 @@ let micro () =
     done;
     t
   in
-  let acl =
-    let t = Nezha_tables.Acl.create () in
-    for i = 1 to 100 do
-      Nezha_tables.Acl.add t
-        (Nezha_tables.Acl.rule ~priority:i
-           ~src:(Nezha_net.Ipv4.Prefix.make (ip 172 16 (i mod 256) 0) 24)
-           Nezha_tables.Acl.Deny)
-    done;
-    t
-  in
+  let linear = Nezha_tables.Classifier.of_acl ~backend:Nezha_tables.Classifier.Linear (micro_make_acl ()) in
+  let tss = Nezha_tables.Classifier.of_acl ~backend:Nezha_tables.Classifier.Tuple_space (micro_make_acl ()) in
   let tuple =
-    Nezha_net.Five_tuple.make ~src:(ip 10 0 0 1) ~dst:(ip 10 0 0 2) ~src_port:43210
+    Nezha_net.Five_tuple.make ~src:(ip 10 0 0 1) ~dst:(ip 10 1 77 5) ~src_port:43210
       ~dst_port:443 ~proto:Nezha_net.Five_tuple.Tcp
   in
+  (* dst < src, so session_hash takes its reversing branch. *)
+  let tuple_rev =
+    Nezha_net.Five_tuple.make ~src:(ip 10 1 77 5) ~dst:(ip 10 0 0 1) ~src_port:443
+      ~dst_port:43210 ~proto:Nezha_net.Five_tuple.Tcp
+  in
+  ignore (Nezha_tables.Classifier.lookup tss tuple : Nezha_tables.Classifier.verdict);
+  let params = Nezha_vswitch.Params.default in
+  let vpc = Nezha_net.Vpc.make 7 in
+  let ruleset =
+    let rs = Nezha_vswitch.Ruleset.create ~vni:9 ~acl:(micro_make_acl ()) () in
+    Nezha_vswitch.Ruleset.add_route rs (Nezha_net.Ipv4.Prefix.make (ip 10 0 0 0) 8);
+    Nezha_vswitch.Ruleset.add_mapping rs
+      { Nezha_vswitch.Vnic.Addr.vpc; ip = ip 10 1 77 5 }
+      (ip 192 168 1 2);
+    rs
+  in
+  (* Prime the megaflow cache so the loop below measures the hit path. *)
+  (match Nezha_vswitch.Ruleset.lookup ruleset ~params ~vpc ~flow_tx:tuple with
+  | Some _ -> ()
+  | None -> failwith "micro: ruleset probe unroutable");
+  let flow_key =
+    Nezha_tables.Flow_key.of_packet_fields ~vpc ~flow:tuple
+  in
+  let sessions () =
+    Nezha_tables.Flow_table.create ~entry_overhead:40 ~value_bytes:(fun _ -> 64)
+      ~default_aging:8.0 ()
+  in
+  let ft_upsert = sessions () in
+  let ft_find = sessions () in
+  ignore (Nezha_tables.Flow_table.insert ft_find ~now:0.0 flow_key 1 : Nezha_tables.Admission.t);
+  let ft_cycle = sessions () in
+  let upsert_now = ref 0.0 in
+  let cycle_now = ref 0.0 in
   let pkt =
-    Nezha_net.Packet.create ~vpc:(Nezha_net.Vpc.make 7) ~flow:tuple
-      ~direction:Nezha_net.Packet.Tx ~flags:Nezha_net.Packet.syn ~payload_len:100 ()
+    Nezha_net.Packet.create ~vpc ~flow:tuple ~direction:Nezha_net.Packet.Tx
+      ~flags:Nezha_net.Packet.syn ~payload_len:100 ()
   in
   let encoded = Nezha_net.Packet.encode pkt in
   let tests =
     [
       Test.make ~name:"five_tuple_hash" (Staged.stage (fun () -> Nezha_net.Five_tuple.hash tuple));
-      Test.make ~name:"lpm_lookup_1k_prefixes"
+      Test.make ~name:"five_tuple_session_hash"
+        (Staged.stage (fun () -> Nezha_net.Five_tuple.session_hash tuple_rev));
+      Test.make ~name:"lpm_lookup_1k"
         (Staged.stage (fun () -> Nezha_tables.Lpm.lookup lpm (ip 10 1 77 5)));
-      Test.make ~name:"acl_scan_100_rules"
-        (Staged.stage (fun () -> Nezha_tables.Acl.lookup acl tuple));
+      Test.make ~name:"acl_linear_1k"
+        (Staged.stage (fun () -> Nezha_tables.Classifier.lookup linear tuple));
+      Test.make ~name:"acl_tss_1k"
+        (Staged.stage (fun () -> Nezha_tables.Classifier.lookup tss tuple));
+      Test.make ~name:"acl_cached_1k"
+        (Staged.stage (fun () ->
+             Nezha_vswitch.Ruleset.lookup ruleset ~params ~vpc ~flow_tx:tuple));
+      Test.make ~name:"flow_table_insert"
+        (Staged.stage (fun () ->
+             upsert_now := !upsert_now +. 0.001;
+             Nezha_tables.Flow_table.insert ft_upsert ~now:!upsert_now flow_key 1));
+      Test.make ~name:"flow_table_find"
+        (Staged.stage (fun () -> Nezha_tables.Flow_table.find ft_find flow_key));
+      Test.make ~name:"flow_table_insert_expire"
+        (Staged.stage (fun () ->
+             cycle_now := !cycle_now +. 10.0;
+             ignore
+               (Nezha_tables.Flow_table.insert ft_cycle ~now:!cycle_now flow_key 1
+                 : Nezha_tables.Admission.t);
+             Nezha_tables.Flow_table.expire ft_cycle ~now:(!cycle_now +. 9.0)
+               ~on_expire:(fun _ _ -> ())));
       Test.make ~name:"packet_encode" (Staged.stage (fun () -> Nezha_net.Packet.encode pkt));
       Test.make ~name:"packet_decode" (Staged.stage (fun () -> Nezha_net.Packet.decode encoded));
       Test.make ~name:"state_codec_roundtrip"
@@ -326,17 +397,52 @@ let micro () =
   let results =
     let instances = Instance.[ monotonic_clock ] in
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"core" tests) in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     Analyze.all ols Instance.monotonic_clock raw
   in
+  let ns_of name =
+    let est key =
+      match Hashtbl.find_opt results key with
+      | None -> None
+      | Some r -> (
+        match Bechamel.Analyze.OLS.estimates r with Some [ est ] -> Some est | Some _ | None -> None)
+    in
+    match est ("micro/" ^ name) with
+    | Some v -> v
+    | None -> ( match est name with Some v -> v | None -> Float.nan)
+  in
+  List.map
+    (fun test -> let name = Test.name test in (name, ns_of name))
+    tests
+  |> List.concat_map (fun (name, v) ->
+         (* Grouped test names come back as "micro/<name>". *)
+         let name =
+           match String.index_opt name '/' with
+           | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+           | None -> name
+         in
+         [ (name, v) ])
+
+let micro_speedups results =
+  let ns name = try List.assoc name results with Not_found -> Float.nan in
+  let ratio a b = ns a /. ns b in
+  [
+    ("tss_vs_linear", ratio "acl_linear_1k" "acl_tss_1k");
+    ("cached_vs_linear", ratio "acl_linear_1k" "acl_cached_1k");
+    ("cached_vs_tss", ratio "acl_tss_1k" "acl_cached_1k");
+  ]
+
+let micro () =
+  let results = micro_results () in
   banner "Microbenchmarks (ns per call)";
-  Hashtbl.iter
-    (fun name result ->
-      match Bechamel.Analyze.OLS.estimates result with
-      | Some [ est ] -> note "%-34s %10.1f ns" name est
-      | Some _ | None -> note "%-34s (no estimate)" name)
-    results
+  List.iter (fun (name, ns) -> note "%-34s %10.1f ns" name ns) results;
+  note "";
+  note "ACL classification at %d rules (paper §2.3: classification bounds the CPS ceiling):"
+    micro_acl_rules;
+  List.iter
+    (fun (name, s) -> note "  %-18s %6.1fx" name s)
+    (micro_speedups results)
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output: each JSON-capable experiment contributes a
@@ -387,7 +493,17 @@ let json_fig9 () =
 let json_table4 () =
   Json.Obj [ ("completion_ms", json_summary (Experiments.table4 ~events:100 ())) ]
 
-let json_experiments = [ ("fig9", json_fig9); ("table4", json_table4) ]
+let json_micro () =
+  let results = micro_results () in
+  Json.Obj
+    [
+      ("acl_rules", Json.Int micro_acl_rules);
+      ("ns_per_op", Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) results));
+      ( "speedup",
+        Json.Obj (List.map (fun (name, s) -> (name, Json.Float s)) (micro_speedups results)) );
+    ]
+
+let json_experiments = [ ("fig9", json_fig9); ("table4", json_table4); ("micro", json_micro) ]
 
 let run_json ~path names =
   let names = if names = [] then List.map fst json_experiments else names in

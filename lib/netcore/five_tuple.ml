@@ -43,39 +43,40 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-(* FNV-1a, folding each field byte-wise; cheap and well distributed for
-   the bucket counts we use. *)
-let fnv_prime = 0x100000001b3L
-let fnv_offset = 0xcbf29ce484222325L
+(* Multiplicative FNV-style fold over the native int word.  This hash
+   runs on every packet, so it must not allocate: the previous Int64
+   formulation boxed every intermediate.  Wrapping is mod 2^63 instead
+   of 2^64, which changes nothing for bucketing.  The low-order bits of
+   a raw multiplicative fold avalanche poorly and FE selection takes
+   [hash mod #FEs], so a SplitMix-style finisher mixes the high bits
+   back down.  All constants fit in OCaml's 63-bit immediate int. *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x3bf29ce484222325
 
-let fnv_fold_int h v n_bytes =
-  let h = ref h in
-  for i = 0 to n_bytes - 1 do
-    let byte = (v lsr (8 * i)) land 0xff in
-    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
-  done;
-  !h
+let[@inline] fold h v = (h lxor v) * fnv_prime
 
-(* FNV's low-order bits avalanche poorly (a known weakness: the final
-   multiply leaves the bottom bits nearly affine in the input), and FE
-   selection takes [hash mod #FEs], so we finish with a strong mixer. *)
-let avalanche z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+let[@inline] avalanche z =
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 27)) * 0x27BB2EE687B0B0FD in
+  z lxor (z lsr 31)
 
-let hash_raw t =
-  let h = fnv_offset in
-  let h = fnv_fold_int h (Int32.to_int (Ipv4.to_int32 t.src) land 0xffffffff) 4 in
-  let h = fnv_fold_int h (Int32.to_int (Ipv4.to_int32 t.dst) land 0xffffffff) 4 in
-  let h = fnv_fold_int h t.src_port 2 in
-  let h = fnv_fold_int h t.dst_port 2 in
-  let h = fnv_fold_int h (proto_code t.proto) 1 in
-  Int64.to_int (avalanche h) land max_int
+let[@inline] hash_fields ~src ~dst ~src_port ~dst_port ~proto =
+  let s = Int32.to_int (Ipv4.to_int32 src) land 0xffffffff in
+  let d = Int32.to_int (Ipv4.to_int32 dst) land 0xffffffff in
+  let h = fold (fold (fold fnv_offset s) d) ((src_port lsl 16) lor dst_port) in
+  avalanche (fold h (proto_code proto)) land max_int
 
-let hash t = hash_raw t
+let hash t =
+  hash_fields ~src:t.src ~dst:t.dst ~src_port:t.src_port ~dst_port:t.dst_port ~proto:t.proto
 
-let session_hash t = hash_raw (canonical t)
+(* Hash the canonical orientation without materializing it: when the
+   tuple is not canonical, feed the fields in swapped order instead of
+   allocating the reversed record. *)
+let session_hash t =
+  if is_canonical t then
+    hash_fields ~src:t.src ~dst:t.dst ~src_port:t.src_port ~dst_port:t.dst_port ~proto:t.proto
+  else
+    hash_fields ~src:t.dst ~dst:t.src ~src_port:t.dst_port ~dst_port:t.src_port ~proto:t.proto
 
 let to_string t =
   Printf.sprintf "%s:%d>%s:%d/%s" (Ipv4.to_string t.src) t.src_port (Ipv4.to_string t.dst)

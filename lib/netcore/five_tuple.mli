@@ -8,6 +8,9 @@
 type proto = Tcp | Udp | Icmp
 
 val proto_to_string : proto -> string
+val proto_code : proto -> int
+(** IANA protocol number (Tcp 6, Udp 17, Icmp 1). *)
+
 val pp_proto : Format.formatter -> proto -> unit
 
 type t = {
@@ -35,12 +38,14 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 
 val hash : t -> int
-(** FNV-1a over the directed tuple.  Used for FE selection: forward and
-    reverse directions of a session generally hash to different FEs, which
-    Nezha explicitly permits because state lives only on the BE. *)
+(** Multiplicative FNV-style fold over the directed tuple with an
+    avalanche finish; allocation-free.  Used for FE selection: forward
+    and reverse directions of a session generally hash to different FEs,
+    which Nezha explicitly permits because state lives only on the BE. *)
 
 val session_hash : t -> int
-(** Hash of the canonical form: equal for both directions. *)
+(** Hash of the canonical form: equal for both directions.  Does not
+    materialize the canonical tuple (allocation-free). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

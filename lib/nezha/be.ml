@@ -212,8 +212,23 @@ let set_fes t fes =
   t.fes <- Array.copy fes
 
 let remove_fe t fe =
-  let remaining = Array.of_list (List.filter (fun f -> not (Ipv4.equal f fe)) (Array.to_list t.fes)) in
-  if Array.length remaining > 0 then t.fes <- remaining
+  let src = t.fes in
+  let keep = ref 0 in
+  Array.iter (fun f -> if not (Ipv4.equal f fe) then incr keep) src;
+  (* Never leave the BE without an FE (mirrors set_fes); also skip the
+     copy when nothing matched. *)
+  if !keep > 0 && !keep < Array.length src then begin
+    let dst = Array.make !keep src.(0) in
+    let i = ref 0 in
+    Array.iter
+      (fun f ->
+        if not (Ipv4.equal f fe) then begin
+          dst.(!i) <- f;
+          incr i
+        end)
+      src;
+    t.fes <- dst
+  end
 
 let set_lb_mode t m = t.lb_mode <- m
 

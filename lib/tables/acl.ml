@@ -19,20 +19,31 @@ let rule ?src ?dst ?src_ports ?dst_ports ?proto ~priority action =
 
 let in_range p (lo, hi) = p >= lo && p <= hi
 
+(* Field-level matching so the reverse-orientation check (the RX half of
+   the slow path) can run without materializing a reversed tuple. *)
+let[@inline] matches_fields r ~src ~dst ~src_port ~dst_port ~proto =
+  (match r.src with None -> true | Some p -> Ipv4.Prefix.mem src p)
+  && (match r.dst with None -> true | Some p -> Ipv4.Prefix.mem dst p)
+  && (match r.src_ports with None -> true | Some range -> in_range src_port range)
+  && (match r.dst_ports with None -> true | Some range -> in_range dst_port range)
+  && match r.proto with None -> true | Some p -> p = proto
+
 let matches r (t : Five_tuple.t) =
-  (match r.src with None -> true | Some p -> Ipv4.Prefix.mem t.Five_tuple.src p)
-  && (match r.dst with None -> true | Some p -> Ipv4.Prefix.mem t.Five_tuple.dst p)
-  && (match r.src_ports with None -> true | Some range -> in_range t.Five_tuple.src_port range)
-  && (match r.dst_ports with None -> true | Some range -> in_range t.Five_tuple.dst_port range)
-  && match r.proto with None -> true | Some p -> p = t.Five_tuple.proto
+  matches_fields r ~src:t.Five_tuple.src ~dst:t.Five_tuple.dst ~src_port:t.Five_tuple.src_port
+    ~dst_port:t.Five_tuple.dst_port ~proto:t.Five_tuple.proto
+
+let matches_reverse r (t : Five_tuple.t) =
+  matches_fields r ~src:t.Five_tuple.dst ~dst:t.Five_tuple.src ~src_port:t.Five_tuple.dst_port
+    ~dst_port:t.Five_tuple.src_port ~proto:t.Five_tuple.proto
 
 type t = {
   mutable rules : rule list; (* sorted by priority ascending, stable *)
   mutable count : int;
   default : action;
+  mutable revision : int; (* bumped on every mutation *)
 }
 
-let create ?(default = Permit) () = { rules = []; count = 0; default }
+let create ?(default = Permit) () = { rules = []; count = 0; default; revision = 0 }
 
 let add t r =
   let rec place = function
@@ -40,17 +51,20 @@ let add t r =
     | hd :: tl -> if r.priority < hd.priority then r :: hd :: tl else hd :: place tl
   in
   t.rules <- place t.rules;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  t.revision <- t.revision + 1
 
 let remove t ~priority =
   let before = t.count in
   t.rules <- List.filter (fun r -> r.priority <> priority) t.rules;
   t.count <- List.length t.rules;
+  t.revision <- t.revision + 1;
   t.count <> before
 
 let clear t =
   t.rules <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.revision <- t.revision + 1
 
 type verdict = { action : action; rules_scanned : int; matched : rule option }
 
@@ -64,6 +78,21 @@ let lookup t tuple =
   in
   scan t.rules 0
 
+let lookup_reverse t tuple =
+  let rec scan rules n =
+    match rules with
+    | [] -> { action = t.default; rules_scanned = n; matched = None }
+    | r :: rest ->
+      if matches_reverse r tuple then
+        { action = r.action; rules_scanned = n + 1; matched = Some r }
+      else scan rest (n + 1)
+  in
+  scan t.rules 0
+
+let iter_rules t f = List.iter f t.rules
+
+let revision t = t.revision
+
 let rule_count t = t.count
 
 (* TCAM-style accounting: each rule occupies a fixed-width match line
@@ -74,4 +103,4 @@ let memory_bytes t = t.count * rule_bytes
 
 let default_action t = t.default
 
-let copy t = { rules = t.rules; count = t.count; default = t.default }
+let copy t = { rules = t.rules; count = t.count; default = t.default; revision = t.revision }

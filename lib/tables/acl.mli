@@ -33,6 +33,11 @@ val rule :
 
 val matches : rule -> Five_tuple.t -> bool
 
+val matches_reverse : rule -> Five_tuple.t -> bool
+(** [matches_reverse r t] = [matches r (Five_tuple.reverse t)] without
+    allocating the reversed tuple — the RX half of the slow path checks
+    the return direction of every new session. *)
+
 type t
 
 val create : ?default:action -> unit -> t
@@ -47,6 +52,17 @@ val clear : t -> unit
 type verdict = { action : action; rules_scanned : int; matched : rule option }
 
 val lookup : t -> Five_tuple.t -> verdict
+
+val lookup_reverse : t -> Five_tuple.t -> verdict
+(** Verdict for the reversed orientation of [tuple], allocation-free. *)
+
+val iter_rules : t -> (rule -> unit) -> unit
+(** Iterate rules in match order (priority ascending, insertion-stable) —
+    what classifier backends rebuild their indexes from. *)
+
+val revision : t -> int
+(** Bumped on every {!add}/{!remove}/{!clear}; lets derived indexes and
+    caches detect staleness without owning every mutation path. *)
 
 val rule_count : t -> int
 val memory_bytes : t -> int

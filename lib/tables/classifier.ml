@@ -1,0 +1,124 @@
+type backend = Linear | Tuple_space
+
+let backend_to_string = function Linear -> "linear" | Tuple_space -> "tss"
+
+type t = {
+  acl : Acl.t; (* source of truth and reference oracle *)
+  backend : backend;
+  index : Tss.t; (* derived index, used by Tuple_space only *)
+  mutable synced_revision : int; (* Acl revision the index reflects; min_int = never *)
+}
+
+let of_acl ?(backend = Tuple_space) acl =
+  {
+    acl;
+    backend;
+    index = Tss.create ~default:(Acl.default_action acl) ();
+    synced_revision = min_int;
+  }
+
+let create ?backend ?(default = Acl.Permit) () = of_acl ?backend (Acl.create ~default ())
+
+let acl t = t.acl
+let backend t = t.backend
+let default_action t = Acl.default_action t.acl
+let revision t = Acl.revision t.acl
+
+(* The ACL may also be mutated through its own handle (tenant updates go
+   through [Ruleset.acl]); the revision check catches that and rebuilds
+   the index before the next lookup. *)
+let sync t =
+  match t.backend with
+  | Linear -> ()
+  | Tuple_space ->
+    let rev = Acl.revision t.acl in
+    if rev <> t.synced_revision then begin
+      Tss.clear t.index;
+      (* Match order (priority ascending, insertion-stable) becomes TSS
+         insertion order, so both backends break ties identically. *)
+      Acl.iter_rules t.acl (fun r -> Tss.add t.index r);
+      t.synced_revision <- rev
+    end
+
+let add t r =
+  let before = Acl.revision t.acl in
+  Acl.add t.acl r;
+  match t.backend with
+  | Linear -> ()
+  | Tuple_space ->
+    if t.synced_revision = before then begin
+      Tss.add t.index r;
+      t.synced_revision <- Acl.revision t.acl
+    end
+
+let remove t ~priority =
+  let before = Acl.revision t.acl in
+  let removed = Acl.remove t.acl ~priority in
+  (match t.backend with
+  | Linear -> ()
+  | Tuple_space ->
+    if t.synced_revision = before then begin
+      ignore (Tss.remove t.index ~priority : bool);
+      t.synced_revision <- Acl.revision t.acl
+    end);
+  removed
+
+let clear t =
+  Acl.clear t.acl;
+  match t.backend with
+  | Linear -> ()
+  | Tuple_space ->
+    Tss.clear t.index;
+    t.synced_revision <- Acl.revision t.acl
+
+type verdict = { action : Acl.action; rules_scanned : int; matched : Acl.rule option }
+
+(* For the TSS backend [rules_scanned] charges what the algorithm does:
+   one unit per tuple-space hash probe plus one per bucket entry
+   examined.  Feeding that into [Params.rule_lookup_cycles] keeps the
+   log2(1+work) cost model meaningful across backends. *)
+let lookup t t5 =
+  match t.backend with
+  | Linear ->
+    let v = Acl.lookup t.acl t5 in
+    { action = v.Acl.action; rules_scanned = v.Acl.rules_scanned; matched = v.Acl.matched }
+  | Tuple_space ->
+    sync t;
+    let v = Tss.lookup t.index t5 in
+    {
+      action = v.Tss.action;
+      rules_scanned = v.Tss.tuples_probed + v.Tss.bucket_scans;
+      matched = v.Tss.matched;
+    }
+
+let lookup_reverse t t5 =
+  match t.backend with
+  | Linear ->
+    let v = Acl.lookup_reverse t.acl t5 in
+    { action = v.Acl.action; rules_scanned = v.Acl.rules_scanned; matched = v.Acl.matched }
+  | Tuple_space ->
+    sync t;
+    let v = Tss.lookup_reverse t.index t5 in
+    {
+      action = v.Tss.action;
+      rules_scanned = v.Tss.tuples_probed + v.Tss.bucket_scans;
+      matched = v.Tss.matched;
+    }
+
+let rule_count t = Acl.rule_count t.acl
+
+let tuple_count t =
+  match t.backend with
+  | Linear -> 0
+  | Tuple_space ->
+    sync t;
+    Tss.tuple_count t.index
+
+let memory_bytes t =
+  match t.backend with
+  | Linear -> Acl.memory_bytes t.acl
+  | Tuple_space ->
+    sync t;
+    Tss.memory_bytes t.index
+
+let copy t = of_acl ~backend:t.backend (Acl.copy t.acl)

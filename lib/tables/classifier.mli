@@ -1,0 +1,54 @@
+(** Backend-parameterized packet classifier.
+
+    One [verdict] API over two interchangeable engines: the {!Acl}
+    linear scan (the reference oracle — simple, obviously correct) and
+    {!Tss} tuple-space search (the default — cost grows with the number
+    of distinct mask shapes, not rules).  The property tests require
+    both backends to return identical verdicts, matched rule included.
+
+    The underlying {!Acl.t} stays the source of truth: callers that hold
+    the ACL handle (tenant rule updates go through [Ruleset.acl]) may
+    mutate it directly, and the TSS index resyncs lazily via
+    {!Acl.revision} before the next lookup. *)
+
+open Nezha_net
+
+type backend = Linear | Tuple_space
+
+val backend_to_string : backend -> string
+
+type t
+
+val create : ?backend:backend -> ?default:Acl.action -> unit -> t
+(** [backend] defaults to [Tuple_space], [default] to [Permit]. *)
+
+val of_acl : ?backend:backend -> Acl.t -> t
+(** Wrap an existing ACL; the index (if any) is built on first lookup. *)
+
+val acl : t -> Acl.t
+val backend : t -> backend
+
+val add : t -> Acl.rule -> unit
+val remove : t -> priority:int -> bool
+val clear : t -> unit
+
+type verdict = { action : Acl.action; rules_scanned : int; matched : Acl.rule option }
+(** [rules_scanned] is the work measure fed to the CPU cost model: rules
+    examined for [Linear]; hash probes + bucket entries for
+    [Tuple_space]. *)
+
+val lookup : t -> Five_tuple.t -> verdict
+val lookup_reverse : t -> Five_tuple.t -> verdict
+(** Verdict for the reversed tuple orientation, allocation-free. *)
+
+val rule_count : t -> int
+
+val tuple_count : t -> int
+(** Distinct mask shapes in the TSS index; 0 for [Linear]. *)
+
+val memory_bytes : t -> int
+val revision : t -> int
+val default_action : t -> Acl.action
+
+val copy : t -> t
+(** Independent duplicate; the copy rebuilds its own index lazily. *)

@@ -1,6 +1,7 @@
 open Nezha_engine
 
 type 'v entry = {
+  key : Flow_key.t; (* interned at first insert; re-arms reuse it *)
   mutable value : 'v;
   mutable bytes : int; (* total accounted size, overhead included *)
   mutable timer : Flow_key.t Timer_wheel.timer;
@@ -47,14 +48,14 @@ let insert t ~now ?aging key v =
       e.value <- v;
       e.bytes <- nbytes;
       Timer_wheel.cancel e.timer;
-      e.timer <- arm t ~now ~aging key;
+      e.timer <- arm t ~now ~aging e.key;
       Admission.ok
     end
     else Admission.table_full
   | None ->
     let nbytes = entry_size t v in
     if fits t nbytes then begin
-      let e = { value = v; bytes = nbytes; timer = arm t ~now ~aging key } in
+      let e = { key; value = v; bytes = nbytes; timer = arm t ~now ~aging key } in
       Flow_key.Table.replace t.entries key e;
       t.used_bytes <- t.used_bytes + nbytes;
       Admission.ok
@@ -72,7 +73,7 @@ let touch t ~now ?aging key =
   | None -> false
   | Some e ->
     Timer_wheel.cancel e.timer;
-    e.timer <- arm t ~now ~aging key;
+    e.timer <- arm t ~now ~aging e.key;
     true
 
 let update t ~now key f =
@@ -85,7 +86,7 @@ let update t ~now key f =
     e.value <- v;
     e.bytes <- nbytes;
     Timer_wheel.cancel e.timer;
-    e.timer <- arm t ~now ~aging:t.default_aging key;
+    e.timer <- arm t ~now ~aging:t.default_aging e.key;
     true
 
 let remove t key =

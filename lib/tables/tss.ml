@@ -11,14 +11,15 @@ type tuple = {
 
 type entry = { rule : Acl.rule; order : int }
 
-(* Bucket key: the packet fields masked to the tuple's shape. *)
-type key = { ksrc : int32; kdst : int32; kproto : int }
+(* Bucket key: the packet fields masked to the tuple's shape.  Plain
+   ints (not int32) so probing boxes nothing. *)
+type key = { ksrc : int; kdst : int; kproto : int }
 
 module Key = struct
   type t = key
 
   let equal a b = a.ksrc = b.ksrc && a.kdst = b.kdst && a.kproto = b.kproto
-  let hash k = Hashtbl.hash (k.ksrc, k.kdst, k.kproto)
+  let hash k = ((k.ksrc * 0x9e3779b1) lxor (k.kdst * 0x85ebca6b) lxor k.kproto) land max_int
 end
 
 module Bucket_table = Hashtbl.Make (Key)
@@ -35,13 +36,12 @@ type t = {
 let create ?(default = Acl.Permit) () =
   { default; spaces = []; count = 0; next_order = 0 }
 
-let mask_bits len =
-  if len <= 0 then 0l else Int32.shift_left (-1l) (32 - len)
+let[@inline] mask_bits len = if len <= 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
 
-let mask_addr addr len =
-  if len < 0 then 0l else Int32.logand (Ipv4.to_int32 addr) (mask_bits len)
+let[@inline] mask_addr addr len =
+  if len < 0 then 0 else Int32.to_int (Ipv4.to_int32 addr) land mask_bits len
 
-let proto_code = function Five_tuple.Tcp -> 6 | Five_tuple.Udp -> 17 | Five_tuple.Icmp -> 1
+let proto_code = Five_tuple.proto_code
 
 let tuple_of_rule (r : Acl.rule) =
   {
@@ -54,8 +54,8 @@ let tuple_of_rule (r : Acl.rule) =
 
 let key_of_rule tuple (r : Acl.rule) =
   {
-    ksrc = (match r.Acl.src with Some p -> mask_addr (Ipv4.Prefix.base p) tuple.src_len | None -> 0l);
-    kdst = (match r.Acl.dst with Some p -> mask_addr (Ipv4.Prefix.base p) tuple.dst_len | None -> 0l);
+    ksrc = (match r.Acl.src with Some p -> mask_addr (Ipv4.Prefix.base p) tuple.src_len | None -> 0);
+    kdst = (match r.Acl.dst with Some p -> mask_addr (Ipv4.Prefix.base p) tuple.dst_len | None -> 0);
     kproto = (match r.Acl.proto with Some p -> proto_code p | None -> -1);
   }
 
@@ -63,6 +63,14 @@ let key_of_packet tuple (t5 : Five_tuple.t) =
   {
     ksrc = mask_addr t5.Five_tuple.src tuple.src_len;
     kdst = mask_addr t5.Five_tuple.dst tuple.dst_len;
+    kproto = (if tuple.has_proto then proto_code t5.Five_tuple.proto else -1);
+  }
+
+(* The same packet seen in the reverse orientation: src/dst swap roles. *)
+let key_of_packet_rev tuple (t5 : Five_tuple.t) =
+  {
+    ksrc = mask_addr t5.Five_tuple.dst tuple.src_len;
+    kdst = mask_addr t5.Five_tuple.src tuple.dst_len;
     kproto = (if tuple.has_proto then proto_code t5.Five_tuple.proto else -1);
   }
 
@@ -113,19 +121,21 @@ type verdict = {
 
 (* Matching (Acl.matches) still verifies the full rule: the hash probe
    only narrows candidates; port ranges in particular are checked here. *)
-let lookup t t5 =
+let lookup_gen t t5 ~rev =
+  let key_of = if rev then key_of_packet_rev else key_of_packet in
+  let verify = if rev then Acl.matches_reverse else Acl.matches in
   let best = ref None in
   let probes = ref 0 and scans = ref 0 in
   List.iter
     (fun space ->
       incr probes;
-      match Bucket_table.find_opt space.buckets (key_of_packet space.tuple t5) with
+      match Bucket_table.find_opt space.buckets (key_of space.tuple t5) with
       | None -> ()
       | Some cell ->
         List.iter
           (fun e ->
             incr scans;
-            if Acl.matches e.rule t5 then begin
+            if verify e.rule t5 then begin
               let better =
                 match !best with
                 | None -> true
@@ -143,6 +153,9 @@ let lookup t t5 =
       matched = Some e.rule }
   | None ->
     { action = t.default; tuples_probed = !probes; bucket_scans = !scans; matched = None }
+
+let lookup t t5 = lookup_gen t t5 ~rev:false
+let lookup_reverse t t5 = lookup_gen t t5 ~rev:true
 
 let rule_count t = t.count
 let tuple_count t = List.length t.spaces

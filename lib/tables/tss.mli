@@ -36,6 +36,10 @@ val lookup : t -> Five_tuple.t -> verdict
 (** Highest-priority (lowest number; ties broken by insertion order, as
     in {!Acl}) match across all tuples, or the default action. *)
 
+val lookup_reverse : t -> Five_tuple.t -> verdict
+(** Verdict for the reversed orientation of the tuple, without
+    allocating the reversed tuple (cf. {!Acl.lookup_reverse}). *)
+
 val rule_count : t -> int
 val tuple_count : t -> int
 val memory_bytes : t -> int

@@ -12,6 +12,32 @@ type drop_reason =
   | Nic_crashed
   | Vm_overload
 
+let all_drop_reasons =
+  [
+    Acl_denied;
+    Unsolicited;
+    No_route;
+    No_vnic;
+    Table_full;
+    Queue_overflow;
+    Rate_limited;
+    Nic_crashed;
+    Vm_overload;
+  ]
+
+let drop_reason_count = List.length all_drop_reasons
+
+let drop_reason_index = function
+  | Acl_denied -> 0
+  | Unsolicited -> 1
+  | No_route -> 2
+  | No_vnic -> 3
+  | Table_full -> 4
+  | Queue_overflow -> 5
+  | Rate_limited -> 6
+  | Nic_crashed -> 7
+  | Vm_overload -> 8
+
 let drop_reason_to_string = function
   | Acl_denied -> "acl-denied"
   | Unsolicited -> "unsolicited"

@@ -20,6 +20,15 @@ type drop_reason =
   | Nic_crashed
   | Vm_overload
 
+val all_drop_reasons : drop_reason list
+(** Every reason, in {!drop_reason_index} order. *)
+
+val drop_reason_count : int
+
+val drop_reason_index : drop_reason -> int
+(** Dense index in [0, drop_reason_count); counter arrays use it to
+    avoid per-packet association-list walks. *)
+
 val drop_reason_to_string : drop_reason -> string
 val pp_drop_reason : Format.formatter -> drop_reason -> unit
 

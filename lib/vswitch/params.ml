@@ -9,6 +9,7 @@ type t = {
   encap_cycles : int;
   session_setup_cycles : int;
   flow_cache_cycles : int;
+  megaflow_hit_cycles : int;
   state_init_cycles : int;
   state_update_cycles : int;
   queue_capacity : int;
@@ -36,6 +37,7 @@ let default =
     encap_cycles = 150;
     session_setup_cycles = 48_000;
     flow_cache_cycles = 46_000;
+    megaflow_hit_cycles = 120;
     state_init_cycles = 2_000;
     state_update_cycles = 400;
     queue_capacity = 4096;

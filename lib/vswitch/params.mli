@@ -40,6 +40,9 @@ type t = {
   flow_cache_cycles : int;
       (** the cached-flow creation share of session setup — the work that
           moves to the FE under Nezha *)
+  megaflow_hit_cycles : int;
+      (** slow-path classification answered from the megaflow cache: one
+          masked-key hash probe instead of the full pipeline walk *)
   state_init_cycles : int;
       (** the state-initialization share — the work the BE keeps *)
   state_update_cycles : int;  (** applying a state transition *)

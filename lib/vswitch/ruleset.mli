@@ -5,7 +5,15 @@
     advanced features enabled (§2.2.2).  [lookup] runs the pipeline,
     returns the bidirectional {!Pre_action.t} and charges cycles per the
     cost model.  Rule tables are stateless: this whole structure is what
-    Nezha replicates onto FEs. *)
+    Nezha replicates onto FEs.
+
+    Two accelerations sit in front of the pipeline walk:
+
+    - the ACL is served by a {!Classifier} (tuple-space search by
+      default; linear scan available as the reference backend);
+    - results are memoized in an OVS-style megaflow cache under a
+      conservatively-masked key, invalidated wholesale whenever
+      {!generation} or the classifier revision moves. *)
 
 open Nezha_net
 open Nezha_tables
@@ -15,6 +23,7 @@ type t
 val create :
   vni:int ->
   ?acl:Acl.t ->
+  ?backend:Classifier.backend ->
   ?rate_limit_bps:int ->
   ?stats_rules:(Ipv4.Prefix.t * Pre_action.stats_spec) list ->
   ?stateful_decap:bool ->
@@ -33,7 +42,13 @@ val create :
     Table 3. *)
 
 val vni : t -> int
+
 val acl : t -> Acl.t
+(** The underlying ACL handle.  Mutating it directly is allowed; the
+    classifier index resyncs itself, but cached flows built from the old
+    rules need {!bump_generation} to be invalidated. *)
+
+val classifier : t -> Classifier.t
 val stateful_decap : t -> bool
 
 val add_route : t -> Ipv4.Prefix.t -> unit
@@ -69,7 +84,18 @@ val lookup :
     is the vNIC's overlay address).  [None] when no VXLAN route covers the
     peer: the packet is unroutable and dropped.  Note an ACL [Deny] still
     returns a result — deny is a pre-action, not a drop, because state may
-    overrule it (§3.1). *)
+    overrule it (§3.1).
+
+    A megaflow-cache hit short-circuits the walk and costs only
+    [params.megaflow_hit_cycles].  Sessions whose peer maps to several
+    FEs are never cached: their FE choice hashes the full tuple. *)
+
+val megaflow_hits : t -> int
+val megaflow_misses : t -> int
+val megaflow_entries : t -> int
+
+val classifier_tuples : t -> int
+(** Distinct mask shapes in the TSS index (0 under the linear backend). *)
 
 val memory_bytes : t -> int
 

@@ -13,7 +13,7 @@ type counters = {
   fast_path_hits : Stats.Counter.t;
   sessions_created : Stats.Counter.t;
   notify_packets : Stats.Counter.t;
-  drops : (Nf.drop_reason * Stats.Counter.t) list;
+  drops : Stats.Counter.t array; (* indexed by Nf.drop_reason_index *)
 }
 
 type session = { pre : Pre_action.t option; state : State.t option; generation : int }
@@ -62,20 +62,6 @@ type t = {
   mutable net_hook : (Packet.t -> outer:Packet.vxlan option -> [ `Handled | `Continue ]) option;
 }
 
-let all_drop_reasons =
-  Nf.
-    [
-      Acl_denied;
-      Unsolicited;
-      No_route;
-      No_vnic;
-      Table_full;
-      Queue_overflow;
-      Rate_limited;
-      Nic_crashed;
-      Vm_overload;
-    ]
-
 let make_counters () =
   {
     rx_packets = Stats.Counter.create ();
@@ -86,7 +72,7 @@ let make_counters () =
     fast_path_hits = Stats.Counter.create ();
     sessions_created = Stats.Counter.create ();
     notify_packets = Stats.Counter.create ();
-    drops = List.map (fun r -> (r, Stats.Counter.create ())) all_drop_reasons;
+    drops = Array.init Nf.drop_reason_count (fun _ -> Stats.Counter.create ());
   }
 
 (* Accounted size of a session entry: key bytes, plus the cached
@@ -152,12 +138,12 @@ let counters t = t.counters
 let software_version t = t.version
 let set_software_version t v = t.version <- v
 
-let drop_counter t reason = List.assoc reason t.counters.drops
+let drop_counter t reason = t.counters.drops.(Nf.drop_reason_index reason)
 
 let drop_count t reason = Stats.Counter.value (drop_counter t reason)
 
 let total_drops t =
-  List.fold_left (fun acc (_, c) -> acc + Stats.Counter.value c) 0 t.counters.drops
+  Array.fold_left (fun acc c -> acc + Stats.Counter.value c) 0 t.counters.drops
 
 let count_drop t reason = Stats.Counter.incr (drop_counter t reason)
 let count_notify t = Stats.Counter.incr t.counters.notify_packets
@@ -599,20 +585,30 @@ let from_net t pkt =
   let outer = Packet.decap_vxlan pkt in
   let outer_src = Option.map (fun v -> v.Packet.outer_src) outer in
   let dst_addr = { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst } in
-  match Vnic.Addr.Table.find_opt t.by_addr dst_addr with
-  | Some vnic -> (
-    match entry t vnic.Vnic.id with
-    | None -> count_drop t Nf.No_vnic
-    | Some e -> (
-      match e.intercept with
-      | Some i -> (
-        match i.on_rx pkt with `Handled -> () | `Continue -> local_rx t e pkt ~outer_src)
-      | None -> local_rx t e pkt ~outer_src))
-  | None -> (
-    match t.net_hook with
-    | Some hook -> (
-      match hook pkt ~outer with `Handled -> () | `Continue -> count_drop t Nf.No_vnic)
-    | None -> count_drop t Nf.No_vnic)
+  (* NSH-bearing packets are Nezha-internal workflow traffic: the net
+     hook gets first refusal even when the inner destination is hosted
+     locally — an FE may share a server with a session's peer, and its
+     half of the split pipeline must still run. *)
+  let hooked =
+    match (t.net_hook, pkt.Packet.nsh) with
+    | Some hook, Some _ -> ( match hook pkt ~outer with `Handled -> true | `Continue -> false)
+    | Some _, None | None, _ -> false
+  in
+  if not hooked then
+    match Vnic.Addr.Table.find_opt t.by_addr dst_addr with
+    | Some vnic -> (
+      match entry t vnic.Vnic.id with
+      | None -> count_drop t Nf.No_vnic
+      | Some e -> (
+        match e.intercept with
+        | Some i -> (
+          match i.on_rx pkt with `Handled -> () | `Continue -> local_rx t e pkt ~outer_src)
+        | None -> local_rx t e pkt ~outer_src))
+    | None -> (
+      match (t.net_hook, pkt.Packet.nsh) with
+      | Some hook, None -> (
+        match hook pkt ~outer with `Handled -> () | `Continue -> count_drop t Nf.No_vnic)
+      | Some _, Some _ | None, _ -> count_drop t Nf.No_vnic)
 
 let set_flow_log_sink t sink = t.flow_log <- sink
 
@@ -652,12 +648,25 @@ let register_telemetry t reg =
   counter "sessions_created" t.counters.sessions_created;
   counter "notify_packets" t.counters.notify_packets;
   List.iter
-    (fun (reason, c) ->
+    (fun reason ->
       T.attach_counter reg
         ~name:(prefix ^ "drops/" ^ Nf.drop_reason_to_string reason)
         ~labels:[ ("reason", Nf.drop_reason_to_string reason) ]
-        c)
-    t.counters.drops;
+        (drop_counter t reason))
+    Nf.all_drop_reasons;
+  let sum_rulesets f =
+    Vnic.Id_table.fold
+      (fun _ e acc -> match e.ruleset with Some rs -> acc + f rs | None -> acc)
+      t.vnics 0
+  in
+  T.register_counter reg ~name:(prefix ^ "megaflow_hits") (fun () ->
+      sum_rulesets Ruleset.megaflow_hits);
+  T.register_counter reg ~name:(prefix ^ "megaflow_misses") (fun () ->
+      sum_rulesets Ruleset.megaflow_misses);
+  T.register_gauge reg ~name:(prefix ^ "megaflow_entries") (fun () ->
+      float_of_int (sum_rulesets Ruleset.megaflow_entries));
+  T.register_gauge reg ~name:(prefix ^ "classifier_tuples") (fun () ->
+      float_of_int (sum_rulesets Ruleset.classifier_tuples));
   T.register_counter reg ~name:(prefix ^ "flow_records") (fun () -> t.flow_records);
   T.register_counter reg ~name:(prefix ^ "packets_mirrored") (fun () -> t.mirrored);
   T.register_gauge reg ~name:(prefix ^ "vnics") (fun () ->

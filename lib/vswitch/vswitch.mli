@@ -35,7 +35,7 @@ type counters = {
   fast_path_hits : Stats.Counter.t;
   sessions_created : Stats.Counter.t;
   notify_packets : Stats.Counter.t;
-  drops : (Nf.drop_reason * Stats.Counter.t) list;
+  drops : Stats.Counter.t array;  (** indexed by {!Nf.drop_reason_index} *)
 }
 
 val create :

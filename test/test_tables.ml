@@ -381,6 +381,40 @@ let test_tss_remove () =
   check_bool "default now" true
     ((Tss.lookup tss (tuple "1.1.1.1" "2.2.2.2")).Tss.action = Acl.Deny)
 
+let test_tss_clear () =
+  let tss = Tss.create ~default:Acl.Deny () in
+  for i = 1 to 40 do
+    Tss.add tss (Acl.rule ~priority:i ~src:(pfx "10.0.0.0/8") Acl.Permit)
+  done;
+  Tss.clear tss;
+  check_int "no rules" 0 (Tss.rule_count tss);
+  check_int "no tuples" 0 (Tss.tuple_count tss);
+  check_int "no memory" 0 (Tss.memory_bytes tss);
+  let v = Tss.lookup tss (tuple "10.1.1.1" "2.2.2.2") in
+  check_bool "default after clear" true (v.Tss.action = Acl.Deny);
+  check_int "nothing probed" 0 v.Tss.tuples_probed
+
+let test_tss_memory_accounting () =
+  let tss = Tss.create () in
+  let base = Tss.memory_bytes tss in
+  check_int "empty costs nothing" 0 base;
+  Tss.add tss (Acl.rule ~priority:1 ~src:(pfx "10.0.0.0/8") Acl.Deny);
+  let one = Tss.memory_bytes tss in
+  check_bool "rule + tuple accounted" true (one > 0);
+  (* Same shape: only the per-rule share grows, no new tuple. *)
+  Tss.add tss (Acl.rule ~priority:2 ~src:(pfx "20.0.0.0/8") Acl.Deny);
+  let two = Tss.memory_bytes tss in
+  check_bool "same-shape rule cheaper than first" true (two - one < one);
+  (* New shape: strictly more than another same-shape rule. *)
+  Tss.add tss (Acl.rule ~priority:3 ~proto:Five_tuple.Tcp Acl.Deny);
+  let three = Tss.memory_bytes tss in
+  check_bool "new shape costs a tuple" true (three - two > two - one);
+  ignore (Tss.remove tss ~priority:3 : bool);
+  check_bool "remove shrinks" true (Tss.memory_bytes tss < three)
+
+(* Verdicts (action AND matched rule) must be identical to the
+   linear-scan oracle — rule identity matters because pre-actions are
+   derived from the matched rule. *)
 let prop_tss_equivalent =
   QCheck.Test.make ~name:"tss and acl agree on every packet" ~count:60
     QCheck.(make Gen.(pair (int_range 0 1000000) (int_range 1 80)))
@@ -395,7 +429,94 @@ let prop_tss_equivalent =
       let ok = ref true in
       for _ = 1 to 50 do
         let t5 = random_tuple rng in
-        if (Acl.lookup acl t5).Acl.action <> (Tss.lookup tss t5).Tss.action then ok := false
+        let a = Acl.lookup acl t5 and b = Tss.lookup tss t5 in
+        if a.Acl.action <> b.Tss.action then ok := false;
+        (match (a.Acl.matched, b.Tss.matched) with
+        | None, None -> ()
+        | Some ra, Some rb -> if ra != rb then ok := false
+        | Some _, None | None, Some _ -> ok := false);
+        let ar = Acl.lookup_reverse acl t5 and br = Tss.lookup_reverse tss t5 in
+        if ar.Acl.action <> br.Tss.action then ok := false;
+        if ar.Acl.matched <> br.Tss.matched then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Classifier: backend-parameterized facade *)
+
+let classifier_pair nrules ~seed =
+  let rng = Nezha_engine.Rng.create seed in
+  let lin = Classifier.create ~backend:Classifier.Linear () in
+  let tss = Classifier.create ~backend:Classifier.Tuple_space () in
+  for i = 1 to nrules do
+    let r = random_rule rng i in
+    Classifier.add lin r;
+    Classifier.add tss r
+  done;
+  (rng, lin, tss)
+
+let test_classifier_backends_agree () =
+  let rng, lin, tss = classifier_pair 70 ~seed:77 in
+  for _ = 1 to 300 do
+    let t5 = random_tuple rng in
+    let a = Classifier.lookup lin t5 and b = Classifier.lookup tss t5 in
+    check_bool "same action" true (a.Classifier.action = b.Classifier.action);
+    check_bool "same matched rule" true (a.Classifier.matched == b.Classifier.matched
+                                         || a.Classifier.matched = b.Classifier.matched);
+    let ar = Classifier.lookup_reverse lin t5 and br = Classifier.lookup_reverse tss t5 in
+    check_bool "same reverse action" true (ar.Classifier.action = br.Classifier.action)
+  done;
+  check_bool "tss charges less work at scale" true
+    (let _, lin1k, tss1k = classifier_pair 0 ~seed:5 in
+     for i = 1 to 1000 do
+       let r =
+         Acl.rule ~priority:i
+           ~src:(Ipv4.Prefix.make (Ipv4.of_octets 172 16 (i mod 200) 0) 24)
+           Acl.Deny
+       in
+       Classifier.add lin1k r;
+       Classifier.add tss1k r
+     done;
+     let probe = tuple "10.0.0.1" "10.0.0.2" in
+     (Classifier.lookup tss1k probe).Classifier.rules_scanned * 10
+     < (Classifier.lookup lin1k probe).Classifier.rules_scanned)
+
+let test_classifier_resync_on_direct_acl_mutation () =
+  (* Tenant rule updates mutate the ACL through its own handle; the TSS
+     index must notice via the revision counter. *)
+  let c = Classifier.create ~backend:Classifier.Tuple_space () in
+  let t5 = tuple "10.1.2.3" "2.2.2.2" in
+  check_bool "permit before" true ((Classifier.lookup c t5).Classifier.action = Acl.Permit);
+  Acl.add (Classifier.acl c) (Acl.rule ~priority:1 ~src:(pfx "10.0.0.0/8") Acl.Deny);
+  check_bool "deny after direct add" true
+    ((Classifier.lookup c t5).Classifier.action = Acl.Deny);
+  Acl.clear (Classifier.acl c);
+  check_bool "permit after direct clear" true
+    ((Classifier.lookup c t5).Classifier.action = Acl.Permit);
+  check_int "index emptied too" 0 (Classifier.tuple_count c)
+
+let test_classifier_copy_independent () =
+  let c = Classifier.create () in
+  Classifier.add c (Acl.rule ~priority:1 ~src:(pfx "10.0.0.0/8") Acl.Deny);
+  let d = Classifier.copy c in
+  Classifier.add d (Acl.rule ~priority:0 ~src:(pfx "10.0.0.0/8") Acl.Permit);
+  let t5 = tuple "10.1.1.1" "2.2.2.2" in
+  check_bool "copy sees its own rule" true
+    ((Classifier.lookup d t5).Classifier.action = Acl.Permit);
+  check_bool "original unchanged" true
+    ((Classifier.lookup c t5).Classifier.action = Acl.Deny)
+
+let prop_classifier_backends_equivalent =
+  QCheck.Test.make ~name:"linear and tuple-space backends agree" ~count:40
+    QCheck.(make Gen.(pair (int_range 0 1000000) (int_range 1 60)))
+    (fun (seed, nrules) ->
+      let rng, lin, tss = classifier_pair nrules ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let t5 = random_tuple rng in
+        let a = Classifier.lookup lin t5 and b = Classifier.lookup tss t5 in
+        if a.Classifier.action <> b.Classifier.action then ok := false;
+        if a.Classifier.matched <> b.Classifier.matched then ok := false
       done;
       !ok)
 
@@ -432,8 +553,18 @@ let () =
           Alcotest.test_case "sublinear probes" `Quick test_tss_sublinear_probes;
           Alcotest.test_case "priority and ties" `Quick test_tss_priority_and_ties;
           Alcotest.test_case "remove" `Quick test_tss_remove;
+          Alcotest.test_case "clear" `Quick test_tss_clear;
+          Alcotest.test_case "memory accounting" `Quick test_tss_memory_accounting;
         ]
         @ qsuite [ prop_tss_equivalent ] );
+      ( "classifier",
+        [
+          Alcotest.test_case "backends agree" `Quick test_classifier_backends_agree;
+          Alcotest.test_case "resync on direct acl mutation" `Quick
+            test_classifier_resync_on_direct_acl_mutation;
+          Alcotest.test_case "copy is independent" `Quick test_classifier_copy_independent;
+        ]
+        @ qsuite [ prop_classifier_backends_equivalent ] );
       ( "flow_table",
         [
           Alcotest.test_case "insert and find" `Quick test_ft_insert_find;

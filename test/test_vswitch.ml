@@ -352,6 +352,73 @@ let test_ruleset_extra_tables_cost () =
   in
   check_int "7 extra tables cost" (7 * Params.default.Params.table_base_cycles) (c12 - c5)
 
+let mega_rs () =
+  let acl = Acl.create () in
+  Acl.add acl (Acl.rule ~priority:1 ~dst:(pfx "10.2.0.0/16") Acl.Deny);
+  let rs = Ruleset.create ~vni:7 ~acl () in
+  Ruleset.add_route rs (pfx "10.0.0.0/8");
+  Ruleset.add_mapping rs
+    { Vnic.Addr.vpc = Vpc.make 1; ip = ip "10.1.0.2" }
+    (ip "192.168.0.2");
+  rs
+
+let mega_lookup rs t5 =
+  match Ruleset.lookup rs ~params:Params.default ~vpc:(Vpc.make 1) ~flow_tx:t5 with
+  | Some r -> r
+  | None -> Alcotest.fail "expected lookup result"
+
+let test_ruleset_megaflow_hit () =
+  let rs = mega_rs () in
+  let t5 = tuple "10.1.0.1" "10.1.0.2" in
+  let first = mega_lookup rs t5 in
+  check_int "first lookup misses" 0 (Ruleset.megaflow_hits rs);
+  check_int "one miss" 1 (Ruleset.megaflow_misses rs);
+  check_int "entry installed" 1 (Ruleset.megaflow_entries rs);
+  let second = mega_lookup rs t5 in
+  check_int "second lookup hits" 1 (Ruleset.megaflow_hits rs);
+  check_int "hit costs one probe" Params.default.Params.megaflow_hit_cycles second.Ruleset.cycles;
+  check_bool "hit is cheaper than the pipeline walk" true
+    (second.Ruleset.cycles < first.Ruleset.cycles);
+  check_bool "same pre-action" true (second.Ruleset.pre = first.Ruleset.pre);
+  (* A flow sharing the megaflow's masked key reuses the entry. *)
+  ignore (mega_lookup rs (tuple "10.1.0.1" "10.1.0.2" ~sport:50000) : Ruleset.lookup_result);
+  check_bool "masked reuse" true
+    (Ruleset.megaflow_hits rs = 2 || Ruleset.megaflow_misses rs = 2)
+
+let test_ruleset_megaflow_invalidated_on_bump () =
+  let rs = mega_rs () in
+  let t5 = tuple "10.1.0.1" "10.1.0.2" in
+  ignore (mega_lookup rs t5 : Ruleset.lookup_result);
+  ignore (mega_lookup rs t5 : Ruleset.lookup_result);
+  check_int "cached" 1 (Ruleset.megaflow_hits rs);
+  (* Mutate the ACL through its own handle, then bump: the cached
+     permit verdict must not survive. *)
+  Acl.add (Ruleset.acl rs) (Acl.rule ~priority:0 ~dst:(pfx "10.1.0.2/32") Acl.Deny);
+  Ruleset.bump_generation rs;
+  let after = mega_lookup rs t5 in
+  check_bool "new rule visible after bump" true (after.Ruleset.pre.Pre_action.acl_tx = Acl.Deny);
+  check_int "flush forced a miss" 2 (Ruleset.megaflow_misses rs);
+  (* Route/mapping mutations bump on their own. *)
+  ignore (mega_lookup rs t5 : Ruleset.lookup_result);
+  let hits = Ruleset.megaflow_hits rs in
+  Ruleset.add_route rs (pfx "172.16.0.0/12");
+  ignore (mega_lookup rs t5 : Ruleset.lookup_result);
+  check_int "route change flushed the cache" hits (Ruleset.megaflow_hits rs)
+
+let test_ruleset_megaflow_multi_target_not_cached () =
+  let rs = Ruleset.create ~vni:7 () in
+  Ruleset.add_route rs (pfx "10.0.0.0/8");
+  Ruleset.set_mapping_multi rs
+    { Vnic.Addr.vpc = Vpc.make 1; ip = ip "10.1.0.2" }
+    [| ip "192.168.0.2"; ip "192.168.0.3" |];
+  let t5 = tuple "10.1.0.1" "10.1.0.2" in
+  ignore (mega_lookup rs t5 : Ruleset.lookup_result);
+  ignore (mega_lookup rs t5 : Ruleset.lookup_result);
+  (* The FE pick hashes the full tuple, so a masked megaflow entry
+     would pin every colliding flow to one FE — never cache it. *)
+  check_int "no entries" 0 (Ruleset.megaflow_entries rs);
+  check_int "no hits" 0 (Ruleset.megaflow_hits rs)
+
 (* ------------------------------------------------------------------ *)
 (* Vswitch end-to-end (local datapath) *)
 
@@ -739,6 +806,11 @@ let () =
           Alcotest.test_case "memory scales with mappings" `Quick
             test_ruleset_memory_scales_with_mappings;
           Alcotest.test_case "extra tables cost" `Quick test_ruleset_extra_tables_cost;
+          Alcotest.test_case "megaflow hit" `Quick test_ruleset_megaflow_hit;
+          Alcotest.test_case "megaflow invalidated on bump" `Quick
+            test_ruleset_megaflow_invalidated_on_bump;
+          Alcotest.test_case "megaflow skips multi-target peers" `Quick
+            test_ruleset_megaflow_multi_target_not_cached;
         ] );
       ( "vswitch",
         [
