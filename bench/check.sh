@@ -64,4 +64,30 @@ else
   echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
+echo "== chaos smoke (0.5% underlay loss + crash + partition)"
+# --check exits non-zero unless the run recovered (end-window loss <= 1%)
+# and the BE tracker conservation invariant held, so this gate works even
+# without python3.
+chaos_out=/tmp/nezha_chaos_check.json
+dune exec --no-build bin/nezha_sim.exe -- chaos --loss 0.005 --check --json "$chaos_out"
+
+echo "== validating $chaos_out"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$chaos_out" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "nezha-chaos/1", doc.get("schema")
+assert doc["recovered"] is True
+assert doc["conservation_ok"] is True
+assert doc["tracked"] == (doc["acked"] + doc["local_fallbacks"]
+                          + doc["dropped"] + doc["outstanding_end"])
+assert doc["injected_drops"] > 0 and doc["partition_drops"] > 0
+assert len(doc["samples"]) > 40
+print("ok: recovered (end loss %.4f), conservation holds over %d tracked sends"
+      % (doc["end_loss"], doc["tracked"]))
+PY
+else
+  echo "python3 not found; relying on the CLI's --check gate"
+fi
+
 echo "== all checks passed"

@@ -288,6 +288,117 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print a single connection's hop-by-hop journey across the BE/FE split.")
     Term.(const run $ seed_arg)
 
+let chaos_cmd =
+  let loss_arg =
+    Arg.(value & opt float 0.005 & info [ "loss" ] ~docv:"P"
+           ~doc:"Underlay drop probability at full ramp (default 0.5%).")
+  in
+  let no_partition_arg =
+    Arg.(value & flag & info [ "no-partition" ]
+           ~doc:"Skip the hard partition of a surviving FE's server at t=6s.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 13.0 & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Load duration (the fault schedule assumes at least 13 s).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the full result (samples included) as JSON to $(docv).")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Exit non-zero unless the loss recovered after healing and the \
+                 BE's offload-tracker conservation invariant holds.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic random seed.")
+  in
+  let run seed loss no_partition duration json check =
+    let r =
+      Experiments.chaos ~seed ~loss ~partition:(not no_partition) ~duration ()
+    in
+    say "chaos (seed %d, %.2f%% loss%s):" seed (loss *. 100.0)
+      (if no_partition then "" else ", partition at t=6s");
+    say "  connections: offered %d, established %d, completed %d" r.Experiments.offered
+      r.Experiments.established r.Experiments.completed;
+    say "  BE tracker: tracked %d = acked %d + local-fallback %d + dropped %d + outstanding %d  %s"
+      r.Experiments.tracked r.Experiments.acked r.Experiments.local_fallbacks
+      r.Experiments.dropped r.Experiments.outstanding_end
+      (if r.Experiments.conservation_ok then "[ok]" else "[VIOLATED]");
+    say "  recovery: timeouts %d, retx %d (re-steered %d), local bypass %d, untracked %d"
+      r.Experiments.timeouts r.Experiments.retx r.Experiments.resteered
+      r.Experiments.local_bypass r.Experiments.untracked;
+    say "  fault plane: %d probabilistic drops, %d partition drops" r.Experiments.injected_drops
+      r.Experiments.partition_drops;
+    say "  monitor: %d FE failures declared, %d mass-failure suppressions"
+      r.Experiments.fe_failures_declared r.Experiments.mass_suspected;
+    say "  end-window loss %.3f%% -> %s" (r.Experiments.end_loss *. 100.0)
+      (if r.Experiments.recovered then "recovered" else "NOT RECOVERED");
+    (match json with
+    | None -> ()
+    | Some path ->
+      let j =
+        Json.Obj
+          [
+            ("schema", Json.String "nezha-chaos/1");
+            ("seed", Json.Int seed);
+            ("loss", Json.Float loss);
+            ("partition", Json.Bool (not no_partition));
+            ("duration", Json.Float duration);
+            ("offered", Json.Int r.Experiments.offered);
+            ("established", Json.Int r.Experiments.established);
+            ("completed", Json.Int r.Experiments.completed);
+            ("tracked", Json.Int r.Experiments.tracked);
+            ("acked", Json.Int r.Experiments.acked);
+            ("timeouts", Json.Int r.Experiments.timeouts);
+            ("retx", Json.Int r.Experiments.retx);
+            ("resteered", Json.Int r.Experiments.resteered);
+            ("local_fallbacks", Json.Int r.Experiments.local_fallbacks);
+            ("local_bypass", Json.Int r.Experiments.local_bypass);
+            ("dropped", Json.Int r.Experiments.dropped);
+            ("untracked", Json.Int r.Experiments.untracked);
+            ("outstanding_end", Json.Int r.Experiments.outstanding_end);
+            ("injected_drops", Json.Int r.Experiments.injected_drops);
+            ("partition_drops", Json.Int r.Experiments.partition_drops);
+            ("mass_suspected", Json.Int r.Experiments.mass_suspected);
+            ("fe_failures_declared", Json.Int r.Experiments.fe_failures_declared);
+            ("end_loss", Json.Float r.Experiments.end_loss);
+            ("recovered", Json.Bool r.Experiments.recovered);
+            ("conservation_ok", Json.Bool r.Experiments.conservation_ok);
+            ( "samples",
+              Json.List
+                (List.map
+                   (fun s ->
+                     Json.Obj
+                       [
+                         ("t", Json.Float s.Experiments.at);
+                         ("loss", Json.Float s.Experiments.loss);
+                         ("outstanding", Json.Int s.Experiments.outstanding);
+                       ])
+                   r.Experiments.samples) );
+          ]
+      in
+      (try
+         let oc = open_out path in
+         output_string oc (Json.to_string_pretty j);
+         output_string oc "\n";
+         close_out oc;
+         say "wrote %s" path
+       with Sys_error e ->
+         Printf.eprintf "nezha_sim: cannot write %s: %s\n" path e;
+         exit 1));
+    if check && not (r.Experiments.recovered && r.Experiments.conservation_ok) then begin
+      Printf.eprintf "nezha_sim chaos: check FAILED (recovered=%b conservation_ok=%b)\n"
+        r.Experiments.recovered r.Experiments.conservation_ok;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the scripted fault-injection scenario (loss ramp, FE crash, partition, heal) \
+             and report how the BE/monitor recovered.")
+    Term.(const run $ chaos_seed_arg $ loss_arg $ no_partition_arg $ duration_arg $ json_arg $ check_arg)
+
 let list_cmd =
   let run () =
     say "experiments (run with: dune exec bench/main.exe -- NAME):";
@@ -301,4 +412,4 @@ let list_cmd =
 let () =
   let doc = "Nezha (SIGCOMM'25) reproduction: SmartNIC vSwitch load sharing, simulated" in
   let info = Cmd.info "nezha_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ cps_cmd; flows_cmd; offload_cmd; fleet_cmd; pcap_cmd; trace_cmd; status_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ cps_cmd; flows_cmd; offload_cmd; fleet_cmd; pcap_cmd; trace_cmd; status_cmd; chaos_cmd; list_cmd ]))

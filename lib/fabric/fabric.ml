@@ -2,6 +2,8 @@ open Nezha_engine
 open Nezha_net
 open Nezha_vswitch
 
+type drop_reason = No_vxlan | No_such_server | No_vswitch | Fault_injected
+
 type t = {
   sim : Sim.t;
   topology : Topology.t;
@@ -9,9 +11,43 @@ type t = {
   switches : Vswitch.t option array;
   vms : (int * Vnic.id, Vm.t) Hashtbl.t;
   mutable delivered_to_vms : int;
-  mutable lost : int;
+  mutable lost_no_vxlan : int;
+  mutable lost_no_such_server : int;
+  mutable lost_no_vswitch : int;
+  mutable lost_fault : int;
+  mutable faults : Faults.t option;
   mutable tap : (time:float -> Packet.t -> unit) option;
 }
+
+let count_lost t = function
+  | No_vxlan -> t.lost_no_vxlan <- t.lost_no_vxlan + 1
+  | No_such_server -> t.lost_no_such_server <- t.lost_no_such_server + 1
+  | No_vswitch -> t.lost_no_vswitch <- t.lost_no_vswitch + 1
+  | Fault_injected -> t.lost_fault <- t.lost_fault + 1
+
+(* One traversal of the [src -> dst] hop: consult the impairment plane,
+   then schedule [deliver] on the surviving packet(s).  Duplication
+   delivers a fresh copy — downstream processing mutates packets in
+   place, so the twin must not alias the original. *)
+let transit t ~src ~dst ~delay pkt deliver =
+  match t.faults with
+  | None -> ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
+  | Some f -> (
+    match Faults.consult f ~src ~dst with
+    | Faults.Drop -> count_lost t Fault_injected
+    | Faults.Pass -> ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
+    | Faults.Delay extra ->
+      ignore (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ -> deliver pkt) : Sim.handle)
+    | Faults.Duplicate extra ->
+      let twin = Packet.copy pkt in
+      ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle);
+      ignore
+        (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ -> deliver twin) : Sim.handle))
+
+let deliver_at_server t target pkt =
+  match t.switches.(target) with
+  | Some vs -> Vswitch.from_net vs pkt
+  | None -> count_lost t No_vswitch
 
 let create ~sim ~topology =
   let t =
@@ -22,49 +58,83 @@ let create ~sim ~topology =
       switches = Array.make (Topology.server_count topology) None;
       vms = Hashtbl.create 64;
       delivered_to_vms = 0;
-      lost = 0;
+      lost_no_vxlan = 0;
+      lost_no_such_server = 0;
+      lost_no_vswitch = 0;
+      lost_fault = 0;
+      faults = None;
       tap = None;
     }
   in
   Gateway.set_forward t.gateway (fun ~dst pkt ->
       match Topology.server_of_ip topology dst with
-      | None -> t.lost <- t.lost + 1
+      | None -> count_lost t No_such_server
       | Some target ->
         let delay = Topology.latency_to_gateway topology target in
-        ignore
-          (Sim.schedule t.sim ~delay (fun _ ->
-               match t.switches.(target) with
-               | Some vs -> Vswitch.from_net vs pkt
-               | None -> t.lost <- t.lost + 1)
-            : Sim.handle));
+        transit t ~src:Faults.Gateway ~dst:(Faults.Server target) ~delay pkt
+          (deliver_at_server t target));
   t
 
 let sim t = t.sim
 let topology t = t.topology
 let gateway t = t.gateway
 
+let set_faults t f = t.faults <- f
+let faults t = t.faults
+
 let deliver_to_server t ~src pkt =
   (match t.tap with Some tap -> tap ~time:(Sim.now t.sim) pkt | None -> ());
   match pkt.Packet.vxlan with
-  | None -> t.lost <- t.lost + 1
+  | None -> count_lost t No_vxlan
   | Some v ->
     let outer_dst = v.Packet.outer_dst in
     if Ipv4.equal outer_dst (Topology.gateway_ip t.topology) then begin
       let delay = Topology.latency_to_gateway t.topology src in
-      ignore (Sim.schedule t.sim ~delay (fun _ -> Gateway.handle t.gateway pkt) : Sim.handle)
+      transit t ~src:(Faults.Server src) ~dst:Faults.Gateway ~delay pkt (fun pkt ->
+          Gateway.handle t.gateway pkt)
     end
     else begin
       match Topology.server_of_ip t.topology outer_dst with
-      | None -> t.lost <- t.lost + 1
+      | None -> count_lost t No_such_server
       | Some target ->
         let delay = Topology.latency t.topology src target in
-        ignore
-          (Sim.schedule t.sim ~delay (fun _ ->
-               match t.switches.(target) with
-               | Some vs -> Vswitch.from_net vs pkt
-               | None -> t.lost <- t.lost + 1)
-            : Sim.handle)
+        transit t ~src:(Faults.Server src) ~dst:(Faults.Server target) ~delay pkt
+          (deliver_at_server t target)
     end
+
+(* Liveness probe (§4.4), as a wire round-trip through the monitor's
+   vantage point (the gateway side): request leg, vSwitch check at the
+   target, reply leg.  Each leg is subject to the impairment plane, so a
+   partition or lossy link produces genuinely missed probes. *)
+let ping t ~dst ~reply =
+  let leg ~src ~dst =
+    match t.faults with
+    | None -> Some 0.0
+    | Some f -> (
+      match Faults.consult f ~src ~dst with
+      | Faults.Drop -> None
+      | Faults.Pass -> Some 0.0
+      | Faults.Delay extra -> Some extra
+      (* A duplicated probe is still one probe; ignore the twin. *)
+      | Faults.Duplicate _ -> Some 0.0)
+  in
+  if dst >= 0 && dst < Array.length t.switches then begin
+    match leg ~src:Faults.Gateway ~dst:(Faults.Server dst) with
+    | None -> ()
+    | Some extra ->
+      let d1 = Topology.latency_to_gateway t.topology dst +. extra in
+      ignore
+        (Sim.schedule t.sim ~delay:d1 (fun _ ->
+             match t.switches.(dst) with
+             | Some vs when not (Smartnic.is_crashed (Vswitch.nic vs)) -> (
+               match leg ~src:(Faults.Server dst) ~dst:Faults.Gateway with
+               | None -> ()
+               | Some extra ->
+                 let d2 = Topology.latency_to_gateway t.topology dst +. extra in
+                 ignore (Sim.schedule t.sim ~delay:d2 (fun _ -> reply ()) : Sim.handle))
+             | Some _ | None -> ())
+          : Sim.handle)
+  end
 
 let add_server t sid ~params =
   if sid < 0 || sid >= Array.length t.switches then invalid_arg "Fabric.add_server: bad id";
@@ -117,4 +187,25 @@ let vm_of t sid vid = Hashtbl.find_opt t.vms (sid, vid)
 let set_tap t tap = t.tap <- tap
 
 let delivered_to_vms t = t.delivered_to_vms
-let lost t = t.lost
+
+let lost_by t = function
+  | No_vxlan -> t.lost_no_vxlan
+  | No_such_server -> t.lost_no_such_server
+  | No_vswitch -> t.lost_no_vswitch
+  | Fault_injected -> t.lost_fault
+
+let lost t = t.lost_no_vxlan + t.lost_no_such_server + t.lost_no_vswitch + t.lost_fault
+
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  T.register_counter reg ~name:"fabric/delivered_to_vms" (fun () -> t.delivered_to_vms);
+  T.register_counter reg ~name:"fabric/lost/no_vxlan" (fun () -> t.lost_no_vxlan);
+  T.register_counter reg ~name:"fabric/lost/no_such_server" (fun () ->
+      t.lost_no_such_server);
+  T.register_counter reg ~name:"fabric/lost/no_vswitch" (fun () -> t.lost_no_vswitch);
+  T.register_counter reg ~name:"fabric/lost/fault_injected" (fun () -> t.lost_fault);
+  T.register_counter reg ~name:"fabric/gateway/forwarded" (fun () ->
+      Gateway.forwarded t.gateway);
+  T.register_counter reg ~name:"fabric/gateway/dropped" (fun () ->
+      Gateway.dropped t.gateway);
+  match t.faults with Some f -> Faults.register_telemetry f reg | None -> ()

@@ -1,16 +1,28 @@
 (** The delivery engine: wires vSwitches, VMs and the gateway together
-    over the topology's latencies. *)
+    over the topology's latencies, with an optional fault-injection
+    plane ({!Faults}) consulted on every hop. *)
 
 open Nezha_engine
 open Nezha_vswitch
 
 type t
 
+(** Why a packet vanished in the underlay.  [Fault_injected] covers both
+    probabilistic losses and partition drops from the {!Faults} plane;
+    the other three are wiring bugs or crashed/removed nodes. *)
+type drop_reason = No_vxlan | No_such_server | No_vswitch | Fault_injected
+
 val create : sim:Sim.t -> topology:Topology.t -> t
 
 val sim : t -> Sim.t
 val topology : t -> Topology.t
 val gateway : t -> Gateway.t
+
+val set_faults : t -> Faults.t option -> unit
+(** Attach (or detach) the impairment plane.  Without one, every hop
+    passes — the seed fabric's behaviour, at zero rng cost. *)
+
+val faults : t -> Faults.t option
 
 val add_server : t -> Topology.server_id -> params:Params.t -> Vswitch.t
 (** Create a vSwitch on the server, install its transmit path, and
@@ -35,9 +47,27 @@ val set_tap : t -> (time:float -> Nezha_net.Packet.t -> unit) option -> unit
     (still encapsulated).  Pair with {!Nezha_net.Frame.synthesize} and
     {!Nezha_net.Pcap} to capture simulation traffic as a pcap file. *)
 
+val deliver_to_server : t -> src:Topology.server_id -> Nezha_net.Packet.t -> unit
+(** Inject an encapsulated packet into the underlay as if [src]'s
+    vSwitch had transmitted it.  Normally called via the vSwitch
+    transmit hook; exposed for tests and custom sources. *)
+
+val ping : t -> dst:Topology.server_id -> reply:(unit -> unit) -> unit
+(** A liveness probe round-trip from the gateway side: request leg,
+    vSwitch-alive check at [dst] (present and its SmartNIC not crashed),
+    reply leg.  Each leg traverses the fault plane, so loss or a
+    partition silently eats the probe; [reply] fires only on success,
+    after both legs' latencies. *)
+
 val delivered_to_vms : t -> int
 (** Packets handed to VM models or sunk. *)
 
 val lost : t -> int
-(** Packets whose outer destination matched no server — a wiring bug or
-    a crashed/removed node. *)
+(** Total packets that vanished in the underlay, all reasons combined. *)
+
+val lost_by : t -> drop_reason -> int
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** [fabric/delivered_to_vms], per-reason [fabric/lost/...], gateway
+    forwarded/dropped, and — when a fault plane is attached — the
+    [fabric/faults/...] counters. *)

@@ -1,0 +1,154 @@
+open Nezha_engine
+
+type endpoint = Server of Topology.server_id | Gateway
+
+type impairment = {
+  loss : float;
+  dup : float;
+  dup_delay : float;
+  reorder : float;
+  reorder_delay : float;
+}
+
+let perfect = { loss = 0.0; dup = 0.0; dup_delay = 0.0; reorder = 0.0; reorder_delay = 0.0 }
+
+let impair ?(loss = 0.0) ?(dup = 0.0) ?(dup_delay = 100e-6) ?(reorder = 0.0)
+    ?(reorder_delay = 100e-6) () =
+  { loss; dup; dup_delay; reorder; reorder_delay }
+
+let trivial i = i.loss <= 0.0 && i.dup <= 0.0 && i.reorder <= 0.0
+
+(* The gateway gets code -1 so a directed link keys as an int pair. *)
+let code = function Gateway -> -1 | Server s -> s
+
+type t = {
+  sim : Sim.t;
+  topology : Topology.t;
+  rng : Rng.t;
+  mutable default_imp : impairment;
+  links : (int * int, impairment) Hashtbl.t;
+  cut_links : (int * int, unit) Hashtbl.t;
+  cut_servers : (int, unit) Hashtbl.t;
+  cut_racks : (int, unit) Hashtbl.t;
+  mutable consults : int;
+  mutable drops : int;
+  mutable dups : int;
+  mutable reorders : int;
+  mutable partition_drops : int;
+}
+
+let create ~sim ~topology ~rng () =
+  {
+    sim;
+    topology;
+    rng;
+    default_imp = perfect;
+    links = Hashtbl.create 16;
+    cut_links = Hashtbl.create 16;
+    cut_servers = Hashtbl.create 8;
+    cut_racks = Hashtbl.create 4;
+    consults = 0;
+    drops = 0;
+    dups = 0;
+    reorders = 0;
+    partition_drops = 0;
+  }
+
+let set_default t imp = t.default_imp <- imp
+
+let set_link t ~src ~dst imp = Hashtbl.replace t.links (code src, code dst) imp
+
+let clear_link t ~src ~dst = Hashtbl.remove t.links (code src, code dst)
+
+let clear_all t =
+  t.default_imp <- perfect;
+  Hashtbl.reset t.links;
+  Hashtbl.reset t.cut_links;
+  Hashtbl.reset t.cut_servers;
+  Hashtbl.reset t.cut_racks
+
+let cut_link t ~src ~dst = Hashtbl.replace t.cut_links (code src, code dst) ()
+let heal_link t ~src ~dst = Hashtbl.remove t.cut_links (code src, code dst)
+
+let cut_server t s = Hashtbl.replace t.cut_servers s ()
+let heal_server t s = Hashtbl.remove t.cut_servers s
+
+let cut_rack t ~rack = Hashtbl.replace t.cut_racks rack ()
+let heal_rack t ~rack = Hashtbl.remove t.cut_racks rack
+
+let rack_cut t = function
+  | Gateway -> None
+  | Server s ->
+    let r = Topology.rack_of t.topology s in
+    if Hashtbl.mem t.cut_racks r then Some r else None
+
+let server_cut t = function
+  | Gateway -> false
+  | Server s -> Hashtbl.mem t.cut_servers s
+
+let partitioned t ~src ~dst =
+  (src <> dst)
+  && (Hashtbl.mem t.cut_links (code src, code dst)
+     || server_cut t src || server_cut t dst
+     ||
+     (* An isolated rack keeps its intra-rack links; anything crossing
+        its boundary — including two *different* cut racks — drops. *)
+     match (rack_cut t src, rack_cut t dst) with
+     | None, None -> false
+     | Some a, Some b -> a <> b
+     | Some _, None | None, Some _ -> true)
+
+let effective t ~src ~dst =
+  match Hashtbl.find_opt t.links (code src, code dst) with
+  | Some imp -> imp
+  | None -> t.default_imp
+
+type verdict = Pass | Drop | Duplicate of float | Delay of float
+
+let consult t ~src ~dst =
+  t.consults <- t.consults + 1;
+  if partitioned t ~src ~dst then begin
+    t.partition_drops <- t.partition_drops + 1;
+    Drop
+  end
+  else begin
+    let imp = effective t ~src ~dst in
+    (* Draw only on non-trivial links so a perfect plane never touches
+       the rng (same-seed runs stay identical when chaos is off). *)
+    if trivial imp then Pass
+    else if imp.loss > 0.0 && Rng.chance t.rng imp.loss then begin
+      t.drops <- t.drops + 1;
+      Drop
+    end
+    else if imp.dup > 0.0 && Rng.chance t.rng imp.dup then begin
+      t.dups <- t.dups + 1;
+      Duplicate (Rng.float t.rng (Float.max 1e-9 imp.dup_delay))
+    end
+    else if imp.reorder > 0.0 && Rng.chance t.rng imp.reorder then begin
+      t.reorders <- t.reorders + 1;
+      Delay (Rng.float t.rng (Float.max 1e-9 imp.reorder_delay))
+    end
+    else Pass
+  end
+
+let at t ~time f = ignore (Sim.at t.sim ~time (fun _ -> f t) : Sim.handle)
+
+let drops_injected t = t.drops
+let dups_injected t = t.dups
+let reorders_injected t = t.reorders
+let partition_drops t = t.partition_drops
+let consults t = t.consults
+
+let active_cuts t =
+  Hashtbl.length t.cut_links + Hashtbl.length t.cut_servers + Hashtbl.length t.cut_racks
+
+let register_telemetry t reg =
+  let module T = Nezha_telemetry.Telemetry in
+  T.register_counter reg ~name:"fabric/faults/consults" (fun () -> t.consults);
+  T.register_counter reg ~name:"fabric/faults/drops_injected" (fun () -> t.drops);
+  T.register_counter reg ~name:"fabric/faults/dups_injected" (fun () -> t.dups);
+  T.register_counter reg ~name:"fabric/faults/reorders_injected" (fun () -> t.reorders);
+  T.register_counter reg ~name:"fabric/faults/partition_drops" (fun () ->
+      t.partition_drops);
+  T.register_gauge reg ~name:"fabric/faults/active_cuts" (fun () ->
+      float_of_int (active_cuts t))

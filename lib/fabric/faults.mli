@@ -1,0 +1,110 @@
+(** Deterministic fault-injection plane for the underlay.
+
+    The fabric consults this module on every hop (server↔server,
+    server↔gateway) before scheduling a delivery.  Impairments are
+    probabilistic — drop, duplication, reordering (extra jitter delay) —
+    and configured per directed link, with a fleet-wide default; hard
+    partitions (a link, a server, a whole rack) drop deterministically
+    until healed.
+
+    All randomness comes from a private {!Nezha_engine.Rng} stream, and a
+    draw happens only when the consulted link has a non-zero probability,
+    so an unimpaired plane consumes no randomness at all: the same seed
+    produces byte-identical runs, chaos schedules included. *)
+
+open Nezha_engine
+
+type t
+
+(** One end of a hop.  [Gateway] is the default-route box of §4.2.1;
+    everything else is a server addressed by its topology id. *)
+type endpoint = Server of Topology.server_id | Gateway
+
+type impairment = {
+  loss : float;  (** P(drop) per traversal *)
+  dup : float;  (** P(duplicate); the copy arrives after an extra delay *)
+  dup_delay : float;  (** max extra delay of the duplicate, seconds *)
+  reorder : float;  (** P(extra jitter delay), which reorders vs later sends *)
+  reorder_delay : float;  (** max extra jitter, seconds *)
+}
+
+val perfect : impairment
+(** All probabilities zero — the seed fabric's behaviour. *)
+
+val impair : ?loss:float -> ?dup:float -> ?dup_delay:float -> ?reorder:float ->
+  ?reorder_delay:float -> unit -> impairment
+(** Build an impairment from the fields that matter; the delays default
+    to 100 µs (a few cross-rack latencies, enough to reorder). *)
+
+val create : sim:Sim.t -> topology:Topology.t -> rng:Rng.t -> unit -> t
+(** The plane starts perfect: no impairments, no partitions. *)
+
+(** {1 Probabilistic impairments} *)
+
+val set_default : t -> impairment -> unit
+(** Baseline applied to every link without an override. *)
+
+val set_link : t -> src:endpoint -> dst:endpoint -> impairment -> unit
+(** Directional per-link override (replaces any previous one). *)
+
+val clear_link : t -> src:endpoint -> dst:endpoint -> unit
+
+val clear_all : t -> unit
+(** Back to a perfect network: default and overrides reset, every
+    partition healed.  Counters are kept. *)
+
+(** {1 Hard partitions} *)
+
+val cut_link : t -> src:endpoint -> dst:endpoint -> unit
+(** Directional: [src]'s packets to [dst] vanish; the reverse direction
+    still works unless cut separately. *)
+
+val heal_link : t -> src:endpoint -> dst:endpoint -> unit
+
+val cut_server : t -> Topology.server_id -> unit
+(** Isolate one server in both directions (its NIC still runs — unlike
+    {!Nezha_vswitch.Smartnic.crash} the node itself is healthy). *)
+
+val heal_server : t -> Topology.server_id -> unit
+
+val cut_rack : t -> rack:int -> unit
+(** Isolate a rack: hops crossing its boundary (including to/from the
+    gateway) drop; intra-rack hops keep working. *)
+
+val heal_rack : t -> rack:int -> unit
+
+val partitioned : t -> src:endpoint -> dst:endpoint -> bool
+
+(** {1 Scheduling}
+
+    Sugar for chaos scripts: apply a mutation at an absolute simulated
+    time ([Sim.at] underneath). *)
+
+val at : t -> time:float -> (t -> unit) -> unit
+
+(** {1 Consultation (fabric-facing)} *)
+
+type verdict =
+  | Pass
+  | Drop
+  | Duplicate of float  (** deliver, plus a copy after this extra delay *)
+  | Delay of float  (** deliver after this extra delay (reordering) *)
+
+val consult : t -> src:endpoint -> dst:endpoint -> verdict
+(** One traversal of the [src → dst] hop.  Draws from the private rng
+    (only if the effective impairment is non-trivial) and counts the
+    outcome. *)
+
+(** {1 Observability} *)
+
+val drops_injected : t -> int
+(** Probabilistic losses (not partition drops). *)
+
+val dups_injected : t -> int
+val reorders_injected : t -> int
+val partition_drops : t -> int
+val consults : t -> int
+
+val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
+(** Counters under [fabric/faults/...] plus a gauge for the number of
+    active cuts. *)

@@ -374,9 +374,12 @@ let table4 ?(seed = 1) ?(events = 200) () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 14 *)
 
-let fig14 ?(seed = 1) () =
+let fig14 ?(seed = 1) ?underlay_loss () =
   let t = Testbed.create ~seed () in
   let o = Testbed.offload t () in
+  (match underlay_loss with
+  | Some l -> Faults.set_default t.Testbed.faults (Faults.impair ~loss:l ())
+  | None -> ());
   Controller.start t.Testbed.ctl;
   (* Steady load well under capacity. *)
   Array.iter
@@ -420,6 +423,146 @@ let fig14 ?(seed = 1) () =
       else false);
   Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 15.0);
   List.rev !samples
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness *)
+
+type chaos_sample = { at : float; loss : float; outstanding : int }
+
+type chaos_result = {
+  samples : chaos_sample list;
+  offered : int;
+  established : int;
+  completed : int;
+  tracked : int;
+  acked : int;
+  timeouts : int;
+  retx : int;
+  resteered : int;
+  local_fallbacks : int;
+  local_bypass : int;
+  dropped : int;
+  untracked : int;
+  outstanding_end : int;
+  injected_drops : int;
+  partition_drops : int;
+  mass_suspected : int;
+  fe_failures_declared : int;
+  end_loss : float;
+  recovered : bool;
+  conservation_ok : bool;
+}
+
+(* Scripted fault schedule (times relative to load start): a loss ramp,
+   an FE SmartNIC crash, optionally a hard partition of a surviving FE's
+   server, then healing back to a perfect underlay — one run exercising
+   every recovery path: monitor failover, BE timeout/re-steer, and the
+   §C.2 suppression machinery en passant. *)
+let chaos ?(seed = 42) ?(loss = 0.005) ?(partition = true) ?(duration = 13.0)
+    ?(rate = 400.0) () =
+  let t = Testbed.create ~seed () in
+  let o = Testbed.offload t () in
+  Controller.start t.Testbed.ctl;
+  let sim = t.Testbed.sim in
+  let faults = t.Testbed.faults in
+  let t0 = Sim.now sim in
+  Faults.at faults ~time:(t0 +. 1.0) (fun f ->
+      Faults.set_default f (Faults.impair ~loss:(loss /. 2.0) ()));
+  Faults.at faults ~time:(t0 +. 2.0) (fun f ->
+      Faults.set_default f (Faults.impair ~loss ()));
+  ignore
+    (Sim.at sim ~time:(t0 +. 4.0) (fun _ ->
+         match Controller.offload_fe_servers o with
+         | s :: _ -> Smartnic.crash (Vswitch.nic (Fabric.vswitch t.Testbed.fabric s))
+         | [] -> ())
+      : Sim.handle);
+  let cut = ref None in
+  if partition then begin
+    (* Cut a *surviving* FE's server (whoever leads the location config
+       once failover has replaced the crashed one). *)
+    Faults.at faults ~time:(t0 +. 6.0) (fun f ->
+        match Controller.offload_fe_servers o with
+        | s :: _ ->
+          cut := Some s;
+          Faults.cut_server f s
+        | [] -> ());
+    Faults.at faults ~time:(t0 +. 9.0) (fun f ->
+        match !cut with Some s -> Faults.heal_server f s | None -> ())
+  end;
+  Faults.at faults ~time:(t0 +. 11.0) (fun f -> Faults.set_default f Faults.perfect);
+  let gens =
+    Array.to_list
+      (Array.map
+         (fun client ->
+           Tcp_crr.start ~sim ~rng:(Rng.split t.Testbed.rng) ~vpc:t.Testbed.vpc ~client
+             ~server:t.Testbed.server ~rate ~duration ())
+         t.Testbed.clients)
+  in
+  let be = Controller.offload_be o in
+  let all_drops () =
+    List.fold_left
+      (fun acc s ->
+        match Fabric.vswitch_opt t.Testbed.fabric s with
+        | Some vs -> acc + Vswitch.total_drops vs
+        | None -> acc)
+      (Fabric.lost t.Testbed.fabric)
+      (Topology.servers (Fabric.topology t.Testbed.fabric))
+  in
+  let samples = ref [] in
+  let last_drops = ref (all_drops ()) in
+  let last_del = ref (Fabric.delivered_to_vms t.Testbed.fabric) in
+  Sim.every sim ~period:0.25 (fun sim' ->
+      let now = Sim.now sim' -. t0 in
+      if now <= duration then begin
+        let drops = all_drops () and delivered = Fabric.delivered_to_vms t.Testbed.fabric in
+        let dd = drops - !last_drops and dl = delivered - !last_del in
+        last_drops := drops;
+        last_del := delivered;
+        let loss = if dd + dl = 0 then 0.0 else float_of_int dd /. float_of_int (dd + dl) in
+        samples := { at = now; loss; outstanding = Be.outstanding be } :: !samples;
+        true
+      end
+      else false);
+  Sim.run sim ~until:(t0 +. duration +. 2.0);
+  let samples = List.rev !samples in
+  let sum f = List.fold_left (fun acc g -> acc + f g) 0 gens in
+  let c = Be.counters be in
+  let v field = Stats.Counter.value field in
+  let tail = List.filter (fun s -> s.at >= duration -. 1.5) samples in
+  let end_loss =
+    match tail with
+    | [] -> 1.0
+    | _ ->
+      List.fold_left (fun acc s -> acc +. s.loss) 0.0 tail /. float_of_int (List.length tail)
+  in
+  let outstanding_end = Be.outstanding be in
+  let mon = Controller.monitor t.Testbed.ctl in
+  {
+    samples;
+    offered = sum Tcp_crr.offered;
+    established = sum Tcp_crr.established;
+    completed = sum Tcp_crr.completed;
+    tracked = v c.Be.offload_tracked;
+    acked = v c.Be.offload_acked;
+    timeouts = v c.Be.offload_timeouts;
+    retx = v c.Be.offload_retx;
+    resteered = v c.Be.offload_resteered;
+    local_fallbacks = v c.Be.local_fallback;
+    local_bypass = v c.Be.local_bypass;
+    dropped = v c.Be.offload_dropped;
+    untracked = v c.Be.offload_untracked;
+    outstanding_end;
+    injected_drops = Faults.drops_injected faults;
+    partition_drops = Faults.partition_drops faults;
+    mass_suspected = Monitor.mass_failure_suspected mon;
+    fe_failures_declared = Monitor.failures_declared mon;
+    end_loss;
+    recovered = end_loss <= 0.01;
+    conservation_ok =
+      v c.Be.offload_tracked
+      = v c.Be.offload_acked + v c.Be.local_fallback + v c.Be.offload_dropped
+        + outstanding_end;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Table A1 *)

@@ -77,8 +77,61 @@ val table4 : ?seed:int -> ?events:int -> unit -> Stats.Histogram.t
 
 (** {1 Fig. 14 — packet loss during FE crash and failover} *)
 
-val fig14 : ?seed:int -> unit -> (float * float) list
-(** (time, loss-rate) samples; one of four FEs crashes at t = 4 s. *)
+val fig14 : ?seed:int -> ?underlay_loss:float -> unit -> (float * float) list
+(** (time, loss-rate) samples; one of four FEs crashes at t = 4 s.
+    [underlay_loss] additionally impairs every underlay hop with that
+    drop probability for the whole run (the paper's crash experiment on
+    a lossy fabric): the loss floor sits near the configured rate and
+    the crash surge still recovers on top of it. *)
+
+(** {1 Chaos harness — scripted underlay faults} *)
+
+type chaos_sample = {
+  at : float;  (** seconds since load start *)
+  loss : float;  (** fabric+vSwitch drops over the sample window *)
+  outstanding : int;  (** BE offloads awaiting their FE hop ack *)
+}
+
+type chaos_result = {
+  samples : chaos_sample list;
+  offered : int;
+  established : int;
+  completed : int;
+  tracked : int;  (** TX sends entered into the BE's offload tracker *)
+  acked : int;
+  timeouts : int;
+  retx : int;
+  resteered : int;
+  local_fallbacks : int;
+  local_bypass : int;
+  dropped : int;  (** given up with no local ruleset (blackholed) *)
+  untracked : int;
+  outstanding_end : int;
+  injected_drops : int;  (** probabilistic losses from the fault plane *)
+  partition_drops : int;
+  mass_suspected : int;  (** §C.2 suppression rounds at the monitor *)
+  fe_failures_declared : int;
+  end_loss : float;  (** mean loss over the last 1.5 s (healed network) *)
+  recovered : bool;  (** [end_loss <= 1%] *)
+  conservation_ok : bool;
+      (** [tracked = acked + local_fallbacks + dropped + outstanding_end] *)
+}
+
+val chaos :
+  ?seed:int ->
+  ?loss:float ->
+  ?partition:bool ->
+  ?duration:float ->
+  ?rate:float ->
+  unit ->
+  chaos_result
+(** One scripted run against an offloaded vNIC under open-loop TCP_CRR
+    load ([rate]/s per client).  Schedule, relative to load start:
+    [loss/2] everywhere at 1 s, full [loss] at 2 s, FE SmartNIC crash at
+    4 s, a hard partition of a surviving FE's server at 6 s (unless
+    [partition] is false), heal at 9 s, perfect network again at 11 s.
+    Defaults: seed 42, 0.5% loss, partition on, 13 s, 400 CPS/client.
+    Same seed ⇒ byte-identical result, samples included. *)
 
 (** {1 Table A1 — rule-lookup throughput (Mpps)} *)
 

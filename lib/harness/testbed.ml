@@ -10,6 +10,7 @@ type t = {
   sim : Sim.t;
   rng : Rng.t;
   fabric : Fabric.t;
+  faults : Faults.t;
   ctl : Controller.t;
   vpc : Vpc.t;
   heavy_server : Topology.server_id;
@@ -61,6 +62,11 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
   let rng = Rng.create seed in
   let topo = Topology.create ~racks ~servers_per_rack in
   let fabric = Fabric.create ~sim ~topology:topo in
+  (* The fault plane's rng is derived from the seed directly — not from
+     [Rng.split rng] — so fault draws stay identical no matter how the
+     rest of the testbed evolves its split order. *)
+  let faults = Faults.create ~sim ~topology:topo ~rng:(Rng.create (seed + 0x6F41)) () in
+  Fabric.set_faults fabric (Some faults);
   let n = Topology.server_count topo in
   let clients = min clients servers_per_rack in
   let client_servers = List.init clients (fun i -> n - clients + i) in
@@ -140,11 +146,13 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
       | Some vs -> Vswitch.register_telemetry vs telemetry
       | None -> ())
     (Topology.servers topo);
+  Fabric.register_telemetry fabric telemetry;
   Controller.register_telemetry ctl telemetry;
   {
     sim;
     rng;
     fabric;
+    faults;
     ctl;
     vpc;
     heavy_server;

@@ -22,6 +22,9 @@ type t = {
   sim : Sim.t;
   rng : Rng.t;
   fabric : Fabric.t;
+  faults : Faults.t;
+      (** the underlay fault-injection plane, attached to [fabric] and
+          seeded from [seed] (independent of the workload rng) *)
   ctl : Controller.t;
   vpc : Vpc.t;
   heavy_server : Topology.server_id;

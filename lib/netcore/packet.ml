@@ -26,10 +26,19 @@ type nsh = {
   carried_pre_actions : bytes option;
   notify : bool;
   orig_outer_src : Ipv4.t option;
+  hop_seq : int option;
+  hop_ack : int option;
 }
 
 let empty_nsh =
-  { carried_state = None; carried_pre_actions = None; notify = false; orig_outer_src = None }
+  {
+    carried_state = None;
+    carried_pre_actions = None;
+    notify = false;
+    orig_outer_src = None;
+    hop_seq = None;
+    hop_ack = None;
+  }
 
 type t = {
   uid : int;
@@ -49,6 +58,12 @@ let reset_uid_counter () = uid_counter := 0
 let create ~vpc ~flow ~direction ?(flags = no_flags) ?(payload_len = 0) () =
   incr uid_counter;
   { uid = !uid_counter; vpc; flow; direction; flags; payload_len; vxlan = None; nsh = None }
+
+(* A distinct packet with the same headers — fresh uid, fresh mutable
+   cells, so a duplicated delivery can be processed independently. *)
+let copy t =
+  incr uid_counter;
+  { t with uid = !uid_counter }
 
 (* Header size constants (bytes). *)
 let eth_header = 14
@@ -71,6 +86,8 @@ let nsh_size nsh =
   let blob = function None -> 0 | Some b -> Bytes.length b in
   nsh_base + blob nsh.carried_state + blob nsh.carried_pre_actions
   + (match nsh.orig_outer_src with None -> 0 | Some _ -> 4)
+  + (match nsh.hop_seq with None -> 0 | Some _ -> 4)
+  + (match nsh.hop_ack with None -> 0 | Some _ -> 4)
 
 let wire_size t =
   inner_size t
@@ -164,7 +181,15 @@ let encode t =
     | None -> Wire.Writer.u8 w 0
     | Some a ->
       Wire.Writer.u8 w 1;
-      Wire.Writer.u32 w (Ipv4.to_int32 a)));
+      Wire.Writer.u32 w (Ipv4.to_int32 a));
+    let opt_varint = function
+      | None -> Wire.Writer.u8 w 0
+      | Some v ->
+        Wire.Writer.u8 w 1;
+        Wire.Writer.varint w v
+    in
+    opt_varint n.hop_seq;
+    opt_varint n.hop_ack);
   Wire.Writer.contents w
 
 let decode buf =
@@ -207,7 +232,12 @@ let decode buf =
               if Wire.Reader.u8 r = 0 then None
               else Some (Ipv4.of_int32 (Wire.Reader.u32 r))
             in
-            Some { carried_state; carried_pre_actions; notify; orig_outer_src }
+            let opt_varint () =
+              if Wire.Reader.u8 r = 0 then None else Some (Wire.Reader.varint r)
+            in
+            let hop_seq = opt_varint () in
+            let hop_ack = opt_varint () in
+            Some { carried_state; carried_pre_actions; notify; orig_outer_src; hop_seq; hop_ack }
           end
         in
         let flow = Five_tuple.make ~src ~dst ~src_port ~dst_port ~proto in

@@ -34,6 +34,10 @@ type nsh = {
   notify : bool;  (** designated notify packet (§3.2.2) *)
   orig_outer_src : Ipv4.t option;
       (** outer source IP preserved for stateful decap (§5.2) *)
+  hop_seq : int option;
+      (** BE-assigned sequence for offload-loss tracking; the FE echoes
+          it back as [hop_ack] *)
+  hop_ack : int option;  (** FE → BE: acknowledges the hop_seq received *)
 }
 
 val empty_nsh : nsh
@@ -59,6 +63,11 @@ val create :
   t
 (** A fresh packet with a unique [uid].  Default flags none, default
     payload 0 (a bare SYN/control segment). *)
+
+val copy : t -> t
+(** A distinct packet with the same headers but a fresh [uid] and fresh
+    mutable cells — what an in-network duplication or a retransmission
+    puts on the wire. *)
 
 val reset_uid_counter : unit -> unit
 (** Restart uid assignment; called at the start of each experiment so runs

@@ -12,6 +12,28 @@ type counters = {
   rx_from_fe : Stats.Counter.t;
   notify_received : Stats.Counter.t;
   bounced : Stats.Counter.t;
+  offload_tracked : Stats.Counter.t;
+  offload_acked : Stats.Counter.t;
+  offload_timeouts : Stats.Counter.t;
+  offload_retx : Stats.Counter.t;
+  offload_resteered : Stats.Counter.t;
+  local_fallback : Stats.Counter.t;
+  local_bypass : Stats.Counter.t;
+  offload_dropped : Stats.Counter.t;
+  offload_untracked : Stats.Counter.t;
+}
+
+(* One slow-path packet in flight to an FE, awaiting its hop-level ack.
+   [clean] is a pristine (un-encapped, nsh-less) copy for retransmission;
+   [nsh] the metadata to re-attach, hop_seq included. *)
+type pending = {
+  seq : int;
+  clean : Packet.t;
+  nsh : Packet.nsh;
+  mutable last_fe : Ipv4.t;
+  mutable retries : int;
+  mutable tried : Ipv4.t list;
+  mutable timer : int Timer_wheel.timer option;
 }
 
 type t = {
@@ -23,6 +45,13 @@ type t = {
   mutable lb_mode : lb_mode;
   mutable rr : int;
   pins : Ipv4.t Flow_key.Table.t;
+  mutable fallback_ruleset : Ruleset.t option;
+  mutable next_seq : int;
+  outstanding : (int, pending) Hashtbl.t;
+  wheel : int Timer_wheel.t;
+  (* Consecutive hop timeouts per FE; reset on any ack from it. *)
+  suspects : (Ipv4.t, int ref) Hashtbl.t;
+  mutable closed : bool;
   counters : counters;
 }
 
@@ -43,6 +72,37 @@ let key_of pkt = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.
 
 let params t = Vswitch.params t.vs
 
+let is_suspect t fe =
+  match Hashtbl.find_opt t.suspects fe with
+  | Some n -> !n >= (params t).Params.offload_suspect_after
+  | None -> false
+
+let all_suspect t = Array.for_all (fun fe -> is_suspect t fe) t.fes
+
+let bump_suspect t fe =
+  match Hashtbl.find_opt t.suspects fe with
+  | Some n -> incr n
+  | None -> Hashtbl.replace t.suspects fe (ref 1)
+
+(* The hash choice, steered around FEs currently suspected of being
+   unreachable.  With no suspects this is exactly [fe_for] — the clean
+   path is untouched. *)
+let pick_fe t flow =
+  let fe = fe_for t flow in
+  if Hashtbl.length t.suspects = 0 || not (is_suspect t fe) then fe
+  else begin
+    let n = Array.length t.fes in
+    let h = Five_tuple.session_hash flow mod n in
+    let rec probe i =
+      if i >= n then fe
+      else begin
+        let cand = t.fes.((h + i) mod n) in
+        if is_suspect t cand then probe (i + 1) else cand
+      end
+    in
+    probe 0
+  end
+
 (* State maintenance on TX packets happens at the BE (the FE cannot write
    state back).  Connection-tracking advances; statistics counters, when
    the notify machinery has armed them, accumulate. *)
@@ -61,11 +121,167 @@ let store_state t key st =
        { Vswitch.pre = None; state = Some st; generation = 0 }
       : Admission.t)
 
-let send_to_fe t pkt ~nsh =
+let send_to_fe t pkt ~fe ~nsh =
   Packet.set_nsh pkt nsh;
-  let fe = fe_for t pkt.Packet.flow in
   Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:fe;
   Vswitch.emit t.vs (Vswitch.To_net pkt)
+
+(* The pre-Nezha degraded mode: run the rule tables here.  During the
+   dual stage the vSwitch still holds them; in the final stage we use the
+   ruleset the controller saved aside at offload time. *)
+let local_ruleset t =
+  match Vswitch.ruleset t.vs t.vnic.Vnic.id with
+  | Some _ as rs -> rs
+  | None -> t.fallback_ruleset
+
+(* Finalize one TX packet through the local slow path.  Returns [false]
+   when no ruleset is available at all (true blackhole risk — the caller
+   records the drop). *)
+let local_slow_path t pkt =
+  match local_ruleset t with
+  | None -> false
+  | Some rs -> (
+    let p = params t in
+    match Vswitch.slow_path t.vs rs ~vpc:t.vnic.Vnic.vpc ~flow_tx:pkt.Packet.flow with
+    | None ->
+      Vswitch.charge t.vs ~cycles:p.Params.table_base_cycles (fun _ ->
+          Vswitch.count_drop t.vs Nf.No_route);
+      true
+    | Some { Ruleset.pre; cycles } ->
+      let cycles =
+        cycles
+        + Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+        + p.Params.encap_cycles
+      in
+      Vswitch.charge t.vs ~cycles (fun _ ->
+          let verdict, _state_out =
+            Nf.process ~pre ~state:None ~dir:Packet.Tx ~flags:pkt.Packet.flags
+              ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
+          in
+          match verdict with
+          | Nf.Deliver ->
+            Vswitch.maybe_mirror t.vs pre pkt;
+            let outer_dst =
+              match pre.Pre_action.peer_server with
+              | Some server -> server
+              | None -> Vswitch.gateway t.vs
+            in
+            Packet.encap_vxlan pkt ~vni:pre.Pre_action.vni
+              ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst;
+            Vswitch.emit t.vs (Vswitch.To_net pkt)
+          | Nf.Drop reason -> Vswitch.count_drop t.vs reason);
+      true)
+
+(* The RX twin of [local_slow_path]: resolve pre-actions from the local
+   (or fallback) tables, combine with the session state, deliver to the
+   VM — what an FE would have done for a bounced packet. *)
+let local_rx_slow_path t pkt =
+  match local_ruleset t with
+  | None -> false
+  | Some rs -> (
+    let p = params t in
+    match
+      Vswitch.slow_path t.vs rs ~vpc:t.vnic.Vnic.vpc
+        ~flow_tx:(Five_tuple.reverse pkt.Packet.flow)
+    with
+    | None ->
+      Vswitch.charge t.vs ~cycles:p.Params.table_base_cycles (fun _ ->
+          Vswitch.count_drop t.vs Nf.No_route);
+      true
+    | Some { Ruleset.pre; cycles } ->
+      let key = key_of pkt in
+      let cycles = cycles + Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt) in
+      Vswitch.charge t.vs ~cycles (fun _ ->
+          let prior =
+            Option.bind (Vswitch.find_session t.vs t.vnic.Vnic.id key) (fun s ->
+                s.Vswitch.state)
+          in
+          let verdict, out =
+            Nf.process ~pre ~state:prior ~dir:Packet.Rx ~flags:pkt.Packet.flags
+              ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
+          in
+          (match out with
+          | Nf.Init st | Nf.Update st -> store_state t key st
+          | Nf.Keep -> Vswitch.touch_session t.vs t.vnic.Vnic.id key);
+          match verdict with
+          | Nf.Deliver ->
+            ignore (Packet.clear_nsh pkt : Packet.nsh option);
+            Vswitch.deliver_local t.vs t.vnic.Vnic.id pkt
+          | Nf.Drop reason -> Vswitch.count_drop t.vs reason);
+      true)
+
+(* Retries exhausted (or nowhere left to steer): degrade gracefully. *)
+let give_up t pd =
+  if local_slow_path t (Packet.copy pd.clean) then
+    Stats.Counter.incr t.counters.local_fallback
+  else begin
+    Stats.Counter.incr t.counters.offload_dropped;
+    Vswitch.count_drop t.vs Nf.Offload_timeout
+  end
+
+let resend t pd fe =
+  let pkt = Packet.copy pd.clean in
+  let p = params t in
+  Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
+      send_to_fe t pkt ~fe ~nsh:pd.nsh)
+
+let arm_timer t pd =
+  let now = Sim.now (Vswitch.sim t.vs) in
+  pd.timer <-
+    Some
+      (Timer_wheel.add t.wheel ~now
+         ~deadline:(now +. (params t).Params.offload_retx_timeout)
+         pd.seq)
+
+let on_timeout t seq =
+  match Hashtbl.find_opt t.outstanding seq with
+  | None -> () (* acked since the wheel slot was written *)
+  | Some pd ->
+    Stats.Counter.incr t.counters.offload_timeouts;
+    bump_suspect t pd.last_fe;
+    let p = params t in
+    let tried = pd.last_fe :: pd.tried in
+    let untried =
+      Array.to_list t.fes
+      |> List.filter (fun fe -> not (List.exists (Ipv4.equal fe) tried))
+    in
+    (* Re-steer preference: an untried FE we still trust, then any
+       untried one, then — when the set is exhausted but the last FE is
+       not yet a suspect — the same FE again (a lossy link, not a dead
+       box). *)
+    let candidate =
+      match List.filter (fun fe -> not (is_suspect t fe)) untried with
+      | fe :: _ -> Some fe
+      | [] -> (
+        match untried with
+        | fe :: _ -> Some fe
+        | [] -> if is_suspect t pd.last_fe then None else Some pd.last_fe)
+    in
+    match candidate with
+    | Some fe when pd.retries < p.Params.offload_retx_max ->
+      pd.retries <- pd.retries + 1;
+      pd.tried <- tried;
+      if not (Ipv4.equal fe pd.last_fe) then
+        Stats.Counter.incr t.counters.offload_resteered;
+      pd.last_fe <- fe;
+      Stats.Counter.incr t.counters.offload_retx;
+      arm_timer t pd;
+      resend t pd fe
+    | Some _ | None ->
+      Hashtbl.remove t.outstanding seq;
+      give_up t pd
+
+let handle_ack t nsh =
+  match nsh.Packet.hop_ack with
+  | None -> ()
+  | Some seq -> (
+    match Hashtbl.find_opt t.outstanding seq with
+    | None -> () (* duplicate or post-give-up ack *)
+    | Some pd ->
+      Hashtbl.remove t.outstanding seq;
+      (match pd.timer with Some tm -> Timer_wheel.cancel tm | None -> ());
+      Hashtbl.remove t.suspects pd.last_fe;
+      Stats.Counter.incr t.counters.offload_acked)
 
 let handle_tx t pkt =
   let key = key_of pkt in
@@ -86,8 +302,43 @@ let handle_tx t pkt =
           State.init ~first_dir:Packet.Tx ?tcp:(Nf.tcp_phase_of_flags flags ~proto) ()
       in
       store_state t key st;
-      Stats.Counter.incr t.counters.tx_via_fe;
-      send_to_fe t pkt ~nsh:{ Packet.empty_nsh with Packet.carried_state = Some (State.encode st) })
+      if all_suspect t && local_ruleset t <> None then begin
+        (* Every FE looks unreachable: skip the hop entirely rather than
+           queue a retransmission dance per packet. *)
+        Stats.Counter.incr t.counters.local_bypass;
+        ignore (local_slow_path t pkt : bool)
+      end
+      else begin
+        Stats.Counter.incr t.counters.tx_via_fe;
+        let base_nsh =
+          { Packet.empty_nsh with Packet.carried_state = Some (State.encode st) }
+        in
+        let fe = pick_fe t pkt.Packet.flow in
+        if Hashtbl.length t.outstanding < p.Params.offload_track_capacity then begin
+          let seq = t.next_seq in
+          t.next_seq <- t.next_seq + 1;
+          let nsh = { base_nsh with Packet.hop_seq = Some seq } in
+          let pd =
+            {
+              seq;
+              clean = Packet.copy pkt;
+              nsh;
+              last_fe = fe;
+              retries = 0;
+              tried = [];
+              timer = None;
+            }
+          in
+          Hashtbl.replace t.outstanding seq pd;
+          arm_timer t pd;
+          Stats.Counter.incr t.counters.offload_tracked;
+          send_to_fe t pkt ~fe ~nsh
+        end
+        else begin
+          Stats.Counter.incr t.counters.offload_untracked;
+          send_to_fe t pkt ~fe ~nsh:base_nsh
+        end
+      end)
 
 let handle_notify t pkt nsh =
   Stats.Counter.incr t.counters.notify_received;
@@ -143,18 +394,28 @@ let handle_rx_bare t pkt =
   match t.stage with
   | Dual -> `Continue
   | Final ->
-    (* A sender with a stale vNIC-server entry reached us directly after
-       the retention window: bounce the packet through an FE. *)
-    Stats.Counter.incr t.counters.bounced;
-    let p = params t in
-    Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
-        let fe = fe_for t pkt.Packet.flow in
-        Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:fe;
-        Vswitch.emit t.vs (Vswitch.To_net pkt));
-    `Handled
+    if all_suspect t && local_rx_slow_path t pkt then begin
+      (* Every FE looks unreachable: a bounce would blackhole.  The
+         local tables just served it instead. *)
+      Stats.Counter.incr t.counters.local_bypass;
+      `Handled
+    end
+    else begin
+      (* A sender with a stale vNIC-server entry reached us directly after
+         the retention window: bounce the packet through an FE. *)
+      Stats.Counter.incr t.counters.bounced;
+      let p = params t in
+      Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
+          let fe = pick_fe t pkt.Packet.flow in
+          Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs)
+            ~outer_dst:fe;
+          Vswitch.emit t.vs (Vswitch.To_net pkt));
+      `Handled
+    end
 
-let install ~vs ~vnic ~vni ~fes =
+let install ~vs ~vnic ~vni ~fes ?fallback_ruleset () =
   if Array.length fes = 0 then invalid_arg "Be.install: empty FE set";
+  let p = Vswitch.params vs in
   let t =
     {
       vs;
@@ -165,15 +426,35 @@ let install ~vs ~vnic ~vni ~fes =
       lb_mode = Flow_level;
       rr = 0;
       pins = Flow_key.Table.create 4;
+      fallback_ruleset;
+      next_seq = 0;
+      outstanding = Hashtbl.create 64;
+      wheel =
+        Timer_wheel.create ~tick:(p.Params.offload_retx_timeout /. 4.0) ~slots:64;
+      suspects = Hashtbl.create 4;
+      closed = false;
       counters =
         {
           tx_via_fe = Stats.Counter.create ();
           rx_from_fe = Stats.Counter.create ();
           notify_received = Stats.Counter.create ();
           bounced = Stats.Counter.create ();
+          offload_tracked = Stats.Counter.create ();
+          offload_acked = Stats.Counter.create ();
+          offload_timeouts = Stats.Counter.create ();
+          offload_retx = Stats.Counter.create ();
+          offload_resteered = Stats.Counter.create ();
+          local_fallback = Stats.Counter.create ();
+          local_bypass = Stats.Counter.create ();
+          offload_dropped = Stats.Counter.create ();
+          offload_untracked = Stats.Counter.create ();
         };
     }
   in
+  (* Retransmission-timer pump; dies with the intercept. *)
+  Sim.every (Vswitch.sim vs) ~period:(p.Params.offload_retx_timeout /. 4.0) (fun sim ->
+      ignore (Timer_wheel.advance t.wheel ~now:(Sim.now sim) (on_timeout t) : int);
+      not t.closed);
   Vswitch.set_intercept vs vnic.Vnic.id
     (Some
        {
@@ -184,6 +465,9 @@ let install ~vs ~vnic ~vni ~fes =
          on_rx =
            (fun pkt ->
              match Packet.clear_nsh pkt with
+             | Some nsh when nsh.Packet.hop_ack <> None ->
+               handle_ack t nsh;
+               `Handled
              | Some nsh when nsh.Packet.notify ->
                handle_notify t pkt nsh;
                `Handled
@@ -199,7 +483,18 @@ let install ~vs ~vnic ~vni ~fes =
        });
   t
 
-let uninstall t = Vswitch.set_intercept t.vs t.vnic.Vnic.id None
+let uninstall t =
+  t.closed <- true;
+  Vswitch.set_intercept t.vs t.vnic.Vnic.id None;
+  (* Resolve anything still in flight through the local path so an
+     offload torn down mid-chaos never strands packets. *)
+  let pds = Hashtbl.fold (fun _ pd acc -> pd :: acc) t.outstanding [] in
+  Hashtbl.reset t.outstanding;
+  List.iter
+    (fun pd ->
+      (match pd.timer with Some tm -> Timer_wheel.cancel tm | None -> ());
+      give_up t pd)
+    (List.sort (fun a b -> compare a.seq b.seq) pds)
 
 let vnic t = t.vnic
 let stage t = t.stage
@@ -232,9 +527,13 @@ let remove_fe t fe =
 
 let set_lb_mode t m = t.lb_mode <- m
 
+let set_fallback_ruleset t rs = t.fallback_ruleset <- rs
+
 let pin_flow t flow fe = Flow_key.Table.replace t.pins (pin_key t flow) fe
 let unpin_flow t flow = Flow_key.Table.remove t.pins (pin_key t flow)
 let pinned_count t = Flow_key.Table.length t.pins
+
+let outstanding t = Hashtbl.length t.outstanding
 
 let counters t = t.counters
 
@@ -248,8 +547,19 @@ let register_telemetry t reg =
   counter "rx_from_fe" t.counters.rx_from_fe;
   counter "notify_received" t.counters.notify_received;
   counter "bounced" t.counters.bounced;
+  counter "offload_tracked" t.counters.offload_tracked;
+  counter "offload_acked" t.counters.offload_acked;
+  counter "offload_timeouts" t.counters.offload_timeouts;
+  counter "offload_retx" t.counters.offload_retx;
+  counter "offload_resteered" t.counters.offload_resteered;
+  counter "local_fallback" t.counters.local_fallback;
+  counter "local_bypass" t.counters.local_bypass;
+  counter "offload_dropped" t.counters.offload_dropped;
+  counter "offload_untracked" t.counters.offload_untracked;
   T.register_gauge reg ~name:(prefix ^ "pinned_flows") (fun () ->
-      float_of_int (pinned_count t))
+      float_of_int (pinned_count t));
+  T.register_gauge reg ~name:(prefix ^ "outstanding_offloads") (fun () ->
+      float_of_int (outstanding t))
 
 let tx_via_fe t = Stats.Counter.value t.counters.tx_via_fe
 let rx_from_fe t = Stats.Counter.value t.counters.rx_from_fe

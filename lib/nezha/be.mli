@@ -26,12 +26,25 @@ type stage = Dual | Final
 
 type t
 
-val install : vs:Vswitch.t -> vnic:Vnic.t -> vni:int -> fes:Ipv4.t array -> t
-(** Sets the vNIC's intercept.  @raise Invalid_argument on an empty FE
-    set. *)
+val install :
+  vs:Vswitch.t ->
+  vnic:Vnic.t ->
+  vni:int ->
+  fes:Ipv4.t array ->
+  ?fallback_ruleset:Ruleset.t ->
+  unit ->
+  t
+(** Sets the vNIC's intercept.  [fallback_ruleset] is the rule tables to
+    run locally when the FE hop is given up on (the controller passes the
+    set it saved aside at offload time; during the dual stage the
+    vSwitch's own copy is used instead).  @raise Invalid_argument on an
+    empty FE set. *)
 
 val uninstall : t -> unit
-(** Remove the intercept (fallback completed). *)
+(** Remove the intercept (fallback completed).  Outstanding tracked
+    offloads are resolved through the local slow path. *)
+
+val set_fallback_ruleset : t -> Ruleset.t option -> unit
 
 val vnic : t -> Vnic.t
 val stage : t -> stage
@@ -72,9 +85,31 @@ type counters = {
   notify_received : Stats.Counter.t;
   bounced : Stats.Counter.t;
       (** final-stage packets without metadata re-steered to an FE *)
+  offload_tracked : Stats.Counter.t;  (** TX sends entered into the tracker *)
+  offload_acked : Stats.Counter.t;  (** hop-level acks received from FEs *)
+  offload_timeouts : Stats.Counter.t;  (** retransmission-timer expiries *)
+  offload_retx : Stats.Counter.t;  (** retransmissions sent *)
+  offload_resteered : Stats.Counter.t;
+      (** retransmissions that switched to a different FE *)
+  local_fallback : Stats.Counter.t;
+      (** tracked sends resolved through the local slow path after the
+          hop was given up on *)
+  local_bypass : Stats.Counter.t;
+      (** TX packets that skipped the FE hop because every FE was
+          suspect *)
+  offload_dropped : Stats.Counter.t;
+      (** given-up sends with no local ruleset either — counted as
+          [Offload_timeout] drops *)
+  offload_untracked : Stats.Counter.t;
+      (** sends made fire-and-forget because the tracker was full *)
 }
 
 val counters : t -> counters
+
+val outstanding : t -> int
+(** Tracked offloads currently awaiting their FE ack.  Conservation
+    invariant: [tracked = acked + local_fallback + offload_dropped +
+    outstanding]. *)
 
 val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
 (** Publish the counters (plus a pinned-flows gauge) under

@@ -14,6 +14,9 @@ type config = {
   learning_interval : float;
   rtt : float;
   rpc_latency : float;
+  rpc_timeout : float;
+  rpc_max_retries : int;
+  rpc_backoff : float;
   push_bytes_per_s : float;
   ping_interval : float;
   ping_misses_to_fail : int;
@@ -37,6 +40,9 @@ let default_config =
     learning_interval = 0.2;
     rtt = 0.0005;
     rpc_latency = 0.18;
+    rpc_timeout = 0.5;
+    rpc_max_retries = 4;
+    rpc_backoff = 2.0;
     push_bytes_per_s = 200e6;
     ping_interval = 0.5;
     ping_misses_to_fail = 3;
@@ -83,6 +89,9 @@ type t = {
   mutable offload_events : int;
   mutable scale_out_events : int;
   mutable fes_provisioned : int;
+  mutable rpc_attempts : int;
+  mutable rpc_retries : int;
+  mutable rpc_failures : int;
   mutable started : bool;
   mutable telemetry : Nezha_telemetry.Telemetry.t option;
       (* propagated to FE services and BEs created after registration *)
@@ -112,6 +121,9 @@ let create ?(config = default_config) ~fabric ~rng () =
     offload_events = 0;
     scale_out_events = 0;
     fes_provisioned = 0;
+    rpc_attempts = 0;
+    rpc_retries = 0;
+    rpc_failures = 0;
     started = false;
     telemetry = None;
   }
@@ -123,6 +135,38 @@ let monitor t = t.monitor
 (* Control-plane RPC latency: median [rpc_latency] with a log-normal
    tail, which is what produces Table 4's P999/median spread. *)
 let rpc t = t.cfg.rpc_latency *. Rng.lognormal t.rng ~mu:0.0 ~sigma:0.6
+
+(* One controller→server RPC over the (possibly impaired) management
+   path.  Delivery is decided by the fault plane; a lost attempt retries
+   after a capped exponential backoff.  [k true] runs after the delivered
+   attempt's latency; [k false] once retries are exhausted.  Without a
+   fault plane this is exactly a [rpc t] delay — one rng draw. *)
+let rpc_to t server k =
+  let delivered () =
+    match Fabric.faults t.fabric with
+    | None -> true
+    | Some f -> (
+      match Faults.consult f ~src:Faults.Gateway ~dst:(Faults.Server server) with
+      | Faults.Drop -> false
+      | Faults.Pass | Faults.Delay _ | Faults.Duplicate _ -> true)
+  in
+  let rec attempt n =
+    t.rpc_attempts <- t.rpc_attempts + 1;
+    if delivered () then
+      ignore (Sim.schedule t.sim ~delay:(rpc t) (fun _ -> k true) : Sim.handle)
+    else if n >= t.cfg.rpc_max_retries then begin
+      t.rpc_failures <- t.rpc_failures + 1;
+      ignore (Sim.schedule t.sim ~delay:t.cfg.rpc_timeout (fun _ -> k false) : Sim.handle)
+    end
+    else begin
+      t.rpc_retries <- t.rpc_retries + 1;
+      let backoff =
+        Float.min (t.cfg.rpc_timeout *. (t.cfg.rpc_backoff ** float_of_int n)) 5.0
+      in
+      ignore (Sim.schedule t.sim ~delay:backoff (fun _ -> attempt (n + 1)) : Sim.handle)
+    end
+  in
+  attempt 0
 
 let servers_with_vswitch t =
   List.filter
@@ -153,8 +197,8 @@ let fe_service_ensure t s =
     (match t.telemetry with Some reg -> Fe.register_telemetry fe reg | None -> ());
     fe
 
-let install_be t ~vs ~vnic ~vni ~fes =
-  let be = Be.install ~vs ~vnic ~vni ~fes in
+let install_be t ~vs ~vnic ~vni ~fes ~fallback_ruleset =
+  let be = Be.install ~vs ~vnic ~vni ~fes ?fallback_ruleset () in
   (match t.telemetry with Some reg -> Be.register_telemetry be reg | None -> ());
   be
 
@@ -239,14 +283,56 @@ let update_routing t o =
   propagate_learning t ~addr ~targets
 
 (* ------------------------------------------------------------------ *)
+(* Fallback (§4.2.2) *)
+
+let fallback_vnic t o =
+  if not o.active then Error "offload not active"
+  else if o.falling_back then Error "fallback already in progress"
+  else begin
+    match Fabric.vswitch_opt t.fabric o.be_server with
+    | None -> Error "BE server vanished"
+    | Some vs -> (
+      let restored =
+        (* During the dual-running stage the local tables still exist. *)
+        match Vswitch.ruleset vs o.vnic.Vnic.id with
+        | Some _ -> Admission.ok
+        | None -> Vswitch.restore_ruleset vs o.vnic.Vnic.id o.saved_ruleset
+      in
+      match restored with
+      | Error _ -> Error "BE lacks memory to restore rule tables"
+      | Ok () ->
+        o.falling_back <- true;
+        (match o.be with Some be -> Be.set_stage be Be.Dual | None -> ());
+        let addr = Vnic.addr o.vnic in
+        let be_ip = [| Topology.underlay_ip (Fabric.topology t.fabric) o.be_server |] in
+        Gateway.set_route (Fabric.gateway t.fabric) addr be_ip;
+        ignore (propagate_learning t ~addr ~targets:be_ip : float);
+        ignore
+          (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt) (fun _ ->
+               (match o.be with Some be -> Be.uninstall be | None -> ());
+               List.iter
+                 (fun s ->
+                   match Hashtbl.find_opt t.fe_services s with
+                   | Some fe -> Fe.unserve fe addr
+                   | None -> ())
+                 o.fe_servers;
+               o.active <- false;
+               Hashtbl.remove t.offload_tbl o.key)
+            : Sim.handle);
+        Ok ())
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Failover (§4.4) and monitor wiring *)
 
 let rec watch_fe_host t s =
   match Fabric.vswitch_opt t.fabric s with
   | None -> ()
-  | Some vs ->
-    Monitor.watch t.monitor ~key:s
-      ~alive:(fun () -> not (Smartnic.is_crashed (Vswitch.nic vs)))
+  | Some _ ->
+    (* The health check is a real round-trip over the fabric: loss and
+       partitions produce genuinely missed probes (§4.4, §C.2). *)
+    Monitor.watch_probe t.monitor ~key:s
+      ~probe:(fun ~reply -> Fabric.ping t.fabric ~dst:s ~reply)
       ~on_fail:(fun ~key -> failover t key)
 
 and failover t dead_server =
@@ -256,6 +342,11 @@ and failover t dead_server =
     let served = Fe.served_vnics fe in
     List.iter
       (fun addr ->
+        (* Unserve *before* re-provisioning: scale_out below is free to
+           re-pick this very server once it heals, and a later unserve
+           would silently wipe that fresh configuration while the join
+           RPC still adds it to the routing — a blackhole. *)
+        Fe.unserve fe addr;
         let victims =
           Hashtbl.fold
             (fun _ o acc ->
@@ -265,22 +356,29 @@ and failover t dead_server =
         List.iter
           (fun o ->
             o.fe_servers <- List.filter (fun s -> s <> dead_server) o.fe_servers;
-            ignore (update_routing t o : float);
+            (* An empty target set cannot be routed (and Gateway.set_route
+               rejects it); the fallback below handles that case. *)
+            if o.fe_servers <> [] then ignore (update_routing t o : float);
             let missing = t.cfg.min_fes - List.length o.fe_servers in
-            if missing > 0 then ignore (scale_out t o ~add:missing : int))
-          victims;
-        Fe.unserve fe addr)
+            let added =
+              if missing > 0 then scale_out t ~avoid:[ dead_server ] o ~add:missing else 0
+            in
+            (* Every FE gone and no replacement available: restore local
+               serving rather than blackhole the vNIC. *)
+            if o.fe_servers = [] && added = 0 then
+              ignore (fallback_vnic t o : (unit, string) result))
+          victims)
       served)
 
 (* ------------------------------------------------------------------ *)
 (* Scale-out (§4.3) *)
 
-and scale_out t o ~add =
+and scale_out t ?(avoid = []) o ~add =
   if add <= 0 || not o.active then 0
   else begin
     let candidates =
       select_fe_candidates t ~be_server:o.be_server
-        ~exclude:o.fe_servers ~count:add
+        ~exclude:(avoid @ o.fe_servers) ~count:add
     in
     let configured = ref [] in
     List.iter
@@ -300,18 +398,27 @@ and scale_out t o ~add =
     if added > 0 then begin
       t.scale_out_events <- t.scale_out_events + 1;
       t.fes_provisioned <- t.fes_provisioned + added;
-      (* Config push happens in the background; the new FEs join the
-         routing after the push + RPC delay. *)
-      let delay =
-        rpc t +. (float_of_int (Ruleset.memory_bytes o.saved_ruleset) /. t.cfg.push_bytes_per_s)
+      (* Config push happens in the background; each new FE joins the
+         routing after its push RPC lands (with retries under faults) —
+         FEs whose config RPC ultimately fails never join. *)
+      let push_time =
+        float_of_int (Ruleset.memory_bytes o.saved_ruleset) /. t.cfg.push_bytes_per_s
       in
-      ignore
-        (Sim.schedule t.sim ~delay (fun _ ->
-             if o.active then begin
-               o.fe_servers <- o.fe_servers @ List.rev !configured;
-               ignore (update_routing t o : float)
-             end)
-          : Sim.handle)
+      let joined = ref [] in
+      let remaining = ref added in
+      List.iter
+        (fun s ->
+          rpc_to t s (fun ok ->
+              ignore
+                (Sim.schedule t.sim ~delay:push_time (fun _ ->
+                     if ok then joined := s :: !joined;
+                     decr remaining;
+                     if !remaining = 0 && o.active && !joined <> [] then begin
+                       o.fe_servers <- o.fe_servers @ List.rev !joined;
+                       ignore (update_routing t o : float)
+                     end)
+                  : Sim.handle)))
+        (List.rev !configured)
     end;
     added
   end
@@ -359,113 +466,83 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
           Hashtbl.replace t.offload_tbl o.key o;
           t.offload_order <- o :: t.offload_order;
           t.offload_events <- t.offload_events + 1;
-          (* Stage 1: push rule tables to every FE (parallel), then wire
-             the locations, then the gateway, then learning. *)
+          (* Stage 1: push rule tables to every FE (parallel RPCs with
+             retry under faults), then wire the locations, then the
+             gateway, then learning.  The join fires once every push RPC
+             has resolved — delivered or given up. *)
           let push_time =
             float_of_int (Ruleset.memory_bytes rs) /. t.cfg.push_bytes_per_s
           in
-          let push_delays = List.map (fun s -> (s, rpc t +. push_time)) fe_servers in
           let configured = ref [] in
+          let remaining = ref (List.length fe_servers) in
+          let stage2 sim =
+            if o.active then begin
+              match !configured with
+              | [] ->
+                (* No FE accepted the tables: abort the offload. *)
+                o.active <- false;
+                Hashtbl.remove t.offload_tbl o.key
+              | fes ->
+                o.fe_servers <- List.rev fes;
+                t.fes_provisioned <- t.fes_provisioned + List.length fes;
+                let be =
+                  install_be t ~vs ~vnic:vnic_rec ~vni:o.vni ~fes:(fe_ips t o.fe_servers)
+                    ~fallback_ruleset:(Some o.saved_ruleset)
+                in
+                o.be <- Some be;
+                (* Stage 2: gateway + learning. *)
+                let gw_delay = rpc t in
+                ignore
+                  (Sim.schedule sim ~delay:gw_delay (fun sim' ->
+                       if o.active then begin
+                         let max_learn = update_routing t o in
+                         let done_at = Sim.now sim' +. max_learn in
+                         o.completed_at <- Some done_at;
+                         Stats.Histogram.record t.completion_ms
+                           ((done_at -. o.triggered_at) *. 1000.0);
+                         (* Final stage: retention window, then drop
+                            the local tables. *)
+                         ignore
+                           (Sim.schedule sim'
+                              ~delay:(t.cfg.learning_interval +. t.cfg.rtt)
+                              (fun _ ->
+                                if o.active && not o.falling_back then begin
+                                  Vswitch.drop_ruleset vs vnic;
+                                  Be.set_stage be Be.Final
+                                end)
+                             : Sim.handle)
+                       end)
+                    : Sim.handle)
+            end
+          in
           List.iter
-            (fun (s, d) ->
-              ignore
-                (Sim.schedule t.sim ~delay:d (fun _ ->
-                     let fe = fe_service_ensure t s in
-                     let replica = Ruleset.clone rs in
-                     match
-                       Fe.serve fe ~vnic:vnic_rec ~ruleset:replica
-                         ~be:(Topology.underlay_ip (Fabric.topology t.fabric) server)
-                     with
-                     | Ok () ->
-                       configured := s :: !configured;
-                       watch_fe_host t s
-                     | Error _ -> ())
-                  : Sim.handle))
-            push_delays;
-          let max_push = List.fold_left (fun m (_, d) -> Float.max m d) 0.0 push_delays in
-          let t_cfg = max_push +. rpc t in
-          ignore
-            (Sim.schedule t.sim ~delay:t_cfg (fun sim ->
-                 if o.active then begin
-                   match !configured with
-                   | [] ->
-                     (* No FE accepted the tables: abort the offload. *)
-                     o.active <- false;
-                     Hashtbl.remove t.offload_tbl o.key
-                   | fes ->
-                     o.fe_servers <- List.rev fes;
-                     t.fes_provisioned <- t.fes_provisioned + List.length fes;
-                     let be =
-                       install_be t ~vs ~vnic:vnic_rec ~vni:o.vni ~fes:(fe_ips t o.fe_servers)
-                     in
-                     o.be <- Some be;
-                     (* Stage 2: gateway + learning. *)
-                     let gw_delay = rpc t in
-                     ignore
-                       (Sim.schedule sim ~delay:gw_delay (fun sim' ->
-                            if o.active then begin
-                              let max_learn = update_routing t o in
-                              let done_at = Sim.now sim' +. max_learn in
-                              o.completed_at <- Some done_at;
-                              Stats.Histogram.record t.completion_ms
-                                ((done_at -. o.triggered_at) *. 1000.0);
-                              (* Final stage: retention window, then drop
-                                 the local tables. *)
-                              ignore
-                                (Sim.schedule sim'
-                                   ~delay:(t.cfg.learning_interval +. t.cfg.rtt)
-                                   (fun _ ->
-                                     if o.active && not o.falling_back then begin
-                                       Vswitch.drop_ruleset vs vnic;
-                                       Be.set_stage be Be.Final
-                                     end)
-                                  : Sim.handle)
-                            end)
-                         : Sim.handle)
-                 end)
-              : Sim.handle);
+            (fun s ->
+              rpc_to t s (fun ok ->
+                  ignore
+                    (Sim.schedule t.sim ~delay:push_time (fun sim ->
+                         (if ok then begin
+                            let fe = fe_service_ensure t s in
+                            let replica = Ruleset.clone rs in
+                            match
+                              Fe.serve fe ~vnic:vnic_rec ~ruleset:replica
+                                ~be:
+                                  (Topology.underlay_ip (Fabric.topology t.fabric)
+                                     server)
+                            with
+                            | Ok () ->
+                              configured := s :: !configured;
+                              watch_fe_host t s
+                            | Error _ -> ()
+                          end);
+                         decr remaining;
+                         if !remaining = 0 then
+                           ignore
+                             (Sim.schedule sim ~delay:(rpc t) (fun sim' -> stage2 sim')
+                               : Sim.handle))
+                      : Sim.handle)))
+            fe_servers;
           Ok o
         end))
-
-(* ------------------------------------------------------------------ *)
-(* Fallback (§4.2.2) *)
-
-let fallback_vnic t o =
-  if not o.active then Error "offload not active"
-  else if o.falling_back then Error "fallback already in progress"
-  else begin
-    match Fabric.vswitch_opt t.fabric o.be_server with
-    | None -> Error "BE server vanished"
-    | Some vs -> (
-      let restored =
-        (* During the dual-running stage the local tables still exist. *)
-        match Vswitch.ruleset vs o.vnic.Vnic.id with
-        | Some _ -> Admission.ok
-        | None -> Vswitch.restore_ruleset vs o.vnic.Vnic.id o.saved_ruleset
-      in
-      match restored with
-      | Error _ -> Error "BE lacks memory to restore rule tables"
-      | Ok () ->
-        o.falling_back <- true;
-        (match o.be with Some be -> Be.set_stage be Be.Dual | None -> ());
-        let addr = Vnic.addr o.vnic in
-        let be_ip = [| Topology.underlay_ip (Fabric.topology t.fabric) o.be_server |] in
-        Gateway.set_route (Fabric.gateway t.fabric) addr be_ip;
-        ignore (propagate_learning t ~addr ~targets:be_ip : float);
-        ignore
-          (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt) (fun _ ->
-               (match o.be with Some be -> Be.uninstall be | None -> ());
-               List.iter
-                 (fun s ->
-                   match Hashtbl.find_opt t.fe_services s with
-                   | Some fe -> Fe.unserve fe addr
-                   | None -> ())
-                 o.fe_servers;
-               o.active <- false;
-               Hashtbl.remove t.offload_tbl o.key)
-            : Sim.handle);
-        Ok ())
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Scale-in (§4.3): evict all FEs on a vSwitch that needs its resources
@@ -529,15 +606,14 @@ let update_tenant_rules t o f =
       match Hashtbl.find_opt t.fe_services s with
       | None -> ()
       | Some fe ->
-        let delay = rpc t in
-        ignore
-          (Sim.schedule t.sim ~delay (fun _ ->
-               match Fe.ruleset_of fe addr with
-               | Some replica ->
-                 f replica;
-                 Fe.invalidate_cached_flows fe addr
-               | None -> ())
-            : Sim.handle))
+        rpc_to t s (fun ok ->
+            if ok then begin
+              match Fe.ruleset_of fe addr with
+              | Some replica ->
+                f replica;
+                Fe.invalidate_cached_flows fe addr
+              | None -> ()
+            end))
     o.fe_servers
 
 (* ------------------------------------------------------------------ *)
@@ -577,7 +653,10 @@ let migrate_be t o ~to_server =
               | None -> ());
           let old_be = o.be in
           let fes = fe_ips t o.fe_servers in
-          let be' = install_be t ~vs:new_vs ~vnic:o.vnic ~vni:o.vni ~fes in
+          let be' =
+            install_be t ~vs:new_vs ~vnic:o.vnic ~vni:o.vni ~fes
+              ~fallback_ruleset:(Some o.saved_ruleset)
+          in
           Be.set_stage be'
             (match old_be with Some b -> Be.stage b | None -> Be.Final);
           (match old_be with Some b -> Be.uninstall b | None -> ());
@@ -783,6 +862,9 @@ let completion_times_ms t = t.completion_ms
 let offload_events t = t.offload_events
 let scale_out_events t = t.scale_out_events
 let fes_provisioned t = t.fes_provisioned
+let rpc_attempts t = t.rpc_attempts
+let rpc_retries t = t.rpc_retries
+let rpc_failures t = t.rpc_failures
 
 let overload_occurrences t s = Option.value (Hashtbl.find_opt t.overloads s) ~default:0
 
@@ -800,6 +882,9 @@ let register_telemetry t reg =
       t.fes_provisioned);
   T.register_counter reg ~name:"controller/overload_occurrences" (fun () ->
       total_overload_occurrences t);
+  T.register_counter reg ~name:"controller/rpc_attempts" (fun () -> t.rpc_attempts);
+  T.register_counter reg ~name:"controller/rpc_retries" (fun () -> t.rpc_retries);
+  T.register_counter reg ~name:"controller/rpc_failures" (fun () -> t.rpc_failures);
   T.register_gauge reg ~name:"controller/active_offloads" (fun () ->
       float_of_int (List.length (offloads t)));
   T.register_histogram reg ~name:"controller/completion_ms" t.completion_ms;

@@ -26,6 +26,11 @@ type config = {
   learning_interval : float;  (** vNIC-server learning, 200 ms (§4.2.1) *)
   rtt : float;  (** in-flight retention slack *)
   rpc_latency : float;  (** mean control-plane RPC latency *)
+  rpc_timeout : float;  (** declare an RPC attempt lost after this long *)
+  rpc_max_retries : int;  (** RPC retries before giving up on a server *)
+  rpc_backoff : float;
+      (** exponential backoff base: retry [n] waits
+          [rpc_timeout × rpc_backoff^n], capped at 5 s *)
   push_bytes_per_s : float;  (** rule-table push bandwidth to an FE *)
   ping_interval : float;
   ping_misses_to_fail : int;
@@ -79,9 +84,10 @@ val fallback_vnic : t -> offload -> (unit, string) result
 (** Reverse an offload (§4.2.2).  Fails if the BE cannot re-host the rule
     tables. *)
 
-val scale_out : t -> offload -> add:int -> int
+val scale_out : t -> ?avoid:Topology.server_id list -> offload -> add:int -> int
 (** Add up to [add] FEs; returns how many were actually added (candidate
-    supply permitting). *)
+    supply permitting).  [avoid] blacklists servers beyond the current
+    FE set (failover passes the just-declared-dead host). *)
 
 val scale_in_server : t -> Topology.server_id -> unit
 (** Evict every FE on this server (local pressure or failover),
@@ -135,6 +141,13 @@ val offload_events : t -> int
 val scale_out_events : t -> int
 val fes_provisioned : t -> int
 (** Cumulative FEs ever configured (App. B.2 accounting). *)
+
+val rpc_attempts : t -> int
+val rpc_retries : t -> int
+(** Control-plane RPC attempts lost to the fault plane and retried. *)
+
+val rpc_failures : t -> int
+(** RPCs abandoned after [rpc_max_retries] retries. *)
 
 val overload_occurrences : t -> Topology.server_id -> int
 (** Report ticks with utilization above [overload_level] (Fig. 13). *)

@@ -20,6 +20,7 @@ type counters = {
   notify_sent : Stats.Counter.t;
   rx_forwarded : Stats.Counter.t;
   tx_finalized : Stats.Counter.t;
+  hop_acks_sent : Stats.Counter.t;
 }
 
 type t = {
@@ -114,13 +115,27 @@ let send_notify t s pkt pre =
     ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:s.be;
   Vswitch.emit t.vs (Vswitch.To_net notify)
 
+(* Hop-level ack for the BE's loss tracker: echo the sequence back on a
+   bare control packet.  Sent regardless of the rule verdict — the ack
+   acknowledges the hop, not the delivery. *)
+let send_hop_ack t s pkt seq =
+  Stats.Counter.incr t.counters.hop_acks_sent;
+  let ack =
+    Packet.create ~vpc:pkt.Packet.vpc
+      ~flow:(Five_tuple.reverse pkt.Packet.flow)
+      ~direction:Packet.Rx ~flags:Packet.no_flags ()
+  in
+  Packet.set_nsh ack { Packet.empty_nsh with Packet.hop_ack = Some seq };
+  Packet.encap_vxlan ack ~vni:(Ruleset.vni s.ruleset)
+    ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:s.be;
+  Vswitch.emit t.vs (Vswitch.To_net ack)
+
 (* TX workflow (§3.2.1 red flow): the packet carries the state; combine
    with pre-actions and finalize. *)
 let handle_tx t s pkt nsh state_blob =
   match State.decode state_blob with
   | Error _ -> Vswitch.count_drop t.vs Nf.No_route
   | Ok state -> (
-    ignore nsh;
     let key = key_of pkt in
     match resolve_pre t s ~flow_tx:pkt.Packet.flow ~key with
     | None ->
@@ -128,11 +143,17 @@ let handle_tx t s pkt nsh state_blob =
           Vswitch.count_drop t.vs Nf.No_route)
     | Some (pre, lookup_cycles, fresh) ->
       let p = params t in
+      let ack_cycles =
+        match nsh.Packet.hop_seq with None -> 0 | Some _ -> p.Params.encap_cycles
+      in
       let cycles =
         Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
-        + lookup_cycles + p.Params.encap_cycles
+        + lookup_cycles + p.Params.encap_cycles + ack_cycles
       in
       charge t ~cycles (fun _ ->
+          (match nsh.Packet.hop_seq with
+          | Some seq -> send_hop_ack t s pkt seq
+          | None -> ());
           (* Notify the BE when the rule lookup's rule-table-involved
              state disagrees with what the packet carried (§3.2.2): a
              notify fires only on fresh lookups, and only on an actual
@@ -191,6 +212,7 @@ let install vs =
           notify_sent = Stats.Counter.create ();
           rx_forwarded = Stats.Counter.create ();
           tx_finalized = Stats.Counter.create ();
+          hop_acks_sent = Stats.Counter.create ();
         };
     }
   in
@@ -290,6 +312,7 @@ let register_telemetry t reg =
   counter "notify_sent" t.counters.notify_sent;
   counter "rx_forwarded" t.counters.rx_forwarded;
   counter "tx_finalized" t.counters.tx_finalized;
+  counter "hop_acks_sent" t.counters.hop_acks_sent;
   T.register_gauge reg ~name:(prefix ^ "cached_flows") (fun () ->
       float_of_int (cached_flow_count t));
   T.register_gauge reg ~name:(prefix ^ "served_vnics") (fun () ->

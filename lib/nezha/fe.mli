@@ -67,6 +67,8 @@ type counters = {
   notify_sent : Stats.Counter.t;
   rx_forwarded : Stats.Counter.t;
   tx_finalized : Stats.Counter.t;
+  hop_acks_sent : Stats.Counter.t;
+      (** hop-level acks echoed back for BE loss tracking *)
 }
 
 val counters : t -> counters

@@ -1,57 +1,87 @@
 open Nezha_engine
 
 type target = {
-  alive : unit -> bool;
+  probe : reply:(unit -> unit) -> unit;
   on_fail : key:int -> unit;
   mutable misses : int;
 }
 
+(* One in-flight probe of a round: the reply closure flips [replied]
+   before the collect deadline, or the probe counts as missed. *)
+type slot = { key : int; tgt : target; mutable replied : bool }
+
 type t = {
   sim : Sim.t;
   interval : float;
+  probe_timeout : float;
   misses_to_fail : int;
   mass_failure_fraction : float;
   targets : (int, target) Hashtbl.t;
   mutable running : bool;
   mutable probes : int;
+  mutable missed : int;
   mutable failures : int;
   mutable mass_suspected : int;
 }
 
-let create ~sim ?(interval = 0.5) ?(misses_to_fail = 3) ?(mass_failure_fraction = 0.8) () =
+let create ~sim ?(interval = 0.5) ?probe_timeout ?(misses_to_fail = 3)
+    ?(mass_failure_fraction = 0.8) () =
   if interval <= 0.0 then invalid_arg "Monitor.create: interval must be positive";
+  let probe_timeout = Option.value probe_timeout ~default:(interval *. 0.5) in
+  if probe_timeout <= 0.0 || probe_timeout > interval then
+    invalid_arg "Monitor.create: probe_timeout must be in (0, interval]";
   {
     sim;
     interval;
+    probe_timeout;
     misses_to_fail;
     mass_failure_fraction;
     targets = Hashtbl.create 16;
     running = false;
     probes = 0;
+    missed = 0;
     failures = 0;
     mass_suspected = 0;
   }
 
-let watch t ~key ~alive ~on_fail = Hashtbl.replace t.targets key { alive; on_fail; misses = 0 }
+let watch_probe t ~key ~probe ~on_fail =
+  Hashtbl.replace t.targets key { probe; on_fail; misses = 0 }
+
+let watch t ~key ~alive ~on_fail =
+  watch_probe t ~key ~probe:(fun ~reply -> if alive () then reply ()) ~on_fail
 
 let unwatch t ~key = Hashtbl.remove t.targets key
 
 let watched t = Hashtbl.length t.targets
 
-let probe_round t =
-  let n = Hashtbl.length t.targets in
+(* The deadline sweep for one round's probes.  A slot only counts if its
+   target record is *physically* still the table binding: a re-watch
+   between probe and collect replaced the record (misses reset to 0), and
+   the stale in-flight probe must not score against — or for — it. *)
+let collect t slots =
+  let live =
+    List.filter
+      (fun s ->
+        match Hashtbl.find_opt t.targets s.key with
+        | Some tgt -> tgt == s.tgt
+        | None -> false)
+      slots
+  in
+  let n = List.length live in
   if n > 0 then begin
     let newly_failed = ref [] in
-    Hashtbl.iter
-      (fun key target ->
-        t.probes <- t.probes + 1;
-        if target.alive () then target.misses <- 0
+    List.iter
+      (fun s ->
+        if s.replied then s.tgt.misses <- 0
         else begin
-          target.misses <- target.misses + 1;
-          if target.misses >= t.misses_to_fail then newly_failed := (key, target) :: !newly_failed
+          t.missed <- t.missed + 1;
+          s.tgt.misses <- s.tgt.misses + 1;
+          if s.tgt.misses >= t.misses_to_fail then
+            newly_failed := (s.key, s.tgt) :: !newly_failed
         end)
-      t.targets;
-    let failed_count = List.length !newly_failed in
+      live;
+    let newly_failed = List.rev !newly_failed in
+    let failed_count = List.length newly_failed in
     if
       failed_count > 0
       && float_of_int failed_count >= t.mass_failure_fraction *. float_of_int n
@@ -60,15 +90,40 @@ let probe_round t =
       (* §C.2: a majority of FEs "failing" at once smells like a monitor
          bug; hold off automatic removal and retry next round. *)
       t.mass_suspected <- t.mass_suspected + 1;
-      List.iter (fun (_, target) -> target.misses <- t.misses_to_fail - 1) !newly_failed
+      List.iter (fun (_, tgt) -> tgt.misses <- t.misses_to_fail - 1) newly_failed
     end
     else
       List.iter
-        (fun (key, target) ->
+        (fun (key, tgt) ->
           Hashtbl.remove t.targets key;
           t.failures <- t.failures + 1;
-          target.on_fail ~key)
-        !newly_failed
+          tgt.on_fail ~key)
+        newly_failed
+  end
+
+let probe_round t =
+  if Hashtbl.length t.targets > 0 then begin
+    (* Snapshot in sorted key order so probe side effects (rng draws in
+       the fault plane) happen in a deterministic order. *)
+    let keys =
+      List.sort compare (Hashtbl.fold (fun key _ acc -> key :: acc) t.targets [])
+    in
+    let slots =
+      List.filter_map
+        (fun key ->
+          match Hashtbl.find_opt t.targets key with
+          | None -> None
+          | Some tgt ->
+            t.probes <- t.probes + 1;
+            let s = { key; tgt; replied = false } in
+            tgt.probe ~reply:(fun () -> s.replied <- true);
+            Some s)
+        keys
+    in
+    ignore
+      (Sim.schedule t.sim ~delay:t.probe_timeout (fun _ ->
+           if t.running then collect t slots)
+        : Sim.handle)
   end
 
 let start t =
@@ -82,12 +137,14 @@ let start t =
 let stop t = t.running <- false
 
 let probes_sent t = t.probes
+let probes_missed t = t.missed
 let failures_declared t = t.failures
 let mass_failure_suspected t = t.mass_suspected
 
 let register_telemetry t reg =
   let module T = Nezha_telemetry.Telemetry in
   T.register_counter reg ~name:"monitor/probes_sent" (fun () -> t.probes);
+  T.register_counter reg ~name:"monitor/probes_missed" (fun () -> t.missed);
   T.register_counter reg ~name:"monitor/failures_declared" (fun () -> t.failures);
   T.register_counter reg ~name:"monitor/mass_failure_suspected" (fun () ->
       t.mass_suspected);

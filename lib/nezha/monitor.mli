@@ -1,16 +1,22 @@
 (** Centralized FE crash monitoring (§4.4).
 
-    A single module health-checks every vSwitch hosting FEs (ping
-    polling against the vSwitch's virtual function, so the check reflects
-    the vSwitch and not the SmartNIC's other hypervisors).  A target that
-    misses [misses_to_fail] consecutive probes is declared failed, which
-    bounds detection latency at [interval × misses_to_fail].
+    A single module health-checks every vSwitch hosting FEs.  Probes are
+    asynchronous: each round fires one probe per target, and a collect
+    sweep [probe_timeout] later scores targets whose reply has not come
+    back as a miss — so a probe routed over the fabric ({!Fabric.ping})
+    genuinely misses under loss or a partition.  A target that misses
+    [misses_to_fail] consecutive probes is declared failed, which bounds
+    detection latency at [interval × misses_to_fail + probe_timeout].
 
-    §C.2's lesson is built in: when a probe round finds more than
+    §C.2's lesson is built in: when a collect sweep finds more than
     [mass_failure_fraction] of all targets down simultaneously, the
     module suspects a monitoring bug rather than a real mass outage and
     suspends automatic removal for that round (counted, so operators —
-    and tests — can see it). *)
+    and tests — can see it).
+
+    Re-watching a key resets its miss counter even mid-round: a probe
+    already in flight for the replaced registration is discarded at
+    collect time, counting neither way. *)
 
 open Nezha_engine
 
@@ -19,16 +25,26 @@ type t
 val create :
   sim:Sim.t ->
   ?interval:float ->
+  ?probe_timeout:float ->
   ?misses_to_fail:int ->
   ?mass_failure_fraction:float ->
   unit ->
   t
-(** Defaults: probe every 0.5 s, fail after 3 misses, suspect mass
-    failure above 80% of targets. *)
+(** Defaults: probe every 0.5 s, reply deadline [interval /. 2], fail
+    after 3 misses, suspect mass failure above 80% of targets.
+    @raise Invalid_argument unless [0 < probe_timeout <= interval]. *)
+
+val watch_probe :
+  t -> key:int -> probe:(reply:(unit -> unit) -> unit) -> on_fail:(key:int -> unit) -> unit
+(** Add (or reset) a target.  [probe ~reply] launches one health check;
+    the implementation calls [reply ()] when (and if) the answer arrives
+    — before the collect deadline, or the round counts as missed.
+    [on_fail] fires once when the target is declared failed (it is then
+    unwatched). *)
 
 val watch : t -> key:int -> alive:(unit -> bool) -> on_fail:(key:int -> unit) -> unit
-(** Add (or reset) a target.  [alive] is the probe; [on_fail] fires once
-    when the target is declared failed (it is then unwatched). *)
+(** Synchronous convenience over {!watch_probe}: [alive] is consulted at
+    probe launch and replies instantly when true. *)
 
 val unwatch : t -> key:int -> unit
 val watched : t -> int
@@ -39,6 +55,10 @@ val start : t -> unit
 val stop : t -> unit
 
 val probes_sent : t -> int
+
+val probes_missed : t -> int
+(** Probes whose reply did not arrive by the collect deadline. *)
+
 val failures_declared : t -> int
 val mass_failure_suspected : t -> int
 (** Rounds where auto-removal was suspended (§C.2). *)

@@ -11,6 +11,7 @@ type drop_reason =
   | Rate_limited
   | Nic_crashed
   | Vm_overload
+  | Offload_timeout
 
 let all_drop_reasons =
   [
@@ -23,6 +24,7 @@ let all_drop_reasons =
     Rate_limited;
     Nic_crashed;
     Vm_overload;
+    Offload_timeout;
   ]
 
 let drop_reason_count = List.length all_drop_reasons
@@ -37,6 +39,7 @@ let drop_reason_index = function
   | Rate_limited -> 6
   | Nic_crashed -> 7
   | Vm_overload -> 8
+  | Offload_timeout -> 9
 
 let drop_reason_to_string = function
   | Acl_denied -> "acl-denied"
@@ -48,6 +51,7 @@ let drop_reason_to_string = function
   | Rate_limited -> "rate-limited"
   | Nic_crashed -> "nic-crashed"
   | Vm_overload -> "vm-overload"
+  | Offload_timeout -> "offload-timeout"
 
 let pp_drop_reason ppf r = Format.pp_print_string ppf (drop_reason_to_string r)
 

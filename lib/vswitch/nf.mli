@@ -19,6 +19,9 @@ type drop_reason =
   | Rate_limited  (** vNIC-level QoS token bucket exhausted *)
   | Nic_crashed
   | Vm_overload
+  | Offload_timeout
+      (** BE gave up on the FE hop (retries exhausted) with no local
+          fallback ruleset available *)
 
 val all_drop_reasons : drop_reason list
 (** Every reason, in {!drop_reason_index} order. *)

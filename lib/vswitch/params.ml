@@ -19,6 +19,10 @@ type t = {
   be_residual_bytes_per_vnic : int;
   flow_aging : float;
   syn_aging : float;
+  offload_retx_timeout : float;
+  offload_retx_max : int;
+  offload_track_capacity : int;
+  offload_suspect_after : int;
 }
 
 (* Fit against Table A1 (see the interface): with 5 tables at 550 cycles
@@ -47,6 +51,10 @@ let default =
     be_residual_bytes_per_vnic = 2048;
     flow_aging = 8.0;
     syn_aging = 2.0;
+    offload_retx_timeout = 0.02;
+    offload_retx_max = 3;
+    offload_track_capacity = 4096;
+    offload_suspect_after = 2;
   }
 
 let with_cpu_scale s t = { t with cpu_hz = t.cpu_hz /. s }

@@ -60,6 +60,15 @@ type t = {
   (* Timing *)
   flow_aging : float;  (** normal session idle timeout (§2.2.2: 8 s) *)
   syn_aging : float;  (** short aging for establishing sessions (§7.3) *)
+  offload_retx_timeout : float;
+      (** how long the BE waits for the FE's hop-level ack before
+          retrying a slow-path offload, seconds *)
+  offload_retx_max : int;  (** retries before falling back to the local slow path *)
+  offload_track_capacity : int;
+      (** bound on outstanding tracked offloads; beyond it, sends revert
+          to fire-and-forget *)
+  offload_suspect_after : int;
+      (** consecutive hop timeouts before an FE is steered around *)
 }
 
 val default : t

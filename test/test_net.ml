@@ -251,6 +251,8 @@ let test_packet_codec_roundtrip () =
       carried_pre_actions = Some (Bytes.of_string "pre-actions");
       notify = true;
       orig_outer_src = Some (ip "172.16.0.9");
+      hop_seq = Some 42;
+      hop_ack = None;
     };
   match Packet.decode (Packet.encode p) with
   | Error e -> Alcotest.fail e
@@ -272,7 +274,9 @@ let test_packet_codec_roundtrip () =
       check_bool "pre-actions blob" true
         (a.Packet.carried_pre_actions = b.Packet.carried_pre_actions);
       check_bool "notify" true b.Packet.notify;
-      check_bool "orig outer src" true (a.Packet.orig_outer_src = b.Packet.orig_outer_src)
+      check_bool "orig outer src" true (a.Packet.orig_outer_src = b.Packet.orig_outer_src);
+      check_bool "hop seq" true (b.Packet.hop_seq = Some 42);
+      check_bool "hop ack" true (b.Packet.hop_ack = None)
     | _, _ -> Alcotest.fail "nsh lost")
 
 let test_packet_decode_garbage () =

@@ -74,6 +74,37 @@ let test_monitor_recovery_resets_misses () =
   Sim.run sim ~until:6.0;
   check_int "never declared" 0 !failed
 
+let test_monitor_rewatch_mid_round_resets_misses () =
+  let sim = Sim.create () in
+  (* interval 0.5 -> probe_timeout defaults to 0.25: probes at 0, 0.5,
+     1.0, ... collect at +0.25.  Two targets so the mass-failure check
+     (one dead of two = 50% < 80%) cannot mask the behaviour. *)
+  let m = Monitor.create ~sim ~interval:0.5 ~misses_to_fail:3 () in
+  let failed_at = ref nan in
+  let failed = ref 0 in
+  let watch_dead () =
+    Monitor.watch m ~key:1 ~alive:(fun () -> false)
+      ~on_fail:(fun ~key:_ ->
+        incr failed;
+        failed_at := Sim.now sim)
+  in
+  watch_dead ();
+  Monitor.watch m ~key:2 ~alive:(fun () -> true) ~on_fail:(fun ~key:_ -> incr failed);
+  Monitor.start m;
+  (* Without intervention key 1 misses at 0.25, 0.75 and 1.25 and is
+     declared failed at 1.25.  Re-watching at 1.1 — after the 1.0 probe
+     launched, before its collect — must discard the in-flight probe of
+     the replaced registration and reset the miss counter, not count the
+     stale miss against the fresh registration. *)
+  ignore (Sim.schedule sim ~delay:1.1 (fun _ -> watch_dead ()) : Sim.handle);
+  Sim.run sim ~until:1.3;
+  check_int "not declared from a stale in-flight probe" 0 !failed;
+  Sim.run sim ~until:6.0;
+  check_int "declared exactly once eventually" 1 !failed;
+  (* Fresh counter: misses at 1.75, 2.25, 2.75 -> declared at 2.75. *)
+  check_bool "declared from a full fresh streak" true
+    (!failed_at > 2.5 && !failed_at <= 3.0)
+
 (* ------------------------------------------------------------------ *)
 (* Costs *)
 
@@ -458,6 +489,8 @@ let () =
           Alcotest.test_case "latency bounded" `Quick test_monitor_detection_latency_bounded;
           Alcotest.test_case "mass failure suspected" `Quick test_monitor_mass_failure_suspected;
           Alcotest.test_case "recovery resets misses" `Quick test_monitor_recovery_resets_misses;
+          Alcotest.test_case "re-watch mid-round resets misses" `Quick
+            test_monitor_rewatch_mid_round_resets_misses;
         ] );
       ("costs", [ Alcotest.test_case "table 5 model" `Quick test_costs_table5 ]);
       ( "offload",
