@@ -64,6 +64,33 @@ else
   echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
+echo "== trace overhead gate (tracing disabled must stay within 3% of baseline)"
+# The tracer is off by default and claims to be zero-cost when disabled:
+# hold the fresh micro numbers to within 3% (geometric mean over shared
+# benchmarks) of the committed BENCH_micro.json baseline.
+if command -v python3 >/dev/null 2>&1; then
+  base=/tmp/nezha_micro_baseline.json
+  if git show HEAD:BENCH_micro.json >"$base" 2>/dev/null; then
+    python3 - "$base" BENCH_micro.json <<'PY'
+import json, math, sys
+base = json.load(open(sys.argv[1]))["experiments"]["micro"]["ns_per_op"]
+cur = json.load(open(sys.argv[2]))["experiments"]["micro"]["ns_per_op"]
+shared = sorted(set(base) & set(cur))
+assert shared, "no shared benchmarks between baseline and current run"
+ratios = {k: cur[k] / base[k] for k in shared if base[k] > 0.0}
+geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+for k in sorted(ratios, key=ratios.get, reverse=True)[:3]:
+    print("  %-20s %8.1f -> %8.1f ns/op (%.3fx)" % (k, base[k], cur[k], ratios[k]))
+assert geomean <= 1.03, "tracing-disabled overhead: geomean %.3fx > 1.03x" % geomean
+print("ok: geomean %.3fx over %d benchmarks (gate: <= 1.03x)" % (geomean, len(ratios)))
+PY
+  else
+    echo "no committed BENCH_micro.json baseline (first run?); skipping"
+  fi
+else
+  echo "python3 not found; skipping overhead gate"
+fi
+
 echo "== chaos smoke (0.5% underlay loss + crash + partition)"
 # --check exits non-zero unless the run recovered (end-window loss <= 1%)
 # and the BE tracker conservation invariant held, so this gate works even

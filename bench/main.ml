@@ -75,6 +75,26 @@ let fig12 () =
         r.Experiments.lost_with)
     (Experiments.fig12 ())
 
+(* fig12 --attribute: the same probe, with the flight recorder on and the
+   percentiles split into local vs remote-hop components (rank-based, so
+   local + remote = e2e by the conservation invariant). *)
+let fig12_attr () =
+  banner
+    "Fig. 12 --attribute — P50/P99 latency split into local vs remote-hop components (local + remote = e2e)";
+  note "%6s  %-8s  %7s  %28s  %28s" "load" "variant" "traces"
+    "P50 e2e = local + remote (us)" "P99 e2e = local + remote (us)";
+  let line load variant (s : Experiments.latency_split) =
+    note "%6.2f  %-8s  %7d  %9.1f = %7.1f + %6.1f  %9.1f = %7.1f + %6.1f" load variant
+      s.Experiments.traces s.Experiments.p50_us s.Experiments.p50_local_us
+      s.Experiments.p50_remote_us s.Experiments.p99_us s.Experiments.p99_local_us
+      s.Experiments.p99_remote_us
+  in
+  List.iter
+    (fun r ->
+      line r.Experiments.attr_load "w/o" r.Experiments.without_nezha;
+      line r.Experiments.attr_load "w/" r.Experiments.with_nezha)
+    (Experiments.fig12_attribute ())
+
 let table3 () =
   banner
     "Table 3 — middlebox gains (paper: CPS 4x/4.4x/3x; #vNICs >40x; #flows 5.04x/50.4x/15.3x)";
@@ -471,16 +491,7 @@ let json_summary_us h =
 
 let json_fig9 () =
   let rows =
-    List.map
-      (fun r ->
-        Json.Obj
-          [
-            ("fes", Json.Int r.Experiments.fes);
-            ("cps_gain", Json.Float r.Experiments.cps_gain);
-            ("flows_gain", Json.Float r.Experiments.flows_gain);
-            ("vnics_gain", Json.Float r.Experiments.vnics_gain);
-          ])
-      (Experiments.fig9 ~fes_list:[ 1; 2; 3; 4; 6; 8 ] ())
+    List.map Experiments.json_of_fig9_row (Experiments.fig9 ~fes_list:[ 1; 2; 3; 4; 6; 8 ] ())
   in
   let without, with_ = Experiments.fig9_latency () in
   Json.Obj
@@ -572,7 +583,23 @@ let () =
     | a :: rest -> extract_json (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
+  let rec extract_attribute acc = function
+    | "--attribute" :: rest -> (true, List.rev_append acc rest)
+    | a :: rest -> extract_attribute (a :: acc) rest
+    | [] -> (false, List.rev acc)
+  in
   let json_path, args = extract_json [] args in
+  let attribute, args = extract_attribute [] args in
+  (* --attribute swaps fig12 for its critical-path-split variant. *)
+  let experiments =
+    if attribute then
+      List.map (fun (n, f) -> if n = "fig12" then (n, fig12_attr) else (n, f)) experiments
+    else experiments
+  in
+  if attribute && not (List.mem "fig12" args) then begin
+    Printf.eprintf "--attribute only applies to fig12 (run: main.exe fig12 --attribute)\n";
+    exit 1
+  end;
   match (json_path, args) with
   | Some path, names -> run_json ~path names
   | None, [ "--list" ] -> List.iter (fun (name, _) -> print_endline name) experiments

@@ -197,9 +197,15 @@ let pcap_cmd =
     Term.(const run $ seed_arg $ out_arg)
 
 let trace_cmd =
-  let run seed =
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also record the journey with the flight recorder and write it as \
+                 Chrome trace-event JSON (load in chrome://tracing or Perfetto) to $(docv).")
+  in
+  let run seed json =
     let t = Testbed.create ~seed () in
     let o = Testbed.offload t () in
+    Trace.set_enabled t.Testbed.trace true;
     let topo = Nezha_fabric.Fabric.topology t.Testbed.fabric in
     let name_of addr =
       match Nezha_fabric.Topology.server_of_ip topo addr with
@@ -282,11 +288,39 @@ let trace_cmd =
     Nezha_engine.Sim.run t.Testbed.sim ~until:(Nezha_engine.Sim.now t.Testbed.sim +. 1.0);
     say "";
     say "Every hop between client and VM detours once through an FE: RX packets";
-    say "pick up pre-actions there; TX packets carry the BE's state to be finalized."
+    say "pick up pre-actions there; TX packets carry the BE's state to be finalized.";
+    match json with
+    | None -> ()
+    | Some path ->
+      let tr = t.Testbed.trace in
+      Trace.set_enabled tr false;
+      let doc = Trace.to_chrome_json tr in
+      let text = Json.to_string_pretty doc in
+      (* Self-check: the exported document must round-trip through the
+         in-tree parser unchanged. *)
+      (match Json.of_string text with
+      | Ok reread when Json.equal reread doc -> ()
+      | Ok _ -> failwith "trace --json self-check: document changed across a round-trip"
+      | Error e -> failwith ("trace --json self-check: written JSON does not parse: " ^ e));
+      (try
+         let oc = open_out path in
+         output_string oc text;
+         output_string oc "\n";
+         close_out oc
+       with Sys_error e ->
+         Printf.eprintf "nezha_sim: cannot write %s: %s\n" path e;
+         exit 1);
+      say "";
+      say "wrote %d spans over %d traces (Chrome trace-event JSON) to %s"
+        (Trace.span_count tr)
+        (List.length (Trace.trace_ids tr))
+        path
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print a single connection's hop-by-hop journey across the BE/FE split.")
-    Term.(const run $ seed_arg)
+    (Cmd.info "trace"
+       ~doc:"Print a single connection's hop-by-hop journey across the BE/FE split \
+             (optionally exporting the flight recorder as Chrome trace-event JSON).")
+    Term.(const run $ seed_arg $ json_arg)
 
 let chaos_cmd =
   let loss_arg =
@@ -337,46 +371,21 @@ let chaos_cmd =
     (match json with
     | None -> ()
     | Some path ->
+      (* The run's input parameters, then the shared result encoding: the
+         nezha-chaos/1 schema is the concatenation of the two. *)
+      let inputs =
+        [
+          ("schema", Json.String "nezha-chaos/1");
+          ("seed", Json.Int seed);
+          ("loss", Json.Float loss);
+          ("partition", Json.Bool (not no_partition));
+          ("duration", Json.Float duration);
+        ]
+      in
       let j =
-        Json.Obj
-          [
-            ("schema", Json.String "nezha-chaos/1");
-            ("seed", Json.Int seed);
-            ("loss", Json.Float loss);
-            ("partition", Json.Bool (not no_partition));
-            ("duration", Json.Float duration);
-            ("offered", Json.Int r.Experiments.offered);
-            ("established", Json.Int r.Experiments.established);
-            ("completed", Json.Int r.Experiments.completed);
-            ("tracked", Json.Int r.Experiments.tracked);
-            ("acked", Json.Int r.Experiments.acked);
-            ("timeouts", Json.Int r.Experiments.timeouts);
-            ("retx", Json.Int r.Experiments.retx);
-            ("resteered", Json.Int r.Experiments.resteered);
-            ("local_fallbacks", Json.Int r.Experiments.local_fallbacks);
-            ("local_bypass", Json.Int r.Experiments.local_bypass);
-            ("dropped", Json.Int r.Experiments.dropped);
-            ("untracked", Json.Int r.Experiments.untracked);
-            ("outstanding_end", Json.Int r.Experiments.outstanding_end);
-            ("injected_drops", Json.Int r.Experiments.injected_drops);
-            ("partition_drops", Json.Int r.Experiments.partition_drops);
-            ("mass_suspected", Json.Int r.Experiments.mass_suspected);
-            ("fe_failures_declared", Json.Int r.Experiments.fe_failures_declared);
-            ("end_loss", Json.Float r.Experiments.end_loss);
-            ("recovered", Json.Bool r.Experiments.recovered);
-            ("conservation_ok", Json.Bool r.Experiments.conservation_ok);
-            ( "samples",
-              Json.List
-                (List.map
-                   (fun s ->
-                     Json.Obj
-                       [
-                         ("t", Json.Float s.Experiments.at);
-                         ("loss", Json.Float s.Experiments.loss);
-                         ("outstanding", Json.Int s.Experiments.outstanding);
-                       ])
-                   r.Experiments.samples) );
-          ]
+        match Experiments.json_of_chaos_result r with
+        | Json.Obj fields -> Json.Obj (inputs @ fields)
+        | other -> Json.Obj (inputs @ [ ("result", other) ])
       in
       (try
          let oc = open_out path in

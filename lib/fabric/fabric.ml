@@ -1,6 +1,7 @@
 open Nezha_engine
 open Nezha_net
 open Nezha_vswitch
+module Trace = Nezha_telemetry.Trace
 
 type drop_reason = No_vxlan | No_such_server | No_vswitch | Fault_injected
 
@@ -17,6 +18,7 @@ type t = {
   mutable lost_fault : int;
   mutable faults : Faults.t option;
   mutable tap : (time:float -> Packet.t -> unit) option;
+  mutable tracer : Trace.t option;
 }
 
 let count_lost t = function
@@ -25,21 +27,60 @@ let count_lost t = function
   | No_vswitch -> t.lost_no_vswitch <- t.lost_no_vswitch + 1
   | Fault_injected -> t.lost_fault <- t.lost_fault + 1
 
+let ep_name = function
+  | Faults.Gateway -> "gw"
+  | Faults.Server sid -> "s" ^ string_of_int sid
+
+(* Wire transits are the only place underlay time passes, so each
+   surviving hop emits one [Wire] span covering schedule-to-delivery —
+   fault-injected extra delay included.  A hop still carrying NSH
+   metadata exists only because of load sharing (the BE↔FE legs), so it
+   is attributed [Remote]. *)
+let trace_wire t ~src ~dst ~dur pkt =
+  match t.tracer with
+  | Some tr when pkt.Packet.trace_id <> 0 ->
+    let now = Sim.now t.sim in
+    let site = if pkt.Packet.nsh <> None then Trace.Remote else Trace.Local in
+    Trace.add_span tr ~id:pkt.Packet.trace_id ~name:"wire" ~component:"fabric"
+      ~kind:Trace.Wire ~site
+      ~args:[ ("src", ep_name src); ("dst", ep_name dst) ]
+      ~t0:now ~t1:(now +. dur) ()
+  | Some _ | None -> ()
+
+let trace_fault_drop t ~src ~dst pkt =
+  match t.tracer with
+  | Some tr when pkt.Packet.trace_id <> 0 ->
+    Trace.mark tr ~id:pkt.Packet.trace_id ~name:"fault_drop" ~component:"fabric"
+      ~args:[ ("src", ep_name src); ("dst", ep_name dst) ]
+      ~now:(Sim.now t.sim) ()
+  | Some _ | None -> ()
+
 (* One traversal of the [src -> dst] hop: consult the impairment plane,
    then schedule [deliver] on the surviving packet(s).  Duplication
    delivers a fresh copy — downstream processing mutates packets in
-   place, so the twin must not alias the original. *)
+   place, so the twin must not alias the original.  The twin also leaves
+   the trace: keeping it would double-count every stage downstream of
+   the duplication against the one measured end-to-end interval. *)
 let transit t ~src ~dst ~delay pkt deliver =
   match t.faults with
-  | None -> ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
+  | None ->
+    trace_wire t ~src ~dst ~dur:delay pkt;
+    ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
   | Some f -> (
     match Faults.consult f ~src ~dst with
-    | Faults.Drop -> count_lost t Fault_injected
-    | Faults.Pass -> ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
+    | Faults.Drop ->
+      trace_fault_drop t ~src ~dst pkt;
+      count_lost t Fault_injected
+    | Faults.Pass ->
+      trace_wire t ~src ~dst ~dur:delay pkt;
+      ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
     | Faults.Delay extra ->
+      trace_wire t ~src ~dst ~dur:(delay +. extra) pkt;
       ignore (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ -> deliver pkt) : Sim.handle)
     | Faults.Duplicate extra ->
       let twin = Packet.copy pkt in
+      twin.Packet.trace_id <- 0;
+      trace_wire t ~src ~dst ~dur:delay pkt;
       ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle);
       ignore
         (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ -> deliver twin) : Sim.handle))
@@ -64,6 +105,7 @@ let create ~sim ~topology =
       lost_fault = 0;
       faults = None;
       tap = None;
+      tracer = None;
     }
   in
   Gateway.set_forward t.gateway (fun ~dst pkt ->
@@ -81,6 +123,12 @@ let gateway t = t.gateway
 
 let set_faults t f = t.faults <- f
 let faults t = t.faults
+
+(* Installing a tracer here covers the underlay only; the caller is
+   expected to install the same recorder on every vSwitch and VM so the
+   stage spans tile (see Testbed). *)
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
 
 let deliver_to_server t ~src pkt =
   (match t.tap with Some tap -> tap ~time:(Sim.now t.sim) pkt | None -> ());

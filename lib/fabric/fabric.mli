@@ -24,6 +24,15 @@ val set_faults : t -> Faults.t option -> unit
 
 val faults : t -> Faults.t option
 
+val set_tracer : t -> Nezha_telemetry.Trace.t option -> unit
+(** Attach the flight recorder: each surviving hop of a traced packet
+    emits a [Wire] span (fault-injected extra delay included, NSH hops
+    classified remote), fault drops leave a mark, and a duplicated
+    twin is taken off the trace so downstream stages are not counted
+    twice. *)
+
+val tracer : t -> Nezha_telemetry.Trace.t option
+
 val add_server : t -> Topology.server_id -> params:Params.t -> Vswitch.t
 (** Create a vSwitch on the server, install its transmit path, and
     register it for delivery.  @raise Invalid_argument if the server

@@ -1,5 +1,6 @@
 open Nezha_engine
 open Nezha_net
+module Trace = Nezha_telemetry.Trace
 
 type kernel = {
   per_core_hz : float;
@@ -33,6 +34,7 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable accepted : int;
+  mutable tracer : Trace.t option;
 }
 
 let saturating_cores ~vcpus ~contention =
@@ -58,6 +60,7 @@ let create ~sim ~name ~vcpus ?(kernel = default_kernel) () =
     delivered = 0;
     dropped = 0;
     accepted = 0;
+    tracer = None;
   }
 
 let name t = t.name
@@ -68,8 +71,17 @@ let max_cps t = t.effective_hz /. float_of_int t.kernel.connection_cycles
 
 let set_app t f = t.app <- f
 
+let set_tracer t tr = t.tracer <- tr
+
 let deliver t pkt =
-  if t.queued >= t.kernel.backlog then t.dropped <- t.dropped + 1
+  if t.queued >= t.kernel.backlog then begin
+    t.dropped <- t.dropped + 1;
+    match t.tracer with
+    | Some tr when pkt.Packet.trace_id <> 0 ->
+      Trace.mark tr ~id:pkt.Packet.trace_id ~name:"vm_backlog_drop"
+        ~component:("vm/" ^ t.name) ~now:(Sim.now t.sim) ()
+    | Some _ | None -> ()
+  end
   else begin
     let is_new_conn = pkt.Packet.flags.Packet.syn in
     let cycles =
@@ -81,11 +93,22 @@ let deliver t pkt =
     t.busy_until <- start +. dur;
     t.busy_acc <- t.busy_acc +. dur;
     t.queued <- t.queued + 1;
+    (* The kernel stage covers queue wait + processing: arrival to app
+       invocation — where the trace ends (the packet reached its VM). *)
+    (match t.tracer with
+    | Some tr when pkt.Packet.trace_id <> 0 ->
+      Trace.add_span tr ~id:pkt.Packet.trace_id ~name:"vm_kernel"
+        ~component:("vm/" ^ t.name) ~t0:now ~t1:t.busy_until ()
+    | Some _ | None -> ());
     ignore
       (Sim.at t.sim ~time:t.busy_until (fun sim ->
            t.queued <- t.queued - 1;
            t.delivered <- t.delivered + 1;
            if is_new_conn then t.accepted <- t.accepted + 1;
+           (match t.tracer with
+           | Some tr when pkt.Packet.trace_id <> 0 ->
+             Trace.end_trace tr ~id:pkt.Packet.trace_id ~now:(Sim.now sim)
+           | Some _ | None -> ());
            t.app sim pkt)
         : Sim.handle)
   end

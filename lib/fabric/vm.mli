@@ -41,6 +41,12 @@ val max_cps : t -> float
 val set_app : t -> (Sim.t -> Packet.t -> unit) -> unit
 (** The application handler, invoked after the kernel admits a packet. *)
 
+val set_tracer : t -> Nezha_telemetry.Trace.t option -> unit
+(** Attach the flight recorder: traced packets get a [vm_kernel] stage
+    span (arrival to app invocation) and their trace is closed when the
+    application handler runs — the VM is where a packet's journey, and
+    the latency a probe measures, ends. *)
+
 val deliver : t -> Packet.t -> unit
 (** A packet arrived from the vNIC.  Charged against the kernel; dropped
     with an overload count when the backlog is full. *)

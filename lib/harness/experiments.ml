@@ -5,6 +5,8 @@ open Nezha_fabric
 open Nezha_core
 open Nezha_baselines
 open Nezha_workloads
+module Json = Nezha_telemetry.Json
+module Trace = Nezha_telemetry.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 9 *)
@@ -201,9 +203,21 @@ type fig12_row = {
   lost_with : float;
 }
 
-(* A single-flow UDP latency probe. *)
-let latency_probe t ~rate ~warmup ~measure =
+(* A single-flow UDP latency probe.  With [attribute] the testbed's
+   flight recorder is switched on for exactly the measurement window
+   (1-in-8 sampling keeps the ring from wrapping at the highest probe
+   rates) and the completed, conserved traces come back alongside the
+   latency summary. *)
+let latency_probe ?(attribute = false) t ~rate ~warmup ~measure =
   let sim = t.Testbed.sim in
+  let tr = t.Testbed.trace in
+  if attribute then begin
+    Trace.set_sample_every tr 8;
+    ignore (Sim.at sim ~time:warmup (fun _ -> Trace.set_enabled tr true) : Sim.handle);
+    ignore
+      (Sim.at sim ~time:(warmup +. measure) (fun _ -> Trace.set_enabled tr false)
+        : Sim.handle)
+  end;
   let flow =
     Five_tuple.make ~src:t.Testbed.clients.(0).Tcp_crr.ip ~dst:Testbed.heavy_ip ~src_port:9999
       ~dst_port:7777 ~proto:Five_tuple.Udp
@@ -241,7 +255,22 @@ let latency_probe t ~rate ~warmup ~measure =
   let loss =
     if !sent = 0 then 0.0 else 1.0 -. (float_of_int !received /. float_of_int !sent)
   in
-  (Stats.Histogram.percentile lat 50.0, loss)
+  let attrs =
+    if not attribute then []
+    else
+      (* Keep only traces whose stage/wire spans still tile the measured
+         end-to-end interval: a trace whose spans were overwritten by the
+         ring (or that genuinely lost time, e.g. a spurious ack-loss
+         retransmission) would mis-attribute. *)
+      List.filter_map
+        (fun id ->
+          match Trace.attribute tr ~id with
+          | Some a when Float.abs a.Trace.residual <= 1e-9 +. (1e-6 *. a.Trace.e2e) ->
+            Some a
+          | _ -> None)
+        (Trace.completed_ids tr)
+  in
+  (Stats.Histogram.percentile lat 50.0, loss, attrs)
 
 (* The probe flow itself drives the load; run each point on a fresh
    testbed with a 4x-slower CPU so packet rates stay simulable. *)
@@ -262,7 +291,8 @@ let fig12 ?(seed = 1) ?(loads = [ 0.1; 0.3; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0; 1.1 ])
       let rate = load *. fig12_capacity_pps in
       let without =
         let t = Testbed.create ~seed ~params:fig12_params () in
-        latency_probe t ~rate ~warmup:3.0 ~measure:0.8
+        let p50, loss, _ = latency_probe t ~rate ~warmup:3.0 ~measure:0.8 in
+        (p50, loss)
       in
       let with_ =
         let config =
@@ -275,7 +305,8 @@ let fig12 ?(seed = 1) ?(loads = [ 0.1; 0.3; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0; 1.1 ])
         in
         let t = Testbed.create ~seed ~params:fig12_params ~controller_config:config () in
         Controller.start t.Testbed.ctl;
-        latency_probe t ~rate ~warmup:3.0 ~measure:0.8
+        let p50, loss, _ = latency_probe t ~rate ~warmup:3.0 ~measure:0.8 in
+        (p50, loss)
       in
       {
         load;
@@ -284,6 +315,87 @@ let fig12 ?(seed = 1) ?(loads = [ 0.1; 0.3; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0; 1.1 ])
         lost_without = snd without;
         lost_with = snd with_;
       })
+    loads
+
+(* Fig. 12, --attribute mode: the same probe with the flight recorder on,
+   splitting the P50/P99 latency into local work and remote-hop (FE
+   processing + NSH-leg wire) components.  The split is rank-based: we
+   report the local/remote breakdown of *the* trace sitting at the P50
+   (P99) rank of the end-to-end distribution, so the two components sum
+   to the reported percentile exactly (conservation invariant). *)
+
+type latency_split = {
+  traces : int;
+  p50_us : float;
+  p50_local_us : float;
+  p50_remote_us : float;
+  p99_us : float;
+  p99_local_us : float;
+  p99_remote_us : float;
+}
+
+type fig12_attr_row = {
+  attr_load : float;
+  without_nezha : latency_split;
+  with_nezha : latency_split;
+}
+
+let split_of_attrs attrs =
+  match attrs with
+  | [] ->
+    {
+      traces = 0;
+      p50_us = 0.0;
+      p50_local_us = 0.0;
+      p50_remote_us = 0.0;
+      p99_us = 0.0;
+      p99_local_us = 0.0;
+      p99_remote_us = 0.0;
+    }
+  | _ ->
+    let arr = Array.of_list attrs in
+    Array.sort (fun a b -> compare a.Trace.e2e b.Trace.e2e) arr;
+    let n = Array.length arr in
+    let at pct =
+      let i = int_of_float (ceil (pct /. 100.0 *. float_of_int n)) - 1 in
+      arr.(max 0 (min (n - 1) i))
+    in
+    let p50 = at 50.0 and p99 = at 99.0 in
+    {
+      traces = n;
+      p50_us = p50.Trace.e2e *. 1e6;
+      p50_local_us = p50.Trace.local_s *. 1e6;
+      p50_remote_us = p50.Trace.remote_s *. 1e6;
+      p99_us = p99.Trace.e2e *. 1e6;
+      p99_local_us = p99.Trace.local_s *. 1e6;
+      p99_remote_us = p99.Trace.remote_s *. 1e6;
+    }
+
+let fig12_attribute ?(seed = 1) ?(loads = [ 0.3; 0.7; 1.0 ]) () =
+  List.map
+    (fun load ->
+      let rate = load *. fig12_capacity_pps in
+      let probe t = latency_probe ~attribute:true t ~rate ~warmup:3.0 ~measure:0.8 in
+      let without_nezha =
+        let t = Testbed.create ~seed ~params:fig12_params () in
+        let _, _, attrs = probe t in
+        split_of_attrs attrs
+      in
+      let with_nezha =
+        let config =
+          {
+            Controller.default_config with
+            Controller.auto_offload = true;
+            auto_scale = false;
+            report_interval = 1.0;
+          }
+        in
+        let t = Testbed.create ~seed ~params:fig12_params ~controller_config:config () in
+        Controller.start t.Testbed.ctl;
+        let _, _, attrs = probe t in
+        split_of_attrs attrs
+      in
+      { attr_load = load; without_nezha; with_nezha })
     loads
 
 (* ------------------------------------------------------------------ *)
@@ -816,3 +928,158 @@ let ablation_notify_rate ?(seed = 1) () =
       (Topology.servers (Fabric.topology t.Testbed.fabric))
   in
   if packets = 0 then 0.0 else float_of_int notify /. float_of_int packets
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoders: one [json_of_*] per result record, so every consumer
+   (bench --json, the nezha_sim subcommands) shares a single schema
+   instead of hand-rolling objects that can drift apart. *)
+
+let json_of_fig9_row (r : fig9_row) =
+  Json.Obj
+    [
+      ("fes", Json.Int r.fes);
+      ("cps_gain", Json.Float r.cps_gain);
+      ("flows_gain", Json.Float r.flows_gain);
+      ("vnics_gain", Json.Float r.vnics_gain);
+    ]
+
+let json_of_fig10_row (r : fig10_row) =
+  Json.Obj
+    [
+      ("vcpus", Json.Int r.vcpus);
+      ("cps_without", Json.Float r.cps_without);
+      ("cps_with", Json.Float r.cps_with);
+    ]
+
+let json_of_fig11_point (p : fig11_point) =
+  Json.Obj
+    [
+      ("t", Json.Float p.t);
+      ("cps", Json.Float p.cps);
+      ("be_cpu", Json.Float p.be_cpu);
+      ("fe_cpu", Json.Float p.fe_cpu);
+      ("n_fes", Json.Int p.n_fes);
+    ]
+
+let json_of_fig12_row (r : fig12_row) =
+  Json.Obj
+    [
+      ("load", Json.Float r.load);
+      ("lat_without_us", Json.Float r.lat_without_us);
+      ("lat_with_us", Json.Float r.lat_with_us);
+      ("lost_without", Json.Float r.lost_without);
+      ("lost_with", Json.Float r.lost_with);
+    ]
+
+let json_of_latency_split (s : latency_split) =
+  Json.Obj
+    [
+      ("traces", Json.Int s.traces);
+      ("p50_us", Json.Float s.p50_us);
+      ("p50_local_us", Json.Float s.p50_local_us);
+      ("p50_remote_us", Json.Float s.p50_remote_us);
+      ("p99_us", Json.Float s.p99_us);
+      ("p99_local_us", Json.Float s.p99_local_us);
+      ("p99_remote_us", Json.Float s.p99_remote_us);
+    ]
+
+let json_of_fig12_attr_row (r : fig12_attr_row) =
+  Json.Obj
+    [
+      ("load", Json.Float r.attr_load);
+      ("without", json_of_latency_split r.without_nezha);
+      ("with", json_of_latency_split r.with_nezha);
+    ]
+
+let json_of_table3_row (r : table3_row) =
+  Json.Obj
+    [
+      ("middlebox", Json.String (Middlebox.to_string r.kind));
+      ("cps_gain", Json.Float r.cps_gain);
+      ("vnics_gain", Json.Float r.vnics_gain);
+      ("flows_gain", Json.Float r.flows_gain);
+    ]
+
+let json_of_chaos_sample (s : chaos_sample) =
+  Json.Obj
+    [
+      ("t", Json.Float s.at);
+      ("loss", Json.Float s.loss);
+      ("outstanding", Json.Int s.outstanding);
+    ]
+
+let json_of_chaos_result (r : chaos_result) =
+  Json.Obj
+    [
+      ("offered", Json.Int r.offered);
+      ("established", Json.Int r.established);
+      ("completed", Json.Int r.completed);
+      ("tracked", Json.Int r.tracked);
+      ("acked", Json.Int r.acked);
+      ("timeouts", Json.Int r.timeouts);
+      ("retx", Json.Int r.retx);
+      ("resteered", Json.Int r.resteered);
+      ("local_fallbacks", Json.Int r.local_fallbacks);
+      ("local_bypass", Json.Int r.local_bypass);
+      ("dropped", Json.Int r.dropped);
+      ("untracked", Json.Int r.untracked);
+      ("outstanding_end", Json.Int r.outstanding_end);
+      ("injected_drops", Json.Int r.injected_drops);
+      ("partition_drops", Json.Int r.partition_drops);
+      ("mass_suspected", Json.Int r.mass_suspected);
+      ("fe_failures_declared", Json.Int r.fe_failures_declared);
+      ("end_loss", Json.Float r.end_loss);
+      ("recovered", Json.Bool r.recovered);
+      ("conservation_ok", Json.Bool r.conservation_ok);
+      ("samples", Json.List (List.map json_of_chaos_sample r.samples));
+    ]
+
+let json_of_appB2_result (r : appB2_result) =
+  Json.Obj
+    [
+      ("offload_events", Json.Int r.offload_events);
+      ("fes_provisioned", Json.Int r.fes_provisioned);
+      ("scale_out_events", Json.Int r.scale_out_events);
+      ("scale_out_ratio", Json.Float r.scale_out_ratio);
+    ]
+
+let json_of_sirius_vs_nezha (r : sirius_vs_nezha) =
+  Json.Obj
+    [
+      ("nezha_cps", Json.Float r.nezha_cps);
+      ("sirius_cps", Json.Float r.sirius_cps);
+      ("sirius_pingpongs", Json.Int r.sirius_pingpongs);
+      ("nezha_notify", Json.Int r.nezha_notify);
+    ]
+
+let json_of_lb_ablation (r : lb_ablation) =
+  Json.Obj
+    [
+      ("mode", Json.String r.mode);
+      ("fe_rule_lookups", Json.Int r.fe_rule_lookups);
+      ("fe_cached_flows", Json.Int r.fe_cached_flows);
+      ("cps", Json.Float r.cps);
+    ]
+
+let json_of_state_size_ablation (r : state_size_ablation) =
+  Json.Obj
+    [
+      ("slot_bytes", Json.Int r.slot_bytes);
+      ("flows_supported", Json.Int r.flows_supported);
+    ]
+
+let json_of_failover_retx (r : failover_retx) =
+  Json.Obj
+    [
+      ("failed_without_retx", Json.Int r.failed_without_retx);
+      ("failed_with_retx", Json.Int r.failed_with_retx);
+      ("retransmissions", Json.Int r.retransmissions);
+      ("completed_with_retx", Json.Int r.completed_with_retx);
+    ]
+
+let json_of_locality_row (r : locality_row) =
+  Json.Obj
+    [
+      ("placement", Json.String r.placement);
+      ("p50_latency_us", Json.Float r.p50_latency_us);
+    ]

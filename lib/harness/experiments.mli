@@ -58,6 +58,33 @@ type fig12_row = {
 
 val fig12 : ?seed:int -> ?loads:float list -> unit -> fig12_row list
 
+(** {1 Fig. 12, [--attribute] mode — latency split by critical path} *)
+
+type latency_split = {
+  traces : int;  (** completed, conserved traces behind the split *)
+  p50_us : float;  (** end-to-end latency of the trace at the P50 rank *)
+  p50_local_us : float;  (** its local component (BE work, non-NSH wire) *)
+  p50_remote_us : float;  (** its remote-hop component (FE work, NSH legs) *)
+  p99_us : float;
+  p99_local_us : float;
+  p99_remote_us : float;
+}
+(** A rank-based split: the breakdown reported for P50 (P99) is the
+    local/remote attribution of {e the} trace sitting at that rank of
+    the end-to-end distribution, so by the conservation invariant the
+    two components sum to the reported percentile exactly. *)
+
+type fig12_attr_row = {
+  attr_load : float;
+  without_nezha : latency_split;  (** remote ≈ 0: no FE on the path *)
+  with_nezha : latency_split;
+}
+
+val fig12_attribute : ?seed:int -> ?loads:float list -> unit -> fig12_attr_row list
+(** The Fig. 12 probe with the testbed's flight recorder enabled for the
+    measurement window (1-in-8 sampling).  Defaults sweep 0.3, 0.7, 1.0
+    of local capacity. *)
+
 (** {1 Table 3 — middlebox gains} *)
 
 type table3_row = {
@@ -207,3 +234,29 @@ type locality_row = { placement : string; p50_latency_us : float }
 val ablation_fe_locality : ?seed:int -> unit -> locality_row list
 (** App. B.1: FE selection prefers the BE's ToR.  Compares connection
     latency with same-rack FEs against FEs forced into a distant rack. *)
+
+(** {1 JSON encoders}
+
+    One [json_of_*] per result record (via {!Nezha_telemetry.Json}), so
+    the bench's [--json] document and the [nezha_sim] subcommands share
+    a single schema instead of hand-rolling objects. *)
+
+val json_of_fig9_row : fig9_row -> Nezha_telemetry.Json.t
+val json_of_fig10_row : fig10_row -> Nezha_telemetry.Json.t
+val json_of_fig11_point : fig11_point -> Nezha_telemetry.Json.t
+val json_of_fig12_row : fig12_row -> Nezha_telemetry.Json.t
+val json_of_latency_split : latency_split -> Nezha_telemetry.Json.t
+val json_of_fig12_attr_row : fig12_attr_row -> Nezha_telemetry.Json.t
+val json_of_table3_row : table3_row -> Nezha_telemetry.Json.t
+val json_of_chaos_sample : chaos_sample -> Nezha_telemetry.Json.t
+
+val json_of_chaos_result : chaos_result -> Nezha_telemetry.Json.t
+(** The result fields of the [nezha-chaos/1] schema ([samples] included);
+    the [chaos] subcommand prepends the run's input parameters. *)
+
+val json_of_appB2_result : appB2_result -> Nezha_telemetry.Json.t
+val json_of_sirius_vs_nezha : sirius_vs_nezha -> Nezha_telemetry.Json.t
+val json_of_lb_ablation : lb_ablation -> Nezha_telemetry.Json.t
+val json_of_state_size_ablation : state_size_ablation -> Nezha_telemetry.Json.t
+val json_of_failover_retx : failover_retx -> Nezha_telemetry.Json.t
+val json_of_locality_row : locality_row -> Nezha_telemetry.Json.t

@@ -17,6 +17,7 @@ type t = {
   server : Tcp_crr.endpoint;
   clients : Tcp_crr.endpoint array;
   telemetry : Nezha_telemetry.Telemetry.t;
+  trace : Nezha_telemetry.Trace.t;
 }
 
 (* The VM kernel at 1/100 CPU scale (like Params.scaled).  With 64 vCPUs
@@ -67,6 +68,11 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
      rest of the testbed evolves its split order. *)
   let faults = Faults.create ~sim ~topology:topo ~rng:(Rng.create (seed + 0x6F41)) () in
   Fabric.set_faults fabric (Some faults);
+  (* One flight recorder shared by every component so stage and wire
+     spans land on the same traces.  Disabled until an experiment (or a
+     caller) flips it on — the datapaths then pay one [match] per site. *)
+  let trace = Nezha_telemetry.Trace.create () in
+  Fabric.set_tracer fabric (Some trace);
   let n = Topology.server_count topo in
   let clients = min clients servers_per_rack in
   let client_servers = List.init clients (fun i -> n - clients + i) in
@@ -80,7 +86,8 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
     (fun s ->
       if not (List.mem s reserve_servers) then begin
         let p = if List.mem s client_servers then client_params else params in
-        ignore (Fabric.add_server fabric s ~params:p : Vswitch.t)
+        let vs = Fabric.add_server fabric s ~params:p in
+        Vswitch.set_tracer vs (Some trace)
       end)
     (Topology.servers topo);
   let heavy_server = 0 in
@@ -102,6 +109,7 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
     (Vswitch.add_vnic heavy_vs heavy_vnic heavy_rs);
   let server_vm = Vm.create ~sim ~name:"heavy-vm" ~vcpus:server_vcpus ~kernel () in
   Fabric.attach_vm fabric heavy_server heavy_vnic.Vnic.id server_vm;
+  Vm.set_tracer server_vm (Some trace);
   Gateway.set_route (Fabric.gateway fabric)
     { Vnic.Addr.vpc; ip = heavy_ip }
     [| Topology.underlay_ip topo heavy_server |];
@@ -120,6 +128,7 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
              (Vswitch.add_vnic vs vnic rs);
            let vm = Vm.create ~sim ~name:(Printf.sprintf "client-%d" i) ~vcpus:64 () in
            Fabric.attach_vm fabric s vnic.Vnic.id vm;
+           Vm.set_tracer vm (Some trace);
            Gateway.set_route (Fabric.gateway fabric) { Vnic.Addr.vpc; ip = cip }
              [| Topology.underlay_ip topo s |];
            { Tcp_crr.vs; vnic = vnic.Vnic.id; vm; ip = cip })
@@ -160,6 +169,7 @@ let create ?(seed = 1) ?(racks = 5) ?(servers_per_rack = 8) ?(params = Params.sc
       { Tcp_crr.vs = heavy_vs; vnic = heavy_vnic.Vnic.id; vm = server_vm; ip = heavy_ip };
     clients = client_eps;
     telemetry;
+    trace;
   }
 
 let offload t ?num_fes () =

@@ -33,6 +33,11 @@ type t = {
   telemetry : Nezha_telemetry.Telemetry.t;
       (** every vSwitch, the controller and the monitor are registered;
           FEs and BEs self-register as the controller creates them *)
+  trace : Nezha_telemetry.Trace.t;
+      (** the shared flight recorder, installed on every vSwitch, the
+          fabric and every VM; created disabled — flip it on with
+          {!Nezha_telemetry.Trace.set_enabled} around the window of
+          interest *)
 }
 
 val scaled_kernel : Vm.kernel

@@ -49,6 +49,7 @@ type t = {
   payload_len : int;
   mutable vxlan : vxlan option;
   mutable nsh : nsh option;
+  mutable trace_id : int;
 }
 
 let uid_counter = ref 0
@@ -57,7 +58,17 @@ let reset_uid_counter () = uid_counter := 0
 
 let create ~vpc ~flow ~direction ?(flags = no_flags) ?(payload_len = 0) () =
   incr uid_counter;
-  { uid = !uid_counter; vpc; flow; direction; flags; payload_len; vxlan = None; nsh = None }
+  {
+    uid = !uid_counter;
+    vpc;
+    flow;
+    direction;
+    flags;
+    payload_len;
+    vxlan = None;
+    nsh = None;
+    trace_id = 0;
+  }
 
 (* A distinct packet with the same headers — fresh uid, fresh mutable
    cells, so a duplicated delivery can be processed independently. *)
@@ -190,6 +201,7 @@ let encode t =
     in
     opt_varint n.hop_seq;
     opt_varint n.hop_ack);
+  Wire.Writer.varint w t.trace_id;
   Wire.Writer.contents w
 
 let decode buf =
@@ -240,8 +252,9 @@ let decode buf =
             Some { carried_state; carried_pre_actions; notify; orig_outer_src; hop_seq; hop_ack }
           end
         in
+        let trace_id = Wire.Reader.varint r in
         let flow = Five_tuple.make ~src ~dst ~src_port ~dst_port ~proto in
-        Ok { uid; vpc; flow; direction; flags; payload_len; vxlan; nsh }
+        Ok { uid; vpc; flow; direction; flags; payload_len; vxlan; nsh; trace_id }
     end
   with
   | result -> result

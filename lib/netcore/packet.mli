@@ -51,6 +51,12 @@ type t = {
   payload_len : int;  (** tenant payload bytes *)
   mutable vxlan : vxlan option;
   mutable nsh : nsh option;
+  mutable trace_id : int;
+      (** distributed-tracing correlation id; [0] means untraced.  The id
+          travels with the packet across the BE↔FE hop (it is part of the
+          wire codec) and is preserved by {!copy}, so a retransmission
+          stays on the original trace.  Allocated by the tracing layer —
+          this module only carries it. *)
 }
 
 val create :

@@ -34,6 +34,7 @@ type pending = {
   mutable retries : int;
   mutable tried : Ipv4.t list;
   mutable timer : int Timer_wheel.timer option;
+  mutable sent_at : float;  (** when the last (re)transmission left, for tracing *)
 }
 
 type t = {
@@ -71,6 +72,16 @@ let fe_for t flow =
 let key_of pkt = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow
 
 let params t = Vswitch.params t.vs
+
+let trace_stage t pkt ~name ?args ~t0 () =
+  Vswitch.trace_span t.vs pkt ~name ~component:("be/" ^ Vswitch.name t.vs) ?args ~t0 ()
+
+(* The gap between the last (re)transmission and this timer (or teardown)
+   firing is latency the flow really experienced; account it as a stage so
+   a retransmitted trace still tiles its end-to-end interval. *)
+let note_wait t pd =
+  if Sim.now (Vswitch.sim t.vs) > pd.sent_at then
+    trace_stage t pd.clean ~name:"retx_wait" ~t0:pd.sent_at ()
 
 let is_suspect t fe =
   match Hashtbl.find_opt t.suspects fe with
@@ -138,6 +149,7 @@ let local_ruleset t =
    when no ruleset is available at all (true blackhole risk — the caller
    records the drop). *)
 let local_slow_path t pkt =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   match local_ruleset t with
   | None -> false
   | Some rs -> (
@@ -154,6 +166,7 @@ let local_slow_path t pkt =
         + p.Params.encap_cycles
       in
       Vswitch.charge t.vs ~cycles (fun _ ->
+          trace_stage t pkt ~name:"local_slow_path" ~t0 ();
           let verdict, _state_out =
             Nf.process ~pre ~state:None ~dir:Packet.Tx ~flags:pkt.Packet.flags
               ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
@@ -176,6 +189,7 @@ let local_slow_path t pkt =
    (or fallback) tables, combine with the session state, deliver to the
    VM — what an FE would have done for a bounced packet. *)
 let local_rx_slow_path t pkt =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   match local_ruleset t with
   | None -> false
   | Some rs -> (
@@ -192,6 +206,7 @@ let local_rx_slow_path t pkt =
       let key = key_of pkt in
       let cycles = cycles + Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt) in
       Vswitch.charge t.vs ~cycles (fun _ ->
+          trace_stage t pkt ~name:"local_rx_slow_path" ~t0 ();
           let prior =
             Option.bind (Vswitch.find_session t.vs t.vnic.Vnic.id key) (fun s ->
                 s.Vswitch.state)
@@ -220,9 +235,14 @@ let give_up t pd =
   end
 
 let resend t pd fe =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   let pkt = Packet.copy pd.clean in
   let p = params t in
-  Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
+  Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun sim ->
+      trace_stage t pkt ~name:"be_retx"
+        ~args:[ ("retries", string_of_int pd.retries) ]
+        ~t0 ();
+      pd.sent_at <- Sim.now sim;
       send_to_fe t pkt ~fe ~nsh:pd.nsh)
 
 let arm_timer t pd =
@@ -238,6 +258,7 @@ let on_timeout t seq =
   | None -> () (* acked since the wheel slot was written *)
   | Some pd ->
     Stats.Counter.incr t.counters.offload_timeouts;
+    note_wait t pd;
     bump_suspect t pd.last_fe;
     let p = params t in
     let tried = pd.last_fe :: pd.tried in
@@ -284,6 +305,7 @@ let handle_ack t nsh =
       Stats.Counter.incr t.counters.offload_acked)
 
 let handle_tx t pkt =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   let key = key_of pkt in
   let p = params t in
   let fresh = Vswitch.find_session t.vs t.vnic.Vnic.id key = None in
@@ -292,7 +314,8 @@ let handle_tx t pkt =
     + p.Params.split_fast_path_cycles + p.Params.encap_cycles
     + (if fresh then p.Params.state_init_cycles else 0)
   in
-  Vswitch.charge t.vs ~cycles (fun _sim ->
+  Vswitch.charge t.vs ~cycles (fun sim ->
+      trace_stage t pkt ~name:"be_tx" ~t0 ();
       let flags = pkt.Packet.flags and proto = pkt.Packet.flow.Five_tuple.proto in
       let st =
         match Vswitch.find_session t.vs t.vnic.Vnic.id key with
@@ -327,6 +350,7 @@ let handle_tx t pkt =
               retries = 0;
               tried = [];
               timer = None;
+              sent_at = Sim.now sim;
             }
           in
           Hashtbl.replace t.outstanding seq pd;
@@ -362,6 +386,7 @@ let handle_notify t pkt nsh =
       | Some (Error _) | None -> ())
 
 let handle_rx_with_pre t pkt nsh pre_blob =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   match Pre_action.decode pre_blob with
   | Error _ -> Vswitch.count_drop t.vs Nf.No_route
   | Ok pre ->
@@ -374,6 +399,7 @@ let handle_rx_with_pre t pkt nsh pre_blob =
       + if fresh then p.Params.state_init_cycles else 0
     in
     Vswitch.charge t.vs ~cycles (fun _sim ->
+        trace_stage t pkt ~name:"be_rx_finalize" ~t0 ();
         let prior = Option.bind (Vswitch.find_session t.vs t.vnic.Vnic.id key) (fun s -> s.Vswitch.state) in
         let verdict, out =
           Nf.process ~pre ~state:prior ~dir:Packet.Rx ~flags:pkt.Packet.flags
@@ -404,8 +430,10 @@ let handle_rx_bare t pkt =
       (* A sender with a stale vNIC-server entry reached us directly after
          the retention window: bounce the packet through an FE. *)
       Stats.Counter.incr t.counters.bounced;
+      let t0 = Sim.now (Vswitch.sim t.vs) in
       let p = params t in
       Vswitch.charge t.vs ~cycles:p.Params.encap_cycles (fun _ ->
+          trace_stage t pkt ~name:"be_bounce" ~t0 ();
           let fe = pick_fe t pkt.Packet.flow in
           Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs)
             ~outer_dst:fe;
@@ -493,6 +521,7 @@ let uninstall t =
   List.iter
     (fun pd ->
       (match pd.timer with Some tm -> Timer_wheel.cancel tm | None -> ());
+      note_wait t pd;
       give_up t pd)
     (List.sort (fun a b -> compare a.seq b.seq) pds)
 
@@ -560,8 +589,3 @@ let register_telemetry t reg =
       float_of_int (pinned_count t));
   T.register_gauge reg ~name:(prefix ^ "outstanding_offloads") (fun () ->
       float_of_int (outstanding t))
-
-let tx_via_fe t = Stats.Counter.value t.counters.tx_via_fe
-let rx_from_fe t = Stats.Counter.value t.counters.rx_from_fe
-let notify_received t = Stats.Counter.value t.counters.notify_received
-let bounced t = Stats.Counter.value t.counters.bounced

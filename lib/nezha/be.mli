@@ -114,21 +114,3 @@ val outstanding : t -> int
 val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
 (** Publish the counters (plus a pinned-flows gauge) under
     [be/<vswitch-name>/<vnic-id>/...]. *)
-
-(** {1 Deprecated getters}
-
-    Superseded by {!counters} and the telemetry registry; kept as thin
-    wrappers for existing callers. *)
-
-val tx_via_fe : t -> int
-  [@@deprecated "read (Be.counters t).tx_via_fe or be/<vs>/<vnic>/tx_via_fe"]
-
-val rx_from_fe : t -> int
-  [@@deprecated "read (Be.counters t).rx_from_fe or be/<vs>/<vnic>/rx_from_fe"]
-
-val notify_received : t -> int
-  [@@deprecated
-    "read (Be.counters t).notify_received or be/<vs>/<vnic>/notify_received"]
-
-val bounced : t -> int
-  [@@deprecated "read (Be.counters t).bounced or be/<vs>/<vnic>/bounced"]

@@ -13,10 +13,7 @@ type config = {
   min_fes : int;
   learning_interval : float;
   rtt : float;
-  rpc_latency : float;
-  rpc_timeout : float;
-  rpc_max_retries : int;
-  rpc_backoff : float;
+  rpc : Rpc_policy.t;
   push_bytes_per_s : float;
   ping_interval : float;
   ping_misses_to_fail : int;
@@ -39,10 +36,7 @@ let default_config =
     min_fes = 4;
     learning_interval = 0.2;
     rtt = 0.0005;
-    rpc_latency = 0.18;
-    rpc_timeout = 0.5;
-    rpc_max_retries = 4;
-    rpc_backoff = 2.0;
+    rpc = Rpc_policy.default;
     push_bytes_per_s = 200e6;
     ping_interval = 0.5;
     ping_misses_to_fail = 3;
@@ -132,9 +126,9 @@ let config t = t.cfg
 let fabric t = t.fabric
 let monitor t = t.monitor
 
-(* Control-plane RPC latency: median [rpc_latency] with a log-normal
+(* Control-plane RPC latency: median [rpc.latency] with a log-normal
    tail, which is what produces Table 4's P999/median spread. *)
-let rpc t = t.cfg.rpc_latency *. Rng.lognormal t.rng ~mu:0.0 ~sigma:0.6
+let rpc t = t.cfg.rpc.Rpc_policy.latency *. Rng.lognormal t.rng ~mu:0.0 ~sigma:0.6
 
 (* One controller→server RPC over the (possibly impaired) management
    path.  Delivery is decided by the fault plane; a lost attempt retries
@@ -154,15 +148,15 @@ let rpc_to t server k =
     t.rpc_attempts <- t.rpc_attempts + 1;
     if delivered () then
       ignore (Sim.schedule t.sim ~delay:(rpc t) (fun _ -> k true) : Sim.handle)
-    else if n >= t.cfg.rpc_max_retries then begin
+    else if n >= t.cfg.rpc.Rpc_policy.max_retries then begin
       t.rpc_failures <- t.rpc_failures + 1;
-      ignore (Sim.schedule t.sim ~delay:t.cfg.rpc_timeout (fun _ -> k false) : Sim.handle)
+      ignore
+        (Sim.schedule t.sim ~delay:t.cfg.rpc.Rpc_policy.timeout (fun _ -> k false)
+          : Sim.handle)
     end
     else begin
       t.rpc_retries <- t.rpc_retries + 1;
-      let backoff =
-        Float.min (t.cfg.rpc_timeout *. (t.cfg.rpc_backoff ** float_of_int n)) 5.0
-      in
+      let backoff = Rpc_policy.retry_delay t.cfg.rpc ~attempt:n in
       ignore (Sim.schedule t.sim ~delay:backoff (fun _ -> attempt (n + 1)) : Sim.handle)
     end
   in

@@ -25,12 +25,7 @@ type config = {
   min_fes : int;  (** failover floor, §4.4 *)
   learning_interval : float;  (** vNIC-server learning, 200 ms (§4.2.1) *)
   rtt : float;  (** in-flight retention slack *)
-  rpc_latency : float;  (** mean control-plane RPC latency *)
-  rpc_timeout : float;  (** declare an RPC attempt lost after this long *)
-  rpc_max_retries : int;  (** RPC retries before giving up on a server *)
-  rpc_backoff : float;
-      (** exponential backoff base: retry [n] waits
-          [rpc_timeout × rpc_backoff^n], capped at 5 s *)
+  rpc : Rpc_policy.t;  (** control-plane RPC latency/timeout/retry policy *)
   push_bytes_per_s : float;  (** rule-table push bandwidth to an FE *)
   ping_interval : float;
   ping_misses_to_fail : int;

@@ -41,6 +41,15 @@ let charge t ~cycles k =
 
 let key_of pkt = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow
 
+(* FE stage spans are the remote share of a flow's latency — the work that
+   exists only because the vNIC is load-shared.  The [cached] detail says
+   whether pre-actions came from the cached-flow table or a rule lookup. *)
+let trace_stage t pkt ~name ~cached ~t0 =
+  Vswitch.trace_span t.vs pkt ~name ~component:("fe/" ^ Vswitch.name t.vs)
+    ~site:Nezha_telemetry.Trace.Remote
+    ~args:[ ("cached", if cached then "true" else "false") ]
+    ~t0 ()
+
 (* Resolve the pre-actions for a packet of a served vNIC.  [flow_tx] is
    the session tuple in TX orientation (source = the served vNIC). *)
 let resolve_pre t s ~flow_tx ~key =
@@ -75,19 +84,21 @@ let forward_to_be t s pkt ~nsh =
 (* RX workflow (§3.2.1 blue flow): query pre-actions, piggyback them and
    the preserved outer source, forward to the BE. *)
 let handle_rx t s pkt ~outer =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   let key = key_of pkt in
   let flow_tx = Five_tuple.reverse pkt.Packet.flow in
   match resolve_pre t s ~flow_tx ~key with
   | None ->
     charge t ~cycles:(params t).Params.table_base_cycles (fun _ ->
         Vswitch.count_drop t.vs Nf.No_route)
-  | Some (pre, lookup_cycles, _fresh) ->
+  | Some (pre, lookup_cycles, fresh) ->
     let p = params t in
     let cycles =
       Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
       + lookup_cycles + p.Params.encap_cycles
     in
     charge t ~cycles (fun _ ->
+        trace_stage t pkt ~name:"fe_rx" ~cached:(not fresh) ~t0;
         let orig_outer_src =
           match outer with Some v -> Some v.Packet.outer_src | None -> None
         in
@@ -133,6 +144,7 @@ let send_hop_ack t s pkt seq =
 (* TX workflow (§3.2.1 red flow): the packet carries the state; combine
    with pre-actions and finalize. *)
 let handle_tx t s pkt nsh state_blob =
+  let t0 = Sim.now (Vswitch.sim t.vs) in
   match State.decode state_blob with
   | Error _ -> Vswitch.count_drop t.vs Nf.No_route
   | Ok state -> (
@@ -151,6 +163,7 @@ let handle_tx t s pkt nsh state_blob =
         + lookup_cycles + p.Params.encap_cycles + ack_cycles
       in
       charge t ~cycles (fun _ ->
+          trace_stage t pkt ~name:"fe_tx" ~cached:(not fresh) ~t0;
           (match nsh.Packet.hop_seq with
           | Some seq -> send_hop_ack t s pkt seq
           | None -> ());
@@ -317,10 +330,3 @@ let register_telemetry t reg =
       float_of_int (cached_flow_count t));
   T.register_gauge reg ~name:(prefix ^ "served_vnics") (fun () ->
       float_of_int (served_count t))
-
-let remote_cycles t = Stats.Counter.value t.counters.remote_cycles
-let rule_lookups t = Stats.Counter.value t.counters.rule_lookups
-let fast_hits t = Stats.Counter.value t.counters.fast_hits
-let notify_sent t = Stats.Counter.value t.counters.notify_sent
-let rx_forwarded t = Stats.Counter.value t.counters.rx_forwarded
-let tx_finalized t = Stats.Counter.value t.counters.tx_finalized

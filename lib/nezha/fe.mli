@@ -78,26 +78,3 @@ val cached_flow_count : t -> int
 val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
 (** Publish every counter (plus cached-flow and served-vNIC gauges)
     under [fe/<vswitch-name>/...]. *)
-
-(** {1 Deprecated getters}
-
-    Superseded by {!counters} and the telemetry registry; kept as thin
-    wrappers for existing callers. *)
-
-val remote_cycles : t -> int
-  [@@deprecated "read (Fe.counters t).remote_cycles or fe/<vs>/remote_cycles"]
-
-val rule_lookups : t -> int
-  [@@deprecated "read (Fe.counters t).rule_lookups or fe/<vs>/rule_lookups"]
-
-val fast_hits : t -> int
-  [@@deprecated "read (Fe.counters t).fast_hits or fe/<vs>/fast_hits"]
-
-val notify_sent : t -> int
-  [@@deprecated "read (Fe.counters t).notify_sent or fe/<vs>/notify_sent"]
-
-val rx_forwarded : t -> int
-  [@@deprecated "read (Fe.counters t).rx_forwarded or fe/<vs>/rx_forwarded"]
-
-val tx_finalized : t -> int
-  [@@deprecated "read (Fe.counters t).tx_finalized or fe/<vs>/tx_finalized"]

@@ -1,0 +1,22 @@
+type t = {
+  latency : float;
+  timeout : float;
+  max_retries : int;
+  backoff : float;
+}
+
+let backoff_cap = 5.0
+
+let default = { latency = 0.18; timeout = 0.5; max_retries = 4; backoff = 2.0 }
+
+let make ?(latency = default.latency) ?(timeout = default.timeout)
+    ?(max_retries = default.max_retries) ?(backoff = default.backoff) () =
+  if not (latency > 0.0) then invalid_arg "Rpc_policy.make: latency must be positive";
+  if not (timeout > 0.0) then invalid_arg "Rpc_policy.make: timeout must be positive";
+  if max_retries < 0 then invalid_arg "Rpc_policy.make: max_retries must be >= 0";
+  if not (backoff >= 1.0) then invalid_arg "Rpc_policy.make: backoff must be >= 1";
+  { latency; timeout; max_retries; backoff }
+
+let retry_delay t ~attempt =
+  if attempt < 0 then invalid_arg "Rpc_policy.retry_delay: attempt must be >= 0";
+  Float.min (t.timeout *. (t.backoff ** float_of_int attempt)) backoff_cap

@@ -1,0 +1,30 @@
+(** Control-plane RPC policy: the latency/timeout/retry knobs shared by
+    everything that issues management-path RPCs (today the controller's
+    server RPCs; one record so new control-plane clients cannot diverge
+    on retry behaviour). *)
+
+type t = {
+  latency : float;  (** mean RPC latency (the log-normal median) *)
+  timeout : float;  (** declare an attempt lost after this long *)
+  max_retries : int;  (** retries before giving up on a server *)
+  backoff : float;
+      (** exponential backoff base: retry [n] waits
+          [timeout × backoff^n], capped at {!backoff_cap} *)
+}
+
+val default : t
+(** 180 ms latency, 500 ms timeout, 4 retries, base-2 backoff. *)
+
+val make :
+  ?latency:float -> ?timeout:float -> ?max_retries:int -> ?backoff:float -> unit -> t
+(** Build a policy, defaulting each field from {!default}.
+    @raise Invalid_argument when [latency] or [timeout] is not positive,
+    [max_retries] is negative, or [backoff] is below 1. *)
+
+val backoff_cap : float
+(** Ceiling on any single backoff wait (5 s). *)
+
+val retry_delay : t -> attempt:int -> float
+(** The wait before re-attempting after failed attempt number [attempt]
+    (0-based): [min (timeout × backoff^attempt) backoff_cap].
+    @raise Invalid_argument on a negative [attempt]. *)

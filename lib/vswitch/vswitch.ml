@@ -1,6 +1,7 @@
 open Nezha_engine
 open Nezha_net
 open Nezha_tables
+module Trace = Nezha_telemetry.Trace
 
 type output = To_vm of Vnic.id * Packet.t | To_net of Packet.t
 
@@ -60,6 +61,7 @@ type t = {
   mutable learner : (Vnic.Addr.t -> (Ipv4.t array * float) option) option;
   mutable learning : unit Vnic.Addr.Table.t; (* queries in flight *)
   mutable net_hook : (Packet.t -> outer:Packet.vxlan option -> [ `Handled | `Continue ]) option;
+  mutable tracer : Trace.t option;
 }
 
 let make_counters () =
@@ -105,6 +107,7 @@ let create ~sim ~params ~name ~underlay_ip ~gateway () =
       learner = None;
       learning = Vnic.Addr.Table.create 8;
       net_hook = None;
+      tracer = None;
     }
   in
   (* Aging pump: sweep session tables a few times per aging period. *)
@@ -149,6 +152,37 @@ let count_drop t reason = Stats.Counter.incr (drop_counter t reason)
 let count_notify t = Stats.Counter.incr t.counters.notify_packets
 
 let set_transmit t f = t.transmit <- f
+
+(* ------------------------------------------------------------------ *)
+(* Tracing.  The vSwitch is the allocation point (a trace starts where
+   the VM handed over the packet) and the guard for every emitter: with
+   no tracer installed, or an untraced packet, each site is one match. *)
+
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
+
+let trace_begin t pkt =
+  match t.tracer with
+  | Some tr when pkt.Packet.trace_id = 0 ->
+    let id = Trace.next_id tr in
+    if id <> 0 then begin
+      pkt.Packet.trace_id <- id;
+      Trace.begin_trace tr ~id ~now:(Sim.now t.sim)
+    end
+  | Some _ | None -> ()
+
+let trace_span t pkt ~name ~component ?kind ?site ?args ~t0 () =
+  match t.tracer with
+  | Some tr when pkt.Packet.trace_id <> 0 ->
+    Trace.add_span tr ~id:pkt.Packet.trace_id ~name ~component ?kind ?site ?args ~t0
+      ~t1:(Sim.now t.sim) ()
+  | Some _ | None -> ()
+
+let trace_stage t pkt ~name ?args ~t0 () =
+  trace_span t pkt ~name ~component:("vswitch/" ^ t.name) ?args ~t0 ()
+
+let trace_detail t pkt ~name ?args ~t0 () =
+  trace_span t pkt ~name ~component:("vswitch/" ^ t.name) ~kind:Trace.Detail ?args ~t0 ()
 let emit t out =
   (match out with
   | To_vm (_, _) -> Stats.Counter.incr t.counters.delivered
@@ -433,6 +467,7 @@ let apply_state_out t vid key ~generation ~pre_opt out =
 (* Traditional local TX path (§2.1). *)
 let local_tx t e pkt =
   let vid = e.vnic.Vnic.id in
+  let t0 = Sim.now t.sim in
   let key = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow in
   let move = Params.packet_cycles t.params ~wire_bytes:(Packet.wire_size pkt) in
   match e.ruleset with
@@ -449,6 +484,7 @@ let local_tx t e pkt =
       Stats.Counter.incr t.counters.fast_path_hits;
       let cycles = move + t.params.Params.fast_path_cycles + t.params.Params.encap_cycles in
       charge t ~cycles (fun _sim ->
+          trace_stage t pkt ~name:"fast_path" ~args:[ ("dir", "tx") ] ~t0 ();
           let verdict, out =
             Nf.process ~pre ~state ~dir:Packet.Tx ~flags:pkt.Packet.flags
               ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt) ()
@@ -473,10 +509,15 @@ let local_tx t e pkt =
         if pre.Pre_action.peer_server = None then
           learn_mapping t ~vid
             ~addr:{ Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst };
+        let lookup_cycles = cycles in
         let cycles =
           move + cycles + t.params.Params.session_setup_cycles + t.params.Params.encap_cycles
         in
         charge t ~cycles (fun _sim ->
+            trace_stage t pkt ~name:"slow_path" ~args:[ ("dir", "tx") ] ~t0 ();
+            trace_detail t pkt ~name:"classification"
+              ~args:[ ("lookup_cycles", string_of_int lookup_cycles) ]
+              ~t0 ();
             let prior_state = Option.bind (find_session t vid key) (fun s -> s.state) in
             let verdict, out =
               Nf.process ~pre ~state:prior_state ~dir:Packet.Tx ~flags:pkt.Packet.flags
@@ -499,6 +540,7 @@ let local_tx t e pkt =
    is the underlay source preserved for stateful decapsulation. *)
 let local_rx t e pkt ~outer_src =
   let vid = e.vnic.Vnic.id in
+  let t0 = Sim.now t.sim in
   let key = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow in
   let move = Params.packet_cycles t.params ~wire_bytes:(Packet.wire_size pkt) in
   match e.ruleset with
@@ -515,6 +557,7 @@ let local_rx t e pkt ~outer_src =
       Stats.Counter.incr t.counters.fast_path_hits;
       let cycles = move + t.params.Params.fast_path_cycles in
       charge t ~cycles (fun _sim ->
+          trace_stage t pkt ~name:"fast_path" ~args:[ ("dir", "rx") ] ~t0 ();
           let verdict, out =
             Nf.process ~pre ~state ~dir:Packet.Rx ~flags:pkt.Packet.flags
               ~proto:pkt.Packet.flow.Five_tuple.proto ~wire_bytes:(Packet.wire_size pkt)
@@ -541,8 +584,13 @@ let local_rx t e pkt ~outer_src =
         in
         charge t ~cycles (fun _ -> count_drop t Nf.No_route)
       | Some { Ruleset.pre; cycles } ->
+        let lookup_cycles = cycles in
         let cycles = move + cycles + t.params.Params.session_setup_cycles in
         charge t ~cycles (fun _sim ->
+            trace_stage t pkt ~name:"slow_path" ~args:[ ("dir", "rx") ] ~t0 ();
+            trace_detail t pkt ~name:"classification"
+              ~args:[ ("lookup_cycles", string_of_int lookup_cycles) ]
+              ~t0 ();
             let prior_state = Option.bind (find_session t vid key) (fun s -> s.state) in
             let verdict, out =
               Nf.process ~pre ~state:prior_state ~dir:Packet.Rx ~flags:pkt.Packet.flags
@@ -575,6 +623,7 @@ let from_vm t vid pkt =
     in
     if not admitted then count_drop t Nf.Rate_limited
     else begin
+      trace_begin t pkt;
       match e.intercept with
       | Some i -> ( match i.on_tx pkt with `Handled -> () | `Continue -> local_tx t e pkt)
       | None -> local_tx t e pkt

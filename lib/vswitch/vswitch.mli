@@ -217,6 +217,30 @@ val utilization_report : t -> cpu:float ref -> mem:float ref -> unit
 (** Sample CPU (consuming, since last call) and memory utilization — the
     periodic report each vSwitch sends the controller (§4.2.1). *)
 
+(** {1 Tracing} *)
+
+val set_tracer : t -> Nezha_telemetry.Trace.t option -> unit
+(** Attach the flight recorder.  TX packets entering {!from_vm} get a
+    trace id allocated here (subject to the recorder's sampling); the
+    local fast/slow paths emit stage spans.  With no tracer — or a
+    disabled one — every instrumentation site is a single match. *)
+
+val tracer : t -> Nezha_telemetry.Trace.t option
+
+val trace_span :
+  t ->
+  Nezha_net.Packet.t ->
+  name:string ->
+  component:string ->
+  ?kind:Nezha_telemetry.Trace.kind ->
+  ?site:Nezha_telemetry.Trace.site ->
+  ?args:(string * string) list ->
+  t0:float ->
+  unit ->
+  unit
+(** Record a span [\[t0, now)] against the packet's trace, if any — the
+    shared guard the BE/FE datapaths emit through. *)
+
 val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
 (** Publish every datapath counter (including per-reason drops) and
     vNIC/session gauges under [vswitch/<name>/...], and the SmartNIC's

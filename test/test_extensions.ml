@@ -196,7 +196,7 @@ let test_pin_elephant () =
   done;
   Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 1.0);
   (match Controller.fe_service t.Testbed.ctl dedicated with
-  | Some fe -> check_int "all elephant packets on the dedicated FE" 50 (Fe.tx_finalized fe)
+  | Some fe -> check_int "all elephant packets on the dedicated FE" 50 (Stats.Counter.value (Fe.counters fe).Fe.tx_finalized)
   | None -> Alcotest.fail "dedicated FE service missing");
   (* Other flows still spread over the regular FE set. *)
   check_int "one pin installed" 1 (Be.pinned_count (Controller.offload_be o))
@@ -391,7 +391,7 @@ let test_stale_sender_bounced () =
     ~outer_dst:(Vswitch.underlay_ip t.Testbed.server.Tcp_crr.vs);
   Vswitch.from_net t.Testbed.server.Tcp_crr.vs pkt;
   Sim.run t.Testbed.sim ~until:(Sim.now t.Testbed.sim +. 0.5);
-  check_int "bounced once" 1 (Be.bounced (Controller.offload_be o));
+  check_int "bounced once" 1 (Stats.Counter.value (Be.counters (Controller.offload_be o)).Be.bounced);
   check_int "still delivered (via the FE detour)" 1
     (Vm.packets_delivered t.Testbed.server.Tcp_crr.vm)
 

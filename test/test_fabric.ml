@@ -234,6 +234,71 @@ let test_fabric_gateway_learning () =
   check_int "second flow direct" 1 (Gateway.forwarded (Fabric.gateway d.fabric));
   check_int "both delivered" 2 (Vm.packets_delivered d.vm1)
 
+let test_fabric_gateway_staleness () =
+  (* A vNIC migrates servers mid-run.  The gateway entry is authoritative:
+     after cutover a sender re-learns the new placement within the 200 ms
+     learning interval, and during the dual window a sender still holding
+     the stale mapping keeps being served by the old host — at no point
+     may a packet vanish in the underlay (No_such_server stays zero). *)
+  let sim = Sim.create () in
+  let topo = Topology.create ~racks:1 ~servers_per_rack:3 in
+  let fabric = Fabric.create ~sim ~topology:topo in
+  let vs0 = Fabric.add_server fabric 0 ~params:test_params in
+  let vs1 = Fabric.add_server fabric 1 ~params:test_params in
+  let vs2 = Fabric.add_server fabric 2 ~params:test_params in
+  let client = mk_vnic ~id:1 ~ip:"10.0.0.1" in
+  let service = mk_vnic ~id:2 ~ip:"10.0.0.2" in
+  (* The client knows no peer mapping: everything is gateway-learned. *)
+  let rs0 = basic_ruleset () in
+  let rs1 = basic_ruleset ~mapping:[ ("10.0.0.1", "192.168.1.1") ] () in
+  let rs2 = basic_ruleset ~mapping:[ ("10.0.0.1", "192.168.1.1") ] () in
+  (match (Vswitch.add_vnic vs0 client rs0, Vswitch.add_vnic vs1 service rs1) with
+  | Ok (), Ok () -> ()
+  | _, _ -> Alcotest.fail "vnics must fit");
+  let vm_old = Vm.create ~sim ~name:"vm-old" ~vcpus:8 () in
+  let vm_new = Vm.create ~sim ~name:"vm-new" ~vcpus:8 () in
+  Fabric.attach_vm fabric 1 service.Vnic.id vm_old;
+  let svc_addr = { Vnic.Addr.vpc; ip = ip "10.0.0.2" } in
+  Gateway.set_route (Fabric.gateway fabric) { Vnic.Addr.vpc; ip = ip "10.0.0.1" }
+    [| Topology.underlay_ip topo 0 |];
+  Gateway.set_route (Fabric.gateway fabric) svc_addr [| Topology.underlay_ip topo 1 |];
+  let send sport = Vswitch.from_vm vs0 (Vnic.id_of_int 1) (tx_syn ~sport ()) in
+  let at time f = ignore (Sim.at sim ~time f : Sim.handle) in
+  (* t=0: first flow detours via the gateway and triggers learning. *)
+  send 41001;
+  (* t=0.5: the learned mapping sends new flows direct. *)
+  at 0.5 (fun _ -> send 41002);
+  (* t=0.6: migrate the vNIC to server 2 (gateway updated first; the old
+     host keeps serving until cutover, as a live migration would). *)
+  at 0.6 (fun _ ->
+      (match Vswitch.add_vnic vs2 service rs2 with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "migration target must fit");
+      Fabric.attach_vm fabric 2 service.Vnic.id vm_new;
+      Gateway.set_route (Fabric.gateway fabric) svc_addr [| Topology.underlay_ip topo 2 |]);
+  (* t=0.65: the client's mapping is now stale — the packet still lands on
+     the old host (dual window), it must not blackhole. *)
+  at 0.65 (fun _ -> send 41003);
+  (* t=1.0: cutover — the old host stops serving and the client's stale
+     entry is withdrawn, so its next flow takes the gateway detour. *)
+  at 1.0 (fun _ ->
+      Vswitch.remove_vnic vs1 service.Vnic.id;
+      ignore (Ruleset.remove_mapping rs0 svc_addr : bool));
+  at 1.05 (fun _ -> send 41004);
+  (* t=1.3: within the 200 ms learning interval of the re-query the new
+     placement is installed; this flow must go direct to server 2. *)
+  at 1.3 (fun _ -> send 41005);
+  Sim.run sim ~until:2.0;
+  check_int "old host served the pre-migration flows" 3 (Vm.packets_delivered vm_old);
+  check_int "new host serves post-cutover flows" 2 (Vm.packets_delivered vm_new);
+  (* Two detours: the initial learn and the post-cutover re-learn; the
+     t=1.3 flow must already ride the re-learned direct mapping. *)
+  check_int "relearned within the learning interval" 2
+    (Gateway.forwarded (Fabric.gateway fabric));
+  check_int "stale mapping never blackholed a packet" 0
+    (Fabric.lost_by fabric Fabric.No_such_server);
+  check_int "nothing lost anywhere" 0 (Fabric.lost fabric)
+
 let test_fabric_tap_sees_wire () =
   let d = make_duo () in
   let taps = ref 0 in
@@ -284,6 +349,8 @@ let () =
           Alcotest.test_case "latency applied" `Quick test_fabric_latency_applied;
           Alcotest.test_case "double add rejected" `Quick test_fabric_double_add_rejected;
           Alcotest.test_case "gateway on-demand learning" `Quick test_fabric_gateway_learning;
+          Alcotest.test_case "gateway staleness across migration" `Quick
+            test_fabric_gateway_staleness;
           Alcotest.test_case "wire tap" `Quick test_fabric_tap_sees_wire;
           Alcotest.test_case "accessors" `Quick test_fabric_accessors;
         ] );

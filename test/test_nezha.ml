@@ -236,12 +236,12 @@ let test_offload_rx_path_via_fe () =
   Sim.run w.sim ~until:6.0;
   check_int "heavy vm received" 1 (Vm.packets_delivered w.heavy_vm);
   let be = Controller.offload_be o in
-  check_int "arrived via FE with pre-actions" 1 (Be.rx_from_fe be);
+  check_int "arrived via FE with pre-actions" 1 (Stats.Counter.value (Be.counters be).Be.rx_from_fe);
   let fe_work =
     List.fold_left
       (fun acc s ->
         match Controller.fe_service w.ctl s with
-        | Some fe -> acc + Fe.rx_forwarded fe
+        | Some fe -> acc + Stats.Counter.value (Fe.counters fe).Fe.rx_forwarded
         | None -> acc)
       0
       (Controller.offload_fe_servers o)
@@ -256,12 +256,12 @@ let test_offload_tx_path_via_fe () =
   Sim.run w.sim ~until:6.0;
   check_int "client vm received" 1 (Vm.packets_delivered w.client_vm);
   let be = Controller.offload_be o in
-  check_int "tx went via FE" 1 (Be.tx_via_fe be);
+  check_int "tx went via FE" 1 (Stats.Counter.value (Be.counters be).Be.tx_via_fe);
   let finalized =
     List.fold_left
       (fun acc s ->
         match Controller.fe_service w.ctl s with
-        | Some fe -> acc + Fe.tx_finalized fe
+        | Some fe -> acc + Stats.Counter.value (Fe.counters fe).Fe.tx_finalized
         | None -> acc)
       0
       (Controller.offload_fe_servers o)
@@ -361,7 +361,7 @@ let test_notify_arms_stats () =
   Vswitch.from_vm w.heavy_vs vnic1 (heavy_tx ~dport:40099 ());
   Sim.run w.sim ~until:6.0;
   let be = Controller.offload_be o in
-  check_bool "notify received" true (Be.notify_received be >= 1);
+  check_bool "notify received" true (Stats.Counter.value (Be.counters be).Be.notify_received >= 1);
   let key =
     Flow_key.of_packet_fields ~vpc
       ~flow:
@@ -374,7 +374,7 @@ let test_notify_arms_stats () =
   (* Second packet of the same flow hits the FE cache: no second notify. *)
   Vswitch.from_vm w.heavy_vs vnic1 (heavy_tx ~dport:40099 ~flags:Packet.ack ());
   Sim.run w.sim ~until:7.0;
-  check_int "notify only on fresh lookups" 1 (Be.notify_received be)
+  check_int "notify only on fresh lookups" 1 (Stats.Counter.value (Be.counters be).Be.notify_received)
 
 let test_flows_spread_across_fes () =
   let w = make_world () in
@@ -388,7 +388,7 @@ let test_flows_spread_across_fes () =
     List.map
       (fun s ->
         match Controller.fe_service w.ctl s with
-        | Some fe -> Fe.rx_forwarded fe
+        | Some fe -> Stats.Counter.value (Fe.counters fe).Fe.rx_forwarded
         | None -> 0)
       (Controller.offload_fe_servers o)
   in
@@ -446,7 +446,7 @@ let test_fallback_restores_local () =
   let fe_rx =
     List.fold_left
       (fun acc s ->
-        match Controller.fe_service w.ctl s with Some fe -> acc + Fe.rx_forwarded fe | None -> acc)
+        match Controller.fe_service w.ctl s with Some fe -> acc + Stats.Counter.value (Fe.counters fe).Fe.rx_forwarded | None -> acc)
       0
       (Topology.servers (Fabric.topology w.fabric))
   in
