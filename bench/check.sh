@@ -64,6 +64,30 @@ else
   echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
+echo "== batch sweep gate (flow-key grouping must win ns/packet at batch >= 32)"
+# The batched dataplane's claim: grouping a burst by flow key amortizes
+# the per-flow resolution, so ns/packet at batch 32 must beat batch-of-1
+# (geometric mean across the grouped kernels).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_micro.json <<'PY'
+import json, math, sys
+sweep = json.load(open(sys.argv[1]))["experiments"]["micro"]["batch_sweep"]
+assert set(sweep) == {"cached", "tss", "flow_table"}, sorted(sweep)
+ratios = []
+for path, pts in sorted(sweep.items()):
+    for n in ("1", "8", "32", "128"):
+        assert n in pts and pts[n] == pts[n] and pts[n] > 0.0, (path, n)  # present, not NaN
+    r = pts["1"] / pts["32"]
+    print("  %-12s batch1 %7.1f -> batch32 %7.1f ns/packet (%.2fx)" % (path, pts["1"], pts["32"], r))
+    ratios.append(r)
+geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+assert geomean > 1.0, "batching lost its amortization win: geomean %.3fx" % geomean
+print("ok: geomean %.2fx ns/packet win at batch 32 (gate: > 1.0x)" % geomean)
+PY
+else
+  echo "python3 not found; skipping batch sweep gate"
+fi
+
 echo "== trace overhead gate (tracing disabled must stay within 3% of baseline)"
 # The tracer is off by default and claims to be zero-cost when disabled:
 # hold the fresh micro numbers to within 3% (geometric mean over shared

@@ -323,9 +323,42 @@ let micro_make_acl () =
   done;
   t
 
-let micro_results () =
+(* Run a list of Bechamel tests and return (name, ns/op) in test order. *)
+let run_micro_tests tests =
   let open Bechamel in
   let open Toolkit in
+  let results =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let ns_of name =
+    let est key =
+      match Hashtbl.find_opt results key with
+      | None -> None
+      | Some r -> (
+        match Bechamel.Analyze.OLS.estimates r with Some [ est ] -> Some est | Some _ | None -> None)
+    in
+    match est ("micro/" ^ name) with
+    | Some v -> v
+    | None -> ( match est name with Some v -> v | None -> Float.nan)
+  in
+  List.map
+    (fun test -> let name = Test.name test in (name, ns_of name))
+    tests
+  |> List.concat_map (fun (name, v) ->
+         (* Grouped test names come back as "micro/<name>". *)
+         let name =
+           match String.index_opt name '/' with
+           | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+           | None -> name
+         in
+         [ (name, v) ])
+
+let micro_results () =
+  let open Bechamel in
   let ip = Nezha_net.Ipv4.of_octets in
   let lpm =
     let t = Nezha_tables.Lpm.create () in
@@ -414,35 +447,7 @@ let micro_results () =
              Nezha_vswitch.State.decode (Nezha_vswitch.State.encode st)));
     ]
   in
-  let results =
-    let instances = Instance.[ monotonic_clock ] in
-    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-    let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
-    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-    Analyze.all ols Instance.monotonic_clock raw
-  in
-  let ns_of name =
-    let est key =
-      match Hashtbl.find_opt results key with
-      | None -> None
-      | Some r -> (
-        match Bechamel.Analyze.OLS.estimates r with Some [ est ] -> Some est | Some _ | None -> None)
-    in
-    match est ("micro/" ^ name) with
-    | Some v -> v
-    | None -> ( match est name with Some v -> v | None -> Float.nan)
-  in
-  List.map
-    (fun test -> let name = Test.name test in (name, ns_of name))
-    tests
-  |> List.concat_map (fun (name, v) ->
-         (* Grouped test names come back as "micro/<name>". *)
-         let name =
-           match String.index_opt name '/' with
-           | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-           | None -> name
-         in
-         [ (name, v) ])
+  run_micro_tests tests
 
 let micro_speedups results =
   let ns name = try List.assoc name results with Not_found -> Float.nan in
@@ -453,6 +458,137 @@ let micro_speedups results =
     ("cached_vs_tss", ratio "acl_tss_1k" "acl_cached_1k");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Batch-size sweep: ns per *packet* for the flow-key-grouped slow-path
+   kernels as the burst grows.  This is the amortization the batched
+   dataplane (Pbatch + local_batch/process_batch grouping) banks on: a
+   burst cycling [micro_batch_flows] flows pays one resolution per
+   unique key and follower-priced work for the rest, so ns/packet must
+   fall as the batch size rises past the flow count. *)
+
+let micro_batch_sizes = [ 1; 8; 32; 128 ]
+let micro_batch_flows = 4
+
+let micro_batch_results () =
+  let open Bechamel in
+  let ip = Nezha_net.Ipv4.of_octets in
+  let params = Nezha_vswitch.Params.default in
+  let vpc = Nezha_net.Vpc.make 7 in
+  let flows =
+    Array.init micro_batch_flows (fun i ->
+        Nezha_net.Five_tuple.make ~src:(ip 10 0 0 1) ~dst:(ip 10 1 77 (5 + i))
+          ~src_port:(43210 + i) ~dst_port:443 ~proto:Nezha_net.Five_tuple.Tcp)
+  in
+  let keys =
+    Array.map (fun f -> Nezha_tables.Flow_key.of_packet_fields ~vpc ~flow:f) flows
+  in
+  let ruleset =
+    let rs = Nezha_vswitch.Ruleset.create ~vni:9 ~acl:(micro_make_acl ()) () in
+    Nezha_vswitch.Ruleset.add_route rs (Nezha_net.Ipv4.Prefix.make (ip 10 0 0 0) 8);
+    Array.iter
+      (fun (f : Nezha_net.Five_tuple.t) ->
+        Nezha_vswitch.Ruleset.add_mapping rs
+          { Nezha_vswitch.Vnic.Addr.vpc; ip = f.Nezha_net.Five_tuple.dst }
+          (ip 192 168 1 2))
+      flows;
+    (* Prime the megaflow cache: the sweep measures the steady state. *)
+    Array.iter
+      (fun f ->
+        match Nezha_vswitch.Ruleset.lookup rs ~params ~vpc ~flow_tx:f with
+        | Some _ -> ()
+        | None -> failwith "micro batch: sweep flow unroutable")
+      flows;
+    rs
+  in
+  let tss =
+    Nezha_tables.Classifier.of_acl ~backend:Nezha_tables.Classifier.Tuple_space
+      (micro_make_acl ())
+  in
+  Array.iter
+    (fun f -> ignore (Nezha_tables.Classifier.lookup tss f : Nezha_tables.Classifier.verdict))
+    flows;
+  let ft =
+    Nezha_tables.Flow_table.create ~entry_overhead:40 ~value_bytes:(fun _ -> 64)
+      ~default_aging:8.0 ()
+  in
+  Array.iter
+    (fun k -> ignore (Nezha_tables.Flow_table.insert ft ~now:0.0 k 1 : Nezha_tables.Admission.t))
+    keys;
+  let make_batch n =
+    let b = Nezha_net.Pbatch.create ~capacity:n () in
+    for i = 0 to n - 1 do
+      Nezha_net.Pbatch.push b
+        (Nezha_net.Packet.create ~vpc ~flow:flows.(i mod micro_batch_flows)
+           ~direction:Nezha_net.Packet.Tx ~flags:Nezha_net.Packet.syn ())
+    done;
+    b
+  in
+  (* The grouping loop of the batched datapath in miniature: linear-scan
+     dedup of flow keys (bursts hold a handful of flows), the leader
+     resolves, followers pay only the mirrored-accounting price. *)
+  let grouped batch ~leader ~follower =
+    let seen = Array.make micro_batch_flows flows.(0) in
+    fun () ->
+      let m = ref 0 in
+      Nezha_net.Pbatch.iter batch (fun p ->
+          let f = p.Nezha_net.Packet.flow in
+          let rec find i =
+            if i >= !m then -1
+            else if Nezha_net.Five_tuple.equal seen.(i) f then i
+            else find (i + 1)
+          in
+          let g = find 0 in
+          if g >= 0 then follower g
+          else begin
+            seen.(!m) <- f;
+            leader !m;
+            incr m
+          end)
+  in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let batch_cached = make_batch n
+        and batch_tss = make_batch n
+        and batch_ft = make_batch n in
+        [
+          Test.make
+            ~name:(Printf.sprintf "batch_cached_n%d" n)
+            (Staged.stage
+               (grouped batch_cached
+                  ~leader:(fun g ->
+                    ignore
+                      (Nezha_vswitch.Ruleset.lookup ruleset ~params ~vpc ~flow_tx:flows.(g)
+                        : Nezha_vswitch.Ruleset.lookup_result option))
+                  ~follower:(fun _ -> Nezha_vswitch.Ruleset.note_megaflow_hit ruleset)));
+          Test.make
+            ~name:(Printf.sprintf "batch_tss_n%d" n)
+            (Staged.stage
+               (grouped batch_tss
+                  ~leader:(fun g ->
+                    ignore
+                      (Nezha_tables.Classifier.lookup tss flows.(g)
+                        : Nezha_tables.Classifier.verdict))
+                  ~follower:(fun _ -> ())));
+          Test.make
+            ~name:(Printf.sprintf "batch_flow_table_n%d" n)
+            (Staged.stage
+               (grouped batch_ft
+                  ~leader:(fun g -> ignore (Nezha_tables.Flow_table.find ft keys.(g) : int option))
+                  ~follower:(fun _ -> ())));
+        ])
+      micro_batch_sizes
+  in
+  let ns = run_micro_tests tests in
+  let per_packet path =
+    List.map
+      (fun n ->
+        let total = List.assoc (Printf.sprintf "batch_%s_n%d" path n) ns in
+        (n, total /. float_of_int n))
+      micro_batch_sizes
+  in
+  List.map (fun path -> (path, per_packet path)) [ "cached"; "tss"; "flow_table" ]
+
 let micro () =
   let results = micro_results () in
   banner "Microbenchmarks (ns per call)";
@@ -462,7 +598,17 @@ let micro () =
     micro_acl_rules;
   List.iter
     (fun (name, s) -> note "  %-18s %6.1fx" name s)
-    (micro_speedups results)
+    (micro_speedups results);
+  note "";
+  note "Batch-size sweep (ns per packet, %d flows per burst):" micro_batch_flows;
+  note "  %-12s %s" "path"
+    (String.concat ""
+       (List.map (fun n -> Printf.sprintf "%10s" (Printf.sprintf "n=%d" n)) micro_batch_sizes));
+  List.iter
+    (fun (path, pts) ->
+      note "  %-12s %s" path
+        (String.concat "" (List.map (fun (_, ns) -> Printf.sprintf "%8.1f  " ns) pts)))
+    (micro_batch_results ())
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output: each JSON-capable experiment contributes a
@@ -506,12 +652,21 @@ let json_table4 () =
 
 let json_micro () =
   let results = micro_results () in
+  let sweep = micro_batch_results () in
   Json.Obj
     [
       ("acl_rules", Json.Int micro_acl_rules);
       ("ns_per_op", Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) results));
       ( "speedup",
         Json.Obj (List.map (fun (name, s) -> (name, Json.Float s)) (micro_speedups results)) );
+      ( "batch_sweep",
+        Json.Obj
+          (List.map
+             (fun (path, pts) ->
+               ( path,
+                 Json.Obj
+                   (List.map (fun (n, ns) -> (string_of_int n, Json.Float ns)) pts) ))
+             sweep) );
     ]
 
 let json_experiments = [ ("fig9", json_fig9); ("table4", json_table4); ("micro", json_micro) ]

@@ -268,6 +268,7 @@ let offload_vnic t ~server ~vnic =
                  Vswitch.charge host_vs ~cycles:(p.Params.fast_path_cycles / 4) (fun _ ->
                      Vswitch.deliver_local host_vs vnic pkt);
                  `Handled);
+             on_tx_batch = None;
            });
       Vswitch.drop_ruleset host_vs vnic;
       (* Point the world at the pool. *)

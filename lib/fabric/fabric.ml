@@ -150,6 +150,90 @@ let deliver_to_server t ~src pkt =
           (deliver_at_server t target)
     end
 
+let deliver_batch_at_server t target batch =
+  match t.switches.(target) with
+  | Some vs -> Vswitch.from_net_batch vs batch
+  | None ->
+    Pbatch.iter batch (fun _ -> count_lost t No_vswitch);
+    Pbatch.recycle batch
+
+(* Batched egress: one pass in arrival order carves the burst into
+   maximal consecutive runs bound for the same server under the same
+   delay; each run crosses the wire as one scheduled delivery into
+   [Vswitch.from_net_batch].  The impairment plane is consulted per
+   packet, in order — fault RNG draws line up exactly with a
+   packet-at-a-time burst — and any packet it deflects (drop, extra
+   delay, duplicate twin) flushes or bypasses the run so arrival order
+   and delivery times match the single path.  Owns [batch]. *)
+let deliver_batch_to_server t ~src batch =
+  let run = ref None in
+  let flush () =
+    match !run with
+    | None -> ()
+    | Some (target, delay, rb) ->
+      run := None;
+      ignore
+        (Sim.schedule t.sim ~delay (fun _ -> deliver_batch_at_server t target rb)
+          : Sim.handle)
+  in
+  Pbatch.iter batch (fun pkt ->
+      (match t.tap with Some tap -> tap ~time:(Sim.now t.sim) pkt | None -> ());
+      match pkt.Packet.vxlan with
+      | None -> count_lost t No_vxlan
+      | Some v -> (
+        let outer_dst = v.Packet.outer_dst in
+        if Ipv4.equal outer_dst (Topology.gateway_ip t.topology) then begin
+          flush ();
+          let delay = Topology.latency_to_gateway t.topology src in
+          transit t ~src:(Faults.Server src) ~dst:Faults.Gateway ~delay pkt (fun pkt ->
+              Gateway.handle t.gateway pkt)
+        end
+        else
+          match Topology.server_of_ip t.topology outer_dst with
+          | None -> count_lost t No_such_server
+          | Some target -> (
+            let delay = Topology.latency t.topology src target in
+            let fsrc = Faults.Server src and fdst = Faults.Server target in
+            let push_run pkt =
+              match !run with
+              | Some (tgt, d, rb) when tgt = target && d = delay -> Pbatch.push rb pkt
+              | Some _ | None ->
+                flush ();
+                let rb = Pbatch.alloc () in
+                Pbatch.push rb pkt;
+                run := Some (target, delay, rb)
+            in
+            let outcome =
+              match t.faults with
+              | None -> Faults.Pass
+              | Some f -> Faults.consult f ~src:fsrc ~dst:fdst
+            in
+            match outcome with
+            | Faults.Drop ->
+              trace_fault_drop t ~src:fsrc ~dst:fdst pkt;
+              count_lost t Fault_injected
+            | Faults.Pass ->
+              trace_wire t ~src:fsrc ~dst:fdst ~dur:delay pkt;
+              push_run pkt
+            | Faults.Delay extra ->
+              flush ();
+              trace_wire t ~src:fsrc ~dst:fdst ~dur:(delay +. extra) pkt;
+              ignore
+                (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ ->
+                     deliver_at_server t target pkt)
+                  : Sim.handle)
+            | Faults.Duplicate extra ->
+              let twin = Packet.copy pkt in
+              twin.Packet.trace_id <- 0;
+              trace_wire t ~src:fsrc ~dst:fdst ~dur:delay pkt;
+              push_run pkt;
+              ignore
+                (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ ->
+                     deliver_at_server t target twin)
+                  : Sim.handle))));
+  flush ();
+  Pbatch.recycle batch
+
 (* Liveness probe (§4.4), as a wire round-trip through the monitor's
    vantage point (the gateway side): request leg, vSwitch check at the
    target, reply leg.  Each leg is subject to the impairment plane, so a
@@ -202,13 +286,18 @@ let add_server t sid ~params =
          match Gateway.lookup t.gateway addr with
          | Some targets -> Some (targets, 0.2)
          | None -> None));
-  Vswitch.set_transmit vs (function
-    | Vswitch.To_net pkt -> deliver_to_server t ~src:sid pkt
-    | Vswitch.To_vm (vid, pkt) -> (
-      t.delivered_to_vms <- t.delivered_to_vms + 1;
-      match Hashtbl.find_opt t.vms (sid, vid) with
-      | Some vm -> Vm.deliver vm pkt
-      | None -> ()));
+  Vswitch.set_sink vs
+    {
+      Vswitch.on_output =
+        (function
+        | Vswitch.To_net pkt -> deliver_to_server t ~src:sid pkt
+        | Vswitch.To_vm (vid, pkt) -> (
+          t.delivered_to_vms <- t.delivered_to_vms + 1;
+          match Hashtbl.find_opt t.vms (sid, vid) with
+          | Some vm -> Vm.deliver vm pkt
+          | None -> ()));
+      on_net_batch = (fun batch -> deliver_batch_to_server t ~src:sid batch);
+    };
   t.switches.(sid) <- Some vs;
   vs
 

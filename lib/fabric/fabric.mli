@@ -61,6 +61,13 @@ val deliver_to_server : t -> src:Topology.server_id -> Nezha_net.Packet.t -> uni
     vSwitch had transmitted it.  Normally called via the vSwitch
     transmit hook; exposed for tests and custom sources. *)
 
+val deliver_batch_to_server :
+  t -> src:Topology.server_id -> Nezha_net.Pbatch.t -> unit
+(** Batched form of {!deliver_to_server} (the sink installed on every
+    vSwitch): takes ownership of the burst, consults the fault plane per
+    packet in arrival order, and ships maximal same-destination runs as
+    single scheduled deliveries into [Vswitch.from_net_batch]. *)
+
 val ping : t -> dst:Topology.server_id -> reply:(unit -> unit) -> unit
 (** A liveness probe round-trip from the gateway side: request leg,
     vSwitch-alive check at [dst] (present and its SmartNIC not crashed),

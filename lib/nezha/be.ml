@@ -364,6 +364,90 @@ let handle_tx t pkt =
         end
       end)
 
+(* Vectored twin of [handle_tx]: one SmartNIC submission covers the
+   whole burst (freshness — hence the state-init surcharge — is sampled
+   per packet at submit time, as the back-to-back single calls would),
+   and the continuation replays the per-packet sequence in order,
+   collecting the FE-bound packets into one outgoing burst.  Owns
+   [batch]. *)
+let handle_tx_batch t batch =
+  let n = Pbatch.length batch in
+  if n = 0 then Pbatch.recycle batch
+  else begin
+    let t0 = Sim.now (Vswitch.sim t.vs) in
+    let p = params t in
+    let cycles = ref 0 in
+    Pbatch.iter batch (fun pkt ->
+        let fresh = Vswitch.find_session t.vs t.vnic.Vnic.id (key_of pkt) = None in
+        cycles :=
+          !cycles
+          + Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+          + p.Params.split_fast_path_cycles + p.Params.encap_cycles
+          + if fresh then p.Params.state_init_cycles else 0);
+    let accepted =
+      Vswitch.charge_batch t.vs ~cycles:!cycles ~npkts:n (fun sim ->
+          let out = Pbatch.alloc () in
+          Pbatch.iter batch (fun pkt ->
+              trace_stage t pkt ~name:"be_tx" ~t0 ();
+              let key = key_of pkt in
+              let flags = pkt.Packet.flags and proto = pkt.Packet.flow.Five_tuple.proto in
+              let st =
+                match Vswitch.find_session t.vs t.vnic.Vnic.id key with
+                | Some { Vswitch.state = Some st; _ } ->
+                  step_state_tx st ~flags ~proto ~wire_bytes:(Packet.wire_size pkt)
+                | Some { Vswitch.state = None; _ } | None ->
+                  State.init ~first_dir:Packet.Tx ?tcp:(Nf.tcp_phase_of_flags flags ~proto) ()
+              in
+              store_state t key st;
+              if all_suspect t && local_ruleset t <> None then begin
+                Stats.Counter.incr t.counters.local_bypass;
+                ignore (local_slow_path t pkt : bool)
+              end
+              else begin
+                Stats.Counter.incr t.counters.tx_via_fe;
+                let base_nsh =
+                  { Packet.empty_nsh with Packet.carried_state = Some (State.encode st) }
+                in
+                let fe = pick_fe t pkt.Packet.flow in
+                let nsh =
+                  if Hashtbl.length t.outstanding < p.Params.offload_track_capacity
+                  then begin
+                    let seq = t.next_seq in
+                    t.next_seq <- t.next_seq + 1;
+                    let nsh = { base_nsh with Packet.hop_seq = Some seq } in
+                    let pd =
+                      {
+                        seq;
+                        clean = Packet.copy pkt;
+                        nsh;
+                        last_fe = fe;
+                        retries = 0;
+                        tried = [];
+                        timer = None;
+                        sent_at = Sim.now sim;
+                      }
+                    in
+                    Hashtbl.replace t.outstanding seq pd;
+                    arm_timer t pd;
+                    Stats.Counter.incr t.counters.offload_tracked;
+                    nsh
+                  end
+                  else begin
+                    Stats.Counter.incr t.counters.offload_untracked;
+                    base_nsh
+                  end
+                in
+                Packet.set_nsh pkt nsh;
+                Packet.encap_vxlan pkt ~vni:t.vni ~outer_src:(Vswitch.underlay_ip t.vs)
+                  ~outer_dst:fe;
+                Pbatch.push out pkt
+              end);
+          Vswitch.emit_batch t.vs out;
+          Pbatch.recycle batch)
+    in
+    if not accepted then Pbatch.recycle batch
+  end
+
 let handle_notify t pkt nsh =
   Stats.Counter.incr t.counters.notify_received;
   let p = params t in
@@ -441,6 +525,28 @@ let handle_rx_bare t pkt =
       `Handled
     end
 
+(* Classify one RX packet addressed to the offloaded vNIC: hop-level
+   ack, stats notify, FE-finalized traffic carrying pre-actions, or bare
+   (stale-sender) traffic.  [`Continue] means the caller should run the
+   traditional local RX path (dual stage only). *)
+let rx_dispatch t pkt =
+  match Packet.clear_nsh pkt with
+  | Some nsh when nsh.Packet.hop_ack <> None ->
+    handle_ack t nsh;
+    `Handled
+  | Some nsh when nsh.Packet.notify ->
+    handle_notify t pkt nsh;
+    `Handled
+  | Some nsh -> (
+    match nsh.Packet.carried_pre_actions with
+    | Some blob ->
+      handle_rx_with_pre t pkt nsh blob;
+      `Handled
+    | None ->
+      (* Metadata without pre-actions: treat as bare. *)
+      handle_rx_bare t pkt)
+  | None -> handle_rx_bare t pkt
+
 let install ~vs ~vnic ~vni ~fes ?fallback_ruleset () =
   if Array.length fes = 0 then invalid_arg "Be.install: empty FE set";
   let p = Vswitch.params vs in
@@ -490,26 +596,37 @@ let install ~vs ~vnic ~vni ~fes ?fallback_ruleset () =
            (fun pkt ->
              handle_tx t pkt;
              `Handled);
-         on_rx =
-           (fun pkt ->
-             match Packet.clear_nsh pkt with
-             | Some nsh when nsh.Packet.hop_ack <> None ->
-               handle_ack t nsh;
-               `Handled
-             | Some nsh when nsh.Packet.notify ->
-               handle_notify t pkt nsh;
-               `Handled
-             | Some nsh -> (
-               match nsh.Packet.carried_pre_actions with
-               | Some blob ->
-                 handle_rx_with_pre t pkt nsh blob;
-                 `Handled
-               | None ->
-                 (* Metadata without pre-actions: treat as bare. *)
-                 handle_rx_bare t pkt)
-             | None -> handle_rx_bare t pkt);
+         on_rx = (fun pkt -> rx_dispatch t pkt);
+         on_tx_batch = Some (fun batch -> handle_tx_batch t batch);
        });
   t
+
+(* The BE intercept in the shared ingress shape; [ctx] is the packet
+   direction.  RX batches dispatch per packet — acks, notifies and
+   finalizations are control-plane-sized traffic — and a declined bare
+   packet (dual stage) re-enters the vSwitch's net ingress, which runs
+   the traditional RX path for it. *)
+module Ingress_impl = struct
+  type nonrec t = t
+  type ctx = Packet.direction
+
+  let ingest t ~ctx pkt =
+    match ctx with
+    | Packet.Tx ->
+      handle_tx t pkt;
+      `Handled
+    | Packet.Rx -> rx_dispatch t pkt
+
+  let ingest_batch t ~ctx batch =
+    match ctx with
+    | Packet.Tx -> handle_tx_batch t batch
+    | Packet.Rx ->
+      Pbatch.iter batch (fun pkt ->
+          match rx_dispatch t pkt with
+          | `Handled -> ()
+          | `Continue -> Vswitch.from_net t.vs pkt);
+      Pbatch.recycle batch
+end
 
 let uninstall t =
   t.closed <- true;

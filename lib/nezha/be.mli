@@ -44,6 +44,18 @@ val uninstall : t -> unit
 (** Remove the intercept (fallback completed).  Outstanding tracked
     offloads are resolved through the local slow path. *)
 
+val handle_tx_batch : t -> Pbatch.t -> unit
+(** Vectored TX workflow (also wired as the intercept's [on_tx_batch]):
+    one SmartNIC submission for the burst, per-packet state stepping in
+    order, FE-bound packets leaving as one batch.  Takes ownership. *)
+
+module Ingress_impl : Nezha_vswitch.Ingress.S with type t = t and type ctx = Packet.direction
+(** The BE intercept in the shared ingress shape; [ctx] is the packet
+    direction.  TX maps to the offload workflow; RX classifies acks,
+    notifies, FE-finalized and bare traffic.  A batched RX dispatches
+    per packet (control-plane-sized traffic) and re-injects declined
+    dual-stage bare packets through the vSwitch's net ingress. *)
+
 val set_fallback_ruleset : t -> Ruleset.t option -> unit
 
 val vnic : t -> Vnic.t

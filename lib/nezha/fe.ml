@@ -212,6 +212,213 @@ let hook t pkt ~outer =
       | Some _ | None -> `Continue)
     | None -> `Continue)
 
+let process t pkt ~outer = hook t pkt ~outer
+
+(* Vectored net-hook entry.  [batch] arrives still encapsulated; the
+   classification pass reads the inner/NSH fields (visible without
+   decapping), decides each packet's workflow, resolves pre-actions per
+   packet — the cached-flow table itself memoizes a burst's flow-key
+   groups, because the first packet of a group inserts synchronously and
+   the rest hit — and decaps only the packets it keeps.  The
+   still-encapsulated leftover returns to the caller.  One SmartNIC
+   charge covers the burst; the continuation replays the per-packet
+   workflows in order, sharing each group's encoded pre-action blob and
+   collecting outgoing packets into one burst for the sink. *)
+let act_skip = 0
+let act_rx = 1
+let act_tx = 2
+let act_noroute = 3
+
+let process_batch t batch =
+  let n = Pbatch.length batch in
+  if n = 0 then begin
+    Pbatch.recycle batch;
+    None
+  end
+  else begin
+    let t0 = Sim.now (Vswitch.sim t.vs) in
+    let p = params t in
+    let act = Array.make n act_skip in
+    let srv = Array.make n None in
+    let pre_a = Array.make n None in
+    let fresh_a = Array.make n false in
+    let sta = Array.make n None in
+    let meta = Array.make n None in
+    let outs = Array.make n None in
+    let leftover = ref None in
+    let total = ref 0 in
+    let handled = ref 0 in
+    for i = 0 to n - 1 do
+      let pkt = Pbatch.get batch i in
+      let dst_addr =
+        { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst }
+      in
+      match Vnic.Addr.Table.find_opt t.served dst_addr with
+      | Some s -> (
+        let outer = Packet.decap_vxlan pkt in
+        outs.(i) <- (match outer with Some v -> Some v.Packet.outer_src | None -> None);
+        srv.(i) <- Some s;
+        let key = key_of pkt in
+        incr handled;
+        match resolve_pre t s ~flow_tx:(Five_tuple.reverse pkt.Packet.flow) ~key with
+        | None ->
+          act.(i) <- act_noroute;
+          total := !total + p.Params.table_base_cycles
+        | Some (pre, lookup_cycles, fresh) ->
+          act.(i) <- act_rx;
+          pre_a.(i) <- Some pre;
+          fresh_a.(i) <- fresh;
+          total :=
+            !total
+            + Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+            + lookup_cycles + p.Params.encap_cycles)
+      | None -> (
+        let src_addr =
+          { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.src }
+        in
+        let declined () =
+          let lb =
+            match !leftover with
+            | Some lb -> lb
+            | None ->
+              let lb = Pbatch.alloc () in
+              leftover := Some lb;
+              lb
+          in
+          Pbatch.push lb pkt
+        in
+        match (Vnic.Addr.Table.find_opt t.served src_addr, pkt.Packet.nsh) with
+        | Some s, Some { Packet.carried_state = Some blob; _ } -> (
+          ignore (Packet.decap_vxlan pkt : Packet.vxlan option);
+          let nsh =
+            match Packet.clear_nsh pkt with Some m -> m | None -> Packet.empty_nsh
+          in
+          match State.decode blob with
+          | Error _ ->
+            (* Malformed carried state: counted now, as the single path
+               would, with no cycles charged. *)
+            Vswitch.count_drop t.vs Nf.No_route
+          | Ok state -> (
+            srv.(i) <- Some s;
+            sta.(i) <- Some state;
+            meta.(i) <- Some nsh;
+            let key = key_of pkt in
+            incr handled;
+            match resolve_pre t s ~flow_tx:pkt.Packet.flow ~key with
+            | None ->
+              act.(i) <- act_noroute;
+              total := !total + p.Params.table_base_cycles
+            | Some (pre, lookup_cycles, fresh) ->
+              act.(i) <- act_tx;
+              pre_a.(i) <- Some pre;
+              fresh_a.(i) <- fresh;
+              let ack_cycles =
+                match nsh.Packet.hop_seq with None -> 0 | Some _ -> p.Params.encap_cycles
+              in
+              total :=
+                !total
+                + Params.packet_cycles p ~wire_bytes:(Packet.wire_size pkt)
+                + lookup_cycles + p.Params.encap_cycles + ack_cycles))
+        | (Some _ | None), _ -> declined ())
+    done;
+    if !handled = 0 then Pbatch.recycle batch
+    else begin
+      Stats.Counter.add t.counters.remote_cycles !total;
+      (* Shared per-group blob: members carry physically-equal
+         pre-actions, so encode once per run of the same resolution. *)
+      let last_pre = ref None in
+      let last_blob = ref Bytes.empty in
+      let encode_pre pre =
+        (match !last_pre with
+        | Some lp when lp == pre -> ()
+        | Some _ | None ->
+          last_pre := Some pre;
+          last_blob := Pre_action.encode pre);
+        !last_blob
+      in
+      let accepted =
+        Vswitch.charge_batch t.vs ~cycles:!total ~npkts:!handled (fun _ ->
+            let out = Pbatch.alloc () in
+            for i = 0 to n - 1 do
+              let pkt = Pbatch.get batch i in
+              let a = act.(i) in
+              if a = act_rx then begin
+                let s = Option.get srv.(i) in
+                let pre = Option.get pre_a.(i) in
+                trace_stage t pkt ~name:"fe_rx" ~cached:(not fresh_a.(i)) ~t0;
+                Stats.Counter.incr t.counters.rx_forwarded;
+                Packet.set_nsh pkt
+                  {
+                    Packet.empty_nsh with
+                    Packet.carried_pre_actions = Some (encode_pre pre);
+                    orig_outer_src = outs.(i);
+                  };
+                Packet.encap_vxlan pkt ~vni:(Ruleset.vni s.ruleset)
+                  ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst:s.be;
+                Pbatch.push out pkt
+              end
+              else if a = act_tx then begin
+                let s = Option.get srv.(i) in
+                let pre = Option.get pre_a.(i) in
+                let state = Option.get sta.(i) in
+                let nsh = Option.get meta.(i) in
+                trace_stage t pkt ~name:"fe_tx" ~cached:(not fresh_a.(i)) ~t0;
+                (match nsh.Packet.hop_seq with
+                | Some seq -> send_hop_ack t s pkt seq
+                | None -> ());
+                (if fresh_a.(i) then begin
+                   let be_has_stats = state.State.stats <> None in
+                   let rules_want_stats = pre.Pre_action.stats <> None in
+                   if be_has_stats <> rules_want_stats then send_notify t s pkt pre
+                 end);
+                let verdict, _state_out =
+                  Nf.process ~pre ~state:(Some state) ~dir:Packet.Tx
+                    ~flags:pkt.Packet.flags ~proto:pkt.Packet.flow.Five_tuple.proto
+                    ~wire_bytes:(Packet.wire_size pkt) ()
+                in
+                Stats.Counter.incr t.counters.tx_finalized;
+                match verdict with
+                | Nf.Deliver ->
+                  Vswitch.maybe_mirror t.vs pre pkt;
+                  let outer_dst =
+                    match pre.Pre_action.peer_server with
+                    | Some server -> server
+                    | None -> Vswitch.gateway t.vs
+                  in
+                  Packet.encap_vxlan pkt ~vni:pre.Pre_action.vni
+                    ~outer_src:(Vswitch.underlay_ip t.vs) ~outer_dst;
+                  Pbatch.push out pkt
+                | Nf.Drop reason -> Vswitch.count_drop t.vs reason
+              end
+              else if a = act_noroute then Vswitch.count_drop t.vs Nf.No_route
+            done;
+            Vswitch.emit_batch t.vs out;
+            Pbatch.recycle batch)
+      in
+      if not accepted then Pbatch.recycle batch
+    end;
+    !leftover
+  end
+
+(* The FE service in the shared ingress shape.  [ingest] accepts a
+   still-encapsulated packet and decapsulates it itself; a batched
+   leftover re-enters the vSwitch's net ingress. *)
+module Ingress_impl = struct
+  type nonrec t = t
+  type ctx = unit
+
+  let ingest t ~ctx:() pkt =
+    let outer = Packet.decap_vxlan pkt in
+    hook t pkt ~outer
+
+  let ingest_batch t ~ctx:() batch =
+    match process_batch t batch with
+    | None -> ()
+    | Some leftover ->
+      Pbatch.iter leftover (fun pkt -> Vswitch.from_net t.vs pkt);
+      Pbatch.recycle leftover
+end
+
 let install vs =
   let t =
     {
@@ -230,6 +437,7 @@ let install vs =
     }
   in
   Vswitch.set_net_hook vs (Some (fun pkt ~outer -> hook t pkt ~outer));
+  Vswitch.set_net_hook_batch vs (Some (fun batch -> process_batch t batch));
   (* Cached-flow aging pump for the served regions. *)
   let p = Vswitch.params vs in
   Sim.every (Vswitch.sim vs) ~period:(p.Params.flow_aging /. 4.0) (fun sim ->

@@ -1,0 +1,19 @@
+(** The shared shape of every packet-ingress point on the dataplane.
+
+    The vSwitch's net ingress, the FE service and the BE intercept all
+    accept traffic through the same pair of shapes: a single-packet
+    [ingest] that can decline ([`Continue]) and a vectored
+    [ingest_batch] that consumes the whole batch (taking ownership —
+    the implementation recycles it; anything it cannot handle it routes
+    through its own fallback).  [ctx] carries the per-component side
+    channel ([unit] where none is needed, the packet direction for the
+    BE intercept, ...), identically placed in both variants so callers
+    can abstract over components. *)
+
+module type S = sig
+  type t
+  type ctx
+
+  val ingest : t -> ctx:ctx -> Nezha_net.Packet.t -> [ `Handled | `Continue ]
+  val ingest_batch : t -> ctx:ctx -> Nezha_net.Pbatch.t -> unit
+end

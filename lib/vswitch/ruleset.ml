@@ -224,6 +224,13 @@ let lookup t ~params ~vpc ~flow_tx =
       in
       Some { pre; cycles })
 
+(* The batched datapath resolves one lookup per flow-key group and lets
+   the other members of the group ride the result.  Each such member is
+   exactly what a megaflow hit would have been on the single-packet
+   path, so the batch path reports it here to keep the hit/miss
+   telemetry comparable across both paths. *)
+let note_megaflow_hit t = Stats.Counter.incr t.mega_hits
+
 let megaflow_hits t = Stats.Counter.value t.mega_hits
 let megaflow_misses t = Stats.Counter.value t.mega_misses
 let megaflow_entries t = Mega.length t.mega

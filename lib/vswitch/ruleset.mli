@@ -90,6 +90,12 @@ val lookup :
     [params.megaflow_hit_cycles].  Sessions whose peer maps to several
     FEs are never cached: their FE choice hashes the full tuple. *)
 
+val note_megaflow_hit : t -> unit
+(** Record a megaflow hit that happened outside {!lookup}: the batched
+    datapath resolves one lookup per flow-key group and each additional
+    group member is accounted as the cache hit it would have been on
+    the single-packet path. *)
+
 val megaflow_hits : t -> int
 val megaflow_misses : t -> int
 val megaflow_entries : t -> int

@@ -5,6 +5,12 @@ module Trace = Nezha_telemetry.Trace
 
 type output = To_vm of Vnic.id * Packet.t | To_net of Packet.t
 
+(* The transmit side of the vSwitch.  [on_output] carries single
+   results (every [To_vm], plus [To_net] from the single-packet paths);
+   [on_net_batch] carries an encapsulated net burst, ownership
+   included — the sink recycles the batch. *)
+type sink = { on_output : output -> unit; on_net_batch : Pbatch.t -> unit }
+
 type counters = {
   rx_packets : Stats.Counter.t;
   tx_packets : Stats.Counter.t;
@@ -22,6 +28,9 @@ type session = { pre : Pre_action.t option; state : State.t option; generation :
 type intercept = {
   on_tx : Packet.t -> [ `Handled | `Continue ];
   on_rx : Packet.t -> [ `Handled | `Continue ];
+  on_tx_batch : (Pbatch.t -> unit) option;
+      (* vectored TX interception; [None] falls back to [on_tx] per
+         packet.  The handler owns (and recycles) the batch. *)
 }
 
 type flow_record = {
@@ -53,6 +62,9 @@ type t = {
   by_addr : Vnic.t Vnic.Addr.Table.t;
   counters : counters;
   mutable transmit : output -> unit;
+  mutable transmit_batch : (Pbatch.t -> unit) option;
+      (* [None] = legacy single-output sink; batches unroll through
+         [transmit]. *)
   mutable version : int;
   mutable flow_log : (flow_record -> unit) option;
   mutable flow_records : int;
@@ -61,6 +73,10 @@ type t = {
   mutable learner : (Vnic.Addr.t -> (Ipv4.t array * float) option) option;
   mutable learning : unit Vnic.Addr.Table.t; (* queries in flight *)
   mutable net_hook : (Packet.t -> outer:Packet.vxlan option -> [ `Handled | `Continue ]) option;
+  mutable net_hook_batch : (Pbatch.t -> Pbatch.t option) option;
+      (* vectored net hook: receives still-encapsulated NSH traffic,
+         returns the (still-encapsulated) leftover it declined, or
+         [None] when everything was consumed. *)
   mutable tracer : Trace.t option;
 }
 
@@ -99,6 +115,7 @@ let create ~sim ~params ~name ~underlay_ip ~gateway () =
       by_addr = Vnic.Addr.Table.create 16;
       counters = make_counters ();
       transmit = (fun _ -> failwith "Vswitch: transmit not installed");
+      transmit_batch = None;
       version = 0;
       flow_log = None;
       flow_records = 0;
@@ -107,6 +124,7 @@ let create ~sim ~params ~name ~underlay_ip ~gateway () =
       learner = None;
       learning = Vnic.Addr.Table.create 8;
       net_hook = None;
+      net_hook_batch = None;
       tracer = None;
     }
   in
@@ -151,7 +169,14 @@ let total_drops t =
 let count_drop t reason = Stats.Counter.incr (drop_counter t reason)
 let count_notify t = Stats.Counter.incr t.counters.notify_packets
 
-let set_transmit t f = t.transmit <- f
+let set_sink t s =
+  t.transmit <- s.on_output;
+  t.transmit_batch <- Some s.on_net_batch
+
+(* Legacy form: batches unroll through the single-output callback. *)
+let set_transmit t f =
+  t.transmit <- f;
+  t.transmit_batch <- None
 
 (* ------------------------------------------------------------------ *)
 (* Tracing.  The vSwitch is the allocation point (a trace starts where
@@ -188,6 +213,19 @@ let emit t out =
   | To_vm (_, _) -> Stats.Counter.incr t.counters.delivered
   | To_net _ -> Stats.Counter.incr t.counters.forwarded);
   t.transmit out
+
+(* Send an encapsulated net burst.  Counting happens here (mirroring
+   [emit]) so both sink arms agree on [forwarded]. *)
+let emit_batch t batch =
+  if Pbatch.is_empty batch then Pbatch.recycle batch
+  else begin
+    Stats.Counter.add t.counters.forwarded (Pbatch.length batch);
+    match t.transmit_batch with
+    | Some f -> f batch
+    | None ->
+      Pbatch.iter batch (fun pkt -> t.transmit (To_net pkt));
+      Pbatch.recycle batch
+  end
 
 (* ------------------------------------------------------------------ *)
 (* vNIC management *)
@@ -393,6 +431,20 @@ let charge t ~cycles k =
     count_drop t
       (if Smartnic.is_crashed t.nic then Nf.Nic_crashed else Nf.Queue_overflow)
 
+(* One submission for a whole batch: the SmartNIC schedules a single
+   event for the summed cycles — the event-dispatch amortization that
+   motivates vectoring.  A rejected submission loses every packet of
+   the batch, so the drop counter advances by [npkts]. *)
+let charge_batch t ~cycles ~npkts k =
+  if Smartnic.submit t.nic ~cycles k then true
+  else begin
+    let reason =
+      if Smartnic.is_crashed t.nic then Nf.Nic_crashed else Nf.Queue_overflow
+    in
+    Stats.Counter.add (drop_counter t reason) npkts;
+    false
+  end
+
 let slow_path t rs ~vpc ~flow_tx =
   Stats.Counter.incr t.counters.slow_path_execs;
   Ruleset.lookup rs ~params:t.params ~vpc ~flow_tx
@@ -403,6 +455,7 @@ let set_intercept t vid i =
   match entry t vid with None -> () | Some e -> e.intercept <- i
 
 let set_net_hook t h = t.net_hook <- h
+let set_net_hook_batch t h = t.net_hook_batch <- h
 
 let set_mapping_learner t l = t.learner <- l
 
@@ -610,6 +663,230 @@ let local_rx t e pkt ~outer_src =
               deliver_local t vid pkt
             | Ok (), Nf.Drop reason -> count_drop t reason)))
 
+(* ------------------------------------------------------------------ *)
+(* Batched local datapath.
+
+   One pass over the burst groups packets by flow key (linear scan over
+   the unique keys seen so far — batches are small) and resolves each
+   group once: a session-table hit or one slow-path execution, with the
+   rest of the group riding the result.  The whole burst is then charged
+   as a single SmartNIC submission (one event for the summed cycles) and
+   the continuation replays the exact per-packet sequence the
+   single-packet paths run, so state evolution, stored sessions and
+   verdicts match a packet-at-a-time burst observably.
+
+   Counter discipline: group followers advance the same counters the
+   single path would have (fast-path hit, or slow-path execution whose
+   lookup degenerates to a megaflow hit).  Flows whose peer maps to
+   several FEs are the one divergence: the single path re-walks the
+   pipeline per packet (their megaflow entry is uncacheable) while the
+   batch memo rides the leader's result — same pre-actions (the FE pick
+   hashes the flow, identical within a group), fewer walk cycles. *)
+
+let dummy_key =
+  Flow_key.of_packet_fields ~vpc:(Vpc.make 0)
+    ~flow:
+      (Five_tuple.make ~src:(Ipv4.of_octets 0 0 0 0) ~dst:(Ipv4.of_octets 0 0 0 0)
+         ~src_port:0 ~dst_port:0 ~proto:Five_tuple.Tcp)
+
+let kind_fast = 0
+let kind_slow = 1
+let kind_noroute = 2
+
+(* [outers] is the per-packet preserved outer source on RX; [None] on
+   TX.  Owns [batch]. *)
+let local_batch t e ~dir batch ~outers =
+  let vid = e.vnic.Vnic.id in
+  let t0 = Sim.now t.sim in
+  let n = Pbatch.length batch in
+  if n = 0 then Pbatch.recycle batch
+  else begin
+    match e.ruleset with
+    | None ->
+      for _ = 1 to n do
+        count_drop t Nf.No_route
+      done;
+      Pbatch.recycle batch
+    | Some rs ->
+      let generation = Ruleset.generation rs in
+      let pkt_group = Array.make n 0 in
+      let pkt_lookup = Array.make n 0 in
+      let pkt_key = Array.make n dummy_key in
+      let g_keys = Array.make n dummy_key in
+      let g_kind = Array.make n kind_noroute in
+      let g_pre = Array.make n None in
+      let g_state = Array.make n None in
+      let ngroups = ref 0 in
+      let total_cycles = ref 0 in
+      for i = 0 to n - 1 do
+        let pkt = Pbatch.get batch i in
+        let key = Flow_key.of_packet_fields ~vpc:pkt.Packet.vpc ~flow:pkt.Packet.flow in
+        pkt_key.(i) <- key;
+        let move = Params.packet_cycles t.params ~wire_bytes:(Packet.wire_size pkt) in
+        let encap = match dir with Packet.Tx -> t.params.Params.encap_cycles | Packet.Rx -> 0 in
+        let gi = ref (-1) in
+        for j = 0 to !ngroups - 1 do
+          if !gi < 0 && Flow_key.equal g_keys.(j) key then gi := j
+        done;
+        let lookup_cycles = ref 0 in
+        (if !gi < 0 then begin
+           (* Group leader: resolve once. *)
+           let j = !ngroups in
+           incr ngroups;
+           g_keys.(j) <- key;
+           gi := j;
+           let cached =
+             match find_session t vid key with
+             | Some ({ pre = Some _; _ } as s) when s.generation = generation -> Some s
+             | Some _ | None -> None
+           in
+           match cached with
+           | Some { pre = Some pre; state; _ } ->
+             Stats.Counter.incr t.counters.fast_path_hits;
+             g_kind.(j) <- kind_fast;
+             g_pre.(j) <- Some pre;
+             g_state.(j) <- state
+           | Some _ | None -> (
+             Stats.Counter.incr e.slow_execs;
+             let flow_tx =
+               match dir with
+               | Packet.Tx -> pkt.Packet.flow
+               | Packet.Rx -> Five_tuple.reverse pkt.Packet.flow
+             in
+             match slow_path t rs ~vpc:pkt.Packet.vpc ~flow_tx with
+             | None ->
+               g_kind.(j) <- kind_noroute;
+               lookup_cycles :=
+                 Params.rule_lookup_cycles t.params ~acl_rules_scanned:0 ~lpm_depth:32
+                   ~tables:(Ruleset.table_count rs)
+             | Some { Ruleset.pre; cycles } ->
+               if dir = Packet.Tx && pre.Pre_action.peer_server = None then
+                 learn_mapping t ~vid
+                   ~addr:
+                     { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst };
+               g_kind.(j) <- kind_slow;
+               g_pre.(j) <- Some pre;
+               lookup_cycles := cycles)
+         end
+         else begin
+           (* Follower: account what the single path would have done. *)
+           match g_kind.(!gi) with
+           | k when k = kind_fast -> Stats.Counter.incr t.counters.fast_path_hits
+           | k when k = kind_slow ->
+             Stats.Counter.incr e.slow_execs;
+             Stats.Counter.incr t.counters.slow_path_execs;
+             Ruleset.note_megaflow_hit rs;
+             lookup_cycles := t.params.Params.megaflow_hit_cycles
+           | _ ->
+             (* Unroutable groups are not memoized: the single path
+                burns a failed walk per packet, so replay it. *)
+             Stats.Counter.incr e.slow_execs;
+             ignore
+               (slow_path t rs ~vpc:pkt.Packet.vpc
+                  ~flow_tx:
+                    (match dir with
+                    | Packet.Tx -> pkt.Packet.flow
+                    | Packet.Rx -> Five_tuple.reverse pkt.Packet.flow)
+                 : Ruleset.lookup_result option);
+             lookup_cycles :=
+               Params.rule_lookup_cycles t.params ~acl_rules_scanned:0 ~lpm_depth:32
+                 ~tables:(Ruleset.table_count rs)
+         end);
+        pkt_group.(i) <- !gi;
+        pkt_lookup.(i) <- !lookup_cycles;
+        let c =
+          match g_kind.(!gi) with
+          | k when k = kind_fast -> move + t.params.Params.fast_path_cycles + encap
+          | k when k = kind_slow ->
+            move + !lookup_cycles + t.params.Params.session_setup_cycles + encap
+          | _ -> move + !lookup_cycles
+        in
+        total_cycles := !total_cycles + c
+      done;
+      let accepted =
+        charge_batch t ~cycles:!total_cycles ~npkts:n (fun _sim ->
+            let out = Pbatch.alloc () in
+            for i = 0 to n - 1 do
+              let pkt = Pbatch.get batch i in
+              let key = pkt_key.(i) in
+              let gi = pkt_group.(i) in
+              let decap_src = match outers with None -> None | Some a -> a.(i) in
+              let dir_arg = match dir with Packet.Tx -> "tx" | Packet.Rx -> "rx" in
+              match g_kind.(gi) with
+              | k when k = kind_fast -> (
+                let pre = Option.get g_pre.(gi) in
+                trace_stage t pkt ~name:"fast_path" ~args:[ ("dir", dir_arg) ] ~t0 ();
+                let verdict, st_out =
+                  Nf.process ~pre ~state:g_state.(gi) ~dir ~flags:pkt.Packet.flags
+                    ~proto:pkt.Packet.flow.Five_tuple.proto
+                    ~wire_bytes:(Packet.wire_size pkt) ?decap_src ()
+                in
+                apply_state_out t vid key ~generation ~pre_opt:(Some pre) st_out;
+                match verdict with
+                | Nf.Deliver -> (
+                  maybe_mirror t pre pkt;
+                  match dir with
+                  | Packet.Tx ->
+                    let outer_dst =
+                      match pre.Pre_action.peer_server with
+                      | Some server -> server
+                      | None -> t.gateway
+                    in
+                    Packet.encap_vxlan pkt ~vni:pre.Pre_action.vni
+                      ~outer_src:t.underlay_ip ~outer_dst;
+                    Pbatch.push out pkt
+                  | Packet.Rx -> deliver_local t vid pkt)
+                | Nf.Drop reason -> count_drop t reason)
+              | k when k = kind_slow -> (
+                let pre = Option.get g_pre.(gi) in
+                trace_stage t pkt ~name:"slow_path" ~args:[ ("dir", dir_arg) ] ~t0 ();
+                trace_detail t pkt ~name:"classification"
+                  ~args:[ ("lookup_cycles", string_of_int pkt_lookup.(i)) ]
+                  ~t0 ();
+                let prior_state =
+                  Option.bind (find_session t vid key) (fun s -> s.state)
+                in
+                let verdict, st_out =
+                  Nf.process ~pre ~state:prior_state ~dir ~flags:pkt.Packet.flags
+                    ~proto:pkt.Packet.flow.Five_tuple.proto
+                    ~wire_bytes:(Packet.wire_size pkt) ?decap_src ()
+                in
+                let stored =
+                  let state =
+                    match st_out with
+                    | Nf.Init st | Nf.Update st -> Some st
+                    | Nf.Keep -> prior_state
+                  in
+                  store_session t vid key { pre = g_pre.(gi); state; generation }
+                in
+                match (stored, verdict) with
+                | Error _, _ -> count_drop t Nf.Table_full
+                | Ok (), Nf.Deliver -> (
+                  maybe_mirror t pre pkt;
+                  match dir with
+                  | Packet.Tx ->
+                    let outer_dst =
+                      match pre.Pre_action.peer_server with
+                      | Some server -> server
+                      | None -> t.gateway
+                    in
+                    Packet.encap_vxlan pkt ~vni:pre.Pre_action.vni
+                      ~outer_src:t.underlay_ip ~outer_dst;
+                    Pbatch.push out pkt
+                  | Packet.Rx -> deliver_local t vid pkt)
+                | Ok (), Nf.Drop reason -> count_drop t reason)
+              | _ -> count_drop t Nf.No_route
+            done;
+            emit_batch t out;
+            Pbatch.recycle batch)
+      in
+      if not accepted then Pbatch.recycle batch
+  end
+
+let local_tx_batch t e batch = local_batch t e ~dir:Packet.Tx batch ~outers:None
+
+let local_rx_batch t e batch ~outers = local_batch t e ~dir:Packet.Rx batch ~outers:(Some outers)
+
 let from_vm t vid pkt =
   Stats.Counter.incr t.counters.tx_packets;
   match entry t vid with
@@ -629,8 +906,39 @@ let from_vm t vid pkt =
       | None -> local_tx t e pkt
     end
 
-let from_net t pkt =
-  Stats.Counter.incr t.counters.rx_packets;
+(* vNIC TX burst: the batched twin of [from_vm].  Owns [batch]. *)
+let from_vnic_batch t vid batch =
+  let n = Pbatch.length batch in
+  Stats.Counter.add t.counters.tx_packets n;
+  match entry t vid with
+  | None ->
+    for _ = 1 to n do
+      count_drop t Nf.No_vnic
+    done;
+    Pbatch.recycle batch
+  | Some e -> (
+    (match e.rate_limit with
+    | None -> ()
+    | Some bucket ->
+      (* In-order token draws, exactly as a packet-at-a-time burst. *)
+      Pbatch.filter_in_place batch (fun pkt ->
+          let ok =
+            Token_bucket.take bucket ~now:(Sim.now t.sim) ~bytes:(Packet.wire_size pkt)
+          in
+          if not ok then count_drop t Nf.Rate_limited;
+          ok));
+    Pbatch.iter batch (fun pkt -> trace_begin t pkt);
+    match e.intercept with
+    | Some { on_tx_batch = Some h; _ } -> h batch
+    | Some i ->
+      (* Single-packet interceptor: unroll, then the batch shell is
+         spent. *)
+      Pbatch.iter batch (fun pkt ->
+          match i.on_tx pkt with `Handled -> () | `Continue -> local_tx t e pkt);
+      Pbatch.recycle batch
+    | None -> local_tx_batch t e batch)
+
+let from_net_one t pkt =
   let outer = Packet.decap_vxlan pkt in
   let outer_src = Option.map (fun v -> v.Packet.outer_src) outer in
   let dst_addr = { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst } in
@@ -658,6 +966,123 @@ let from_net t pkt =
       | Some hook, None -> (
         match hook pkt ~outer with `Handled -> () | `Continue -> count_drop t Nf.No_vnic)
       | Some _, Some _ | None, _ -> count_drop t Nf.No_vnic)
+
+let from_net t pkt =
+  Stats.Counter.incr t.counters.rx_packets;
+  from_net_one t pkt
+
+(* Net RX burst.  The pass keeps packets in arrival order and carves the
+   burst into maximal consecutive runs that can stay vectored: NSH
+   workflow traffic bound for the batch net hook (handed over still
+   encapsulated), and same-vNIC tenant traffic with no interceptor
+   (decapped here, outer sources preserved).  A packet that fits
+   neither flushes the open run and takes the single-packet path, so
+   side effects interleave exactly as a packet-at-a-time burst.  Owns
+   [batch]. *)
+let from_net_batch t batch =
+  let n = Pbatch.length batch in
+  if n = 0 then Pbatch.recycle batch
+  else begin
+    Stats.Counter.add t.counters.rx_packets n;
+    let nsh_run = ref None in
+    let vnic_run = ref None in
+    let flush_nsh () =
+      match !nsh_run with
+      | None -> ()
+      | Some run -> (
+        nsh_run := None;
+        match t.net_hook_batch with
+        | Some h -> (
+          match h run with
+          | None -> ()
+          | Some leftover ->
+            Pbatch.iter leftover (fun p -> from_net_one t p);
+            Pbatch.recycle leftover)
+        | None ->
+          (* The run only opens when a batch hook is installed; if it
+             vanished mid-burst, unroll. *)
+          Pbatch.iter run (fun p -> from_net_one t p);
+          Pbatch.recycle run)
+    in
+    let flush_vnic () =
+      match !vnic_run with
+      | None -> ()
+      | Some (e, run, outers) ->
+        vnic_run := None;
+        local_rx_batch t e run ~outers
+    in
+    let flush_all () =
+      flush_nsh ();
+      flush_vnic ()
+    in
+    for i = 0 to n - 1 do
+      let pkt = Pbatch.get batch i in
+      match (t.net_hook_batch, pkt.Packet.nsh) with
+      | Some _, Some _ ->
+        flush_vnic ();
+        let run =
+          match !nsh_run with
+          | Some r -> r
+          | None ->
+            let r = Pbatch.alloc () in
+            nsh_run := Some r;
+            r
+        in
+        Pbatch.push run pkt
+      | (Some _ | None), _ -> (
+        let hook_first =
+          match (t.net_hook, pkt.Packet.nsh) with
+          | Some _, Some _ -> true
+          | (Some _ | None), _ -> false
+        in
+        if hook_first then begin
+          flush_all ();
+          from_net_one t pkt
+        end
+        else
+          let dst_addr =
+            { Vnic.Addr.vpc = pkt.Packet.vpc; ip = pkt.Packet.flow.Five_tuple.dst }
+          in
+          match Vnic.Addr.Table.find_opt t.by_addr dst_addr with
+          | Some vnic -> (
+            match entry t vnic.Vnic.id with
+            | Some ({ intercept = None; _ } as e) -> (
+              let push_into run outers =
+                let outer = Packet.decap_vxlan pkt in
+                outers.(Pbatch.length run) <-
+                  Option.map (fun v -> v.Packet.outer_src) outer;
+                Pbatch.push run pkt
+              in
+              match !vnic_run with
+              | Some (e', run, outers) when e' == e -> push_into run outers
+              | Some _ | None ->
+                flush_all ();
+                let run = Pbatch.alloc () in
+                let outers = Array.make (n - i) None in
+                push_into run outers;
+                vnic_run := Some (e, run, outers))
+            | Some { intercept = Some _; _ } | None ->
+              flush_all ();
+              from_net_one t pkt)
+          | None ->
+            flush_all ();
+            from_net_one t pkt)
+    done;
+    flush_all ();
+    Pbatch.recycle batch
+  end
+
+(* The vSwitch's net-facing ingress, in the shared shape. *)
+module Net_ingress = struct
+  type nonrec t = t
+  type ctx = unit
+
+  let ingest t ~ctx:() pkt =
+    from_net t pkt;
+    `Handled
+
+  let ingest_batch t ~ctx:() batch = from_net_batch t batch
+end
 
 let set_flow_log_sink t sink = t.flow_log <- sink
 

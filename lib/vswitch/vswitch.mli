@@ -26,6 +26,17 @@ type output =
   | To_vm of Vnic.id * Packet.t  (** deliver to the local VM owning the vNIC *)
   | To_net of Packet.t  (** VXLAN-encapsulated; [outer_dst] names the next server *)
 
+type sink = {
+  on_output : output -> unit;
+      (** single results: every [To_vm], plus [To_net] leaving a
+          single-packet path *)
+  on_net_batch : Pbatch.t -> unit;
+      (** an encapsulated net burst; the sink takes ownership and
+          recycles the batch *)
+}
+(** The transmit side of the vSwitch, batch-aware.  The fabric (or any
+    harness standing in for it) installs one with {!set_sink}. *)
+
 type counters = {
   rx_packets : Stats.Counter.t;  (** packets entering from the underlay *)
   tx_packets : Stats.Counter.t;  (** packets entering from local VMs *)
@@ -68,8 +79,14 @@ val set_software_version : t -> int -> unit
 val drop_count : t -> Nf.drop_reason -> int
 val total_drops : t -> int
 
+val set_sink : t -> sink -> unit
+(** Install the fabric's send functions.  Must be set before traffic
+    runs. *)
+
 val set_transmit : t -> (output -> unit) -> unit
-(** Install the fabric's send function.  Must be set before traffic runs. *)
+  [@@ocaml.deprecated "use set_sink: batches will unroll packet-at-a-time through this callback"]
+(** Legacy single-output form of {!set_sink}: net bursts unroll through
+    the callback one [To_net] at a time. *)
 
 (** {1 vNIC management} *)
 
@@ -160,14 +177,32 @@ val invalidate_cached_flows : t -> Vnic.id -> unit
 val from_vm : t -> Vnic.id -> Packet.t -> unit
 (** A local VM emitted a TX packet. *)
 
+val from_vnic_batch : t -> Vnic.id -> Pbatch.t -> unit
+(** A local vNIC emitted a TX burst.  Takes ownership of the batch.
+    Observably equivalent to [from_vm] per packet in order — same
+    deliveries, drops, counters and session-table evolution — while
+    charging the SmartNIC once for the whole burst. *)
+
 val from_net : t -> Packet.t -> unit
 (** The underlay delivered a packet to this server. *)
+
+val from_net_batch : t -> Pbatch.t -> unit
+(** The underlay delivered a burst.  Takes ownership; carves the burst
+    into maximal in-order vectored runs (batch net hook, per-vNIC local
+    RX) and falls back to the single-packet path between them. *)
+
+module Net_ingress : Ingress.S with type t = t and type ctx = unit
+(** The net-facing ingress in the shared {!Ingress.S} shape
+    ([ingest] = {!from_net}, [ingest_batch] = {!from_net_batch}). *)
 
 (** {1 Nezha integration hooks} *)
 
 type intercept = {
   on_tx : Packet.t -> [ `Handled | `Continue ];
   on_rx : Packet.t -> [ `Handled | `Continue ];
+  on_tx_batch : (Pbatch.t -> unit) option;
+      (** vectored TX interception; [None] falls back to [on_tx] per
+          packet.  The handler owns (and recycles) the batch. *)
 }
 
 val set_intercept : t -> Vnic.id -> intercept option -> unit
@@ -187,6 +222,13 @@ val set_net_hook :
     outer header — an FE must preserve the outer source for stateful
     decapsulation (§5.2). *)
 
+val set_net_hook_batch : t -> (Pbatch.t -> Pbatch.t option) option -> unit
+(** Vectored companion to {!set_net_hook}: receives a run of
+    still-encapsulated NSH-bearing packets (ownership included) and
+    returns the still-encapsulated leftover it declined — or [None] when
+    it consumed everything.  The leftover transfers back to the caller,
+    which routes it through the single-packet path. *)
+
 val vnic_slow_execs : t -> Vnic.id -> int
 (** Slow-path executions attributed to this vNIC — the controller's
     per-vNIC CPU consumption signal (§4.2.1). *)
@@ -199,6 +241,18 @@ val vnic_memory_bytes : t -> Vnic.id -> int
 val charge : t -> cycles:int -> (Sim.t -> unit) -> unit
 (** Run a continuation after the CPU spends [cycles]; drops (and counts)
     on queue overflow. *)
+
+val charge_batch : t -> cycles:int -> npkts:int -> (Sim.t -> unit) -> bool
+(** One submission for a whole burst — the event-dispatch amortization
+    that motivates vectoring.  On rejection every packet of the batch is
+    counted dropped and [false] returns (the caller still owns the
+    batch). *)
+
+val emit_batch : t -> Pbatch.t -> unit
+(** Send an encapsulated net burst through the installed sink, counting
+    [forwarded] per packet.  Takes ownership; under a legacy
+    {!set_transmit} callback the burst unrolls one [To_net] at a
+    time. *)
 
 val slow_path : t -> Ruleset.t -> vpc:Vpc.t -> flow_tx:Five_tuple.t -> Ruleset.lookup_result option
 (** Rule-table pipeline execution (cycle cost is in the result; the

@@ -446,9 +446,17 @@ let make_world ?(params = test_params) ?(acl_deny_rx = false) () =
       ~gateway:(ip "192.168.255.254") ()
   in
   let to_net = ref [] and to_vm = ref [] in
-  Vswitch.set_transmit vs (function
-    | Vswitch.To_net p -> to_net := p :: !to_net
-    | Vswitch.To_vm (vid, p) -> to_vm := (vid, p) :: !to_vm);
+  Vswitch.set_sink vs
+    {
+      Vswitch.on_output =
+        (function
+        | Vswitch.To_net p -> to_net := p :: !to_net
+        | Vswitch.To_vm (vid, p) -> to_vm := (vid, p) :: !to_vm);
+      on_net_batch =
+        (fun batch ->
+          Pbatch.iter batch (fun p -> to_net := p :: !to_net);
+          Pbatch.recycle batch);
+    };
   let acl = Acl.create () in
   if acl_deny_rx then
     Acl.add acl (Acl.rule ~priority:1 ~dst:(pfx "10.0.0.1/32") Acl.Deny);
@@ -581,7 +589,12 @@ let test_vs_intercept_tx () =
   let w = make_world () in
   let grabbed = ref 0 in
   Vswitch.set_intercept w.vs vnic_a.Vnic.id
-    (Some { Vswitch.on_tx = (fun _ -> incr grabbed; `Handled); on_rx = (fun _ -> `Continue) });
+    (Some
+       {
+         Vswitch.on_tx = (fun _ -> incr grabbed; `Handled);
+         on_rx = (fun _ -> `Continue);
+         on_tx_batch = None;
+       });
   Vswitch.from_vm w.vs vnic_a.Vnic.id (tx_packet ());
   check_int "intercepted" 1 !grabbed;
   check_int "nothing forwarded" 0 (List.length !(w.to_net))
