@@ -115,6 +115,47 @@ else
   echo "python3 not found; skipping overhead gate"
 fi
 
+echo "== bench macro --json (BENCH_macro.json)"
+dune exec --no-build bench/main.exe -- macro --json BENCH_macro.json
+
+echo "== macro gate (region scale + tuned-engine speedup + RSS ceiling)"
+# The region-scale engine's claims: the tuned engine (timer wheel +
+# pooled events, sharded heaps) must process events at least 2x faster
+# than the classic single-heap engine on the same 2,000-vSwitch region
+# day; the run must be deterministic and shard-count-invariant; Nezha
+# must resolve overloads in simulated time; and the whole run must fit
+# in a bounded heap.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_macro.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "nezha-bench/1", doc.get("schema")
+macro = doc["experiments"]["macro"]
+region = macro["region"]
+before, after = region["before"], region["after"]
+assert before["vswitches"] >= 2000, before["vswitches"]
+assert before["events"] >= 1_000_000, before["events"]
+assert after["overloads"] < before["overloads"], (before["overloads"], after["overloads"])
+assert after["activations"] > 0, "controller never activated an offload"
+assert macro["deterministic"] is True, "same-seed rerun diverged"
+assert macro["shard_equivalent"] is True, "digest depends on shard count"
+sweep = {(p["shards"], p["engine"]): p for p in macro["sweep"]}
+base = sweep[(1, "heap")]
+tuned = max((p for (s, e), p in sweep.items() if e == "wheel" and s > 1),
+            key=lambda p: p["events_per_sec"])
+speedup = tuned["events_per_sec"] / base["events_per_sec"]
+assert speedup >= 2.0, "tuned engine speedup %.2fx < 2.0x" % speedup
+rss = macro["peak_rss_bytes"]
+assert rss <= 1 << 30, "peak RSS %d bytes > 1 GiB ceiling" % rss
+print("ok: %d vswitches, %d events; overloads %d -> %d (%.1f%% resolved); "
+      "speedup %.2fx (gate >= 2.0x); peak rss %.0f MB (gate <= 1024 MB)"
+      % (before["vswitches"], before["events"], before["overloads"],
+         after["overloads"], region["resolved_pct"], speedup, rss / 1048576))
+PY
+else
+  echo "python3 not found; relying on the bench's built-in round-trip check"
+fi
+
 echo "== chaos smoke (0.5% underlay loss + crash + partition)"
 # --check exits non-zero unless the run recovered (end-window loss <= 1%)
 # and the BE tracker conservation invariant held, so this gate works even

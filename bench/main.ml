@@ -7,6 +7,9 @@
      bench/main.exe fig9 table3     run selected experiments
      bench/main.exe micro           Bechamel microbenchmarks of the core
                                     data structures
+     bench/main.exe macro           region-scale engine benchmark: the
+                                    Fig. 13 before/after run plus an
+                                    engine-mode / shard-count sweep
      bench/main.exe --list          list experiment names
      bench/main.exe --json FILE     machine-readable mode: write the
                                     JSON-capable experiments (fig9 gains
@@ -295,6 +298,115 @@ let ablations () =
   banner "Ablation — notify packet rate (§3.2.2)";
   note "notify packets per data packet: %.4f (TX-first sessions with a statistics policy)"
     (Experiments.ablation_notify_rate ())
+
+(* ------------------------------------------------------------------ *)
+(* Region-scale macrobenchmark: the Fig. 13 region run as an engine
+   stress test.  The sweep contrasts the classic single-heap engine
+   (shards=1, fresh closure per firing pushed through one big heap)
+   against the tuned engine (timer-wheel re-arming + pooled events) at
+   growing shard counts; the region section is the measured
+   before/after-Nezha overload count.  Digest cross-checks ride along:
+   all tuned entries must agree regardless of shard count, and the
+   before/after pair must reproduce the sweep's same-config entry. *)
+
+let word_bytes = Sys.word_size / 8
+let peak_rss_bytes () = (Gc.stat ()).Gc.top_heap_words * word_bytes
+
+let macro_engine_name = function
+  | Region_sim.Heap_events -> "heap"
+  | Region_sim.Wheel_events -> "wheel"
+
+let macro_sweep_points =
+  [
+    (1, Region_sim.Heap_events);
+    (1, Region_sim.Wheel_events);
+    (2, Region_sim.Wheel_events);
+    (4, Region_sim.Wheel_events);
+    (8, Region_sim.Wheel_events);
+  ]
+
+type macro_run = {
+  m_shards : int;
+  m_engine : Region_sim.engine;
+  m_res : Region_sim.result;
+  m_cpu_s : float;
+  m_rss : int;  (* top-of-heap high-water mark after this run *)
+}
+
+let macro_sweep () =
+  List.map
+    (fun (shards, engine) ->
+      let cfg = { Region_sim.default_config with Region_sim.shards; engine } in
+      Gc.compact ();
+      let t0 = Sys.time () in
+      let res = Region_sim.run cfg in
+      let dt = Float.max 1e-9 (Sys.time () -. t0) in
+      { m_shards = shards; m_engine = engine; m_res = res; m_cpu_s = dt; m_rss = peak_rss_bytes () })
+    macro_sweep_points
+
+let macro_checks region runs =
+  let digest_of shards engine =
+    List.find_map
+      (fun r -> if r.m_shards = shards && r.m_engine = engine then Some r.m_res.Region_sim.digest else None)
+      runs
+  in
+  let wheel_digests =
+    List.filter_map
+      (fun r -> if r.m_engine = Region_sim.Wheel_events then Some r.m_res.Region_sim.digest else None)
+      runs
+  in
+  let shard_equivalent =
+    match wheel_digests with [] -> false | d :: rest -> List.for_all (( = ) d) rest
+  in
+  (* The before/after "after" leg is the same config as the sweep's
+     (default shards, wheel) entry — equal digests mean a same-seed
+     rerun reproduced bit-identically. *)
+  let deterministic =
+    digest_of Region_sim.default_config.Region_sim.shards Region_sim.Wheel_events
+    = Some region.Experiments.region_after.Region_sim.digest
+  in
+  (deterministic, shard_equivalent)
+
+let macro_speedup runs =
+  let eps r = float_of_int r.m_res.Region_sim.events /. r.m_cpu_s in
+  let base =
+    List.find_opt (fun r -> r.m_shards = 1 && r.m_engine = Region_sim.Heap_events) runs
+  in
+  let best =
+    List.find_opt
+      (fun r ->
+        r.m_shards = Region_sim.default_config.Region_sim.shards
+        && r.m_engine = Region_sim.Wheel_events)
+      runs
+  in
+  match (base, best) with Some b, Some t -> eps t /. eps b | _ -> 0.0
+
+let macro () =
+  banner
+    "Macro — region-scale engine (2,000 vSwitches; paper Fig. 13: >99.9% of overloads resolved)";
+  let region = Experiments.region_overloads () in
+  let b = region.Experiments.region_before and a = region.Experiments.region_after in
+  note "region: %d servers, %d modeled vNICs, %d modeled flows, %d hotspots"
+    b.Region_sim.servers b.Region_sim.vnics_modeled b.Region_sim.flows_modeled
+    b.Region_sim.hotspots;
+  note "overloads before: %d   after: %d   resolved: %.1f%%   (detections %d, activations %d)"
+    b.Region_sim.overloads a.Region_sim.overloads region.Experiments.resolved_pct
+    a.Region_sim.detections a.Region_sim.activations;
+  let runs = macro_sweep () in
+  note "%7s %7s %12s %10s %14s %14s %10s" "shards" "engine" "events" "cpu(s)" "events/s"
+    "sim pkts/s" "rss(MB)";
+  List.iter
+    (fun r ->
+      note "%7d %7s %12d %10.2f %14.0f %14.3e %10.1f" r.m_shards
+        (macro_engine_name r.m_engine) r.m_res.Region_sim.events r.m_cpu_s
+        (float_of_int r.m_res.Region_sim.events /. r.m_cpu_s)
+        (r.m_res.Region_sim.packets_modeled /. r.m_cpu_s)
+        (float_of_int r.m_rss /. 1048576.0))
+    runs;
+  let deterministic, shard_equivalent = macro_checks region runs in
+  note "tuned x%d vs single-heap: %.2fx events/s   deterministic: %b   shard-equivalent: %b"
+    Region_sim.default_config.Region_sim.shards (macro_speedup runs) deterministic
+    shard_equivalent
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures.
@@ -669,7 +781,39 @@ let json_micro () =
              sweep) );
     ]
 
-let json_experiments = [ ("fig9", json_fig9); ("table4", json_table4); ("micro", json_micro) ]
+let json_macro () =
+  let region = Experiments.region_overloads () in
+  let runs = macro_sweep () in
+  let deterministic, shard_equivalent = macro_checks region runs in
+  Json.Obj
+    [
+      ("region", Experiments.json_of_region_overloads region);
+      ( "sweep",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("shards", Json.Int r.m_shards);
+                   ("engine", Json.String (macro_engine_name r.m_engine));
+                   ("events", Json.Int r.m_res.Region_sim.events);
+                   ("cpu_s", Json.Float r.m_cpu_s);
+                   ( "events_per_sec",
+                     Json.Float (float_of_int r.m_res.Region_sim.events /. r.m_cpu_s) );
+                   ( "packets_per_sec",
+                     Json.Float (r.m_res.Region_sim.packets_modeled /. r.m_cpu_s) );
+                   ("peak_rss_bytes", Json.Int r.m_rss);
+                   ("digest", Json.Int r.m_res.Region_sim.digest);
+                 ])
+             runs) );
+      ("speedup", Json.Float (macro_speedup runs));
+      ("deterministic", Json.Bool deterministic);
+      ("shard_equivalent", Json.Bool shard_equivalent);
+      ("peak_rss_bytes", Json.Int (peak_rss_bytes ()));
+    ]
+
+let json_experiments =
+  [ ("fig9", json_fig9); ("table4", json_table4); ("micro", json_micro); ("macro", json_macro) ]
 
 let run_json ~path names =
   let names = if names = [] then List.map fst json_experiments else names in
@@ -726,6 +870,7 @@ let experiments =
     ("appB2", appB2);
     ("ablations", ablations);
     ("micro", micro);
+    ("macro", macro);
   ]
 
 let () =

@@ -2,18 +2,26 @@ type 'a t = {
   cmp : 'a -> 'a -> int;
   mutable data : 'a array;
   mutable size : int;
+  initial_capacity : int;
 }
 
-let create ~cmp = { cmp; data = [||]; size = 0 }
+let create ?(capacity = 0) ~cmp () =
+  { cmp; data = [||]; size = 0; initial_capacity = capacity }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
+(* Growth is amortised: the backing array doubles, so n pushes cost O(n)
+   element moves total.  The first allocation honours the capacity hint
+   from [create], letting hot queues (the simulator) pre-size past the
+   doubling ramp. *)
 let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ncap =
+      if cap = 0 then max 16 t.initial_capacity else cap * 2
+    in
     let ndata = Array.make ncap x in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata

@@ -5,8 +5,10 @@
 
 type 'a t
 
-val create : cmp:('a -> 'a -> int) -> 'a t
-(** [create ~cmp] makes an empty heap ordered by [cmp] (smallest first). *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp] makes an empty heap ordered by [cmp] (smallest first).
+    [capacity] is a pre-sizing hint for the first backing allocation;
+    growth past it stays amortised (doubling). *)
 
 val length : 'a t -> int
 

@@ -1,28 +1,115 @@
 type handle = { mutable alive : bool }
 
-type event = { time : float; order : int; handle : handle; action : t -> unit }
+(* Event records are mutable and recycled through a per-simulation free
+   list: the hot loop (pop, run, schedule) reuses the same records
+   instead of allocating one per scheduled event.  A record is owned by
+   the heap while queued and by the pool while free; nothing else may
+   hold on to one. *)
+type event = {
+  mutable time : float;
+  mutable order : int;
+  mutable ev_handle : handle;
+  mutable action : t -> unit;
+}
 
 and t = {
   mutable clock : float;
   mutable seq : int;
   mutable executed : int;
   queue : event Heap.t;
+  mutable pool : event array; (* stack of recycled event records *)
+  mutable pool_n : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  timer_tick : float;
+  timer_slots : int;
+  mutable wheel : (t -> unit) Timer_wheel.t option; (* created lazily *)
+  mutable shard : shard option;
 }
+
+and shard = { cluster : cluster; shard_id : int; mutable msg_seq : int }
+
+and cluster = {
+  members : t array;
+  lookahead : float;
+  mail : msg list ref array; (* per destination shard, newest first *)
+  mutable delivered : int;
+}
+
+and msg = { at_time : float; src : int; mseq : int; act : t -> unit }
+
+type timer = (t -> unit) Timer_wheel.timer
+
+let dead_handle = { alive = false }
+let no_action : t -> unit = fun _ -> ()
+let dummy_event = { time = 0.0; order = 0; ev_handle = dead_handle; action = no_action }
 
 let cmp_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.order b.order
 
-let create () =
-  { clock = 0.0; seq = 0; executed = 0; queue = Heap.create ~cmp:cmp_event }
+let create ?(capacity = 256) ?(timer_tick = 1e-3) ?(timer_slots = 1024) () =
+  if timer_tick <= 0.0 then invalid_arg "Sim.create: timer_tick must be positive";
+  if timer_slots <= 0 then invalid_arg "Sim.create: timer_slots must be positive";
+  {
+    clock = 0.0;
+    seq = 0;
+    executed = 0;
+    queue = Heap.create ~capacity ~cmp:cmp_event ();
+    pool = [||];
+    pool_n = 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    timer_tick;
+    timer_slots;
+    wheel = None;
+    shard = None;
+  }
 
 let now t = t.clock
+
+let alloc_event t ~time ~handle ~action =
+  t.seq <- t.seq + 1;
+  if t.pool_n > 0 then begin
+    t.pool_n <- t.pool_n - 1;
+    let ev = t.pool.(t.pool_n) in
+    t.pool.(t.pool_n) <- dummy_event;
+    ev.time <- time;
+    ev.order <- t.seq;
+    ev.ev_handle <- handle;
+    ev.action <- action;
+    t.pool_hits <- t.pool_hits + 1;
+    ev
+  end
+  else begin
+    t.pool_misses <- t.pool_misses + 1;
+    { time; order = t.seq; ev_handle = handle; action }
+  end
+
+let recycle_event t ev =
+  (* Clear the closure and handle slots so the pool never keeps dead
+     captures alive. *)
+  ev.ev_handle <- dead_handle;
+  ev.action <- no_action;
+  let cap = Array.length t.pool in
+  if t.pool_n = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let np = Array.make ncap dummy_event in
+    Array.blit t.pool 0 np 0 cap;
+    t.pool <- np
+  end;
+  t.pool.(t.pool_n) <- ev;
+  t.pool_n <- t.pool_n + 1
+
+let pool_stats t = (t.pool_hits, t.pool_misses)
+
+let enqueue t ~time ~handle action =
+  Heap.push t.queue (alloc_event t ~time ~handle ~action)
 
 let at t ~time action =
   let time = if time < t.clock then t.clock else time in
   let handle = { alive = true } in
-  t.seq <- t.seq + 1;
-  Heap.push t.queue { time; order = t.seq; handle; action };
+  enqueue t ~time ~handle action;
   handle
 
 let schedule t ~delay action =
@@ -35,44 +122,244 @@ let cancelled handle = not handle.alive
 
 let every t ~period ?(jitter = fun () -> 0.0) f =
   if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  (* One handle and one tick closure serve every firing: each period
+     re-arms by re-enqueueing a pooled event record rather than
+     allocating a fresh closure + handle pair. *)
+  let handle = { alive = true } in
   let rec tick sim =
-    if f sim then
-      ignore (schedule sim ~delay:(period +. jitter ()) tick : handle)
+    if f sim then begin
+      let delay = period +. jitter () in
+      let delay = if delay < 0.0 then 0.0 else delay in
+      handle.alive <- true;
+      enqueue sim ~time:(sim.clock +. delay) ~handle tick
+    end
   in
-  ignore (schedule t ~delay:0.0 tick : handle)
+  enqueue t ~time:t.clock ~handle tick
 
-let step t =
+(* ---- wheel-backed timers ------------------------------------------- *)
+
+let get_wheel t =
+  match t.wheel with
+  | Some w -> w
+  | None ->
+    let w = Timer_wheel.create ~tick:t.timer_tick ~slots:t.timer_slots in
+    (* Skip the cursor up to the current clock while the wheel is still
+       empty, so the first real sweep doesn't walk every slot since 0. *)
+    if t.clock > 0.0 then ignore (Timer_wheel.advance w ~now:t.clock (fun _ -> ()) : int);
+    t.wheel <- Some w;
+    w
+
+let timeout t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  let w = get_wheel t in
+  Timer_wheel.add w ~now:t.clock ~deadline:(t.clock +. delay) f
+
+let cancel_timer timer = Timer_wheel.cancel timer
+
+let timer_cancelled timer = Timer_wheel.cancelled timer
+
+(* ---- the engine turn ------------------------------------------------ *)
+
+let heap_next t = match Heap.peek t.queue with None -> infinity | Some ev -> ev.time
+
+let wheel_next t =
+  match t.wheel with
+  | Some w when Timer_wheel.pending w > 0 -> Timer_wheel.next_sweep_at w
+  | _ -> infinity
+
+let next_event_time t = Float.min (heap_next t) (wheel_next t)
+
+let run_heap_event t =
   match Heap.pop t.queue with
   | None -> false
   | Some ev ->
     t.clock <- ev.time;
-    if ev.handle.alive then begin
-      ev.handle.alive <- false;
+    let h = ev.ev_handle in
+    let act = ev.action in
+    recycle_event t ev;
+    if h.alive then begin
+      h.alive <- false;
       t.executed <- t.executed + 1;
-      ev.action t
+      act t
     end;
     true
 
-let run ?until ?max_events t =
-  let fits_budget () =
-    match max_events with None -> true | Some m -> t.executed < m
-  in
+let run_wheel_slot t =
+  match t.wheel with
+  | None -> ()
+  | Some w ->
+    let boundary = Timer_wheel.next_sweep_at w in
+    let now' = if boundary > t.clock then boundary else t.clock in
+    t.clock <- now';
+    ignore
+      (Timer_wheel.advance w ~now:now' (fun act ->
+           t.executed <- t.executed + 1;
+           act t)
+        : int)
+
+(* One engine turn: either sweep the next due wheel slot or pop one heap
+   event, whichever comes first (wheel wins ties so coarse timers never
+   lag an equal-time event). *)
+let step t =
+  let hn = heap_next t and wn = wheel_next t in
+  if hn = infinity && wn = infinity then false
+  else begin
+    if wn <= hn then run_wheel_slot t else ignore (run_heap_event t : bool);
+    true
+  end
+
+(* Core loop shared by [run] and the sharded window executor: execute
+   turns while the next event time is [< limit_ex] and [<= limit_in].
+   [max_events] may overshoot by at most the contents of one wheel
+   slot. *)
+let exec t ~limit_ex ~limit_in ~fits_budget =
   let rec loop () =
-    if fits_budget () then begin
-      match Heap.peek t.queue with
-      | None -> ()
-      | Some ev ->
-        (match until with
-         | Some stop when ev.time > stop -> t.clock <- stop
-         | Some _ | None ->
-           if step t then loop ())
+    if fits_budget t then begin
+      let nxt = next_event_time t in
+      if nxt < limit_ex && nxt <= limit_in then
+        if step t then loop ()
     end
   in
-  loop ();
+  loop ()
+
+let run ?until ?max_events t =
+  let fits_budget =
+    match max_events with
+    | None -> fun _ -> true
+    | Some m -> fun t -> t.executed < m
+  in
+  let limit_in = match until with None -> infinity | Some u -> u in
+  exec t ~limit_ex:infinity ~limit_in ~fits_budget;
   match until with
-  | Some stop when Heap.is_empty t.queue && t.clock < stop -> t.clock <- stop
+  | Some stop when t.clock < stop && next_event_time t > stop -> t.clock <- stop
   | Some _ | None -> ()
 
-let pending t = Heap.length t.queue
+let pending t =
+  Heap.length t.queue
+  + (match t.wheel with Some w -> Timer_wheel.pending w | None -> 0)
 
 let events_executed t = t.executed
+
+(* ---- sharded conservative-sync cluster ------------------------------ *)
+
+module Sharded = struct
+  type nonrec cluster = cluster
+
+  let create ?capacity ?timer_tick ?timer_slots ~shards ~lookahead () =
+    if shards <= 0 then invalid_arg "Sim.Sharded.create: shards must be positive";
+    if lookahead <= 0.0 then
+      invalid_arg "Sim.Sharded.create: lookahead must be positive";
+    let members =
+      Array.init shards (fun _ -> create ?capacity ?timer_tick ?timer_slots ())
+    in
+    let c =
+      {
+        members;
+        lookahead;
+        mail = Array.init shards (fun _ -> ref []);
+        delivered = 0;
+      }
+    in
+    Array.iteri
+      (fun i m -> m.shard <- Some { cluster = c; shard_id = i; msg_seq = 0 })
+      members;
+    c
+
+  let shard c i = c.members.(i)
+  let shard_count c = Array.length c.members
+  let lookahead c = c.lookahead
+  let shard_id t = match t.shard with None -> None | Some s -> Some s.shard_id
+  let messages_delivered c = c.delivered
+
+  let send src ~dst ~delay act =
+    match src.shard with
+    | None -> ignore (schedule src ~delay act : handle)
+    | Some sh ->
+      let c = sh.cluster in
+      if dst < 0 || dst >= Array.length c.members then
+        invalid_arg "Sim.Sharded.send: no such shard";
+      if dst = sh.shard_id then ignore (schedule src ~delay act : handle)
+      else begin
+        if delay < c.lookahead then
+          invalid_arg "Sim.Sharded.send: cross-shard delay below lookahead";
+        sh.msg_seq <- sh.msg_seq + 1;
+        let box = c.mail.(dst) in
+        box :=
+          { at_time = src.clock +. delay; src = sh.shard_id; mseq = sh.msg_seq; act }
+          :: !box
+      end
+
+  let cmp_msg a b =
+    let c = Float.compare a.at_time b.at_time in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.src b.src in
+      if c <> 0 then c else Int.compare a.mseq b.mseq
+
+  (* Drain every mailbox into its destination heap.  Messages are sorted
+     by (arrival time, source shard, source sequence) so the delivery
+     order — and hence the destination's tie-breaking sequence numbers —
+     is independent of the order shards executed in. *)
+  let deliver c =
+    Array.iteri
+      (fun d box ->
+        match !box with
+        | [] -> ()
+        | msgs ->
+          box := [];
+          let sorted = List.sort cmp_msg msgs in
+          let dst = c.members.(d) in
+          List.iter
+            (fun m ->
+              c.delivered <- c.delivered + 1;
+              ignore (at dst ~time:m.at_time m.act : handle))
+            sorted)
+      c.mail
+
+  let always _ = true
+
+  let run ?until c =
+    let stop = match until with None -> infinity | Some u -> u in
+    let rec loop () =
+      deliver c;
+      let m =
+        Array.fold_left
+          (fun acc s -> Float.min acc (next_event_time s))
+          infinity c.members
+      in
+      if m = infinity || m > stop then begin
+        match until with
+        | Some u ->
+          Array.iter (fun s -> if s.clock < u then s.clock <- u) c.members
+        | None -> ()
+      end
+      else begin
+        (* Conservative window [m, m + lookahead): any cross-shard send
+           from inside the window arrives at >= m + lookahead, so every
+           shard may execute the whole window without hearing from the
+           others. *)
+        let wend = m +. c.lookahead in
+        Array.iter
+          (fun s -> exec s ~limit_ex:wend ~limit_in:stop ~fits_budget:always)
+          c.members;
+        loop ()
+      end
+    in
+    loop ()
+
+  let now c =
+    Array.fold_left (fun acc s -> Float.min acc s.clock) infinity c.members
+
+  let pending c = Array.fold_left (fun acc s -> acc + pending s) 0 c.members
+
+  let events_executed c =
+    Array.fold_left (fun acc s -> acc + s.executed) 0 c.members
+end
+
+let cross src dst ~delay act =
+  if src == dst then ignore (schedule src ~delay act : handle)
+  else
+    match (src.shard, dst.shard) with
+    | Some a, Some b when a.cluster == b.cluster ->
+      Sharded.send src ~dst:b.shard_id ~delay act
+    | _ -> invalid_arg "Sim.cross: simulations are not in the same cluster"

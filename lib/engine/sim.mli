@@ -1,17 +1,34 @@
 (** Discrete-event simulation core.
 
-    A simulation owns a virtual clock and a priority queue of events.
-    Events scheduled for the same instant fire in scheduling order
-    (a monotone sequence number breaks ties), which keeps runs
-    deterministic. *)
+    A simulation owns a virtual clock and two event sources: a binary
+    heap for exact-time events and a lazily created timer wheel for
+    coarse mass timers ([timeout]).  Events scheduled for the same
+    instant fire in scheduling order (a monotone sequence number breaks
+    ties), which keeps runs deterministic.
+
+    The hot path allocates almost nothing: event records are recycled
+    through a per-simulation pool, [every] reuses one closure and one
+    handle across all firings, and wheel timers bypass the heap
+    entirely.
+
+    For region-scale runs, {!Sharded} partitions work across several
+    simulations advanced in conservative-sync windows (see DESIGN.md
+    §10). *)
 
 type t
 
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : unit -> t
-(** A fresh simulation with the clock at 0. *)
+type timer
+(** A wheel-backed coarse timer (see {!timeout}). *)
+
+val create :
+  ?capacity:int -> ?timer_tick:float -> ?timer_slots:int -> unit -> t
+(** A fresh simulation with the clock at 0.  [capacity] pre-sizes the
+    event heap (default 256).  [timer_tick] / [timer_slots] configure
+    the wheel behind {!timeout} (defaults 1 ms x 1024 slots); the wheel
+    itself is only allocated on first use. *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)
@@ -30,20 +47,116 @@ val cancel : t -> handle -> unit
 
 val cancelled : handle -> bool
 
+val timeout : t -> delay:float -> (t -> unit) -> timer
+(** [timeout t ~delay f] schedules [f] on the timer wheel: O(1) insert
+    and no heap traffic, at the cost of coarse granularity — [f] fires
+    at the first wheel-slot boundary at or after [now +. delay] (within
+    one [timer_tick] of the deadline).  Use for mass per-flow /
+    per-retransmit timers; use [schedule] when exact timing matters. *)
+
+val cancel_timer : timer -> unit
+(** O(1); fired or already-cancelled timers are no-ops. *)
+
+val timer_cancelled : timer -> bool
+
 val every : t -> period:float -> ?jitter:(unit -> float) -> (t -> bool) -> unit
 (** [every t ~period f] runs [f] now and then every [period] (plus
-    [jitter ()] if given) until [f] returns [false].
+    [jitter ()] if given) until [f] returns [false].  All firings share
+    one tick closure and one handle; re-arming recycles a pooled event
+    record, so a periodic task allocates nothing per period.
     @raise Invalid_argument if [period <= 0]. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
-(** Drain the event queue.  Stops when the queue is empty, when the next
-    event would fire after [until], or after [max_events] events.  When
-    stopped by [until], the clock is advanced to [until] exactly. *)
+(** Drain both event sources in time order.  Stops when nothing is
+    pending, when the next event would fire after [until], or after
+    [max_events] events ([max_events] may overshoot by the contents of
+    one wheel slot).  When stopped by [until], the clock is advanced to
+    [until] exactly. *)
 
 val step : t -> bool
-(** Execute exactly one event; [false] when the queue is empty. *)
+(** Execute one engine turn — the next heap event or the next due wheel
+    slot, whichever is earlier (the wheel wins ties).  [false] when
+    nothing is pending. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled placeholders). *)
+(** Events still queued (including cancelled placeholders) plus live
+    wheel timers. *)
 
 val events_executed : t -> int
+(** Events run so far; wheel timers count when they fire. *)
+
+val pool_stats : t -> int * int
+(** [(reused, fresh)] event-record allocations — observability for the
+    pooling discipline (a warm simulation should reuse almost always). *)
+
+val cross : t -> t -> delay:float -> (t -> unit) -> unit
+(** [cross src dst ~delay f] schedules [f] on [dst] at
+    [now src +. delay].  When [src] and [dst] are the same simulation
+    this is a plain [schedule]; when they are distinct shards of the
+    same {!Sharded.cluster} the event goes through the cross-shard
+    mailbox (and [delay] must be at least the cluster lookahead).
+    @raise Invalid_argument for unrelated simulations. *)
+
+(** Sharded conservative-sync execution.
+
+    A cluster partitions the workload across [shards] independent
+    simulations.  Time advances in windows of width [lookahead]: each
+    iteration delivers queued cross-shard messages, finds the minimum
+    next-event time [m] across shards, and lets every shard execute all
+    its events in [[m, m + lookahead)].  This is safe because a
+    cross-shard message sent from inside the window (clock >= m, delay
+    >= lookahead) arrives at or after the window's end — no shard can
+    receive an event "from the past".
+
+    Determinism: mailbox delivery is sorted by (arrival time, source
+    shard, source sequence), so a given cluster layout replays
+    identically for a given seed.  Runs are additionally independent of
+    the shard {e count} iff all cross-shard interaction goes through
+    [send]/[cross] with delay >= lookahead and same-time deliveries
+    commute (e.g. counter updates, per-flow state keyed by source) —
+    see DESIGN.md §10 for the full contract. *)
+module Sharded : sig
+  type cluster
+
+  val create :
+    ?capacity:int ->
+    ?timer_tick:float ->
+    ?timer_slots:int ->
+    shards:int ->
+    lookahead:float ->
+    unit ->
+    cluster
+  (** [lookahead] must be a lower bound on every cross-shard
+      scheduling delay (for a rack-partitioned fabric: the minimum
+      cross-rack hop latency).
+      @raise Invalid_argument if [shards <= 0] or [lookahead <= 0]. *)
+
+  val shard : cluster -> int -> t
+  val shard_count : cluster -> int
+  val lookahead : cluster -> float
+
+  val shard_id : t -> int option
+  (** The shard index of a member simulation; [None] for a standalone
+      simulation. *)
+
+  val send : t -> dst:int -> delay:float -> (t -> unit) -> unit
+  (** [send src ~dst ~delay f] schedules [f] on shard [dst] at
+      [now src +. delay].  Same-shard (or unclustered) sends degrade to
+      a plain [schedule]; cross-shard sends go through the mailbox.
+      @raise Invalid_argument if [dst] is out of range or a cross-shard
+      [delay] is below the cluster lookahead. *)
+
+  val run : ?until:float -> cluster -> unit
+  (** Advance every shard in conservative-sync windows until nothing is
+      pending (or the next window would start after [until], in which
+      case all clocks park at [until]). *)
+
+  val now : cluster -> float
+  (** Minimum clock across shards — a lower bound on global time. *)
+
+  val pending : cluster -> int
+  val events_executed : cluster -> int
+
+  val messages_delivered : cluster -> int
+  (** Cross-shard mailbox messages delivered so far. *)
+end

@@ -9,22 +9,33 @@ and 'a t = {
   tick : float;
   slots : int;
   wheel : 'a timer list array; (* per-slot buckets, unordered *)
-  mutable cursor : int; (* next slot to sweep *)
-  mutable cursor_time : float; (* time corresponding to [cursor]'s start *)
+  (* Absolute slot index since t=0; the concrete slot is
+     [cursor_abs mod slots] and the window start is
+     [float cursor_abs *. tick].  Deriving every boundary from the
+     integer counter (rather than accumulating [+. tick]) keeps slot
+     boundaries bit-identical no matter how the wheel was advanced —
+     which the sharded simulator relies on for cross-shard-count
+     determinism. *)
+  mutable cursor_abs : int;
   mutable live : int;
 }
 
 let create ~tick ~slots =
   if tick <= 0.0 then invalid_arg "Timer_wheel.create: tick must be positive";
   if slots <= 0 then invalid_arg "Timer_wheel.create: slots must be positive";
-  { tick; slots; wheel = Array.make slots []; cursor = 0; cursor_time = 0.0; live = 0 }
+  { tick; slots; wheel = Array.make slots []; cursor_abs = 0; live = 0 }
 
-let slot_of t deadline = int_of_float (deadline /. t.tick) mod t.slots
+let next_sweep_at t = float_of_int (t.cursor_abs + 1) *. t.tick
 
 let add t ~now ~deadline value =
-  let deadline = if deadline < now +. t.tick then now +. t.tick else deadline in
+  let deadline = if deadline < now then now else deadline in
   let timer = { state = `Pending; deadline; value; owner = t } in
-  let s = slot_of t deadline in
+  (* Place by absolute slot index, clamped to the cursor so a deadline
+     whose natural slot has already been swept lands in the very next
+     sweep instead of waiting a full revolution. *)
+  let k = int_of_float (deadline /. t.tick) in
+  let k = if k < t.cursor_abs then t.cursor_abs else k in
+  let s = k mod t.slots in
   t.wheel.(s) <- timer :: t.wheel.(s);
   t.live <- t.live + 1;
   timer
@@ -66,10 +77,17 @@ let advance t ~now f =
     t.wheel.(s) <- keep
   in
   let rec loop () =
-    if t.cursor_time +. t.tick <= now then begin
-      sweep_slot t.cursor;
-      t.cursor <- (t.cursor + 1) mod t.slots;
-      t.cursor_time <- t.cursor_time +. t.tick;
+    if float_of_int (t.cursor_abs + 1) *. t.tick <= now then begin
+      if t.live = 0 then begin
+        (* Nothing can fire: fast-forward the cursor to just short of
+           [now] instead of sweeping every empty slot on the way.  Stale
+           (cancelled/fired) records left in skipped slots are filtered
+           by state on a later sweep. *)
+        let target = int_of_float (now /. t.tick) - 1 in
+        if target > t.cursor_abs then t.cursor_abs <- target
+      end;
+      sweep_slot (t.cursor_abs mod t.slots);
+      t.cursor_abs <- t.cursor_abs + 1;
       loop ()
     end
   in

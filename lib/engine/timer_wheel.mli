@@ -17,8 +17,9 @@ val create : tick:float -> slots:int -> 'a t
     @raise Invalid_argument if [tick <= 0] or [slots <= 0]. *)
 
 val add : 'a t -> now:float -> deadline:float -> 'a -> 'a timer
-(** Schedule [payload] to expire at [deadline] (clamped to at least one
-    tick in the future). *)
+(** Schedule [payload] to expire at the first slot boundary at or after
+    [deadline] — within one tick of it.  Deadlines in the past (below
+    [now], or in an already-swept slot) fire on the next sweep. *)
 
 val cancel : 'a timer -> unit
 (** O(1); expired or already-cancelled timers are no-ops. *)
@@ -26,6 +27,14 @@ val cancel : 'a timer -> unit
 val cancelled : 'a timer -> bool
 
 val payload : 'a timer -> 'a
+
+val next_sweep_at : 'a t -> float
+(** Earliest time at which [advance] would sweep another slot, i.e. the
+    end of the cursor's current window.  A conservative lower bound on
+    the next expiry: no pending timer can fire strictly before it.
+    Slot boundaries are exact multiples of [tick] (derived from an
+    integer slot counter), so the value is identical however the wheel
+    was advanced to its current position. *)
 
 val advance : 'a t -> now:float -> ('a -> unit) -> int
 (** [advance t ~now f] fires [f] on every timer whose deadline is

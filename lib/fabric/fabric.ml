@@ -6,7 +6,8 @@ module Trace = Nezha_telemetry.Trace
 type drop_reason = No_vxlan | No_such_server | No_vswitch | Fault_injected
 
 type t = {
-  sim : Sim.t;
+  sim : Sim.t; (* gateway / control shard *)
+  sims : Sim.t array; (* per-server simulation (shard); defaults to [sim] *)
   topology : Topology.t;
   gateway : Gateway.t;
   switches : Vswitch.t option array;
@@ -31,6 +32,13 @@ let ep_name = function
   | Faults.Gateway -> "gw"
   | Faults.Server sid -> "s" ^ string_of_int sid
 
+(* The simulation an endpoint's events run on.  With a sharded engine
+   each server lives on its rack's shard; the gateway stays on the base
+   (control) simulation. *)
+let sim_of_ep t = function
+  | Faults.Gateway -> t.sim
+  | Faults.Server sid -> t.sims.(sid)
+
 (* Wire transits are the only place underlay time passes, so each
    surviving hop emits one [Wire] span covering schedule-to-delivery —
    fault-injected extra delay included.  A hop still carrying NSH
@@ -39,7 +47,7 @@ let ep_name = function
 let trace_wire t ~src ~dst ~dur pkt =
   match t.tracer with
   | Some tr when pkt.Packet.trace_id <> 0 ->
-    let now = Sim.now t.sim in
+    let now = Sim.now (sim_of_ep t src) in
     let site = if pkt.Packet.nsh <> None then Trace.Remote else Trace.Local in
     Trace.add_span tr ~id:pkt.Packet.trace_id ~name:"wire" ~component:"fabric"
       ~kind:Trace.Wire ~site
@@ -52,7 +60,7 @@ let trace_fault_drop t ~src ~dst pkt =
   | Some tr when pkt.Packet.trace_id <> 0 ->
     Trace.mark tr ~id:pkt.Packet.trace_id ~name:"fault_drop" ~component:"fabric"
       ~args:[ ("src", ep_name src); ("dst", ep_name dst) ]
-      ~now:(Sim.now t.sim) ()
+      ~now:(Sim.now (sim_of_ep t src)) ()
   | Some _ | None -> ()
 
 (* One traversal of the [src -> dst] hop: consult the impairment plane,
@@ -62,10 +70,11 @@ let trace_fault_drop t ~src ~dst pkt =
    the trace: keeping it would double-count every stage downstream of
    the duplication against the one measured end-to-end interval. *)
 let transit t ~src ~dst ~delay pkt deliver =
+  let ssim = sim_of_ep t src and dsim = sim_of_ep t dst in
   match t.faults with
   | None ->
     trace_wire t ~src ~dst ~dur:delay pkt;
-    ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
+    Sim.cross ssim dsim ~delay (fun _ -> deliver pkt)
   | Some f -> (
     match Faults.consult f ~src ~dst with
     | Faults.Drop ->
@@ -73,17 +82,16 @@ let transit t ~src ~dst ~delay pkt deliver =
       count_lost t Fault_injected
     | Faults.Pass ->
       trace_wire t ~src ~dst ~dur:delay pkt;
-      ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle)
+      Sim.cross ssim dsim ~delay (fun _ -> deliver pkt)
     | Faults.Delay extra ->
       trace_wire t ~src ~dst ~dur:(delay +. extra) pkt;
-      ignore (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ -> deliver pkt) : Sim.handle)
+      Sim.cross ssim dsim ~delay:(delay +. extra) (fun _ -> deliver pkt)
     | Faults.Duplicate extra ->
       let twin = Packet.copy pkt in
       twin.Packet.trace_id <- 0;
       trace_wire t ~src ~dst ~dur:delay pkt;
-      ignore (Sim.schedule t.sim ~delay (fun _ -> deliver pkt) : Sim.handle);
-      ignore
-        (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ -> deliver twin) : Sim.handle))
+      Sim.cross ssim dsim ~delay (fun _ -> deliver pkt);
+      Sim.cross ssim dsim ~delay:(delay +. extra) (fun _ -> deliver twin))
 
 let deliver_at_server t target pkt =
   match t.switches.(target) with
@@ -94,6 +102,7 @@ let create ~sim ~topology =
   let t =
     {
       sim;
+      sims = Array.make (Topology.server_count topology) sim;
       topology;
       gateway = Gateway.create ();
       switches = Array.make (Topology.server_count topology) None;
@@ -118,6 +127,7 @@ let create ~sim ~topology =
   t
 
 let sim t = t.sim
+let server_sim t sid = t.sims.(sid)
 let topology t = t.topology
 let gateway t = t.gateway
 
@@ -131,7 +141,7 @@ let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
 
 let deliver_to_server t ~src pkt =
-  (match t.tap with Some tap -> tap ~time:(Sim.now t.sim) pkt | None -> ());
+  (match t.tap with Some tap -> tap ~time:(Sim.now t.sims.(src)) pkt | None -> ());
   match pkt.Packet.vxlan with
   | None -> count_lost t No_vxlan
   | Some v ->
@@ -172,12 +182,11 @@ let deliver_batch_to_server t ~src batch =
     | None -> ()
     | Some (target, delay, rb) ->
       run := None;
-      ignore
-        (Sim.schedule t.sim ~delay (fun _ -> deliver_batch_at_server t target rb)
-          : Sim.handle)
+      Sim.cross t.sims.(src) t.sims.(target) ~delay (fun _ ->
+          deliver_batch_at_server t target rb)
   in
   Pbatch.iter batch (fun pkt ->
-      (match t.tap with Some tap -> tap ~time:(Sim.now t.sim) pkt | None -> ());
+      (match t.tap with Some tap -> tap ~time:(Sim.now t.sims.(src)) pkt | None -> ());
       match pkt.Packet.vxlan with
       | None -> count_lost t No_vxlan
       | Some v -> (
@@ -218,19 +227,15 @@ let deliver_batch_to_server t ~src batch =
             | Faults.Delay extra ->
               flush ();
               trace_wire t ~src:fsrc ~dst:fdst ~dur:(delay +. extra) pkt;
-              ignore
-                (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ ->
-                     deliver_at_server t target pkt)
-                  : Sim.handle)
+              Sim.cross t.sims.(src) t.sims.(target) ~delay:(delay +. extra)
+                (fun _ -> deliver_at_server t target pkt)
             | Faults.Duplicate extra ->
               let twin = Packet.copy pkt in
               twin.Packet.trace_id <- 0;
               trace_wire t ~src:fsrc ~dst:fdst ~dur:delay pkt;
               push_run pkt;
-              ignore
-                (Sim.schedule t.sim ~delay:(delay +. extra) (fun _ ->
-                     deliver_at_server t target twin)
-                  : Sim.handle))));
+              Sim.cross t.sims.(src) t.sims.(target) ~delay:(delay +. extra)
+                (fun _ -> deliver_at_server t target twin))));
   flush ();
   Pbatch.recycle batch
 
@@ -255,26 +260,25 @@ let ping t ~dst ~reply =
     | None -> ()
     | Some extra ->
       let d1 = Topology.latency_to_gateway t.topology dst +. extra in
-      ignore
-        (Sim.schedule t.sim ~delay:d1 (fun _ ->
-             match t.switches.(dst) with
-             | Some vs when not (Smartnic.is_crashed (Vswitch.nic vs)) -> (
-               match leg ~src:(Faults.Server dst) ~dst:Faults.Gateway with
-               | None -> ()
-               | Some extra ->
-                 let d2 = Topology.latency_to_gateway t.topology dst +. extra in
-                 ignore (Sim.schedule t.sim ~delay:d2 (fun _ -> reply ()) : Sim.handle))
-             | Some _ | None -> ())
-          : Sim.handle)
+      Sim.cross t.sim t.sims.(dst) ~delay:d1 (fun _ ->
+          match t.switches.(dst) with
+          | Some vs when not (Smartnic.is_crashed (Vswitch.nic vs)) -> (
+            match leg ~src:(Faults.Server dst) ~dst:Faults.Gateway with
+            | None -> ()
+            | Some extra ->
+              let d2 = Topology.latency_to_gateway t.topology dst +. extra in
+              Sim.cross t.sims.(dst) t.sim ~delay:d2 (fun _ -> reply ()))
+          | Some _ | None -> ())
   end
 
-let add_server t sid ~params =
+let add_server t ?sim sid ~params =
   if sid < 0 || sid >= Array.length t.switches then invalid_arg "Fabric.add_server: bad id";
   (match t.switches.(sid) with
   | Some _ -> invalid_arg "Fabric.add_server: server already populated"
   | None -> ());
+  (match sim with Some s -> t.sims.(sid) <- s | None -> ());
   let vs =
-    Vswitch.create ~sim:t.sim ~params
+    Vswitch.create ~sim:t.sims.(sid) ~params
       ~name:(Printf.sprintf "vs-%d" sid)
       ~underlay_ip:(Topology.underlay_ip t.topology sid)
       ~gateway:(Topology.gateway_ip t.topology) ()
@@ -345,4 +349,16 @@ let register_telemetry t reg =
       Gateway.forwarded t.gateway);
   T.register_counter reg ~name:"fabric/gateway/dropped" (fun () ->
       Gateway.dropped t.gateway);
+  (* Arena health of the shared packet-batch pool: allocation vs reuse
+     tells whether the batched dataplane is recycling (reuse should
+     dominate once warm). *)
+  T.register_counter reg ~name:"pbatch/pool/allocs" (fun () ->
+      let a, _, _ = Pbatch.pool_stats () in
+      a);
+  T.register_counter reg ~name:"pbatch/pool/reuses" (fun () ->
+      let _, r, _ = Pbatch.pool_stats () in
+      r);
+  T.register_counter reg ~name:"pbatch/pool/recycles" (fun () ->
+      let _, _, c = Pbatch.pool_stats () in
+      c);
   match t.faults with Some f -> Faults.register_telemetry f reg | None -> ()

@@ -13,8 +13,21 @@ type t
 type drop_reason = No_vxlan | No_such_server | No_vswitch | Fault_injected
 
 val create : sim:Sim.t -> topology:Topology.t -> t
+(** [sim] is the base simulation: it runs the gateway and any server not
+    explicitly placed elsewhere with [add_server ~sim].  For sharded
+    runs, pass a member of a {!Sim.Sharded} cluster (conventionally
+    shard 0) and place each server on its rack's shard; hops between
+    endpoints on different shards then cross the cluster mailbox.
+    Cross-shard hop latencies must be at least the cluster lookahead —
+    rack-aligned placement satisfies this, since the cheapest
+    cross-rack hop ([Topology.cross_rack_latency]) bounds it. *)
 
 val sim : t -> Sim.t
+
+val server_sim : t -> Topology.server_id -> Sim.t
+(** The simulation the server's events run on ([sim t] unless the
+    server was added with an explicit [~sim]). *)
+
 val topology : t -> Topology.t
 val gateway : t -> Gateway.t
 
@@ -33,10 +46,13 @@ val set_tracer : t -> Nezha_telemetry.Trace.t option -> unit
 
 val tracer : t -> Nezha_telemetry.Trace.t option
 
-val add_server : t -> Topology.server_id -> params:Params.t -> Vswitch.t
+val add_server : t -> ?sim:Sim.t -> Topology.server_id -> params:Params.t -> Vswitch.t
 (** Create a vSwitch on the server, install its transmit path, and
-    register it for delivery.  @raise Invalid_argument if the server
-    already has one or the id is out of range. *)
+    register it for delivery.  [sim] places the server (vSwitch,
+    SmartNIC, timers and all deliveries to it) on a specific shard of a
+    {!Sim.Sharded} cluster; default is the fabric's base simulation.
+    @raise Invalid_argument if the server already has one or the id is
+    out of range. *)
 
 val vswitch : t -> Topology.server_id -> Vswitch.t
 (** @raise Not_found when the server has no vSwitch. *)
@@ -85,5 +101,6 @@ val lost_by : t -> drop_reason -> int
 
 val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
 (** [fabric/delivered_to_vms], per-reason [fabric/lost/...], gateway
-    forwarded/dropped, and — when a fault plane is attached — the
-    [fabric/faults/...] counters. *)
+    forwarded/dropped, the shared [pbatch/pool/...] arena counters
+    (allocs/reuses/recycles), and — when a fault plane is attached —
+    the [fabric/faults/...] counters. *)

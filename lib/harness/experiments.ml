@@ -930,6 +930,29 @@ let ablation_notify_rate ?(seed = 1) () =
   if packets = 0 then 0.0 else float_of_int notify /. float_of_int packets
 
 (* ------------------------------------------------------------------ *)
+(* Fig. 13 at region scale, measured.  [Region.daily_overloads] answers
+   the same question with a closed-form race model; this runs the race
+   in the event simulation — thousands of real vSwitches on a sharded
+   cluster, demand spikes vs the report/detect/place/push pipeline. *)
+
+type region_overloads = {
+  region_before : Region_sim.result;
+  region_after : Region_sim.result;
+  resolved_pct : float;
+}
+
+let region_overloads ?(cfg = Region_sim.default_config) () =
+  let ba = Region_sim.before_after cfg in
+  let b = ba.Region_sim.before.Region_sim.overloads in
+  let a = ba.Region_sim.after.Region_sim.overloads in
+  {
+    region_before = ba.Region_sim.before;
+    region_after = ba.Region_sim.after;
+    resolved_pct =
+      100.0 *. (1.0 -. (float_of_int a /. float_of_int (max 1 b)));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* JSON encoders: one [json_of_*] per result record, so every consumer
    (bench --json, the nezha_sim subcommands) shares a single schema
    instead of hand-rolling objects that can drift apart. *)
@@ -1082,4 +1105,34 @@ let json_of_locality_row (r : locality_row) =
     [
       ("placement", Json.String r.placement);
       ("p50_latency_us", Json.Float r.p50_latency_us);
+    ]
+
+let json_of_region_result (r : Region_sim.result) =
+  Json.Obj
+    [
+      ("servers", Json.Int r.Region_sim.servers);
+      ("vswitches", Json.Int r.Region_sim.vswitches);
+      ("vnics_modeled", Json.Int r.Region_sim.vnics_modeled);
+      ("flows_modeled", Json.Int r.Region_sim.flows_modeled);
+      ("hotspots", Json.Int r.Region_sim.hotspots);
+      ("events", Json.Int r.Region_sim.events);
+      ("messages", Json.Int r.Region_sim.messages);
+      ("ticks", Json.Int r.Region_sim.ticks);
+      ("flow_expiries", Json.Int r.Region_sim.flow_expiries);
+      ("overloads", Json.Int r.Region_sim.overloads);
+      ("overload_ticks", Json.Int r.Region_sim.overload_ticks);
+      ("detections", Json.Int r.Region_sim.detections);
+      ("activations", Json.Int r.Region_sim.activations);
+      ("packets_modeled", Json.Float r.Region_sim.packets_modeled);
+      ("pool_reused", Json.Int r.Region_sim.pool_reused);
+      ("pool_fresh", Json.Int r.Region_sim.pool_fresh);
+      ("digest", Json.Int r.Region_sim.digest);
+    ]
+
+let json_of_region_overloads (r : region_overloads) =
+  Json.Obj
+    [
+      ("before", json_of_region_result r.region_before);
+      ("after", json_of_region_result r.region_after);
+      ("resolved_pct", Json.Float r.resolved_pct);
     ]

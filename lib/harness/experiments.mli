@@ -235,6 +235,27 @@ val ablation_fe_locality : ?seed:int -> unit -> locality_row list
 (** App. B.1: FE selection prefers the BE's ToR.  Compares connection
     latency with same-rack FEs against FEs forced into a distant rack. *)
 
+(** {1 Fig. 13 at region scale — measured before/after}
+
+    The closed-form {!Nezha_workloads.Region.daily_overloads} race model
+    replayed as an actual event simulation: thousands of vSwitches on a
+    {!Nezha_engine.Sim.Sharded} cluster
+    ({!Nezha_workloads.Region_sim}), overloads counted only when a
+    demand spike outruns the offload pipeline in simulated time. *)
+
+type region_overloads = {
+  region_before : Nezha_workloads.Region_sim.result;
+  region_after : Nezha_workloads.Region_sim.result;
+  resolved_pct : float;  (** share of "before" overloads that Nezha
+                             resolved, in percent *)
+}
+
+val region_overloads :
+  ?cfg:Nezha_workloads.Region_sim.config -> unit -> region_overloads
+(** Two same-seed runs of [cfg] (default
+    {!Nezha_workloads.Region_sim.default_config}): controller off, then
+    on. *)
+
 (** {1 JSON encoders}
 
     One [json_of_*] per result record (via {!Nezha_telemetry.Json}), so
@@ -260,3 +281,8 @@ val json_of_lb_ablation : lb_ablation -> Nezha_telemetry.Json.t
 val json_of_state_size_ablation : state_size_ablation -> Nezha_telemetry.Json.t
 val json_of_failover_retx : failover_retx -> Nezha_telemetry.Json.t
 val json_of_locality_row : locality_row -> Nezha_telemetry.Json.t
+
+val json_of_region_result :
+  Nezha_workloads.Region_sim.result -> Nezha_telemetry.Json.t
+
+val json_of_region_overloads : region_overloads -> Nezha_telemetry.Json.t

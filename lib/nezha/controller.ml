@@ -220,16 +220,10 @@ let select_fe_candidates ?(version_filter = fun _ -> true) t ~be_server ~exclude
     let cpu, mem = utilization_of t s in
     cpu <= t.cfg.fe_cpu_max && mem <= t.cfg.fe_mem_max
   in
-  let candidates = List.filter eligible (servers_with_vswitch t) in
-  let same_rack, others = List.partition (fun s -> Topology.same_rack topo s be_server) candidates in
-  let by_cpu l = List.sort (fun a b -> Float.compare (last_cpu t a) (last_cpu t b)) l in
-  let ordered = by_cpu same_rack @ by_cpu others in
-  let rec take n = function
-    | [] -> []
-    | _ :: _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  take count ordered
+  Placement.select ~eligible
+    ~same_rack:(fun s -> Topology.same_rack topo s be_server)
+    ~cpu:(last_cpu t) ~count
+    (servers_with_vswitch t)
 
 (* ------------------------------------------------------------------ *)
 (* vNIC-server learning: after the gateway entry changes, every vSwitch

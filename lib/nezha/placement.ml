@@ -1,0 +1,15 @@
+(* FE candidate ordering (§4.2.1, App. B.1), shared by the online
+   controller and the region-scale bridge: among eligible servers,
+   same-ToR-as-the-BE first, each tier ordered by reported CPU
+   (least-loaded first). *)
+
+let rec take n = function
+  | [] -> []
+  | _ :: _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let select ~eligible ~same_rack ~cpu ~count servers =
+  let candidates = List.filter eligible servers in
+  let near, far = List.partition same_rack candidates in
+  let by_cpu l = List.sort (fun a b -> Float.compare (cpu a) (cpu b)) l in
+  take count (by_cpu near @ by_cpu far)

@@ -1,0 +1,21 @@
+(** FE candidate selection (§4.2.1, App. B.1) as a pure ordering,
+    shared by the online {!Controller} and the region-scale bridge
+    ([Nezha_workloads.Region_sim]).
+
+    The policy: filter to eligible servers (capacity ceilings, health,
+    cool-down — the caller's predicate), prefer servers in the BE's own
+    rack, and within each tier pick the least-loaded by reported CPU. *)
+
+val select :
+  eligible:('a -> bool) ->
+  same_rack:('a -> bool) ->
+  cpu:('a -> float) ->
+  count:int ->
+  'a list ->
+  'a list
+(** [select ~eligible ~same_rack ~cpu ~count servers] returns up to
+    [count] servers: eligible ones in the BE's rack ordered by [cpu]
+    ascending, then eligible others likewise. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if fewer). *)

@@ -62,9 +62,7 @@ type t = {
   by_addr : Vnic.t Vnic.Addr.Table.t;
   counters : counters;
   mutable transmit : output -> unit;
-  mutable transmit_batch : (Pbatch.t -> unit) option;
-      (* [None] = legacy single-output sink; batches unroll through
-         [transmit]. *)
+  mutable transmit_batch : Pbatch.t -> unit;
   mutable version : int;
   mutable flow_log : (flow_record -> unit) option;
   mutable flow_records : int;
@@ -115,7 +113,7 @@ let create ~sim ~params ~name ~underlay_ip ~gateway () =
       by_addr = Vnic.Addr.Table.create 16;
       counters = make_counters ();
       transmit = (fun _ -> failwith "Vswitch: transmit not installed");
-      transmit_batch = None;
+      transmit_batch = (fun _ -> failwith "Vswitch: sink not installed");
       version = 0;
       flow_log = None;
       flow_records = 0;
@@ -171,12 +169,7 @@ let count_notify t = Stats.Counter.incr t.counters.notify_packets
 
 let set_sink t s =
   t.transmit <- s.on_output;
-  t.transmit_batch <- Some s.on_net_batch
-
-(* Legacy form: batches unroll through the single-output callback. *)
-let set_transmit t f =
-  t.transmit <- f;
-  t.transmit_batch <- None
+  t.transmit_batch <- s.on_net_batch
 
 (* ------------------------------------------------------------------ *)
 (* Tracing.  The vSwitch is the allocation point (a trace starts where
@@ -220,11 +213,7 @@ let emit_batch t batch =
   if Pbatch.is_empty batch then Pbatch.recycle batch
   else begin
     Stats.Counter.add t.counters.forwarded (Pbatch.length batch);
-    match t.transmit_batch with
-    | Some f -> f batch
-    | None ->
-      Pbatch.iter batch (fun pkt -> t.transmit (To_net pkt));
-      Pbatch.recycle batch
+    t.transmit_batch batch
   end
 
 (* ------------------------------------------------------------------ *)

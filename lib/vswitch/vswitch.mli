@@ -83,11 +83,6 @@ val set_sink : t -> sink -> unit
 (** Install the fabric's send functions.  Must be set before traffic
     runs. *)
 
-val set_transmit : t -> (output -> unit) -> unit
-  [@@ocaml.deprecated "use set_sink: batches will unroll packet-at-a-time through this callback"]
-(** Legacy single-output form of {!set_sink}: net bursts unroll through
-    the callback one [To_net] at a time. *)
-
 (** {1 vNIC management} *)
 
 val add_vnic : t -> Vnic.t -> Ruleset.t -> Admission.t
@@ -250,9 +245,8 @@ val charge_batch : t -> cycles:int -> npkts:int -> (Sim.t -> unit) -> bool
 
 val emit_batch : t -> Pbatch.t -> unit
 (** Send an encapsulated net burst through the installed sink, counting
-    [forwarded] per packet.  Takes ownership; under a legacy
-    {!set_transmit} callback the burst unrolls one [To_net] at a
-    time. *)
+    [forwarded] per packet.  Takes ownership (the sink recycles the
+    batch). *)
 
 val slow_path : t -> Ruleset.t -> vpc:Vpc.t -> flow_tx:Five_tuple.t -> Ruleset.lookup_result option
 (** Rule-table pipeline execution (cycle cost is in the result; the

@@ -42,6 +42,10 @@ type profile = {
 val sample : Rng.t -> profile
 val sample_fleet : Rng.t -> n:int -> profile array
 
+val poisson : Rng.t -> float -> int
+(** Knuth's product method — small means only (used for per-hotspot
+    daily event counts, here and in {!Region_sim}). *)
+
 (** {1 Overload classification (Fig. 3)} *)
 
 type cause = Cps | Flows | Vnics

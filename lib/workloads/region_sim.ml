@@ -1,0 +1,444 @@
+open Nezha_engine
+open Nezha_net
+open Nezha_vswitch
+open Nezha_fabric
+module Placement = Nezha_core.Placement
+
+(* Region-scale bridge: thousands of real vSwitches (one per server,
+   rack-aligned onto the shards of a [Sim.Sharded] cluster) driven by
+   Region-sampled demand profiles, with a fleet controller on shard 0
+   doing Nezha offload placement against them.  The headline output is
+   Fig. 13/15's "overloads before/after Nezha", measured from the event
+   simulation — an overload *occurs* only when a demand spike outruns
+   report -> detect -> place -> push -> activate.
+
+   Shard-isolation contract (DESIGN.md §10): every cross-server
+   interaction is a [Sharded.send] with delay >= the cluster lookahead,
+   which here is the control-plane RPC latency — reports up to the
+   controller, activation pushes back down.  Demand ticks, flow-churn
+   timers and overload accounting are purely shard-local; the only
+   cross-shard *reads* are of data frozen at setup (profiles, spike
+   schedules, topology).  That makes runs independent of the shard
+   count, not just replayable. *)
+
+type engine = Heap_events | Wheel_events
+
+type config = {
+  racks : int;
+  servers_per_rack : int;
+  shards : int;
+  engine : engine;
+  seed : int;
+  duration : float;  (** one compressed "day", sim seconds *)
+  tick : float;  (** demand-evaluation period per server *)
+  flow_timers : int;  (** sampled live-flow churn timers per server *)
+  flow_mean : float;  (** mean flow lifetime driving churn *)
+  nezha : bool;  (** controller acts (false = "before" run) *)
+  report_interval : float;
+  scan_interval : float;
+  ctl_latency : float;  (** control-plane RPC latency = cluster lookahead *)
+  num_fes : int;
+  keep_share : float;  (** demand share the BE keeps once offloaded *)
+  offload_threshold : float;
+  overload_level : float;
+  fe_cpu_max : float;
+  fe_mem_max : float;
+  hotspot_quantile : float;  (** CPS quantile above which spikes occur *)
+  spikes_per_day : float;  (** Poisson mean per hotspot (Fig. 13) *)
+  ramp_median : float;  (** compressed spike ramp median, seconds *)
+  ramp_sigma : float;
+  hold : float;  (** time a spike holds its peak *)
+  push_bytes_per_s : float;  (** rule/state push bandwidth (§4.2.1) *)
+  rpc_rtt : float;
+}
+
+let default_config =
+  {
+    racks = 250;
+    servers_per_rack = 8;
+    shards = 8;
+    engine = Wheel_events;
+    seed = 42;
+    duration = 30.0;
+    tick = 0.02;
+    flow_timers = 16;
+    flow_mean = 1.0;
+    nezha = true;
+    report_interval = 0.25;
+    scan_interval = 0.25;
+    ctl_latency = 0.01;
+    num_fes = 4;
+    keep_share = 0.3;
+    offload_threshold = 0.70;
+    overload_level = 0.95;
+    fe_cpu_max = 0.30;
+    fe_mem_max = 0.50;
+    hotspot_quantile = 0.97;
+    spikes_per_day = 3.0;
+    ramp_median = 12.0;
+    ramp_sigma = 0.8;
+    hold = 3.0;
+    push_bytes_per_s = 200e6;
+    rpc_rtt = 0.002;
+  }
+
+type result = {
+  servers : int;
+  vswitches : int;
+  vnics_modeled : int;
+  flows_modeled : int;
+  hotspots : int;
+  events : int;  (** simulation events executed, cluster-wide *)
+  messages : int;  (** cross-shard mailbox deliveries *)
+  ticks : int;
+  flow_expiries : int;
+  overloads : int;  (** overload episodes (Fig. 13 occurrences) *)
+  overload_ticks : int;
+  detections : int;
+  activations : int;
+  packets_modeled : float;  (** demand-rate x time packet proxy *)
+  pool_reused : int;
+  pool_fresh : int;
+  digest : int;  (** order-insensitive run fingerprint *)
+}
+
+type spike = { t0 : float; ramp : float; peak_add : float; hold_s : float }
+
+type srv = {
+  sid : int;
+  shard : int;
+  sim : Sim.t;
+  base_cpu : float;
+  mem : float;
+  spikes : spike array;
+  rng : Rng.t;  (** private stream: flow-churn lifetimes *)
+  mutable keep : float;  (** 1.0 until an offload activates *)
+  mutable absorbed : (int * float) list;  (** (be server, demand share) as FE *)
+  mutable over : bool;
+  mutable episodes : int;
+  mutable over_ticks : int;
+  mutable ticks : int;
+  mutable flow_expiries : int;
+  mutable packets : float;
+  vnics_modeled : int;
+  flows_modeled : int;
+}
+
+(* Spike contribution at [now]: linear ramp up over [ramp], hold at the
+   peak, symmetric ramp down.  Pure over the setup-frozen schedule, so
+   an FE on another shard may evaluate its BE's demand without touching
+   mutable state. *)
+let spike_add spikes now =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun s ->
+      let u = now -. s.t0 in
+      if u > 0.0 then
+        if u < s.ramp then acc := !acc +. (s.peak_add *. u /. s.ramp)
+        else if u < s.ramp +. s.hold_s then acc := !acc +. s.peak_add
+        else if u < (2.0 *. s.ramp) +. s.hold_s then
+          acc := !acc +. (s.peak_add *. (1.0 -. ((u -. s.ramp -. s.hold_s) /. s.ramp))))
+    spikes;
+  !acc
+
+let own_demand srv now = srv.base_cpu +. (spike_add srv.spikes now *. srv.keep)
+
+let effective srvs srv now =
+  List.fold_left
+    (fun acc (be, share) -> acc +. (share *. spike_add srvs.(be).spikes now))
+    (own_demand srv now) srv.absorbed
+
+(* ------------------------------------------------------------------ *)
+
+type ctl_state = No_offload | Pending | Active
+
+type ctl = {
+  sim : Sim.t;
+  reported : float array;
+  state : ctl_state array;
+  reserved : bool array;
+  rngs : Rng.t array;  (** per-server decision streams: draws never
+                           depend on report arrival interleaving *)
+  mutable detections : int;
+  mutable activations : int;
+}
+
+let run cfg =
+  if cfg.shards < 1 then invalid_arg "Region_sim.run: shards must be >= 1";
+  if cfg.keep_share <= 0.0 || cfg.keep_share > 1.0 then
+    invalid_arg "Region_sim.run: keep_share must be in (0, 1]";
+  if cfg.ctl_latency <= 0.0 then invalid_arg "Region_sim.run: ctl_latency must be > 0";
+  let n = cfg.racks * cfg.servers_per_rack in
+  let topo = Topology.create ~racks:cfg.racks ~servers_per_rack:cfg.servers_per_rack in
+  let cluster =
+    Sim.Sharded.create ~capacity:4096 ~timer_tick:5e-3 ~timer_slots:512
+      ~shards:cfg.shards ~lookahead:cfg.ctl_latency ()
+  in
+  let shard_of sid = Topology.rack_of topo sid mod cfg.shards in
+  let ctl_sim = Sim.Sharded.shard cluster 0 in
+  let fabric = Fabric.create ~sim:ctl_sim ~topology:topo in
+  let setup_rng = Rng.create cfg.seed in
+  let profiles = Region.sample_fleet setup_rng ~n in
+  let hotspot_cut = Region.cps_demand_quantile cfg.hotspot_quantile in
+  let params = Params.default in
+  let hotspots = ref 0 in
+  let srvs =
+    Array.init n (fun sid ->
+        let p = profiles.(sid) in
+        let srng = Rng.create (cfg.seed lxor (0x9e3779b9 * (sid + 1))) in
+        let spikes =
+          if p.Region.cps <= hotspot_cut then [||]
+          else begin
+            incr hotspots;
+            let k = Region.poisson srng cfg.spikes_per_day in
+            Array.init k (fun _ ->
+                let t0 = Rng.float srng cfg.duration in
+                let ramp =
+                  cfg.ramp_median *. Rng.lognormal srng ~mu:0.0 ~sigma:cfg.ramp_sigma
+                in
+                let peak = cfg.overload_level +. 0.05 +. Rng.float srng 0.25 in
+                { t0; ramp; peak_add = peak -. p.Region.cpu; hold_s = cfg.hold })
+          end
+        in
+        {
+          sid;
+          shard = shard_of sid;
+          sim = Sim.Sharded.shard cluster (shard_of sid);
+          base_cpu = p.Region.cpu;
+          mem = p.Region.mem;
+          spikes;
+          rng = srng;
+          keep = 1.0;
+          absorbed = [];
+          over = false;
+          episodes = 0;
+          over_ticks = 0;
+          ticks = 0;
+          flow_expiries = 0;
+          packets = 0.0;
+          vnics_modeled = 1 + int_of_float (p.Region.vnics *. 511.0);
+          flows_modeled = int_of_float (p.Region.flows *. 1e6);
+        })
+  in
+  (* Real vSwitch + SmartNIC per server, placed on its rack's shard; one
+     concrete vNIC with a ruleset (memory admission included), with the
+     remaining modeled vNICs reserved against SmartNIC memory. *)
+  Array.iter
+    (fun (srv : srv) ->
+      let vs = Fabric.add_server fabric ~sim:srv.sim srv.sid ~params in
+      let vnic =
+        Vnic.make ~id:1
+          ~vpc:(Vpc.make (srv.sid + 1))
+          ~ip:(Ipv4.of_octets 10 (srv.sid lsr 16) ((srv.sid lsr 8) land 255) (srv.sid land 255))
+          ~mac:(Mac.of_int64 (Int64.of_int (srv.sid + 1)))
+      in
+      let rs = Ruleset.create ~vni:(srv.sid + 1) () in
+      (match Vswitch.add_vnic vs vnic rs with
+      | Ok () -> ()
+      | Error _ -> failwith "Region_sim: vNIC ruleset does not fit");
+      ignore
+        (Smartnic.mem_reserve (Vswitch.nic vs)
+           ((srv.vnics_modeled - 1) * params.Params.be_residual_bytes_per_vnic)
+          : bool))
+    srvs;
+  let ctl =
+    {
+      sim = ctl_sim;
+      reported = Array.map (fun s -> s.base_cpu) srvs;
+      state = Array.make n No_offload;
+      reserved = Array.make n false;
+      rngs =
+        Array.init n (fun sid -> Rng.create (cfg.seed lxor (0x85ebca6b * (sid + 1))));
+      detections = 0;
+      activations = 0;
+    }
+  in
+  (* --- per-server demand ticks and flow churn ---------------------- *)
+  let arm_periodic (srv : srv) ~offset ~period act_body =
+    (* Tuned mode routes the re-arming through the timer wheel with one
+       self-recursive closure; classic mode replicates the single-heap
+       engine (fresh closure + heap push per firing). *)
+    match cfg.engine with
+    | Wheel_events ->
+      let rec act sim =
+        act_body sim;
+        if Sim.now sim +. period <= cfg.duration then
+          ignore (Sim.timeout sim ~delay:period act : Sim.timer)
+      in
+      ignore (Sim.timeout srv.sim ~delay:offset act : Sim.timer)
+    | Heap_events ->
+      let rec act sim =
+        act_body sim;
+        if Sim.now sim +. period <= cfg.duration then
+          ignore (Sim.schedule sim ~delay:period (fun s -> act s) : Sim.handle)
+      in
+      ignore (Sim.schedule srv.sim ~delay:offset (fun s -> act s) : Sim.handle)
+  in
+  let pps_per_unit = 1e6 in
+  Array.iter
+    (fun (srv : srv) ->
+      let tick_body sim =
+        let now = Sim.now sim in
+        srv.ticks <- srv.ticks + 1;
+        let eff = effective srvs srv now in
+        srv.packets <- srv.packets +. (eff *. pps_per_unit *. cfg.tick);
+        if eff > cfg.overload_level then begin
+          srv.over_ticks <- srv.over_ticks + 1;
+          if not srv.over then begin
+            srv.over <- true;
+            srv.episodes <- srv.episodes + 1
+          end
+        end
+        else srv.over <- false
+      in
+      (* Stagger first ticks so 2,000 servers don't land on one instant. *)
+      let offset = cfg.tick *. float_of_int (srv.sid mod 64) /. 64.0 in
+      arm_periodic srv ~offset ~period:cfg.tick tick_body;
+      (* Flow churn: [flow_timers] concurrent lifetimes, each re-arming
+         with an exponential draw from the server's private stream. *)
+      for _ = 1 to cfg.flow_timers do
+        let delay0 = Rng.exponential srv.rng ~mean:cfg.flow_mean in
+        match cfg.engine with
+        | Wheel_events ->
+          let rec act sim =
+            srv.flow_expiries <- srv.flow_expiries + 1;
+            let d = Rng.exponential srv.rng ~mean:cfg.flow_mean in
+            if Sim.now sim +. d <= cfg.duration then
+              ignore (Sim.timeout sim ~delay:d act : Sim.timer)
+          in
+          ignore (Sim.timeout srv.sim ~delay:delay0 act : Sim.timer)
+        | Heap_events ->
+          let rec act sim =
+            srv.flow_expiries <- srv.flow_expiries + 1;
+            let d = Rng.exponential srv.rng ~mean:cfg.flow_mean in
+            if Sim.now sim +. d <= cfg.duration then
+              ignore (Sim.schedule sim ~delay:d (fun s -> act s) : Sim.handle)
+          in
+          ignore (Sim.schedule srv.sim ~delay:delay0 (fun s -> act s) : Sim.handle)
+      done;
+      (* Utilization reports up to the controller shard. *)
+      Sim.every srv.sim ~period:cfg.report_interval (fun sim ->
+          let now = Sim.now sim in
+          let eff = effective srvs srv now in
+          Sim.Sharded.send sim ~dst:0 ~delay:cfg.ctl_latency (fun _ ->
+              ctl.reported.(srv.sid) <- eff);
+          now < cfg.duration))
+    srvs;
+  (* --- controller scan on shard 0 ---------------------------------- *)
+  let all_servers = Topology.servers topo in
+  let activation_delay sid =
+    let p = profiles.(sid) in
+    let state_bytes = 5.5e6 +. (p.Region.flows *. 94.5e6) in
+    (2.0 *. cfg.rpc_rtt)
+    +. (state_bytes /. cfg.push_bytes_per_s
+        *. Rng.lognormal ctl.rngs.(sid) ~mu:0.0 ~sigma:0.35)
+  in
+  let scan () =
+    for sid = 0 to n - 1 do
+      if ctl.state.(sid) = No_offload && ctl.reported.(sid) >= cfg.offload_threshold
+      then begin
+        let fes =
+          Placement.select
+            ~eligible:(fun s ->
+              s <> sid
+              && ctl.state.(s) = No_offload
+              && (not ctl.reserved.(s))
+              && ctl.reported.(s) <= cfg.fe_cpu_max
+              && srvs.(s).mem <= cfg.fe_mem_max)
+            ~same_rack:(fun s -> Topology.same_rack topo s sid)
+            ~cpu:(fun s -> ctl.reported.(s))
+            ~count:cfg.num_fes all_servers
+        in
+        match fes with
+        | [] -> () (* no idle capacity this scan; retry next period *)
+        | fes ->
+          ctl.state.(sid) <- Pending;
+          ctl.detections <- ctl.detections + 1;
+          List.iter (fun f -> ctl.reserved.(f) <- true) fes;
+          let share = (1.0 -. cfg.keep_share) /. float_of_int (List.length fes) in
+          ignore
+            (Sim.schedule ctl.sim ~delay:(activation_delay sid) (fun csim ->
+                 ctl.state.(sid) <- Active;
+                 ctl.activations <- ctl.activations + 1;
+                 Sim.Sharded.send csim ~dst:(shard_of sid) ~delay:cfg.ctl_latency
+                   (fun _ -> srvs.(sid).keep <- cfg.keep_share);
+                 List.iter
+                   (fun f ->
+                     Sim.Sharded.send csim ~dst:(shard_of f) ~delay:cfg.ctl_latency
+                       (fun _ -> srvs.(f).absorbed <- (sid, share) :: srvs.(f).absorbed))
+                   fes)
+              : Sim.handle)
+      end
+    done
+  in
+  Sim.every ctl_sim ~period:cfg.scan_interval (fun sim ->
+      if cfg.nezha then scan ();
+      Sim.now sim < cfg.duration);
+  (* --- run ---------------------------------------------------------- *)
+  Sim.Sharded.run cluster ~until:cfg.duration;
+  (* --- collect ------------------------------------------------------ *)
+  let mix h x = (h * 1000003) lxor x in
+  let digest = ref 17 in
+  let ticks = ref 0
+  and flow_expiries = ref 0
+  and overloads = ref 0
+  and over_ticks = ref 0
+  and vnics = ref 0
+  and flows = ref 0
+  and packets = ref 0.0 in
+  Array.iter
+    (fun (srv : srv) ->
+      ticks := !ticks + srv.ticks;
+      flow_expiries := !flow_expiries + srv.flow_expiries;
+      overloads := !overloads + srv.episodes;
+      over_ticks := !over_ticks + srv.over_ticks;
+      vnics := !vnics + srv.vnics_modeled;
+      flows := !flows + srv.flows_modeled;
+      packets := !packets +. srv.packets;
+      digest := mix !digest srv.episodes;
+      digest := mix !digest srv.over_ticks;
+      digest := mix !digest srv.ticks;
+      digest := mix !digest srv.flow_expiries;
+      digest :=
+        mix !digest
+          (Int64.to_int (Int64.logand (Int64.bits_of_float srv.packets) 0xffffffffL)))
+    srvs;
+  digest := mix !digest ctl.detections;
+  digest := mix !digest ctl.activations;
+  let reused, fresh =
+    Array.fold_left
+      (fun (r, f) i ->
+        let ri, fi = Sim.pool_stats (Sim.Sharded.shard cluster i) in
+        (r + ri, f + fi))
+      (0, 0)
+      (Array.init cfg.shards (fun i -> i))
+  in
+  {
+    servers = n;
+    vswitches = n;
+    vnics_modeled = !vnics;
+    flows_modeled = !flows;
+    hotspots = !hotspots;
+    events = Sim.Sharded.events_executed cluster;
+    messages = Sim.Sharded.messages_delivered cluster;
+    ticks = !ticks;
+    flow_expiries = !flow_expiries;
+    overloads = !overloads;
+    overload_ticks = !over_ticks;
+    detections = ctl.detections;
+    activations = ctl.activations;
+    packets_modeled = !packets;
+    pool_reused = reused;
+    pool_fresh = fresh;
+    digest = !digest;
+  }
+
+(* Fig. 13/15 headline: the same seeded region run twice — controller
+   off ("before") then on ("after").  Simulated, not closed-form: the
+   "after" residue is exactly the spikes whose ramps beat activation. *)
+type before_after = { before : result; after : result }
+
+let before_after cfg =
+  let before = run { cfg with nezha = false } in
+  let after = run { cfg with nezha = true } in
+  { before; after }

@@ -1,0 +1,88 @@
+(** Region-scale event-simulated overload study (Fig. 13/15 headline).
+
+    Instantiates thousands of {e real} vSwitches — one per server, with
+    a SmartNIC, a vNIC and a ruleset admitted against NIC memory — on a
+    {!Nezha_engine.Sim.Sharded} cluster, rack-aligned onto shards.
+    Demand comes from {!Region.sample_fleet} profiles; the top CPS
+    fraction are hotspots that receive Poisson-many demand spikes over
+    one compressed "day".  A fleet controller on shard 0 receives
+    utilization reports, runs the shared {!Nezha_core.Placement} policy
+    and pushes offload activations back; an overload is {e counted only
+    when it happens in the simulation} — i.e. the spike's ramp crosses
+    the overload level before report → detect → place → state-push →
+    activate completes.  This replaces the closed-form
+    {!Region.daily_overloads} race model with a measured one.
+
+    Determinism: for a fixed seed the result {!result.digest} is
+    identical for any shard count (all cross-shard interaction is
+    control-plane traffic with delay = [ctl_latency] = the cluster
+    lookahead; everything else is shard-local — see DESIGN.md §10). *)
+
+(** Event-scheduling mode, the benchmark contrast of [bench macro]:
+    [Heap_events] replicates the classic engine (a fresh closure pushed
+    through the binary heap for every firing); [Wheel_events] is the
+    tuned path (timer-wheel re-arming, pooled event records). *)
+type engine = Heap_events | Wheel_events
+
+type config = {
+  racks : int;
+  servers_per_rack : int;
+  shards : int;
+  engine : engine;
+  seed : int;
+  duration : float;  (** one compressed "day", sim seconds *)
+  tick : float;  (** demand-evaluation period per server *)
+  flow_timers : int;  (** sampled live-flow churn timers per server *)
+  flow_mean : float;  (** mean flow lifetime driving churn *)
+  nezha : bool;  (** controller acts (false = "before" run) *)
+  report_interval : float;
+  scan_interval : float;
+  ctl_latency : float;  (** control-plane RPC latency = cluster lookahead *)
+  num_fes : int;
+  keep_share : float;  (** demand share the BE keeps once offloaded *)
+  offload_threshold : float;
+  overload_level : float;
+  fe_cpu_max : float;
+  fe_mem_max : float;
+  hotspot_quantile : float;  (** CPS quantile above which spikes occur *)
+  spikes_per_day : float;  (** Poisson mean per hotspot (Fig. 13) *)
+  ramp_median : float;  (** compressed spike ramp median, seconds *)
+  ramp_sigma : float;
+  hold : float;  (** time a spike holds its peak *)
+  push_bytes_per_s : float;  (** rule/state push bandwidth (§4.2.1) *)
+  rpc_rtt : float;
+}
+
+val default_config : config
+(** 250 racks x 8 servers = 2,000 vSwitches, 8 shards, tuned engine,
+    30 s compressed day. *)
+
+type result = {
+  servers : int;
+  vswitches : int;
+  vnics_modeled : int;
+  flows_modeled : int;
+  hotspots : int;
+  events : int;  (** simulation events executed, cluster-wide *)
+  messages : int;  (** cross-shard mailbox deliveries *)
+  ticks : int;
+  flow_expiries : int;
+  overloads : int;  (** overload episodes (Fig. 13 occurrences) *)
+  overload_ticks : int;
+  detections : int;
+  activations : int;
+  packets_modeled : float;  (** demand-rate x time packet proxy *)
+  pool_reused : int;
+  pool_fresh : int;
+  digest : int;  (** order-insensitive run fingerprint; equal across
+                     shard counts for a fixed seed and config *)
+}
+
+val run : config -> result
+
+type before_after = { before : result; after : result }
+
+val before_after : config -> before_after
+(** The same seeded region, controller off then on.  Both runs schedule
+    the identical report/scan cadence (the "before" scan is a no-op), so
+    event counts stay comparable. *)

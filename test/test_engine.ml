@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 (* Heap *)
 
 let test_heap_order () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
   let out = ref [] in
   let rec drain () =
@@ -24,13 +24,13 @@ let test_heap_order () =
   Alcotest.(check (list int)) "sorted" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !out)
 
 let test_heap_empty () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   check_bool "empty" true (Heap.is_empty h);
   Alcotest.(check (option int)) "pop" None (Heap.pop h);
   Alcotest.(check (option int)) "peek" None (Heap.peek h)
 
 let test_heap_interleaved () =
-  let h = Heap.create ~cmp:Int.compare in
+  let h = Heap.create ~cmp:Int.compare () in
   Heap.push h 3;
   Heap.push h 1;
   Alcotest.(check (option int)) "min" (Some 1) (Heap.pop h);
@@ -44,7 +44,7 @@ let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list int)
     (fun xs ->
-      let h = Heap.create ~cmp:Int.compare in
+      let h = Heap.create ~cmp:Int.compare () in
       List.iter (Heap.push h) xs;
       let rec drain acc =
         match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
@@ -382,6 +382,122 @@ let prop_wheel_fires_everything =
       !fired = List.length deadlines && Timer_wheel.pending w = 0)
 
 
+let test_sim_pool_reuse () =
+  (* A chain of events scheduled one-at-a-time recycles a single pooled
+     record: the first firing's record is free again by the time the
+     handler schedules the next. *)
+  let sim = Sim.create () in
+  let rec tick n s = if n < 100 then ignore (Sim.schedule s ~delay:1.0 (tick (n + 1)) : Sim.handle) in
+  ignore (Sim.schedule sim ~delay:1.0 (tick 1) : Sim.handle);
+  Sim.run sim;
+  let reused, fresh = Sim.pool_stats sim in
+  check_int "one fresh record" 1 fresh;
+  check_int "rest reused" 99 reused
+
+let test_sim_every_pool () =
+  (* [every] must not grow the pool: all re-arms go through the one
+     recycled record. *)
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.every sim ~period:1.0 (fun _ ->
+      incr count;
+      !count < 50);
+  Sim.run sim;
+  let _, fresh = Sim.pool_stats sim in
+  check_int "fired every period" 50 !count;
+  check_bool "at most one fresh record" true (fresh <= 1)
+
+let test_sim_timeout_fires_coarse () =
+  let sim = Sim.create ~timer_tick:0.1 () in
+  let fired_at = ref nan in
+  ignore (Sim.timeout sim ~delay:0.42 (fun s -> fired_at := Sim.now s) : Sim.timer);
+  Sim.run sim;
+  check_bool "at or after the deadline" true (!fired_at >= 0.42);
+  check_bool "within one tick of it" true (!fired_at <= 0.42 +. 0.1)
+
+let test_sim_timeout_cancel () =
+  let sim = Sim.create () in
+  let t = Sim.timeout sim ~delay:1.0 (fun _ -> Alcotest.fail "cancelled timer fired") in
+  Sim.cancel_timer t;
+  check_bool "cancelled" true (Sim.timer_cancelled t);
+  Sim.run sim;
+  check_int "nothing pending" 0 (Sim.pending sim)
+
+let prop_timeout_matches_schedule =
+  (* Wheel-vs-heap equivalence: the same set of delays scheduled through
+     [timeout] fires completely, in deadline order, each firing within
+     one wheel tick at-or-after the exact time the heap would use. *)
+  QCheck.Test.make ~name:"timeout fires like schedule, within one tick" ~count:100
+    QCheck.(
+      make
+        ~print:Print.(list float)
+        Gen.(list_size (int_range 1 100) (float_range 0.01 20.0)))
+    (fun delays ->
+      let tick = 0.05 in
+      let wheel_sim = Sim.create ~timer_tick:tick () in
+      let heap_sim = Sim.create () in
+      let n = List.length delays in
+      let wheel_t = Array.make n nan and heap_t = Array.make n nan in
+      List.iteri
+        (fun i d ->
+          ignore (Sim.timeout wheel_sim ~delay:d (fun s -> wheel_t.(i) <- Sim.now s) : Sim.timer);
+          ignore (Sim.schedule heap_sim ~delay:d (fun s -> heap_t.(i) <- Sim.now s) : Sim.handle))
+        delays;
+      Sim.run wheel_sim;
+      Sim.run heap_sim;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        ok :=
+          !ok
+          && (not (Float.is_nan wheel_t.(i)))
+          && (not (Float.is_nan heap_t.(i)))
+          && wheel_t.(i) >= heap_t.(i)
+          && wheel_t.(i) <= heap_t.(i) +. tick
+      done;
+      !ok && Sim.pending wheel_sim = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded clusters *)
+
+let test_sharded_send_and_determinism () =
+  let run () =
+    let c = Sim.Sharded.create ~shards:2 ~lookahead:0.1 () in
+    let s0 = Sim.Sharded.shard c 0 in
+    let log = ref [] in
+    let rec ping n sim =
+      log := (Sim.Sharded.shard_id sim, n, Sim.now sim) :: !log;
+      if n < 20 then
+        Sim.Sharded.send sim ~dst:(if sim == s0 then 1 else 0) ~delay:0.1 (ping (n + 1))
+    in
+    ignore (Sim.schedule s0 ~delay:0.0 (ping 0) : Sim.handle);
+    Sim.Sharded.run c;
+    (List.rev !log, Sim.Sharded.events_executed c, Sim.Sharded.messages_delivered c)
+  in
+  let (log, events, msgs) = run () in
+  check_int "21 hops" 21 (List.length log);
+  check_bool "alternates shards" true
+    (List.for_all (fun (shard, n, _) -> shard = Some (n mod 2)) log);
+  check_bool "messages crossed" true (msgs >= 20);
+  check_bool "bit-for-bit rerun" true ((log, events, msgs) = run ())
+
+let test_sharded_lookahead_enforced () =
+  let c = Sim.Sharded.create ~shards:2 ~lookahead:0.1 () in
+  let s0 = Sim.Sharded.shard c 0 in
+  Alcotest.check_raises "below-lookahead cross-shard send"
+    (Invalid_argument "Sim.Sharded.send: cross-shard delay below lookahead") (fun () ->
+      Sim.Sharded.send s0 ~dst:1 ~delay:0.05 (fun _ -> ()));
+  (* Same-shard sends may use any delay. *)
+  let fired = ref false in
+  Sim.Sharded.send s0 ~dst:0 ~delay:0.0 (fun _ -> fired := true);
+  Sim.Sharded.run c;
+  check_bool "same-shard send fired" true !fired
+
+let test_cross_rejects_unrelated () =
+  let a = Sim.create () and b = Sim.create () in
+  Alcotest.check_raises "unrelated simulations"
+    (Invalid_argument "Sim.cross: simulations are not in the same cluster") (fun () ->
+      Sim.cross a b ~delay:1.0 (fun _ -> ()))
+
 let test_sim_determinism () =
   (* Two identically-seeded simulations execute identical schedules. *)
   let run () =
@@ -470,6 +586,17 @@ let () =
           Alcotest.test_case "max events" `Quick test_sim_max_events;
           Alcotest.test_case "negative delay clamped" `Quick test_sim_negative_delay_clamped;
           Alcotest.test_case "bit-for-bit determinism" `Quick test_sim_determinism;
+          Alcotest.test_case "event pool reuse" `Quick test_sim_pool_reuse;
+          Alcotest.test_case "every reuses one record" `Quick test_sim_every_pool;
+          Alcotest.test_case "timeout fires coarsely" `Quick test_sim_timeout_fires_coarse;
+          Alcotest.test_case "timeout cancel" `Quick test_sim_timeout_cancel;
+        ]
+        @ qsuite [ prop_timeout_matches_schedule ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "send + determinism" `Quick test_sharded_send_and_determinism;
+          Alcotest.test_case "lookahead enforced" `Quick test_sharded_lookahead_enforced;
+          Alcotest.test_case "cross rejects unrelated" `Quick test_cross_rejects_unrelated;
         ] );
       ( "misc",
         [
