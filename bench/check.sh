@@ -156,6 +156,42 @@ else
   echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
+echo "== crash-storm gate (MTTR P99 bound, zero post-convergence blackholes, pool conservation)"
+# DESIGN.md §13: a region-scale crash storm (plus one controller
+# failover) must converge — P99 crash->intent-restored under 2 s, zero
+# blackholed demand after the convergence deadline, byte-identical
+# same-seed reruns — and 100 crash/restart cycles on the small testbed
+# must leak nothing: controller and BE conservation invariants hold and
+# every Pbatch arena batch allocated during the storm is recycled.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_macro.json <<'PY'
+import json, sys
+macro = json.load(open(sys.argv[1]))["experiments"]["macro"]
+storm = macro["storm"]["storm"]
+assert storm["crashes"] > 20, "storm too small: %d crashes" % storm["crashes"]
+assert storm["restarts"] == storm["crashes"], (storm["restarts"], storm["crashes"])
+assert storm["ctl_takeovers"] == 1, storm["ctl_takeovers"]
+assert storm["mttr_p99_s"] > 0.0 and storm["mttr_p99_s"] <= 2.0, \
+    "MTTR P99 %.3f s out of (0, 2]" % storm["mttr_p99_s"]
+assert storm["late_blackholed"] == 0, \
+    "%d blackholed ticks after convergence" % storm["late_blackholed"]
+assert macro["storm"]["deterministic"] is True, "same-seed storm rerun diverged"
+cc = macro["crash_cycles"]
+assert cc["cycles"] >= 100, cc["cycles"]
+assert cc["crashes"] >= 100 and cc["restarts"] == cc["crashes"], (cc["crashes"], cc["restarts"])
+assert cc["conservation_ok"] is True, "controller conservation invariant broken"
+assert cc["be_conservation_ok"] is True, "BE tracked-send conservation broken"
+assert cc["batches_leaked"] == 0, "%d Pbatch arena batches leaked" % cc["batches_leaked"]
+assert cc["final_cps"] > 0.0, "no traffic after the storm"
+print("ok: %d crashes, MTTR P50 %.3fs P99 %.3fs (gate <= 2s), late blackholes 0, "
+      "takeovers 1; %d cycles conserve pools (leaked 0), final cps %.0f"
+      % (storm["crashes"], storm["mttr_p50_s"], storm["mttr_p99_s"],
+         cc["cycles"], cc["final_cps"]))
+PY
+else
+  echo "python3 not found; relying on the bench's built-in checks"
+fi
+
 echo "== chaos smoke (0.5% underlay loss + crash + partition)"
 # --check exits non-zero unless the run recovered (end-window loss <= 1%)
 # and the BE tracker conservation invariant held, so this gate works even

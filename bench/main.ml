@@ -406,7 +406,23 @@ let macro () =
   let deterministic, shard_equivalent = macro_checks region runs in
   note "tuned x%d vs single-heap: %.2fx events/s   deterministic: %b   shard-equivalent: %b"
     Region_sim.default_config.Region_sim.shards (macro_speedup runs) deterministic
-    shard_equivalent
+    shard_equivalent;
+  banner "Macro — crash-storm MTTR chaos (DESIGN.md §13)";
+  let mttr = Experiments.region_mttr () in
+  let s = mttr.Experiments.storm in
+  note
+    "storm: %d crashes, %d restarts, %d ctl takeover(s); MTTR P50 %.3f s P99 %.3f s; \
+     blackholed ticks %d (post-convergence %d); deterministic: %b"
+    s.Region_sim.crashes s.Region_sim.restarts s.Region_sim.ctl_takeovers
+    s.Region_sim.mttr_p50 s.Region_sim.mttr_p99 s.Region_sim.blackholed_ticks
+    s.Region_sim.late_blackholed mttr.Experiments.storm_deterministic;
+  let cc = Experiments.crash_cycles () in
+  note
+    "endurance: %d crash/restart cycles (%d reconciles, %d repairs); conservation %b, \
+     BE conservation %b, batches leaked %d, final CPS %.0f"
+    cc.Experiments.cycles cc.Experiments.cyc_reconciles cc.Experiments.cyc_repairs
+    cc.Experiments.conservation_ok cc.Experiments.be_conservation_ok
+    cc.Experiments.batches_leaked cc.Experiments.final_cps
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures.
@@ -809,6 +825,8 @@ let json_macro () =
       ("speedup", Json.Float (macro_speedup runs));
       ("deterministic", Json.Bool deterministic);
       ("shard_equivalent", Json.Bool shard_equivalent);
+      ("storm", Experiments.json_of_region_mttr (Experiments.region_mttr ()));
+      ("crash_cycles", Experiments.json_of_crash_cycles (Experiments.crash_cycles ()));
       ("peak_rss_bytes", Json.Int (peak_rss_bytes ()));
     ]
 

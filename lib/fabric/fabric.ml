@@ -20,6 +20,7 @@ type t = {
   mutable faults : Faults.t option;
   mutable tap : (time:float -> Packet.t -> unit) option;
   mutable tracer : Trace.t option;
+  mutable lifecycle : (server:int -> [ `Crashed | `Restarted ] -> unit) list;
 }
 
 let count_lost t = function
@@ -115,6 +116,7 @@ let create ~sim ~topology =
       faults = None;
       tap = None;
       tracer = None;
+      lifecycle = [];
     }
   in
   Gateway.set_forward t.gateway (fun ~dst pkt ->
@@ -131,7 +133,32 @@ let server_sim t sid = t.sims.(sid)
 let topology t = t.topology
 let gateway t = t.gateway
 
-let set_faults t f = t.faults <- f
+let on_lifecycle t w = t.lifecycle <- t.lifecycle @ [ w ]
+
+(* Attaching a fault plane also wires the node-lifecycle half: crash
+   hooks wipe the vSwitch's volatile state and down its NIC at the
+   crash instant (the state is gone *now*, not when someone notices),
+   restart hooks bring the NIC back; either way registered lifecycle
+   watchers (the controller) are told so reconciliation can start. *)
+let set_faults t f =
+  t.faults <- f;
+  match f with
+  | None -> ()
+  | Some f ->
+    Faults.set_shard_lookup f (fun sid -> t.sims.(sid));
+    Faults.on_crash f (fun sid ->
+        (match t.switches.(sid) with
+        | Some vs ->
+          Vswitch.wipe_volatile vs;
+          Smartnic.crash (Vswitch.nic vs)
+        | None -> ());
+        List.iter (fun w -> w ~server:sid `Crashed) t.lifecycle);
+    Faults.on_restart f (fun sid ->
+        (match t.switches.(sid) with
+        | Some vs -> Smartnic.recover (Vswitch.nic vs)
+        | None -> ());
+        List.iter (fun w -> w ~server:sid `Restarted) t.lifecycle)
+
 let faults t = t.faults
 
 (* Installing a tracer here covers the underlay only; the caller is

@@ -33,9 +33,23 @@ val gateway : t -> Gateway.t
 
 val set_faults : t -> Faults.t option -> unit
 (** Attach (or detach) the impairment plane.  Without one, every hop
-    passes — the seed fabric's behaviour, at zero rng cost. *)
+    passes — the seed fabric's behaviour, at zero rng cost.
+
+    Attaching a plane also wires its node-lifecycle half into this
+    fabric: {!Faults.crash_server} / {!Faults.crash_vswitch} wipe the
+    hosted vSwitch's volatile state and crash its SmartNIC at the crash
+    instant, the restart calls recover the NIC, and registered
+    {!on_lifecycle} watchers are notified either way.  The plane's
+    chaos scheduling is given the per-server shard sims
+    ({!Faults.set_shard_lookup}).  Attach at most one plane per
+    fabric. *)
 
 val faults : t -> Faults.t option
+
+val on_lifecycle : t -> (server:Topology.server_id -> [ `Crashed | `Restarted ] -> unit) -> unit
+(** Watch node crash/restart events (fired synchronously from the
+    fault plane's hooks, after the dataplane wipe).  The controller
+    subscribes to drive reconciliation. *)
 
 val set_tracer : t -> Nezha_telemetry.Trace.t option -> unit
 (** Attach the flight recorder: each surviving hop of a traced packet

@@ -30,11 +30,24 @@ type t = {
   cut_links : (int * int, unit) Hashtbl.t;
   cut_servers : (int, unit) Hashtbl.t;
   cut_racks : (int, unit) Hashtbl.t;
+  (* Node lifecycle: a crashed server is partitioned (in-flight packets
+     to it vanish at the fabric) until restarted; a crashed vSwitch
+     keeps its links but its process is down (the NIC drops work).
+     Either way the node's incarnation is bumped so pre-crash RPC
+     replies can be recognised and discarded on arrival. *)
+  crashed : (int, unit) Hashtbl.t;
+  vs_crashed : (int, unit) Hashtbl.t;
+  incarnations : (int, int) Hashtbl.t;
+  mutable shard_lookup : (Topology.server_id -> Sim.t) option;
+  mutable on_crash : (Topology.server_id -> unit) list;
+  mutable on_restart : (Topology.server_id -> unit) list;
   mutable consults : int;
   mutable drops : int;
   mutable dups : int;
   mutable reorders : int;
   mutable partition_drops : int;
+  mutable server_crashes : int;
+  mutable server_restarts : int;
 }
 
 let create ~sim ~topology ~rng () =
@@ -47,11 +60,19 @@ let create ~sim ~topology ~rng () =
     cut_links = Hashtbl.create 16;
     cut_servers = Hashtbl.create 8;
     cut_racks = Hashtbl.create 4;
+    crashed = Hashtbl.create 8;
+    vs_crashed = Hashtbl.create 8;
+    incarnations = Hashtbl.create 8;
+    shard_lookup = None;
+    on_crash = [];
+    on_restart = [];
     consults = 0;
     drops = 0;
     dups = 0;
     reorders = 0;
     partition_drops = 0;
+    server_crashes = 0;
+    server_restarts = 0;
   }
 
 let set_default t imp = t.default_imp <- imp
@@ -86,10 +107,15 @@ let server_cut t = function
   | Gateway -> false
   | Server s -> Hashtbl.mem t.cut_servers s
 
+let node_down t = function
+  | Gateway -> false
+  | Server s -> Hashtbl.mem t.crashed s
+
 let partitioned t ~src ~dst =
   (src <> dst)
   && (Hashtbl.mem t.cut_links (code src, code dst)
      || server_cut t src || server_cut t dst
+     || node_down t src || node_down t dst
      ||
      (* An isolated rack keeps its intra-rack links; anything crossing
         its boundary — including two *different* cut racks — drops. *)
@@ -131,7 +157,69 @@ let consult t ~src ~dst =
     else Pass
   end
 
-let at t ~time f = ignore (Sim.at t.sim ~time (fun _ -> f t) : Sim.handle)
+(* Under Sim.Sharded every server has an owning shard sim; a mutation
+   that touches one server must be scheduled there (scheduling it on
+   the root sim would race the shard barriers and break shard-count
+   invariance).  The fabric installs the lookup via [set_shard_lookup]
+   when it learns the per-server sims. *)
+let set_shard_lookup t f = t.shard_lookup <- Some f
+
+let sim_for t = function
+  | None -> t.sim
+  | Some sid -> ( match t.shard_lookup with Some f -> f sid | None -> t.sim)
+
+let at t ?server ~time f =
+  ignore (Sim.at (sim_for t server) ~time (fun _ -> f t) : Sim.handle)
+
+(* ------------------------------------------------------------------ *)
+(* Node lifecycle. *)
+
+let is_crashed t sid = Hashtbl.mem t.crashed sid || Hashtbl.mem t.vs_crashed sid
+let incarnation t sid = Option.value (Hashtbl.find_opt t.incarnations sid) ~default:0
+let on_crash t f = t.on_crash <- t.on_crash @ [ f ]
+let on_restart t f = t.on_restart <- t.on_restart @ [ f ]
+
+let bump_incarnation t sid =
+  Hashtbl.replace t.incarnations sid (incarnation t sid + 1)
+
+let fire hooks sid = List.iter (fun f -> f sid) hooks
+
+let restart_server t sid =
+  if Hashtbl.mem t.crashed sid then begin
+    Hashtbl.remove t.crashed sid;
+    t.server_restarts <- t.server_restarts + 1;
+    fire t.on_restart sid
+  end
+
+let restart_vswitch t sid =
+  if Hashtbl.mem t.vs_crashed sid then begin
+    Hashtbl.remove t.vs_crashed sid;
+    t.server_restarts <- t.server_restarts + 1;
+    fire t.on_restart sid
+  end
+
+let crash_common t sid tbl restart reboot_after =
+  if not (is_crashed t sid) then begin
+    Hashtbl.replace tbl sid ();
+    bump_incarnation t sid;
+    t.server_crashes <- t.server_crashes + 1;
+    fire t.on_crash sid;
+    match reboot_after with
+    | None -> ()
+    | Some d ->
+      ignore
+        (Sim.schedule (sim_for t (Some sid)) ~delay:d (fun _ -> restart t sid)
+          : Sim.handle)
+  end
+
+let crash_server t ?reboot_after sid =
+  crash_common t sid t.crashed restart_server reboot_after
+
+let crash_vswitch t ?reboot_after sid =
+  crash_common t sid t.vs_crashed restart_vswitch reboot_after
+
+let server_crashes t = t.server_crashes
+let server_restarts t = t.server_restarts
 
 let drops_injected t = t.drops
 let dups_injected t = t.dups
@@ -151,4 +239,10 @@ let register_telemetry t reg =
   T.register_counter reg ~name:"fabric/faults/partition_drops" (fun () ->
       t.partition_drops);
   T.register_gauge reg ~name:"fabric/faults/active_cuts" (fun () ->
-      float_of_int (active_cuts t))
+      float_of_int (active_cuts t));
+  T.register_counter reg ~name:"fabric/faults/server_crashes" (fun () ->
+      t.server_crashes);
+  T.register_counter reg ~name:"fabric/faults/server_restarts" (fun () ->
+      t.server_restarts);
+  T.register_gauge reg ~name:"fabric/faults/crashed_now" (fun () ->
+      float_of_int (Hashtbl.length t.crashed + Hashtbl.length t.vs_crashed))

@@ -75,12 +75,63 @@ val heal_rack : t -> rack:int -> unit
 
 val partitioned : t -> src:endpoint -> dst:endpoint -> bool
 
+(** {1 Node lifecycle (crash / restart)}
+
+    A {e crashed server} is partitioned in both directions — in-flight
+    packets to it vanish at the fabric — and its volatile state is
+    wiped by the registered {!on_crash} hooks.  A {e crashed vSwitch}
+    keeps its links (the host is up, the dataplane process is down):
+    packets still arrive but the crashed SmartNIC drops the work.
+    Either way the node's {!incarnation} is bumped, so replies and
+    retransmits born before the crash can be recognised as stale and
+    discarded on arrival. *)
+
+val crash_server : t -> ?reboot_after:float -> Topology.server_id -> unit
+(** Crash the whole node.  [reboot_after] schedules the matching
+    {!restart_server} on the owning shard sim.  No-op if already down. *)
+
+val restart_server : t -> Topology.server_id -> unit
+(** Heal the partition and fire the {!on_restart} hooks (the fabric
+    re-registers the node; reconciliation is the controller's job). *)
+
+val crash_vswitch : t -> ?reboot_after:float -> Topology.server_id -> unit
+(** vSwitch-process-only crash: links stay up, the dataplane is wiped
+    and down until {!restart_vswitch}. *)
+
+val restart_vswitch : t -> Topology.server_id -> unit
+
+val is_crashed : t -> Topology.server_id -> bool
+(** True while the node (either variant) is down. *)
+
+val incarnation : t -> Topology.server_id -> int
+(** Number of crashes this node has suffered; 0 for a never-crashed
+    node.  Stamped on RPCs so pre-crash replies are discarded. *)
+
+val on_crash : t -> (Topology.server_id -> unit) -> unit
+(** Register a hook fired synchronously at the crash instant, after the
+    node is marked down (hooks run in registration order). *)
+
+val on_restart : t -> (Topology.server_id -> unit) -> unit
+
+val server_crashes : t -> int
+(** Crash events injected so far (both variants). *)
+
+val server_restarts : t -> int
+
 (** {1 Scheduling}
 
     Sugar for chaos scripts: apply a mutation at an absolute simulated
-    time ([Sim.at] underneath). *)
+    time ([Sim.at] underneath).  When [server] is given and a shard
+    lookup is installed, the event lands on that server's owning shard
+    sim — required for shard-count-invariant chaos under
+    {!Nezha_engine.Sim.Sharded}. *)
 
-val at : t -> time:float -> (t -> unit) -> unit
+val at : t -> ?server:Topology.server_id -> time:float -> (t -> unit) -> unit
+
+val set_shard_lookup : t -> (Topology.server_id -> Sim.t) -> unit
+(** Install the server→owning-sim map (the fabric does this when it is
+    built shard-aware); without it everything schedules on the root
+    sim. *)
 
 (** {1 Consultation (fabric-facing)} *)
 

@@ -6,6 +6,8 @@ type t = {
   mutable forward : dst:Ipv4.t -> Packet.t -> unit;
   mutable forwarded : int;
   mutable dropped : int;
+  mutable epoch : int;
+  mutable epoch_rejections : int;
 }
 
 let create () =
@@ -14,7 +16,25 @@ let create () =
     forward = (fun ~dst:_ _ -> failwith "Gateway: forward not installed");
     forwarded = 0;
     dropped = 0;
+    epoch = 0;
+    epoch_rejections = 0;
   }
+
+(* Controller-epoch fence, same contract as [Vswitch.observe_epoch]:
+   the gateway is the one place a stale primary could redirect whole
+   vNICs, so route mutations must be fenced by the caller. *)
+let epoch t = t.epoch
+let epoch_rejections t = t.epoch_rejections
+
+let observe_epoch t ~epoch =
+  if epoch >= t.epoch then begin
+    t.epoch <- epoch;
+    true
+  end
+  else begin
+    t.epoch_rejections <- t.epoch_rejections + 1;
+    false
+  end
 
 let set_route t addr servers =
   if Array.length servers = 0 then invalid_arg "Gateway.set_route: empty target set";

@@ -34,3 +34,15 @@ val handle : t -> Packet.t -> unit
 
 val forwarded : t -> int
 val dropped : t -> int
+
+(** {1 Controller-epoch fence}
+
+    Same contract as {!Nezha_vswitch.Vswitch.observe_epoch}: the
+    gateway holds the region's authoritative routes, so a controller
+    must present its epoch before mutating them; a revived stale
+    primary's epoch is below the high-water mark and its route flaps
+    are refused. *)
+
+val epoch : t -> int
+val observe_epoch : t -> epoch:int -> bool
+val epoch_rejections : t -> int

@@ -953,6 +953,106 @@ let region_overloads ?(cfg = Region_sim.default_config) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Region-scale MTTR chaos (DESIGN.md §13): a crash storm over the
+   Fig. 13 region — Poisson server crashes (schedule frozen at setup),
+   plus one primary-controller crash mid-storm with a standby takeover.
+   Headline numbers: P50/P99 crash->intent-restored, blackholed demand
+   during convergence, and the zero-late-blackholes gate.  The run is
+   repeated with the same seed to assert byte-identical determinism
+   under the sharded engine. *)
+
+type region_mttr = {
+  storm : Region_sim.result;
+  storm_rerun_digest : int;
+  storm_deterministic : bool;  (** rerun digest identical *)
+}
+
+let default_storm_config =
+  {
+    Region_sim.default_config with
+    Region_sim.racks = 60;
+    servers_per_rack = 4;
+    shards = 6;
+    duration = 20.0;
+    crash_rate = 0.6;
+    reboot_delay = 0.5;
+    resync_delay = 0.05;
+    ctl_crash_at = Some 8.0;
+    ctl_failover = 0.5;
+  }
+
+let region_mttr ?(cfg = default_storm_config) () =
+  let a = Region_sim.run cfg in
+  let b = Region_sim.run cfg in
+  {
+    storm = a;
+    storm_rerun_digest = b.Region_sim.digest;
+    storm_deterministic = a.Region_sim.digest = b.Region_sim.digest;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Crash/restart endurance on the small testbed: [cycles] FE-host
+   crash+reboot cycles against a live offload, traffic bursts
+   interleaved, then the books are balanced — controller conservation
+   invariant, BE tracked-send conservation, and zero leaked [Pbatch]
+   arena batches across the whole storm. *)
+
+type crash_cycles = {
+  cycles : int;
+  cyc_crashes : int;
+  cyc_restarts : int;
+  cyc_reconciles : int;
+  cyc_repairs : int;
+  conservation_ok : bool;  (** {!Controller.check_conservation} at the end *)
+  be_conservation_ok : bool;
+      (** tracked = acked + local_fallback + dropped + outstanding *)
+  batches_leaked : int;  (** Pbatch (fresh + reuses - recycles) delta *)
+  final_cps : float;  (** traffic still flows after the storm *)
+}
+
+let crash_cycles ?(cycles = 100) ?(seed = 11) () =
+  let tb = Testbed.create ~seed () in
+  let o = Testbed.offload tb () in
+  let faults = tb.Testbed.faults in
+  let ctl = tb.Testbed.ctl in
+  let f0, r0, c0 = Pbatch.pool_stats () in
+  let fes = Array.of_list (Controller.offload_fe_servers o) in
+  if Array.length fes = 0 then failwith "crash_cycles: offload has no FEs";
+  for i = 0 to cycles - 1 do
+    let victim = fes.(i mod Array.length fes) in
+    Faults.crash_server faults ~reboot_after:0.05 victim;
+    (* A traffic burst against the vNIC while the storm rages, every
+       few cycles (each burst drains in-flight batches through crashed
+       and healthy FEs alike). *)
+    if i mod 10 = 0 then
+      ignore (Testbed.run_crr tb ~rate:200.0 ~duration:0.2 ~settle:0.4 () : Tcp_crr.t)
+    else Sim.run tb.Testbed.sim ~until:(Sim.now tb.Testbed.sim +. 0.3)
+  done;
+  (* Let the last reboot's reconciliation settle, then measure. *)
+  Sim.run tb.Testbed.sim ~until:(Sim.now tb.Testbed.sim +. 3.0);
+  let final_cps = Testbed.measure_cps tb ~concurrency:64 ~duration:2.0 () in
+  let f1, r1, c1 = Pbatch.pool_stats () in
+  let be = Controller.offload_be o in
+  let c = Be.counters be in
+  let v = Stats.Counter.value in
+  let be_ok =
+    v c.Be.offload_tracked
+    = v c.Be.offload_acked + v c.Be.local_fallback + v c.Be.offload_dropped
+      + Be.outstanding be
+  in
+  {
+    cycles;
+    cyc_crashes = Faults.server_crashes faults;
+    cyc_restarts = Faults.server_restarts faults;
+    cyc_reconciles = Controller.reconciles ctl;
+    cyc_repairs = Controller.repairs ctl;
+    conservation_ok = Controller.check_conservation ctl;
+    be_conservation_ok = be_ok;
+    batches_leaked = f1 - f0 + (r1 - r0) - (c1 - c0);
+    final_cps;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* JSON encoders: one [json_of_*] per result record, so every consumer
    (bench --json, the nezha_sim subcommands) shares a single schema
    instead of hand-rolling objects that can drift apart. *)
@@ -1126,7 +1226,36 @@ let json_of_region_result (r : Region_sim.result) =
       ("packets_modeled", Json.Float r.Region_sim.packets_modeled);
       ("pool_reused", Json.Int r.Region_sim.pool_reused);
       ("pool_fresh", Json.Int r.Region_sim.pool_fresh);
+      ("crashes", Json.Int r.Region_sim.crashes);
+      ("restarts", Json.Int r.Region_sim.restarts);
+      ("mttr_p50_s", Json.Float r.Region_sim.mttr_p50);
+      ("mttr_p99_s", Json.Float r.Region_sim.mttr_p99);
+      ("blackholed_ticks", Json.Int r.Region_sim.blackholed_ticks);
+      ("late_blackholed", Json.Int r.Region_sim.late_blackholed);
+      ("ctl_takeovers", Json.Int r.Region_sim.ctl_takeovers);
       ("digest", Json.Int r.Region_sim.digest);
+    ]
+
+let json_of_region_mttr (r : region_mttr) =
+  Json.Obj
+    [
+      ("storm", json_of_region_result r.storm);
+      ("rerun_digest", Json.Int r.storm_rerun_digest);
+      ("deterministic", Json.Bool r.storm_deterministic);
+    ]
+
+let json_of_crash_cycles (r : crash_cycles) =
+  Json.Obj
+    [
+      ("cycles", Json.Int r.cycles);
+      ("crashes", Json.Int r.cyc_crashes);
+      ("restarts", Json.Int r.cyc_restarts);
+      ("reconciles", Json.Int r.cyc_reconciles);
+      ("repairs", Json.Int r.cyc_repairs);
+      ("conservation_ok", Json.Bool r.conservation_ok);
+      ("be_conservation_ok", Json.Bool r.be_conservation_ok);
+      ("batches_leaked", Json.Int r.batches_leaked);
+      ("final_cps", Json.Float r.final_cps);
     ]
 
 let json_of_region_overloads (r : region_overloads) =

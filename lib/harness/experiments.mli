@@ -256,6 +256,48 @@ val region_overloads :
     {!Nezha_workloads.Region_sim.default_config}): controller off, then
     on. *)
 
+(** {1 Region-scale MTTR chaos (DESIGN.md §13)}
+
+    A crash storm over the region: Poisson server crashes with frozen
+    schedules, plus one primary-controller crash mid-storm with a
+    standby takeover.  Reports P50/P99 crash→intent-restored (MTTR),
+    overload and blackhole counts during convergence, and asserts
+    same-seed byte-identical determinism under the sharded engine. *)
+
+type region_mttr = {
+  storm : Nezha_workloads.Region_sim.result;
+  storm_rerun_digest : int;
+  storm_deterministic : bool;
+      (** a second same-seed run produced an identical digest *)
+}
+
+val default_storm_config : Nezha_workloads.Region_sim.config
+(** 240 servers on 6 shards, crash_rate 0.6/server/day, one controller
+    crash at t=8 s with a 0.5 s failover. *)
+
+val region_mttr : ?cfg:Nezha_workloads.Region_sim.config -> unit -> region_mttr
+
+(** {1 Crash/restart endurance}
+
+    [cycles] FE-host crash+reboot cycles against a live offload on the
+    small testbed, traffic interleaved; at the end the books must
+    balance: the controller conservation invariant, BE tracked-send
+    conservation, and zero leaked {!Nezha_net.Pbatch} arena batches. *)
+
+type crash_cycles = {
+  cycles : int;
+  cyc_crashes : int;
+  cyc_restarts : int;
+  cyc_reconciles : int;
+  cyc_repairs : int;
+  conservation_ok : bool;
+  be_conservation_ok : bool;
+  batches_leaked : int;
+  final_cps : float;
+}
+
+val crash_cycles : ?cycles:int -> ?seed:int -> unit -> crash_cycles
+
 (** {1 JSON encoders}
 
     One [json_of_*] per result record (via {!Nezha_telemetry.Json}), so
@@ -286,3 +328,5 @@ val json_of_region_result :
   Nezha_workloads.Region_sim.result -> Nezha_telemetry.Json.t
 
 val json_of_region_overloads : region_overloads -> Nezha_telemetry.Json.t
+val json_of_region_mttr : region_mttr -> Nezha_telemetry.Json.t
+val json_of_crash_cycles : crash_cycles -> Nezha_telemetry.Json.t

@@ -268,15 +268,21 @@ let on_timeout t seq =
     in
     (* Re-steer preference: an untried FE we still trust, then any
        untried one, then — when the set is exhausted but the last FE is
-       not yet a suspect — the same FE again (a lossy link, not a dead
-       box). *)
+       not yet a suspect *and still administratively present* — the
+       same FE again (a lossy link, not a dead box).  The membership
+       check matters: scale_in/fallback may have removed [last_fe] from
+       [t.fes] while this packet was in flight, and a retransmission
+       against a decommissioned FE is a guaranteed blackhole. *)
     let candidate =
       match List.filter (fun fe -> not (is_suspect t fe)) untried with
       | fe :: _ -> Some fe
       | [] -> (
         match untried with
         | fe :: _ -> Some fe
-        | [] -> if is_suspect t pd.last_fe then None else Some pd.last_fe)
+        | [] ->
+          if is_suspect t pd.last_fe || not (Array.exists (Ipv4.equal pd.last_fe) t.fes)
+          then None
+          else Some pd.last_fe)
     in
     match candidate with
     | Some fe when pd.retries < p.Params.offload_retx_max ->
@@ -642,7 +648,27 @@ let uninstall t =
       give_up t pd)
     (List.sort (fun a b -> compare a.seq b.seq) pds)
 
+(* The hosting process died.  Unlike [uninstall] nothing is resolved
+   through the local path — the in-flight packets were already lost
+   with the NIC, so they move straight from outstanding to dropped
+   (keeping the conservation invariant tracked = acked + fallback +
+   dropped + outstanding intact across the crash).  This instance is
+   dead for good; reconciliation installs a fresh [install]. *)
+let crash t =
+  t.closed <- true;
+  let n = Hashtbl.length t.outstanding in
+  Hashtbl.iter
+    (fun _ pd -> match pd.timer with Some tm -> Timer_wheel.cancel tm | None -> ())
+    t.outstanding;
+  Hashtbl.reset t.outstanding;
+  Hashtbl.reset t.suspects;
+  Flow_key.Table.reset t.pins;
+  Stats.Counter.add t.counters.offload_dropped n
+
+let closed t = t.closed
 let vnic t = t.vnic
+let vni t = t.vni
+let fallback_ruleset t = t.fallback_ruleset
 let stage t = t.stage
 let set_stage t s = t.stage <- s
 

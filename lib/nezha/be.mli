@@ -44,6 +44,16 @@ val uninstall : t -> unit
 (** Remove the intercept (fallback completed).  Outstanding tracked
     offloads are resolved through the local slow path. *)
 
+val crash : t -> unit
+(** The hosting dataplane process died: the outstanding-offload tracker,
+    retransmission timers, suspect table and pins vanish.  Unlike
+    {!uninstall} nothing is resolved locally — the tracked in-flight
+    packets were lost with the NIC and move to [offload_dropped] (the
+    conservation invariant holds across the crash).  The instance is
+    permanently closed; reconciliation installs a fresh one. *)
+
+val closed : t -> bool
+
 val handle_tx_batch : t -> Pbatch.t -> unit
 (** Vectored TX workflow (also wired as the intercept's [on_tx_batch]):
     one SmartNIC submission for the burst, per-packet state stepping in
@@ -59,6 +69,13 @@ module Ingress_impl : Nezha_vswitch.Ingress.S with type t = t and type ctx = Pac
 val set_fallback_ruleset : t -> Ruleset.t option -> unit
 
 val vnic : t -> Vnic.t
+
+val vni : t -> int
+(** The offload's overlay network id — part of what a restarted BE
+    re-advertises to the controller. *)
+
+val fallback_ruleset : t -> Nezha_vswitch.Ruleset.t option
+
 val stage : t -> stage
 val set_stage : t -> stage -> unit
 

@@ -60,15 +60,44 @@ type offload = {
   mutable completed_at : float option;
   mutable active : bool;
   mutable falling_back : bool;
+  mutable repairing : bool;
+      (* divergence detected (crash, lost config) and repair in
+         progress — part of the conservation invariant *)
   mutable idle_ticks : int;
 }
+
+(* The collected BE re-advertisements plus the node-side FE service
+   handles — what a standby controller rebuilds its world from after a
+   takeover.  Conceptually this is state the *nodes* own (each BE
+   re-advertises (vnic, vni, FE set, saved tables) on boot and on
+   change; each FE service lives on its node): the registry is the
+   rendezvous both controllers of an HA pair share, not controller
+   memory — which is exactly why a primary crash cannot lose it. *)
+module Registry = struct
+  type entry = {
+    mutable r_be_server : Topology.server_id;
+    r_vnic : Vnic.t;
+    r_vni : int;
+    r_ruleset : Ruleset.t;
+    mutable r_fe_servers : Topology.server_id list;
+    mutable r_be : Be.t option;
+  }
+
+  type t = {
+    offloads : (int * int, entry) Hashtbl.t;
+    fes : (int, Fe.t) Hashtbl.t;
+  }
+
+  let create () = { offloads = Hashtbl.create 16; fes = Hashtbl.create 32 }
+  let entries t = Hashtbl.length t.offloads
+end
 
 type t = {
   sim : Sim.t;
   fabric : Fabric.t;
   cfg : config;
   rng : Rng.t;
-  fe_services : (int, Fe.t) Hashtbl.t;
+  mutable fe_services : (int, Fe.t) Hashtbl.t;
   offload_tbl : (int * int, offload) Hashtbl.t;
   mutable offload_order : offload list; (* newest first *)
   reports : (int, float * float) Hashtbl.t;
@@ -87,40 +116,19 @@ type t = {
   mutable rpc_retries : int;
   mutable rpc_failures : int;
   mutable started : bool;
+  mutable alive : bool;
+      (* controller-process liveness: halted controllers apply nothing
+         and their in-flight RPC continuations die on arrival *)
+  mutable epoch : int;
+      (* fencing token presented with every command (DESIGN.md §13) *)
+  mutable registry : Registry.t option;
+  mutable fenced_rejected : int;
+  mutable stale_discards : int;
+  mutable reconciles : int;
+  mutable repairs : int;
   mutable telemetry : Nezha_telemetry.Telemetry.t option;
       (* propagated to FE services and BEs created after registration *)
 }
-
-let create ?(config = default_config) ~fabric ~rng () =
-  let sim = Fabric.sim fabric in
-  {
-    sim;
-    fabric;
-    cfg = config;
-    rng;
-    fe_services = Hashtbl.create 32;
-    offload_tbl = Hashtbl.create 16;
-    offload_order = [];
-    reports = Hashtbl.create 64;
-    slow_prev = Hashtbl.create 64;
-    remote_prev = Hashtbl.create 32;
-    busy_prev = Hashtbl.create 64;
-    monitor =
-      Monitor.create ~sim ~interval:config.ping_interval
-        ~misses_to_fail:config.ping_misses_to_fail ();
-    completion_ms = Stats.Histogram.create ();
-    overloads = Hashtbl.create 64;
-    last_scaled = Hashtbl.create 16;
-    scaled_in_until = Hashtbl.create 16;
-    offload_events = 0;
-    scale_out_events = 0;
-    fes_provisioned = 0;
-    rpc_attempts = 0;
-    rpc_retries = 0;
-    rpc_failures = 0;
-    started = false;
-    telemetry = None;
-  }
 
 let config t = t.cfg
 let fabric t = t.fabric
@@ -134,8 +142,30 @@ let rpc t = t.cfg.rpc.Rpc_policy.latency *. Rng.lognormal t.rng ~mu:0.0 ~sigma:0
    path.  Delivery is decided by the fault plane; a lost attempt retries
    after a capped exponential backoff.  [k true] runs after the delivered
    attempt's latency; [k false] once retries are exhausted.  Without a
-   fault plane this is exactly a [rpc t] delay — one rng draw. *)
+   fault plane this is exactly a [rpc t] delay — one rng draw.
+
+   Every RPC is stamped with the target's incarnation at send time: if
+   the node crashed (and possibly rebooted) while the exchange was in
+   flight, the arriving reply belongs to a process that no longer
+   exists and is discarded as stale — the continuation sees failure,
+   never a ghost ack.  A halted controller's continuations are dropped
+   outright (its process died with them). *)
 let rpc_to t server k =
+  let faults = Fabric.faults t.fabric in
+  let inc0 = match faults with Some f -> Faults.incarnation f server | None -> 0 in
+  let k ok =
+    if t.alive then begin
+      match faults with
+      | Some f when Faults.incarnation f server <> inc0 ->
+        t.stale_discards <- t.stale_discards + 1;
+        k false
+      | Some f when ok && Faults.is_crashed f server ->
+        (* vSwitch-only crash: the link is up but nobody is home. *)
+        t.stale_discards <- t.stale_discards + 1;
+        k false
+      | Some _ | None -> k ok
+    end
+  in
   let delivered () =
     match Fabric.faults t.fabric with
     | None -> true
@@ -195,6 +225,55 @@ let install_be t ~vs ~vnic ~vni ~fes ~fallback_ruleset =
   let be = Be.install ~vs ~vnic ~vni ~fes ?fallback_ruleset () in
   (match t.telemetry with Some reg -> Be.register_telemetry be reg | None -> ());
   be
+
+(* ------------------------------------------------------------------ *)
+(* Epoch fencing (DESIGN.md §13).  Every command that mutates dataplane
+   or routing state first presents this controller's epoch to the
+   touched component; a refusal means a newer primary exists and the
+   command must be dropped on the floor — a revived stale primary is
+   thereby provably unable to flap placements. *)
+
+let fence_refused t =
+  t.fenced_rejected <- t.fenced_rejected + 1;
+  false
+
+let fenced t server =
+  (t.alive
+  &&
+  match Fabric.vswitch_opt t.fabric server with
+  | Some vs -> Vswitch.observe_epoch vs ~epoch:t.epoch
+  | None -> true)
+  || fence_refused t
+
+let fence_gateway t =
+  (t.alive && Gateway.observe_epoch (Fabric.gateway t.fabric) ~epoch:t.epoch)
+  || fence_refused t
+
+(* Mirror an offload's intent into the shared registry (modelling the
+   involved nodes' re-advertisements).  Called only after a fenced
+   command applied, so a stale primary never pollutes it. *)
+let registry_sync t o =
+  match t.registry with
+  | None -> ()
+  | Some reg ->
+    if o.active then begin
+      match Hashtbl.find_opt reg.Registry.offloads o.key with
+      | Some e ->
+        e.Registry.r_be_server <- o.be_server;
+        e.Registry.r_fe_servers <- o.fe_servers;
+        e.Registry.r_be <- o.be
+      | None ->
+        Hashtbl.replace reg.Registry.offloads o.key
+          {
+            Registry.r_be_server = o.be_server;
+            r_vnic = o.vnic;
+            r_vni = o.vni;
+            r_ruleset = o.saved_ruleset;
+            r_fe_servers = o.fe_servers;
+            r_be = o.be;
+          }
+    end
+    else Hashtbl.remove reg.Registry.offloads o.key
 
 (* ------------------------------------------------------------------ *)
 (* FE candidate selection (§4.2.1, App. B.1): idle vSwitches, same ToR
@@ -264,11 +343,15 @@ let fe_ips t servers =
     (List.map (fun s -> Topology.underlay_ip (Fabric.topology t.fabric) s) servers)
 
 let update_routing t o =
-  let addr = Vnic.addr o.vnic in
-  let targets = fe_ips t o.fe_servers in
-  Gateway.set_route (Fabric.gateway t.fabric) addr targets;
-  (match o.be with Some be -> Be.set_fes be targets | None -> ());
-  propagate_learning t ~addr ~targets
+  if not (fence_gateway t) then 0.0
+  else begin
+    let addr = Vnic.addr o.vnic in
+    let targets = fe_ips t o.fe_servers in
+    Gateway.set_route (Fabric.gateway t.fabric) addr targets;
+    (match o.be with Some be -> Be.set_fes be targets | None -> ());
+    registry_sync t o;
+    propagate_learning t ~addr ~targets
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fallback (§4.2.2) *)
@@ -276,6 +359,7 @@ let update_routing t o =
 let fallback_vnic t o =
   if not o.active then Error "offload not active"
   else if o.falling_back then Error "fallback already in progress"
+  else if not (fenced t o.be_server) then Error "fenced: stale controller epoch"
   else begin
     match Fabric.vswitch_opt t.fabric o.be_server with
     | None -> Error "BE server vanished"
@@ -293,19 +377,22 @@ let fallback_vnic t o =
         (match o.be with Some be -> Be.set_stage be Be.Dual | None -> ());
         let addr = Vnic.addr o.vnic in
         let be_ip = [| Topology.underlay_ip (Fabric.topology t.fabric) o.be_server |] in
-        Gateway.set_route (Fabric.gateway t.fabric) addr be_ip;
+        if fence_gateway t then Gateway.set_route (Fabric.gateway t.fabric) addr be_ip;
         ignore (propagate_learning t ~addr ~targets:be_ip : float);
         ignore
           (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt) (fun _ ->
-               (match o.be with Some be -> Be.uninstall be | None -> ());
-               List.iter
-                 (fun s ->
-                   match Hashtbl.find_opt t.fe_services s with
-                   | Some fe -> Fe.unserve fe addr
-                   | None -> ())
-                 o.fe_servers;
-               o.active <- false;
-               Hashtbl.remove t.offload_tbl o.key)
+               if t.alive then begin
+                 (match o.be with Some be -> Be.uninstall be | None -> ());
+                 List.iter
+                   (fun s ->
+                     match Hashtbl.find_opt t.fe_services s with
+                     | Some fe -> Fe.unserve fe addr
+                     | None -> ())
+                   o.fe_servers;
+                 o.active <- false;
+                 Hashtbl.remove t.offload_tbl o.key;
+                 registry_sync t o
+               end)
             : Sim.handle);
         Ok ())
   end
@@ -324,7 +411,7 @@ let rec watch_fe_host t s =
       ~on_fail:(fun ~key -> failover t key)
 
 and failover t dead_server =
-  (match Hashtbl.find_opt t.fe_services dead_server with
+  (match (if t.alive then Hashtbl.find_opt t.fe_services dead_server else None) with
   | None -> ()
   | Some fe ->
     let served = Fe.served_vnics fe in
@@ -363,6 +450,7 @@ and failover t dead_server =
 
 and scale_out t ?(avoid = []) o ~add =
   if add <= 0 || not o.active then 0
+  else if not (fenced t o.be_server) then 0
   else begin
     let candidates =
       select_fe_candidates t ~be_server:o.be_server
@@ -421,6 +509,7 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
   let num_fes = Option.value num_fes ~default:t.cfg.initial_fes in
   match Fabric.vswitch_opt t.fabric server with
   | None -> Error "no vSwitch on this server"
+  | Some _ when not (fenced t server) -> Error "fenced: stale controller epoch"
   | Some vs -> (
     match find_offload t ~server ~vnic with
     | Some o when o.active -> Error "vNIC already offloaded"
@@ -448,6 +537,7 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
               completed_at = None;
               active = true;
               falling_back = false;
+              repairing = false;
               idle_ticks = 0;
             }
           in
@@ -464,7 +554,7 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
           let configured = ref [] in
           let remaining = ref (List.length fe_servers) in
           let stage2 sim =
-            if o.active then begin
+            if o.active && t.alive then begin
               match !configured with
               | [] ->
                 (* No FE accepted the tables: abort the offload. *)
@@ -478,6 +568,7 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
                     ~fallback_ruleset:(Some o.saved_ruleset)
                 in
                 o.be <- Some be;
+                registry_sync t o;
                 (* Stage 2: gateway + learning. *)
                 let gw_delay = rpc t in
                 ignore
@@ -537,6 +628,8 @@ let offload_vnic t ~server ~vnic ?num_fes ?version_filter () =
    for local traffic. *)
 
 let scale_in_server t server =
+  if not (fenced t server) then ()
+  else
   match Hashtbl.find_opt t.fe_services server with
   | None -> ()
   | Some fe ->
@@ -558,16 +651,178 @@ let scale_in_server t server =
            packets still process, then release. *)
         ignore
           (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt) (fun _ ->
-               Fe.unserve fe addr)
+               if t.alive then Fe.unserve fe addr)
             : Sim.handle))
       served;
     Monitor.unwatch t.monitor ~key:server
+
+(* ------------------------------------------------------------------ *)
+(* Crash–restart reconciliation (DESIGN.md §13).
+
+   [note_crash] is node-truth bookkeeping, not a controller command: at
+   the crash instant the node's BE tracker and FE blobs *are* gone, so
+   the handles mirroring them must agree (and release their SmartNIC
+   reservations) no matter which controller observes it.  [reconcile_server]
+   is the control-plane half — on reboot the node re-advertises (BE) /
+   re-requests provisioning (FE) and the live primary re-pushes intent
+   behind one config RPC. *)
+
+let note_crash t sid =
+  (match Hashtbl.find_opt t.fe_services sid with Some fe -> Fe.reset fe | None -> ());
+  Hashtbl.iter
+    (fun _ o ->
+      if o.active then begin
+        if o.be_server = sid then begin
+          match o.be with
+          | Some be when not (Be.closed be) -> Be.crash be
+          | Some _ | None -> ()
+        end;
+        if o.be_server = sid || List.mem sid o.fe_servers then o.repairing <- true
+      end)
+    t.offload_tbl
+
+let reconcile_server t sid =
+  if t.alive then begin
+    t.reconciles <- t.reconciles + 1;
+    rpc_to t sid (fun ok ->
+        if ok then begin
+          (* FE half: re-request provisioning for every offload that
+             intends this server as an FE. *)
+          (match Hashtbl.find_opt t.fe_services sid with
+          | None -> ()
+          | Some fe ->
+            Fe.reattach fe;
+            Hashtbl.iter
+              (fun _ o ->
+                if
+                  o.active && List.mem sid o.fe_servers
+                  && (not (Fe.serves fe (Vnic.addr o.vnic)))
+                  && fenced t sid
+                then begin
+                  match
+                    Fe.serve fe ~vnic:o.vnic ~ruleset:(Ruleset.clone o.saved_ruleset)
+                      ~be:(Topology.underlay_ip (Fabric.topology t.fabric) o.be_server)
+                  with
+                  | Ok () -> t.repairs <- t.repairs + 1
+                  | Error _ -> ()
+                end)
+              t.offload_tbl);
+          (* BE half: the node re-advertised its offloads; install a
+             fresh tracker for each (the pre-crash instance is closed
+             for good). *)
+          Hashtbl.iter
+            (fun _ o ->
+              if o.active && o.be_server = sid then begin
+                match Fabric.vswitch_opt t.fabric sid with
+                | Some vs
+                  when (match o.be with Some be -> Be.closed be | None -> false)
+                       && fenced t sid ->
+                  let stage =
+                    match o.be with Some b -> Be.stage b | None -> Be.Final
+                  in
+                  let be =
+                    install_be t ~vs ~vnic:o.vnic ~vni:o.vni
+                      ~fes:(fe_ips t o.fe_servers)
+                      ~fallback_ruleset:(Some o.saved_ruleset)
+                  in
+                  Be.set_stage be stage;
+                  o.be <- Some be;
+                  t.repairs <- t.repairs + 1;
+                  registry_sync t o
+                | Some _ | None -> ()
+              end)
+            t.offload_tbl
+        end)
+  end
+
+(* Is the offload's intent fully realized in the dataplane?  (The
+   conservation invariant's "installed" arm.) *)
+let offload_installed t o =
+  o.fe_servers <> []
+  && (match o.be with Some be -> not (Be.closed be) | None -> false)
+  && List.for_all
+       (fun s ->
+         match Hashtbl.find_opt t.fe_services s with
+         | Some fe -> Fe.serves fe (Vnic.addr o.vnic)
+         | None -> false)
+       o.fe_servers
+  && Gateway.lookup (Fabric.gateway t.fabric) (Vnic.addr o.vnic) <> None
+
+(* Anti-entropy sweep, piggybacked on the report interval: diff intent
+   vs actual and repair divergence the lifecycle events missed (lost
+   reconcile RPCs, repeated crashes, manual meddling). *)
+let repair_offload t o =
+  if o.active && (not o.falling_back) && o.completed_at <> None then begin
+    if offload_installed t o then o.repairing <- false
+    else begin
+      o.repairing <- true;
+      let addr = Vnic.addr o.vnic in
+      let healthy s =
+        match Fabric.vswitch_opt t.fabric s with
+        | Some vs -> not (Smartnic.is_crashed (Vswitch.nic vs))
+        | None -> false
+      in
+      (* BE missing and its host is healthy again. *)
+      (match o.be with
+      | Some be when not (Be.closed be) -> ()
+      | _ -> (
+        match Fabric.vswitch_opt t.fabric o.be_server with
+        | Some vs when healthy o.be_server && fenced t o.be_server ->
+          let stage = match o.be with Some b -> Be.stage b | None -> Be.Final in
+          let be =
+            install_be t ~vs ~vnic:o.vnic ~vni:o.vni ~fes:(fe_ips t o.fe_servers)
+              ~fallback_ruleset:(Some o.saved_ruleset)
+          in
+          Be.set_stage be stage;
+          o.be <- Some be;
+          t.repairs <- t.repairs + 1;
+          registry_sync t o
+        | Some _ | None -> ()));
+      (* Intended FEs not serving. *)
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt t.fe_services s with
+          | Some fe when (not (Fe.serves fe addr)) && healthy s && fenced t s ->
+            rpc_to t s (fun ok ->
+                if ok && o.active && not (Fe.serves fe addr) then begin
+                  match
+                    Fe.serve fe ~vnic:o.vnic ~ruleset:(Ruleset.clone o.saved_ruleset)
+                      ~be:(Topology.underlay_ip (Fabric.topology t.fabric) o.be_server)
+                  with
+                  | Ok () -> t.repairs <- t.repairs + 1
+                  | Error _ -> ()
+                end)
+          | Some _ | None -> ())
+        o.fe_servers;
+      (* Route lost entirely (never with a live gateway, but cheap to
+         repair and keeps the invariant honest). *)
+      match Gateway.lookup (Fabric.gateway t.fabric) addr with
+      | Some _ -> ()
+      | None ->
+        if o.fe_servers <> [] && fence_gateway t then begin
+          Gateway.set_route (Fabric.gateway t.fabric) addr (fe_ips t o.fe_servers);
+          t.repairs <- t.repairs + 1
+        end
+    end
+  end
+
+(* Conservation invariant: every intended offload is installed,
+   repairing, or explicitly fallback-local — never silently absent. *)
+let check_conservation t =
+  Hashtbl.fold
+    (fun _ o acc ->
+      acc
+      && ((not o.active) || o.falling_back || o.completed_at = None || o.repairing
+         || offload_installed t o))
+    t.offload_tbl true
 
 (* ------------------------------------------------------------------ *)
 (* Tenant rule updates (§3.2.2): one master mutation, fanned out to
    every replica, with cached flows invalidated everywhere. *)
 
 let update_tenant_rules t o f =
+  if not (fenced t o.be_server) then ()
+  else
   let f rs =
     f rs;
     (* The mutation may have gone through table handles (e.g. the ACL)
@@ -612,6 +867,8 @@ let update_tenant_rules t o f =
 
 let migrate_be t o ~to_server =
   if not o.active then Error "offload not active"
+  else if not (fenced t o.be_server) || not (fenced t to_server) then
+    Error "fenced: stale controller epoch"
   else begin
     match (Fabric.vswitch_opt t.fabric o.be_server, Fabric.vswitch_opt t.fabric to_server) with
     | None, _ -> Error "old BE server has no vSwitch"
@@ -651,6 +908,7 @@ let migrate_be t o ~to_server =
           Vswitch.remove_vnic old_vs o.vnic.Vnic.id;
           o.be <- Some be';
           o.be_server <- to_server;
+          registry_sync t o;
           (* The sub-millisecond part: point every FE at the new BE. *)
           let new_ip = Topology.underlay_ip (Fabric.topology t.fabric) to_server in
           let addr = Vnic.addr o.vnic in
@@ -672,6 +930,7 @@ let migrate_be t o ~to_server =
 
 let pin_elephant t o flow =
   if not o.active then Error "offload not active"
+  else if not (fenced t o.be_server) then Error "fenced: stale controller epoch"
   else begin
     match
       select_fe_candidates t ~be_server:o.be_server ~exclude:o.fe_servers ~count:1
@@ -819,6 +1078,10 @@ let report_tick t =
             Hashtbl.replace t.slow_prev (s, Vnic.id_to_int vid) (Vswitch.vnic_slow_execs vs vid))
           (Vswitch.vnic_ids vs))
     (servers_with_vswitch t);
+  (* Anti-entropy sweep (DESIGN.md §13): diff controller intent vs
+     data-plane actual and repair divergence, piggybacked on the
+     report interval. *)
+  Hashtbl.iter (fun _ o -> repair_offload t o) t.offload_tbl;
   consider_fallback t
 
 let start t =
@@ -826,9 +1089,118 @@ let start t =
     t.started <- true;
     Monitor.start t.monitor;
     Sim.every t.sim ~period:t.cfg.report_interval (fun _ ->
-        report_tick t;
+        if t.alive then report_tick t;
         true)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Construction and controller liveness (HA, DESIGN.md §13) *)
+
+let create ?(config = default_config) ~fabric ~rng () =
+  let sim = Fabric.sim fabric in
+  let t =
+    {
+      sim;
+      fabric;
+      cfg = config;
+      rng;
+      fe_services = Hashtbl.create 32;
+      offload_tbl = Hashtbl.create 16;
+      offload_order = [];
+      reports = Hashtbl.create 64;
+      slow_prev = Hashtbl.create 64;
+      remote_prev = Hashtbl.create 32;
+      busy_prev = Hashtbl.create 64;
+      monitor =
+        Monitor.create ~sim ~interval:config.ping_interval
+          ~misses_to_fail:config.ping_misses_to_fail ();
+      completion_ms = Stats.Histogram.create ();
+      overloads = Hashtbl.create 64;
+      last_scaled = Hashtbl.create 16;
+      scaled_in_until = Hashtbl.create 16;
+      offload_events = 0;
+      scale_out_events = 0;
+      fes_provisioned = 0;
+      rpc_attempts = 0;
+      rpc_retries = 0;
+      rpc_failures = 0;
+      started = false;
+      alive = true;
+      epoch = 1;
+      registry = None;
+      fenced_rejected = 0;
+      stale_discards = 0;
+      reconciles = 0;
+      repairs = 0;
+      telemetry = None;
+    }
+  in
+  Fabric.on_lifecycle fabric (fun ~server ev ->
+      match ev with
+      | `Crashed -> note_crash t server
+      | `Restarted -> reconcile_server t server);
+  t
+
+let halt t =
+  t.alive <- false;
+  Monitor.stop t.monitor
+
+let revive t =
+  t.alive <- true;
+  if t.started then Monitor.start t.monitor
+
+let alive t = t.alive
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- e
+
+let set_registry t r =
+  t.registry <- Some r;
+  (* The FE service handles live on the nodes; both controllers of an
+     HA pair address the same table. *)
+  t.fe_services <- r.Registry.fes
+
+(* A standby taking over: rebuild offload intent from the registry (BE
+   re-advertisements collected from the nodes).  Entries already known
+   are kept; each adopted offload is marked repairing so the next
+   anti-entropy sweep verifies (and if needed restores) its dataplane
+   state under the new epoch. *)
+let adopt_from_registry t =
+  match t.registry with
+  | None -> 0
+  | Some r ->
+    let adopted = ref 0 in
+    Hashtbl.iter
+      (fun key (e : Registry.entry) ->
+        if not (Hashtbl.mem t.offload_tbl key) then begin
+          incr adopted;
+          let o =
+            {
+              key;
+              be_server = e.Registry.r_be_server;
+              vnic = e.Registry.r_vnic;
+              vni = e.Registry.r_vni;
+              saved_ruleset = e.Registry.r_ruleset;
+              triggered_at = Sim.now t.sim;
+              be = e.Registry.r_be;
+              fe_servers = e.Registry.r_fe_servers;
+              completed_at = Some (Sim.now t.sim);
+              active = true;
+              falling_back = false;
+              repairing = true;
+              idle_ticks = 0;
+            }
+          in
+          Hashtbl.replace t.offload_tbl key o;
+          t.offload_order <- o :: t.offload_order;
+          List.iter (fun s -> watch_fe_host t s) o.fe_servers
+        end)
+      r.Registry.offloads;
+    !adopted
+
+let fenced_rejected t = t.fenced_rejected
+let stale_discards t = t.stale_discards
+let reconciles t = t.reconciles
+let repairs t = t.repairs
 
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
@@ -873,6 +1245,13 @@ let register_telemetry t reg =
   T.register_counter reg ~name:"controller/rpc_attempts" (fun () -> t.rpc_attempts);
   T.register_counter reg ~name:"controller/rpc_retries" (fun () -> t.rpc_retries);
   T.register_counter reg ~name:"controller/rpc_failures" (fun () -> t.rpc_failures);
+  T.register_counter reg ~name:"controller/fenced_rejected" (fun () ->
+      t.fenced_rejected);
+  T.register_counter reg ~name:"controller/stale_discards" (fun () ->
+      t.stale_discards);
+  T.register_counter reg ~name:"controller/reconciles" (fun () -> t.reconciles);
+  T.register_counter reg ~name:"controller/repairs" (fun () -> t.repairs);
+  T.register_gauge reg ~name:"controller/epoch" (fun () -> float_of_int t.epoch);
   T.register_gauge reg ~name:"controller/active_offloads" (fun () ->
       float_of_int (List.length (offloads t)));
   T.register_histogram reg ~name:"controller/completion_ms" t.completion_ms;

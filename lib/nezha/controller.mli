@@ -47,7 +47,26 @@ type t
 type offload
 (** A live offload: one vNIC whose tables moved to a set of FEs. *)
 
+(** The collected BE re-advertisements plus the node-side FE service
+    handles (DESIGN.md §13).  Conceptually this state is owned by the
+    *nodes* — each BE re-advertises its offload on boot, each FE
+    service lives on its server — so it survives a controller crash;
+    the registry is the rendezvous an HA pair shares, which a standby
+    rebuilds its world from on takeover. *)
+module Registry : sig
+  type t
+
+  val create : unit -> t
+  val entries : t -> int
+end
+
 val create : ?config:config -> fabric:Fabric.t -> rng:Rng.t -> unit -> t
+(** Also subscribes to the fabric's node-lifecycle events: a server
+    crash closes the offload handles that died with it (and marks the
+    affected offloads repairing); a restart triggers {e reconciliation}
+    — the node's BE re-advertisements and FE provisioning requests are
+    replayed behind one config RPC, restoring intent under the current
+    epoch. *)
 
 val config : t -> config
 val fabric : t -> Fabric.t
@@ -109,6 +128,59 @@ val pin_elephant : t -> offload -> Five_tuple.t -> (Topology.server_id, string) 
     SmartNIC and stops contending with other tenants.  (Sender-side ECMP
     for the RX direction is hash-driven and left unchanged.)  Returns
     the dedicated FE's server. *)
+
+(** {1 Crash–restart, fencing, HA (DESIGN.md §13)} *)
+
+val halt : t -> unit
+(** The controller process crashed: it applies nothing further, its
+    in-flight RPC continuations die on arrival, and its monitor stops
+    probing.  (State is NOT wiped — a revived stale primary is exactly
+    the split-brain hazard the epoch fence exists for.) *)
+
+val revive : t -> unit
+(** Restart a halted controller process with its stale in-memory state
+    (the split-brain scenario).  Its epoch is unchanged, so every
+    fenced component rejects its commands until it re-syncs. *)
+
+val alive : t -> bool
+
+val epoch : t -> int
+(** The fencing token presented with every mutating command.  vSwitches
+    and the gateway track the highest epoch observed and reject lower
+    ones, which is what makes a revived stale primary provably unable
+    to flap placements. *)
+
+val set_epoch : t -> int -> unit
+
+val set_registry : t -> Registry.t -> unit
+(** Attach the shared node-state registry (both members of an HA pair
+    attach the same one).  The FE-service table is aliased from it. *)
+
+val adopt_from_registry : t -> int
+(** Standby takeover: rebuild offload intent from the registry's BE
+    re-advertisements.  Already-known entries are kept; each adopted
+    offload is marked repairing so the next anti-entropy sweep verifies
+    and restores its dataplane state under the new epoch.  Returns the
+    number of offloads adopted. *)
+
+val check_conservation : t -> bool
+(** The §13 conservation invariant: every intended (active, completed)
+    offload is fully installed, marked repairing, or explicitly
+    fallback-local — never silently absent from the dataplane. *)
+
+val fenced_rejected : t -> int
+(** Commands this controller abandoned because a component held a
+    higher epoch (the split-brain counter). *)
+
+val stale_discards : t -> int
+(** RPC replies discarded because the target node's incarnation changed
+    (or the node is down) while the exchange was in flight. *)
+
+val reconciles : t -> int
+(** Node-restart reconciliation rounds run. *)
+
+val repairs : t -> int
+(** Individual divergences repaired (reconciliation + anti-entropy). *)
 
 (** {1 Introspection} *)
 

@@ -419,6 +419,10 @@ module Ingress_impl = struct
       Pbatch.recycle leftover
 end
 
+let reattach t =
+  Vswitch.set_net_hook t.vs (Some (fun pkt ~outer -> hook t pkt ~outer));
+  Vswitch.set_net_hook_batch t.vs (Some (fun batch -> process_batch t batch))
+
 let install vs =
   let t =
     {
@@ -436,8 +440,7 @@ let install vs =
         };
     }
   in
-  Vswitch.set_net_hook vs (Some (fun pkt ~outer -> hook t pkt ~outer));
-  Vswitch.set_net_hook_batch vs (Some (fun batch -> process_batch t batch));
+  reattach t;
   (* Cached-flow aging pump for the served regions. *)
   let p = Vswitch.params vs in
   Sim.every (Vswitch.sim vs) ~period:(p.Params.flow_aging /. 4.0) (fun sim ->
@@ -492,6 +495,15 @@ let unserve t addr =
   | Some s ->
     release_served t s;
     Vnic.Addr.Table.remove t.served addr
+
+(* The hosting process died: every served blob (pushed rules + cached
+   flows) was in process/NIC memory and is gone, so its reservations
+   must be released *now* to keep the SmartNIC ledger honest.  The Fe
+   object survives — [reattach] rewires the packet hooks the vSwitch
+   wipe cleared, and the controller re-[serve]s on reconciliation. *)
+let reset t =
+  Vnic.Addr.Table.iter (fun _ s -> release_served t s) t.served;
+  Vnic.Addr.Table.reset t.served
 
 let serves t addr = Vnic.Addr.Table.mem t.served addr
 let served_count t = Vnic.Addr.Table.length t.served

@@ -60,6 +60,16 @@ val serve : t -> vnic:Vnic.t -> ruleset:Ruleset.t -> be:Ipv4.t -> Admission.t
 val unserve : t -> Vnic.Addr.t -> unit
 (** Stop serving: releases the rule replica and cached flows. *)
 
+val reset : t -> unit
+(** Crash semantics: every served blob vanished with the process, so
+    release all its NIC reservations and forget the table.  Pair with
+    {!reattach} + controller re-provisioning on reboot. *)
+
+val reattach : t -> unit
+(** Re-install this FE's packet hooks on its vSwitch (they are volatile
+    and cleared by {!Vswitch.wipe_volatile}); part of reboot
+    reconciliation. *)
+
 val serves : t -> Vnic.Addr.t -> bool
 val served_count : t -> int
 val served_vnics : t -> Vnic.Addr.t list

@@ -76,6 +76,11 @@ type t = {
          returns the (still-encapsulated) leftover it declined, or
          [None] when everything was consumed. *)
   mutable tracer : Trace.t option;
+  (* Controller-epoch fence: the highest epoch ever observed.  Like a
+     Chubby/ZooKeeper fence token it survives crashes (the one durably
+     persisted item), so a revived stale controller can never win. *)
+  mutable epoch : int;
+  mutable epoch_rejections : int;
 }
 
 let make_counters () =
@@ -124,6 +129,8 @@ let create ~sim ~params ~name ~underlay_ip ~gateway () =
       net_hook = None;
       net_hook_batch = None;
       tracer = None;
+      epoch = 0;
+      epoch_rejections = 0;
     }
   in
   (* Aging pump: sweep session tables a few times per aging period. *)
@@ -248,6 +255,53 @@ let add_vnic t vnic ruleset =
 let release_sessions t e =
   Flow_table.iter e.sessions (fun _ v -> Smartnic.mem_release t.nic (session_bytes t.params v));
   Flow_table.clear e.sessions
+
+(* Crash semantics: everything living in the dataplane process's memory
+   vanishes — session tables (and their NIC reservations), megaflow
+   caches, in-flight learning queries, BE/FE packet hooks, intercepts,
+   mirrors, flow-log backlog, counters.  Rulesets, vNIC registrations
+   and rate-limit config are tenant intent re-pushed from the durable
+   store during reboot, modelled as surviving in place; the epoch fence
+   is durably persisted by design (see DESIGN.md §13). *)
+let wipe_volatile t =
+  Vnic.Id_table.iter
+    (fun _ e ->
+      release_sessions t e;
+      e.intercept <- None;
+      Stats.Counter.reset e.slow_execs;
+      (* The megaflow cache dies with the process: a generation bump
+         invalidates every cached entry without touching the rules. *)
+      match e.ruleset with Some rs -> Ruleset.bump_generation rs | None -> ())
+    t.vnics;
+  Vnic.Addr.Table.reset t.learning;
+  t.net_hook <- None;
+  t.net_hook_batch <- None;
+  t.mirror_target <- None;
+  t.mirrored <- 0;
+  t.flow_records <- 0;
+  let c = t.counters in
+  Stats.Counter.reset c.rx_packets;
+  Stats.Counter.reset c.tx_packets;
+  Stats.Counter.reset c.delivered;
+  Stats.Counter.reset c.forwarded;
+  Stats.Counter.reset c.slow_path_execs;
+  Stats.Counter.reset c.fast_path_hits;
+  Stats.Counter.reset c.sessions_created;
+  Stats.Counter.reset c.notify_packets;
+  Array.iter Stats.Counter.reset c.drops
+
+let epoch t = t.epoch
+let epoch_rejections t = t.epoch_rejections
+
+let observe_epoch t ~epoch =
+  if epoch >= t.epoch then begin
+    t.epoch <- epoch;
+    true
+  end
+  else begin
+    t.epoch_rejections <- t.epoch_rejections + 1;
+    false
+  end
 
 let remove_vnic t vid =
   match Vnic.Id_table.find_opt t.vnics vid with

@@ -79,6 +79,31 @@ val set_software_version : t -> int -> unit
 val drop_count : t -> Nf.drop_reason -> int
 val total_drops : t -> int
 
+(** {1 Crash–restart (DESIGN.md §13)} *)
+
+val wipe_volatile : t -> unit
+(** Model a dataplane-process crash: drop every session table entry
+    (releasing its NIC memory), invalidate megaflow caches, forget
+    in-flight learning queries, uninstall BE/FE packet hooks and
+    intercepts, clear mirrors and flow-log backlog, zero the counters.
+    Rulesets/vNIC registrations/rate limits are durable tenant config
+    (re-pushed during reboot) and survive; so does the epoch fence.
+    The fabric calls this from {!Nezha_fabric.Faults.crash_server}'s
+    hook — pair with {!Smartnic.crash}/{!Smartnic.recover} for the
+    reboot window. *)
+
+val epoch : t -> int
+(** Highest controller epoch ever observed (the fence high-water mark,
+    durably persisted — survives {!wipe_volatile}). *)
+
+val observe_epoch : t -> epoch:int -> bool
+(** Fence check on a controller command: [true] (and the high-water
+    mark advances) iff [epoch] is not lower than the highest seen — a
+    stale primary's commands return [false] and must not be applied. *)
+
+val epoch_rejections : t -> int
+(** Commands refused by the fence. *)
+
 val set_sink : t -> sink -> unit
 (** Install the fabric's send functions.  Must be set before traffic
     runs. *)

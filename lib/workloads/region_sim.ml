@@ -50,6 +50,12 @@ type config = {
   hold : float;  (** time a spike holds its peak *)
   push_bytes_per_s : float;  (** rule/state push bandwidth (§4.2.1) *)
   rpc_rtt : float;
+  (* --- crash-storm chaos (DESIGN.md §13) --- *)
+  crash_rate : float;  (** Poisson mean crashes per server per day (0 = off) *)
+  reboot_delay : float;  (** crash -> process back up *)
+  resync_delay : float;  (** controller re-push latency on re-advertisement *)
+  ctl_crash_at : float option;  (** primary controller crash instant *)
+  ctl_failover : float;  (** lease expiry -> standby takeover delay *)
 }
 
 let default_config =
@@ -80,6 +86,11 @@ let default_config =
     hold = 3.0;
     push_bytes_per_s = 200e6;
     rpc_rtt = 0.002;
+    crash_rate = 0.0;
+    reboot_delay = 1.0;
+    resync_delay = 0.1;
+    ctl_crash_at = None;
+    ctl_failover = 1.0;
   }
 
 type result = {
@@ -99,6 +110,14 @@ type result = {
   packets_modeled : float;  (** demand-rate x time packet proxy *)
   pool_reused : int;
   pool_fresh : int;
+  crashes : int;  (** server crash events executed (storm) *)
+  restarts : int;  (** reboot completions *)
+  mttr_p50 : float;  (** crash -> intent fully restored, seconds *)
+  mttr_p99 : float;
+  blackholed_ticks : int;  (** demand ticks evaluated while the server was down *)
+  late_blackholed : int;
+      (** blackholed ticks after the convergence deadline — must be 0 *)
+  ctl_takeovers : int;  (** standby takeovers after a primary crash *)
   digest : int;  (** order-insensitive run fingerprint *)
 }
 
@@ -122,6 +141,15 @@ type srv = {
   mutable packets : float;
   vnics_modeled : int;
   flows_modeled : int;
+  (* crash-storm state (shard-local; crash schedule frozen at setup) *)
+  crash_times : float array;
+  mutable down : bool;
+  mutable incarnation : int;  (** bumped per crash; stamps re-advertisements *)
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable blackholed : int;
+  mutable late_blackholed : int;
+  mutable mttr : float list;  (** newest first; per-server, merged in sid order *)
 }
 
 (* Spike contribution at [now]: linear ramp up over [ramp], hold at the
@@ -157,11 +185,26 @@ type ctl = {
   reported : float array;
   state : ctl_state array;
   reserved : bool array;
+  fe_of : (int * float) list array;
+      (** per FE server: the (BE, share) duties the controller intends
+          for it — what a recovery re-push restores *)
   rngs : Rng.t array;  (** per-server decision streams: draws never
                            depend on report arrival interleaving *)
   mutable detections : int;
   mutable activations : int;
+  mutable down : bool;  (** primary crashed, standby not yet up *)
+  mutable takeovers : int;
+  mutable pending_readverts : (int * int * float) list;
+      (** (server, incarnation, crash time) arrived while down *)
 }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let i = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+  end
 
 let run cfg =
   if cfg.shards < 1 then invalid_arg "Region_sim.run: shards must be >= 1";
@@ -200,6 +243,21 @@ let run cfg =
                 { t0; ramp; peak_add = peak -. p.Region.cpu; hold_s = cfg.hold })
           end
         in
+        (* Crash schedule: frozen at setup from the same private stream
+           (Poisson count, times inside the window that lets every
+           recovery converge before the day ends). *)
+        let crash_times =
+          if cfg.crash_rate <= 0.0 then [||]
+          else begin
+            let k = Region.poisson srng cfg.crash_rate in
+            let ts =
+              Array.init k (fun _ ->
+                  (0.05 *. cfg.duration) +. Rng.float srng (0.65 *. cfg.duration))
+            in
+            Array.sort compare ts;
+            ts
+          end
+        in
         {
           sid;
           shard = shard_of sid;
@@ -218,7 +276,29 @@ let run cfg =
           packets = 0.0;
           vnics_modeled = 1 + int_of_float (p.Region.vnics *. 511.0);
           flows_modeled = int_of_float (p.Region.flows *. 1e6);
+          crash_times;
+          down = false;
+          incarnation = 0;
+          crashes = 0;
+          restarts = 0;
+          blackholed = 0;
+          late_blackholed = 0;
+          mttr = [];
         })
+  in
+  (* Every crash that can happen has finished recovering by this
+     instant; blackholed ticks past it are a convergence failure. *)
+  let convergence_deadline =
+    let last =
+      Array.fold_left
+        (fun acc (s : srv) ->
+          Array.fold_left (fun a t -> Float.max a t) acc s.crash_times)
+        0.0 srvs
+    in
+    if last = 0.0 then 0.0
+    else
+      last +. cfg.reboot_delay +. cfg.resync_delay +. cfg.ctl_failover
+      +. (4.0 *. cfg.ctl_latency) +. 0.5
   in
   (* Real vSwitch + SmartNIC per server, placed on its rack's shard; one
      concrete vNIC with a ruleset (memory admission included), with the
@@ -247,10 +327,14 @@ let run cfg =
       reported = Array.map (fun s -> s.base_cpu) srvs;
       state = Array.make n No_offload;
       reserved = Array.make n false;
+      fe_of = Array.make n [];
       rngs =
         Array.init n (fun sid -> Rng.create (cfg.seed lxor (0x85ebca6b * (sid + 1))));
       detections = 0;
       activations = 0;
+      down = false;
+      takeovers = 0;
+      pending_readverts = [];
     }
   in
   (* --- per-server demand ticks and flow churn ---------------------- *)
@@ -280,16 +364,26 @@ let run cfg =
       let tick_body sim =
         let now = Sim.now sim in
         srv.ticks <- srv.ticks + 1;
-        let eff = effective srvs srv now in
-        srv.packets <- srv.packets +. (eff *. pps_per_unit *. cfg.tick);
-        if eff > cfg.overload_level then begin
-          srv.over_ticks <- srv.over_ticks + 1;
-          if not srv.over then begin
-            srv.over <- true;
-            srv.episodes <- srv.episodes + 1
-          end
+        if srv.down then begin
+          (* Nobody home: the server's demand is blackholed, not served
+             (and not an overload — there is no vSwitch to overload). *)
+          srv.blackholed <- srv.blackholed + 1;
+          if now > convergence_deadline then
+            srv.late_blackholed <- srv.late_blackholed + 1;
+          srv.over <- false
         end
-        else srv.over <- false
+        else begin
+          let eff = effective srvs srv now in
+          srv.packets <- srv.packets +. (eff *. pps_per_unit *. cfg.tick);
+          if eff > cfg.overload_level then begin
+            srv.over_ticks <- srv.over_ticks + 1;
+            if not srv.over then begin
+              srv.over <- true;
+              srv.episodes <- srv.episodes + 1
+            end
+          end
+          else srv.over <- false
+        end
       in
       (* Stagger first ticks so 2,000 servers don't land on one instant. *)
       let offset = cfg.tick *. float_of_int (srv.sid mod 64) /. 64.0 in
@@ -316,12 +410,15 @@ let run cfg =
           in
           ignore (Sim.schedule srv.sim ~delay:delay0 (fun s -> act s) : Sim.handle)
       done;
-      (* Utilization reports up to the controller shard. *)
+      (* Utilization reports up to the controller shard (a crashed
+         server reports nothing — the controller keeps the last one). *)
       Sim.every srv.sim ~period:cfg.report_interval (fun sim ->
           let now = Sim.now sim in
-          let eff = effective srvs srv now in
-          Sim.Sharded.send sim ~dst:0 ~delay:cfg.ctl_latency (fun _ ->
-              ctl.reported.(srv.sid) <- eff);
+          if not srv.down then begin
+            let eff = effective srvs srv now in
+            Sim.Sharded.send sim ~dst:0 ~delay:cfg.ctl_latency (fun _ ->
+                ctl.reported.(srv.sid) <- eff)
+          end;
           now < cfg.duration))
     srvs;
   (* --- controller scan on shard 0 ---------------------------------- *)
@@ -364,6 +461,7 @@ let run cfg =
                    (fun _ -> srvs.(sid).keep <- cfg.keep_share);
                  List.iter
                    (fun f ->
+                     ctl.fe_of.(f) <- (sid, share) :: ctl.fe_of.(f);
                      Sim.Sharded.send csim ~dst:(shard_of f) ~delay:cfg.ctl_latency
                        (fun _ -> srvs.(f).absorbed <- (sid, share) :: srvs.(f).absorbed))
                    fes)
@@ -372,8 +470,79 @@ let run cfg =
     done
   in
   Sim.every ctl_sim ~period:cfg.scan_interval (fun sim ->
-      if cfg.nezha then scan ();
+      if cfg.nezha && not ctl.down then scan ();
       Sim.now sim < cfg.duration);
+  (* --- crash storm (DESIGN.md §13) ---------------------------------- *)
+  (* Reconciliation, controller side: a rebooted server re-advertises
+     (stamped with its boot incarnation); after [resync_delay] the
+     controller re-pushes its intent — BE keep-share and FE duties —
+     which lands back on the owning shard.  The restore applies only if
+     the server has not crashed again meanwhile (incarnation fence);
+     the MTTR sample runs crash instant -> intent restored. *)
+  let readvert sid inc t_crash =
+    if ctl.down then
+      ctl.pending_readverts <- (sid, inc, t_crash) :: ctl.pending_readverts
+    else
+      ignore
+        (Sim.schedule ctl_sim ~delay:cfg.resync_delay (fun csim ->
+             Sim.Sharded.send csim ~dst:(shard_of sid) ~delay:cfg.ctl_latency
+               (fun ssim ->
+                 let s = srvs.(sid) in
+                 if (not s.down) && s.incarnation = inc then begin
+                   (match ctl.state.(sid) with
+                   | Active -> s.keep <- cfg.keep_share
+                   | Pending | No_offload -> ());
+                   s.absorbed <- ctl.fe_of.(sid);
+                   s.mttr <- (Sim.now ssim -. t_crash) :: s.mttr
+                 end))
+          : Sim.handle)
+  in
+  (* Node side: at the (setup-frozen) crash instant the volatile state
+     vanishes — keep-share and FE duties revert to boot defaults — and
+     the process is gone for [reboot_delay]; on reboot it re-advertises
+     up to the controller shard. *)
+  let crash_event (srv : srv) sim =
+    if not srv.down then begin
+      let t_crash = Sim.now sim in
+      srv.down <- true;
+      srv.crashes <- srv.crashes + 1;
+      srv.incarnation <- srv.incarnation + 1;
+      let inc = srv.incarnation in
+      srv.keep <- 1.0;
+      srv.absorbed <- [];
+      ignore
+        (Sim.schedule sim ~delay:cfg.reboot_delay (fun ssim ->
+             srv.down <- false;
+             srv.restarts <- srv.restarts + 1;
+             Sim.Sharded.send ssim ~dst:0 ~delay:cfg.ctl_latency (fun _ ->
+                 readvert srv.sid inc t_crash))
+          : Sim.handle)
+    end
+  in
+  Array.iter
+    (fun (srv : srv) ->
+      Array.iter
+        (fun tc ->
+          ignore (Sim.schedule srv.sim ~delay:tc (fun sim -> crash_event srv sim)
+                   : Sim.handle))
+        srv.crash_times)
+    srvs;
+  (* Primary-controller crash: scans stop and re-advertisements queue
+     until the standby takes over [ctl_failover] later; the drain is
+     sorted by server id so the takeover is shard-count invariant. *)
+  (match cfg.ctl_crash_at with
+  | None -> ()
+  | Some tca ->
+    ignore
+      (Sim.schedule ctl_sim ~delay:tca (fun _ -> ctl.down <- true) : Sim.handle);
+    ignore
+      (Sim.schedule ctl_sim ~delay:(tca +. cfg.ctl_failover) (fun _ ->
+           ctl.down <- false;
+           ctl.takeovers <- ctl.takeovers + 1;
+           let q = List.sort compare ctl.pending_readverts in
+           ctl.pending_readverts <- [];
+           List.iter (fun (sid, inc, tc) -> readvert sid inc tc) q)
+        : Sim.handle));
   (* --- run ---------------------------------------------------------- *)
   Sim.Sharded.run cluster ~until:cfg.duration;
   (* --- collect ------------------------------------------------------ *)
@@ -385,7 +554,12 @@ let run cfg =
   and over_ticks = ref 0
   and vnics = ref 0
   and flows = ref 0
-  and packets = ref 0.0 in
+  and packets = ref 0.0
+  and crashes = ref 0
+  and restarts = ref 0
+  and blackholed = ref 0
+  and late_blackholed = ref 0
+  and mttr_samples = ref [] in
   Array.iter
     (fun (srv : srv) ->
       ticks := !ticks + srv.ticks;
@@ -395,16 +569,37 @@ let run cfg =
       vnics := !vnics + srv.vnics_modeled;
       flows := !flows + srv.flows_modeled;
       packets := !packets +. srv.packets;
+      crashes := !crashes + srv.crashes;
+      restarts := !restarts + srv.restarts;
+      blackholed := !blackholed + srv.blackholed;
+      late_blackholed := !late_blackholed + srv.late_blackholed;
+      (* srv.mttr is newest-first; merged in sid order the global list
+         is deterministic regardless of shard count. *)
+      List.iter (fun m -> mttr_samples := m :: !mttr_samples) srv.mttr;
       digest := mix !digest srv.episodes;
       digest := mix !digest srv.over_ticks;
       digest := mix !digest srv.ticks;
       digest := mix !digest srv.flow_expiries;
+      digest := mix !digest srv.crashes;
+      digest := mix !digest (srv.restarts + srv.blackholed);
+      List.iter
+        (fun m ->
+          digest :=
+            mix !digest
+              (Int64.to_int (Int64.logand (Int64.bits_of_float m) 0xffffffffL)))
+        srv.mttr;
       digest :=
         mix !digest
           (Int64.to_int (Int64.logand (Int64.bits_of_float srv.packets) 0xffffffffL)))
     srvs;
   digest := mix !digest ctl.detections;
   digest := mix !digest ctl.activations;
+  digest := mix !digest ctl.takeovers;
+  let mttr_sorted =
+    let a = Array.of_list !mttr_samples in
+    Array.sort compare a;
+    a
+  in
   let reused, fresh =
     Array.fold_left
       (fun (r, f) i ->
@@ -430,6 +625,13 @@ let run cfg =
     packets_modeled = !packets;
     pool_reused = reused;
     pool_fresh = fresh;
+    crashes = !crashes;
+    restarts = !restarts;
+    mttr_p50 = percentile mttr_sorted 0.50;
+    mttr_p99 = percentile mttr_sorted 0.99;
+    blackholed_ticks = !blackholed;
+    late_blackholed = !late_blackholed;
+    ctl_takeovers = ctl.takeovers;
     digest = !digest;
   }
 

@@ -51,6 +51,13 @@ type config = {
   hold : float;  (** time a spike holds its peak *)
   push_bytes_per_s : float;  (** rule/state push bandwidth (§4.2.1) *)
   rpc_rtt : float;
+  crash_rate : float;
+      (** crash-storm chaos (DESIGN.md §13): Poisson mean server crashes
+          per compressed day, schedule frozen at setup (0 = off) *)
+  reboot_delay : float;  (** crash -> process back up *)
+  resync_delay : float;  (** controller re-push latency on re-advertisement *)
+  ctl_crash_at : float option;  (** primary-controller crash instant *)
+  ctl_failover : float;  (** lease expiry -> standby takeover delay *)
 }
 
 val default_config : config
@@ -74,6 +81,18 @@ type result = {
   packets_modeled : float;  (** demand-rate x time packet proxy *)
   pool_reused : int;
   pool_fresh : int;
+  crashes : int;  (** server crash events executed (storm) *)
+  restarts : int;  (** reboot completions *)
+  mttr_p50 : float;
+      (** crash instant -> controller intent fully restored on the
+          rebooted node, seconds *)
+  mttr_p99 : float;
+  blackholed_ticks : int;
+      (** demand ticks evaluated while the server was down *)
+  late_blackholed : int;
+      (** blackholed ticks after every scheduled recovery should have
+          converged — a correct run reports 0 *)
+  ctl_takeovers : int;  (** standby takeovers after a primary crash *)
   digest : int;  (** order-insensitive run fingerprint; equal across
                      shard counts for a fixed seed and config *)
 }
