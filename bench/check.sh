@@ -64,6 +64,36 @@ else
   echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
+echo "== learned classifier gate (learned must beat tss at >= 10k rules, memory reported)"
+# The learned backend's claim (DESIGN.md §14): at 10k+ rules the
+# range-model index answers in a bounded error window while TSS pays
+# one hash probe per tuple shape, so learned must be strictly faster at
+# 10k and 100k, and every backend x scale cell must report its index
+# memory footprint.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_micro.json <<'PY'
+import json, sys
+micro = json.load(open(sys.argv[1]))["experiments"]["micro"]
+ns, mem = micro["ns_per_op"], micro["memory_bytes"]
+scales = micro["acl_rule_scales"]
+assert scales == [1000, 10000, 100000], scales
+for backend in ("linear", "tss", "learned"):
+    for scale in ("1k", "10k", "100k"):
+        k = "acl_%s_%s" % (backend, scale)
+        assert k in ns and ns[k] == ns[k] and ns[k] > 0.0, k
+        assert k in mem and mem[k] > 0, k
+for scale in ("10k", "100k"):
+    t, l = ns["acl_tss_" + scale], ns["acl_learned_" + scale]
+    assert l < t, "learned lost to tss at %s: %.1f >= %.1f ns" % (scale, l, t)
+    print("  %-5s learned %7.1f ns vs tss %7.1f ns (%.2fx), index %.1f vs %.1f MB"
+          % (scale, l, t, t / l,
+             mem["acl_learned_" + scale] / 1e6, mem["acl_tss_" + scale] / 1e6))
+print("ok: learned beats tss at 10k and 100k; memory_bytes present for all 9 cells")
+PY
+else
+  echo "python3 not found; skipping learned classifier gate"
+fi
+
 echo "== batch sweep gate (flow-key grouping must win ns/packet at batch >= 32)"
 # The batched dataplane's claim: grouping a burst by flow key amortizes
 # the per-flow resolution, so ns/packet at batch 32 must beat batch-of-1

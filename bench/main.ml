@@ -433,23 +433,78 @@ let macro () =
    directly into connections per second per core. *)
 
 let micro_acl_rules = 1_000
+let micro_rule_scales = [ 1_000; 10_000; 100_000 ]
 
-(* 1k deny rules spread over 6 tuple shapes (3 prefix lengths x proto
-   present/absent) on 172.16/12 space; the probe tuple (src 10.0.0.1)
-   misses every rule, so the linear backend pays the full scan while TSS
-   pays one hash probe per shape. *)
-let micro_make_acl () =
-  let ip = Nezha_net.Ipv4.of_octets in
-  let t = Nezha_tables.Acl.create () in
-  let lens = [| 8; 16; 24 |] in
-  for i = 0 to micro_acl_rules - 1 do
-    Nezha_tables.Acl.add t
-      (Nezha_tables.Acl.rule ~priority:(i + 1)
-         ~src:(Nezha_net.Ipv4.Prefix.make (ip 172 16 (i mod 200) 0) lens.(i mod 3))
-         ?proto:(if i land 1 = 0 then Some Nezha_net.Five_tuple.Tcp else None)
-         Nezha_tables.Acl.Deny)
-  done;
-  t
+let micro_scale_name n =
+  if n mod 1_000 = 0 then string_of_int (n / 1_000) ^ "k" else string_of_int n
+
+(* Deny rules confined to 172/8, so the probe tuple (src 10.0.0.1)
+   misses every rule: the linear backend pays the full scan, TSS one
+   hash probe per mask shape, the learned index one model probe per
+   iSet layer.  The generator is scale-honest — mask diversity grows
+   with the rule count the way production ACLs grow shapes as tenants
+   accumulate rules (6 shapes at 1k, 24 at 10k, 48 at 100k once
+   port-range rules join), so TSS's probe list lengthens at 10k/100k
+   while the learned index keeps its handful of iSet layers.  Per
+   prefix length, rule blocks are made distinct by an odd-multiplier
+   bijection over the 2^(len-8) aligned blocks of 172/8 (no accidental
+   duplicate intervals at scale). *)
+let micro_acl_lens n =
+  if n <= 1_000 then [| 16; 24; 32 |]
+  else if n <= 10_000 then Array.init 12 (fun i -> 20 + i)
+  else Array.init 12 (fun i -> 21 + i)
+
+let micro_make_rules n =
+  let lens = micro_acl_lens n in
+  let nlens = Array.length lens in
+  let with_ports = n > 10_000 in
+  Array.init n (fun i ->
+      let len = lens.(i mod nlens) in
+      let k = i / nlens in
+      let block = k * 2654435761 land ((1 lsl (len - 8)) - 1) in
+      let base = Int32.of_int ((172 lsl 24) lor (block lsl (32 - len))) in
+      (* proto/port presence keys off [k], not [i]: [i mod nlens] and
+         [i]'s low bits are correlated (nlens divides 4's multiples),
+         which would collapse the shape product back to [nlens]. *)
+      Nezha_tables.Acl.rule ~priority:(i + 1)
+        ~src:(Nezha_net.Ipv4.Prefix.make (Nezha_net.Ipv4.of_int32 base) len)
+        ?proto:(if k land 1 = 0 then Some Nezha_net.Five_tuple.Tcp else None)
+        ?dst_ports:(if with_ports && k land 2 = 0 then Some (1024, 65535) else None)
+        Nezha_tables.Acl.Deny)
+
+let micro_make_acl_n n = Nezha_tables.Acl.of_rules (Array.to_list (micro_make_rules n))
+
+(* Probe packets cycled by the acl benchmarks, half hits half misses.
+   Hits stride evenly over the ruleset (a TCP packet inside the rule's
+   source block to a port every generated rule accepts); misses sit in
+   address space no rule covers.  Classification cost is what the
+   backends are measured on, and both halves matter: hits exercise
+   TSS's bucket walks against the model's predicted windows, misses
+   force the linear scan to its full length (the paper's memory wall)
+   where TSS pays one warm hash miss per mask shape. *)
+let micro_probe_mask = 255
+
+let micro_make_probes rules =
+  let n = Array.length rules in
+  let stride = max 1 (n / (micro_probe_mask + 1)) in
+  Array.init (micro_probe_mask + 1) (fun j ->
+      let src =
+        if j land 1 = 0 then begin
+          let r = rules.((j * stride) mod n) in
+          let p = Option.get r.Nezha_tables.Acl.src in
+          let len = Nezha_net.Ipv4.Prefix.length p in
+          let off = if len >= 32 then 0 else j land ((1 lsl (32 - len)) - 1) in
+          Nezha_net.Ipv4.of_int32
+            (Int32.add
+               (Nezha_net.Ipv4.to_int32 (Nezha_net.Ipv4.Prefix.base p))
+               (Int32.of_int off))
+        end
+        else Nezha_net.Ipv4.of_octets 10 ((j * 7) land 255) ((j * 13) land 255) 1
+      in
+      Nezha_net.Five_tuple.make ~src ~dst:(Nezha_net.Ipv4.of_octets 203 0 113 9)
+        ~src_port:4000 ~dst_port:2048 ~proto:Nezha_net.Five_tuple.Tcp)
+
+let micro_make_acl () = micro_make_acl_n micro_acl_rules
 
 (* Run a list of Bechamel tests and return (name, ns/op) in test order. *)
 let run_micro_tests tests =
@@ -495,8 +550,6 @@ let micro_results () =
     done;
     t
   in
-  let linear = Nezha_tables.Classifier.of_acl ~backend:Nezha_tables.Classifier.Linear (micro_make_acl ()) in
-  let tss = Nezha_tables.Classifier.of_acl ~backend:Nezha_tables.Classifier.Tuple_space (micro_make_acl ()) in
   let tuple =
     Nezha_net.Five_tuple.make ~src:(ip 10 0 0 1) ~dst:(ip 10 1 77 5) ~src_port:43210
       ~dst_port:443 ~proto:Nezha_net.Five_tuple.Tcp
@@ -506,7 +559,55 @@ let micro_results () =
     Nezha_net.Five_tuple.make ~src:(ip 10 1 77 5) ~dst:(ip 10 0 0 1) ~src_port:443
       ~dst_port:43210 ~proto:Nezha_net.Five_tuple.Tcp
   in
-  ignore (Nezha_tables.Classifier.lookup tss tuple : Nezha_tables.Classifier.verdict);
+  (* One classifier per (scale, backend), each pinned via [Fixed] so the
+     sweep measures every engine at every scale (the learned index at 1k
+     is expected to lose to TSS — that asymmetry is what the [Auto]
+     policy encodes).  Primed with one lookup so the bench loop never
+     pays the one-time index build. *)
+  let make_acl_matrix scales =
+    List.map
+      (fun n ->
+        let rules = micro_make_rules n in
+        let acl = Nezha_tables.Acl.of_rules (Array.to_list rules) in
+        let probes = micro_make_probes rules in
+        ( n,
+          probes,
+          List.map
+            (fun backend ->
+              let c = Nezha_tables.Classifier.of_acl ~backend (Nezha_tables.Acl.copy acl) in
+              ignore (Nezha_tables.Classifier.lookup c tuple : Nezha_tables.Classifier.verdict);
+              (backend, c))
+            Nezha_tables.Classifier.[ Linear; Tuple_space; Learned ] ))
+      scales
+  in
+  let acl_name backend n =
+    Printf.sprintf "acl_%s_%s" (Nezha_tables.Classifier.backend_to_string backend)
+      (micro_scale_name n)
+  in
+  let acl_tests_of matrix =
+    List.concat_map
+      (fun (n, probes, backends) ->
+        List.map
+          (fun (backend, c) ->
+            let idx = ref 0 in
+            Test.make ~name:(acl_name backend n)
+              (Staged.stage (fun () ->
+                   let i = !idx in
+                   idx := (i + 1) land micro_probe_mask;
+                   Nezha_tables.Classifier.lookup c (Array.unsafe_get probes i))))
+          backends)
+      matrix
+  in
+  let acl_memory_of matrix =
+    List.concat_map
+      (fun (n, _, backends) ->
+        List.map
+          (fun (backend, c) -> (acl_name backend n, Nezha_tables.Classifier.memory_bytes c))
+          backends)
+      matrix
+  in
+  let acl_matrix = make_acl_matrix [ micro_acl_rules ] in
+  let acl_tests = acl_tests_of acl_matrix in
   let params = Nezha_vswitch.Params.default in
   let vpc = Nezha_net.Vpc.make 7 in
   let ruleset =
@@ -546,10 +647,9 @@ let micro_results () =
         (Staged.stage (fun () -> Nezha_net.Five_tuple.session_hash tuple_rev));
       Test.make ~name:"lpm_lookup_1k"
         (Staged.stage (fun () -> Nezha_tables.Lpm.lookup lpm (ip 10 1 77 5)));
-      Test.make ~name:"acl_linear_1k"
-        (Staged.stage (fun () -> Nezha_tables.Classifier.lookup linear tuple));
-      Test.make ~name:"acl_tss_1k"
-        (Staged.stage (fun () -> Nezha_tables.Classifier.lookup tss tuple));
+    ]
+    @ acl_tests
+    @ [
       Test.make ~name:"acl_cached_1k"
         (Staged.stage (fun () ->
              Nezha_vswitch.Ruleset.lookup ruleset ~params ~vpc ~flow_tx:tuple));
@@ -573,9 +673,27 @@ let micro_results () =
         (Staged.stage (fun () ->
              let st = Nezha_vswitch.State.init ~first_dir:Nezha_net.Packet.Tx () in
              Nezha_vswitch.State.decode (Nezha_vswitch.State.encode st)));
-    ]
+      ]
   in
-  run_micro_tests tests
+  let core = run_micro_tests tests in
+  (* Rule-scale sweep: one Bechamel run per scale, with only that
+     scale's matrix live.  Multi-MB live indexes tax every allocating
+     op's incremental-GC slices (measured: ~40x inflation on the
+     ns-scale tests when the 100k matrix is built up front), and the
+     tax is additive to every backend — enough to drown the backend
+     ratios the check.sh gate watches.  Compacting between runs
+     releases the previous scale's index before the next is timed. *)
+  let scale, scale_memory =
+    List.fold_left
+      (fun (rs, ms) n ->
+        Gc.compact ();
+        let matrix = make_acl_matrix [ n ] in
+        let r = run_micro_tests (acl_tests_of matrix) in
+        (rs @ r, ms @ acl_memory_of matrix))
+      ([], [])
+      (List.filter (fun n -> n <> micro_acl_rules) micro_rule_scales)
+  in
+  (core @ scale, acl_memory_of acl_matrix @ scale_memory)
 
 let micro_speedups results =
   let ns name = try List.assoc name results with Not_found -> Float.nan in
@@ -584,6 +702,12 @@ let micro_speedups results =
     ("tss_vs_linear", ratio "acl_linear_1k" "acl_tss_1k");
     ("cached_vs_linear", ratio "acl_linear_1k" "acl_cached_1k");
     ("cached_vs_tss", ratio "acl_tss_1k" "acl_cached_1k");
+    (* The rule-scale story: TSS's probe list grows with mask diversity,
+       the learned index does not — the [Auto] policy flips to it at
+       10k+.  check.sh gates on these staying > 1. *)
+    ("learned_vs_tss_10k", ratio "acl_tss_10k" "acl_learned_10k");
+    ("learned_vs_tss_100k", ratio "acl_tss_100k" "acl_learned_100k");
+    ("learned_vs_linear_100k", ratio "acl_linear_100k" "acl_learned_100k");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -718,15 +842,17 @@ let micro_batch_results () =
   List.map (fun path -> (path, per_packet path)) [ "cached"; "tss"; "flow_table" ]
 
 let micro () =
-  let results = micro_results () in
+  let results, memory = micro_results () in
   banner "Microbenchmarks (ns per call)";
   List.iter (fun (name, ns) -> note "%-34s %10.1f ns" name ns) results;
   note "";
-  note "ACL classification at %d rules (paper §2.3: classification bounds the CPS ceiling):"
-    micro_acl_rules;
+  note "ACL classification, 1k-100k rules (paper §2.3: classification bounds the CPS ceiling):";
   List.iter
-    (fun (name, s) -> note "  %-18s %6.1fx" name s)
+    (fun (name, s) -> note "  %-24s %6.1fx" name s)
     (micro_speedups results);
+  note "";
+  note "Classifier index memory:";
+  List.iter (fun (name, b) -> note "  %-24s %10d B" name b) memory;
   note "";
   note "Batch-size sweep (ns per packet, %d flows per burst):" micro_batch_flows;
   note "  %-12s %s" "path"
@@ -779,12 +905,15 @@ let json_table4 () =
   Json.Obj [ ("completion_ms", json_summary (Experiments.table4 ~events:100 ())) ]
 
 let json_micro () =
-  let results = micro_results () in
+  let results, memory = micro_results () in
   let sweep = micro_batch_results () in
   Json.Obj
     [
       ("acl_rules", Json.Int micro_acl_rules);
+      ("acl_rule_scales", Json.List (List.map (fun n -> Json.Int n) micro_rule_scales));
       ("ns_per_op", Json.Obj (List.map (fun (name, ns) -> (name, Json.Float ns)) results));
+      ( "memory_bytes",
+        Json.Obj (List.map (fun (name, b) -> (name, Json.Int b)) memory) );
       ( "speedup",
         Json.Obj (List.map (fun (name, s) -> (name, Json.Float s)) (micro_speedups results)) );
       ( "batch_sweep",

@@ -45,6 +45,15 @@ type t = {
 
 let create ?(default = Permit) () = { rules = []; count = 0; default; revision = 0 }
 
+(* [add] keeps the list sorted by insertion, which is O(n) per rule —
+   fine for control-plane churn, quadratic for loading a 100k-rule
+   table.  Bulk construction sorts once; the stable sort preserves list
+   order within equal priorities, so tie-breaks match a sequence of
+   [add]s. *)
+let of_rules ?(default = Permit) rules =
+  let sorted = List.stable_sort (fun a b -> compare a.priority b.priority) rules in
+  { rules = sorted; count = List.length sorted; default; revision = 1 }
+
 let add t r =
   let rec place = function
     | [] -> [ r ]

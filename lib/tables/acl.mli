@@ -43,6 +43,12 @@ type t
 val create : ?default:action -> unit -> t
 (** [default] (applied when no rule matches) defaults to [Permit]. *)
 
+val of_rules : ?default:action -> rule list -> t
+(** Bulk construction: one stable sort instead of n sorted inserts —
+    the only sane way to load the 10k/100k-rule tables of the slow-path
+    memory wall (§2.3).  Equivalent to [add]ing the rules in list
+    order. *)
+
 val add : t -> rule -> unit
 val remove : t -> priority:int -> bool
 (** Remove all rules at the given priority; [true] if any were removed. *)

@@ -1,0 +1,368 @@
+open Nezha_net
+
+(* Tunables.  [leaf_target] keys per RMI leaf keeps leaf training cheap
+   and windows small; [max_isets] bounds lookup cost on adversarial
+   rulesets (each extra layer is one more model probe); a layering pass
+   that yields fewer than [min_pass] intervals stops the partitioner —
+   the tail is cheaper to leave in the remainder TSS than to probe as
+   near-empty iSets. *)
+let leaf_target = 64
+let max_leaves = 4096
+let max_isets = 16
+let min_pass n = max 4 (n / 100)
+
+type axis = Src | Dst
+
+(* One layer of non-overlapping intervals, sorted ascending.  Struct of
+   arrays throughout — [lo]/[hi]/[orders] are unboxed int arrays and the
+   leaf models live in flat float arrays (a leaf *record* array would
+   box every slope load behind a pointer on the hot path). *)
+type iset = {
+  lo : int array;
+  hi : int array;
+  rules : Acl.rule array;
+  orders : int array;
+  slopes : float array;
+  intercepts : float array;
+  errs : int array;
+  kmin : int;
+  kmax : int;
+  kspan : int; (* kmax - kmin + 1 *)
+}
+
+type t = {
+  default : Acl.action;
+  mutable axis : axis;
+  mutable isets : iset array;
+  mutable remainder : Tss.t;
+  mutable total : int;
+  mutable next_order : int;
+}
+
+let create ?(default = Acl.Permit) () =
+  {
+    default;
+    axis = Dst;
+    isets = [||];
+    remainder = Tss.create ~default ();
+    total = 0;
+    next_order = 0;
+  }
+
+let[@inline] mask_bits len = if len <= 0 then 0 else 0xffffffff lxor ((1 lsl (32 - len)) - 1)
+
+(* The rule's match range on [axis] as a closed integer interval;
+   [None] when the field is wildcarded (the rule cannot be indexed). *)
+let interval_of_rule axis (r : Acl.rule) =
+  let field = match axis with Src -> r.Acl.src | Dst -> r.Acl.dst in
+  match field with
+  | None -> None
+  | Some p ->
+    let m = mask_bits (Ipv4.Prefix.length p) in
+    let base = Int32.to_int (Ipv4.to_int32 (Ipv4.Prefix.base p)) land m in
+    Some (base, base lor (lnot m land 0xffffffff))
+
+let clear t =
+  t.isets <- [||];
+  t.remainder <- Tss.create ~default:t.default ();
+  t.total <- 0;
+  t.next_order <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Build: partition into iSets, train the RMI per iSet. *)
+
+type centry = { c_lo : int; c_hi : int; c_rule : Acl.rule; c_order : int }
+
+let train_leaves lo =
+  let n = Array.length lo in
+  let kmin = lo.(0) and kmax = lo.(n - 1) in
+  let kspan = kmax - kmin + 1 in
+  let nleaves = max 1 (min max_leaves (n / leaf_target)) in
+  let root x =
+    if x <= kmin then 0
+    else if x >= kmax then nleaves - 1
+    else min (nleaves - 1) ((x - kmin) * nleaves / kspan)
+  in
+  let slopes = Array.make nleaves 0.0
+  and intercepts = Array.make nleaves 0.0
+  and errs = Array.make nleaves 0 in
+  let j = ref 0 in
+  for l = 0 to nleaves - 1 do
+    let s = !j in
+    while !j < n && root lo.(!j) = l do incr j done;
+    let e = !j in
+    if e - s <= 1 then intercepts.(l) <- float_of_int s
+    else begin
+      let x0 = float_of_int lo.(s) and x1 = float_of_int lo.(e - 1) in
+      let slope = if x1 = x0 then 0.0 else float_of_int (e - 1 - s) /. (x1 -. x0) in
+      let intercept = float_of_int s -. (slope *. x0) in
+      let err = ref 0 in
+      for k = s to e - 1 do
+        let pred = int_of_float ((slope *. float_of_int lo.(k)) +. intercept +. 0.5) in
+        let d = abs (pred - k) in
+        if d > !err then err := d
+      done;
+      slopes.(l) <- slope;
+      intercepts.(l) <- intercept;
+      errs.(l) <- !err
+    end
+  done;
+  (slopes, intercepts, errs, kmin, kmax, kspan)
+
+let iset_of_picked picked =
+  (* [picked] is non-overlapping and sorted by right endpoint, which for
+     disjoint intervals is also ascending-by-[lo] — the order binary
+     search needs. *)
+  let n = List.length picked in
+  let first = List.hd picked in
+  let lo = Array.make n 0
+  and hi = Array.make n 0
+  and rules = Array.make n first.c_rule
+  and orders = Array.make n 0 in
+  List.iteri
+    (fun i e ->
+      lo.(i) <- e.c_lo;
+      hi.(i) <- e.c_hi;
+      rules.(i) <- e.c_rule;
+      orders.(i) <- e.c_order)
+    picked;
+  let slopes, intercepts, errs, kmin, kmax, kspan = train_leaves lo in
+  { lo; hi; rules; orders; slopes; intercepts; errs; kmin; kmax; kspan }
+
+let build t acl =
+  let entries = ref [] and n = ref 0 in
+  Acl.iter_rules acl (fun r ->
+      entries := (r, !n) :: !entries;
+      incr n);
+  let entries = List.rev !entries in
+  let n = !n in
+  (* Pick the index field more rules constrain. *)
+  let finite axis =
+    List.fold_left
+      (fun acc (r, _) -> if interval_of_rule axis r <> None then acc + 1 else acc)
+      0 entries
+  in
+  let axis = if finite Src >= finite Dst then Src else Dst in
+  let candidates, wild =
+    List.partition_map
+      (fun (r, o) ->
+        match interval_of_rule axis r with
+        | Some (l, h) -> Either.Left { c_lo = l; c_hi = h; c_rule = r; c_order = o }
+        | None -> Either.Right (r, o))
+      entries
+  in
+  (* Greedy activity selection, repeated: each pass peels off a maximal
+     layer of mutually non-overlapping intervals (classic
+     earliest-right-endpoint-first), so the layer count equals the
+     ruleset's interval overlap depth.  Duplicate or deeply nested
+     intervals past the iSet budget spill into the remainder. *)
+  let sorted =
+    List.stable_sort
+      (fun a b -> if a.c_hi <> b.c_hi then compare a.c_hi b.c_hi else compare a.c_lo b.c_lo)
+      candidates
+  in
+  let isets = ref [] and pending = ref sorted and spill = ref [] in
+  let stop = ref false in
+  while (not !stop) && !pending <> [] do
+    let picked_rev = ref [] and leftover_rev = ref [] and last_hi = ref (-1) and npicked = ref 0 in
+    List.iter
+      (fun e ->
+        if e.c_lo > !last_hi then begin
+          picked_rev := e :: !picked_rev;
+          last_hi := e.c_hi;
+          incr npicked
+        end
+        else leftover_rev := e :: !leftover_rev)
+      !pending;
+    let picked = List.rev !picked_rev in
+    if !npicked < min_pass n || List.length !isets >= max_isets then begin
+      (* Layer too thin (or budget exhausted): everything still pending
+         goes to the remainder instead. *)
+      spill := !pending;
+      stop := true
+    end
+    else begin
+      isets := iset_of_picked picked :: !isets;
+      pending := List.rev !leftover_rev
+    end
+  done;
+  let remainder = Tss.create ~default:t.default () in
+  List.iter (fun e -> Tss.add ~order:e.c_order remainder e.c_rule) !spill;
+  List.iter (fun (r, o) -> Tss.add ~order:o remainder r) wild;
+  t.axis <- axis;
+  t.isets <- Array.of_list (List.rev !isets);
+  t.remainder <- remainder;
+  t.total <- n;
+  t.next_order <- n
+
+let insert t rule =
+  let o = t.next_order in
+  t.next_order <- o + 1;
+  Tss.add ~order:o t.remainder rule;
+  t.total <- t.total + 1
+
+(* ------------------------------------------------------------------ *)
+(* Lookup *)
+
+type verdict = {
+  action : Acl.action;
+  model_evals : int;
+  window_scans : int;
+  remainder_probes : int;
+  matched : Acl.rule option;
+  matched_order : int;
+}
+
+(* Rightmost j in [l, r] with lo.(j) <= x; -1 when none.  Steps are
+   accumulated into [scans] so the cost model charges what the search
+   did. *)
+let find_le lo x l r scans =
+  let l = ref l and r = ref r and ans = ref (-1) in
+  while !l <= !r do
+    incr scans;
+    let m = (!l + !r) / 2 in
+    if lo.(m) <= x then begin
+      ans := m;
+      l := m + 1
+    end
+    else r := m - 1
+  done;
+  !ans
+
+(* Candidate position for key [x] in one iSet: RMI prediction, then a
+   bounded-error window search.  The bracket check below is the
+   error-window contract's safety net: a key falling in a different
+   leaf than the entries around its true position can exceed the
+   recorded error, in which case the window widens to the bracketing
+   side — never returns a wrong position, only costs extra steps.
+   [xf] is [float_of_int x], hoisted by the caller.  Allocation-free. *)
+let probe_iset is x xf scans =
+  let n = Array.length is.lo in
+  let nleaves = Array.length is.slopes in
+  let li =
+    if x <= is.kmin then 0
+    else if x >= is.kmax then nleaves - 1
+    else min (nleaves - 1) ((x - is.kmin) * nleaves / is.kspan)
+  in
+  let pred = int_of_float ((Array.unsafe_get is.slopes li *. xf) +. Array.unsafe_get is.intercepts li +. 0.5) in
+  let pos = if pred < 0 then 0 else if pred > n - 1 then n - 1 else pred in
+  let err = Array.unsafe_get is.errs li in
+  let wlo = max 0 (pos - err - 1) and whi = min (n - 1) (pos + err + 1) in
+  let l, r =
+    if is.lo.(wlo) > x then (0, wlo - 1) (* true position left of the window *)
+    else if is.lo.(whi) <= x then (whi, n - 1) (* at/right of the window *)
+    else (wlo, whi)
+  in
+  let j = find_le is.lo x l r scans in
+  if j >= 0 && is.hi.(j) >= x then j else -1
+
+let lookup_gen t t5 ~rev =
+  (* The key is the packet field the indexed rule field is checked
+     against: in the reverse orientation src/dst swap roles. *)
+  let x =
+    match (t.axis, rev) with
+    | Src, false | Dst, true -> Int32.to_int (Ipv4.to_int32 t5.Five_tuple.src) land 0xffffffff
+    | Dst, false | Src, true -> Int32.to_int (Ipv4.to_int32 t5.Five_tuple.dst) land 0xffffffff
+  in
+  let verify = if rev then Acl.matches_reverse else Acl.matches in
+  let xf = float_of_int x in
+  let best_rule = ref None and best_prio = ref max_int and best_order = ref max_int in
+  let evals = ref 0 and scans = ref 0 in
+  for i = 0 to Array.length t.isets - 1 do
+    let is = Array.unsafe_get t.isets i in
+    evals := !evals + 2;
+    (* root + leaf *)
+    let j = probe_iset is x xf scans in
+    if j >= 0 then begin
+      incr scans;
+      (* candidate verification *)
+      let r = is.rules.(j) in
+      if verify r t5 then begin
+        let p = r.Acl.priority and o = is.orders.(j) in
+        if p < !best_prio || (p = !best_prio && o < !best_order) then begin
+          best_rule := Some r;
+          best_prio := p;
+          best_order := o
+        end
+      end
+    end
+  done;
+  let rv = if rev then Tss.lookup_reverse t.remainder t5 else Tss.lookup t.remainder t5 in
+  let rprobes = rv.Tss.tuples_probed + rv.Tss.bucket_scans in
+  (match rv.Tss.matched with
+  | Some r ->
+    let p = r.Acl.priority and o = rv.Tss.matched_order in
+    if p < !best_prio || (p = !best_prio && o < !best_order) then begin
+      best_rule := Some r;
+      best_prio := p;
+      best_order := o
+    end
+  | None -> ());
+  match !best_rule with
+  | Some r ->
+    {
+      action = r.Acl.action;
+      model_evals = !evals;
+      window_scans = !scans;
+      remainder_probes = rprobes;
+      matched = Some r;
+      matched_order = !best_order;
+    }
+  | None ->
+    {
+      action = t.default;
+      model_evals = !evals;
+      window_scans = !scans;
+      remainder_probes = rprobes;
+      matched = None;
+      matched_order = -1;
+    }
+
+let lookup t t5 = lookup_gen t t5 ~rev:false
+let lookup_reverse t t5 = lookup_gen t t5 ~rev:true
+
+(* ------------------------------------------------------------------ *)
+(* Shape and accounting *)
+
+let rule_count t = t.total
+let iset_count t = Array.length t.isets
+let indexed_rules t = Array.fold_left (fun acc is -> acc + Array.length is.lo) 0 t.isets
+let remainder_rules t = Tss.rule_count t.remainder
+
+let remainder_fraction t =
+  if t.total = 0 then 0.0 else float_of_int (remainder_rules t) /. float_of_int t.total
+
+let max_error t =
+  Array.fold_left
+    (fun acc is -> Array.fold_left (fun m e -> max m e) acc is.errs)
+    0 t.isets
+
+let remainder_tuple_count t = Tss.tuple_count t.remainder
+
+(* Accounting mirrors the TCAM-style constants of Acl/Tss: each indexed
+   entry is two 32-bit endpoints, a rule pointer and an order word in
+   flat arrays; each leaf is two floats and an error bound. *)
+let entry_bytes = 32
+let leaf_bytes = 24
+let iset_overhead = 96
+
+let memory_bytes t =
+  let model =
+    Array.fold_left
+      (fun acc is ->
+        acc + iset_overhead + (Array.length is.lo * entry_bytes)
+        + (Array.length is.slopes * leaf_bytes))
+      0 t.isets
+  in
+  model + Tss.memory_bytes t.remainder
+
+let indexable_fraction acl =
+  let n = Acl.rule_count acl in
+  if n = 0 then 0.0
+  else begin
+    let src = ref 0 and dst = ref 0 in
+    Acl.iter_rules acl (fun r ->
+        if r.Acl.src <> None then incr src;
+        if r.Acl.dst <> None then incr dst);
+    float_of_int (max !src !dst) /. float_of_int n
+  end

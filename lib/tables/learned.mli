@@ -1,0 +1,89 @@
+(** Learned range-index classifier (NuevoMatch-style computational cache).
+
+    *Scaling Open vSwitch with a Computational Cache* (NSDI '22) shows
+    that most classification rules can be answered by a learned index
+    over rule space in O(model depth), independent of rule count — the
+    regime where both TSS (one probe per mask shape, and real rulesets
+    grow shapes with size) and the linear scan lose.
+
+    The construction here follows the paper's shape:
+
+    - one {e index field} (source or destination address — whichever
+      more rules constrain) turns each rule into an integer interval;
+    - intervals are partitioned into {b iSets}: layers of mutually
+      non-overlapping intervals (greedy activity selection), so within
+      an iSet at most one interval can contain a lookup key and a single
+      predicted position decides the candidate;
+    - each iSet is indexed by a two-level {b RQ-RMI}: a root model maps
+      the key to a trained linear leaf, the leaf predicts the interval's
+      array position, and the leaf's recorded worst-case error bounds
+      the search window (the {e error-window contract}: the true
+      position is always within [±(err+1)] of the prediction for keys
+      the leaf was trained on; boundary leakage is caught by a bracket
+      check and widens the window, never returns a wrong rule);
+    - rules that cannot be indexed — wildcard in the index field, or
+      spilled past the iSet budget — form the {b remainder set}, a
+      plain {!Tss} searched on every lookup.
+
+    Verdicts are exactly {!Acl}'s: candidates are verified with the full
+    rule match, and priority ties break on global insertion order across
+    model and remainder.  The differential property tests hold this
+    backend to the linear-scan oracle, matched rule included. *)
+
+open Nezha_net
+
+type t
+
+val create : ?default:Acl.action -> unit -> t
+
+val build : t -> Acl.t -> unit
+(** Rebuild the whole index from the ACL in match order (priority
+    ascending, insertion-stable) — the classifier calls this on every
+    {!Acl.revision} change, like the TSS resync. *)
+
+val insert : t -> Acl.rule -> unit
+(** Incremental add: the rule joins the remainder set (correct
+    immediately, indexed on the next rebuild) — how NuevoMatch absorbs
+    rule updates without retraining per update. *)
+
+val clear : t -> unit
+
+type verdict = {
+  action : Acl.action;
+  model_evals : int;  (** root + leaf model evaluations *)
+  window_scans : int;  (** binary-search steps inside error windows *)
+  remainder_probes : int;  (** TSS work (probes + bucket scans) in the remainder *)
+  matched : Acl.rule option;
+  matched_order : int;  (** global insertion order of [matched]; -1 when none *)
+}
+
+val lookup : t -> Five_tuple.t -> verdict
+val lookup_reverse : t -> Five_tuple.t -> verdict
+(** Verdict for the reversed tuple orientation, allocation-free on the
+    model path. *)
+
+val rule_count : t -> int
+
+(** {1 Index shape (telemetry, tests, selection heuristics)} *)
+
+val iset_count : t -> int
+val indexed_rules : t -> int
+val remainder_rules : t -> int
+
+val remainder_fraction : t -> float
+(** [remainder_rules / rule_count]; 0 for an empty index. *)
+
+val max_error : t -> int
+(** Largest recorded leaf error across all iSets — the error-window
+    contract's bound.  Lookup cost per iSet is O(2 + log2 err). *)
+
+val remainder_tuple_count : t -> int
+(** Mask shapes in the remainder TSS. *)
+
+val memory_bytes : t -> int
+
+val indexable_fraction : Acl.t -> float
+(** Fraction of rules with a finite interval on the better index field —
+    what {!Classifier}'s [Auto] policy consults before committing to a
+    build (an upper bound on the indexed fraction; overlap layering can
+    still spill some of these to the remainder). *)

@@ -19,7 +19,16 @@ module Key = struct
   type t = key
 
   let equal a b = a.ksrc = b.ksrc && a.kdst = b.kdst && a.kproto = b.kproto
-  let hash k = ((k.ksrc * 0x9e3779b1) lxor (k.kdst * 0x85ebca6b) lxor k.kproto) land max_int
+
+  (* The multiplies alone never mix high bits downward, and prefix-aligned
+     bases have all-zero low bits (a /16 base is [block lsl 16]) — under
+     Hashtbl's power-of-two slot masking an aligned rule space would
+     collapse into one chain that every probe then walks.  The
+     splitmix64-style finisher folds the high bits back down. *)
+  let hash k =
+    let h = (k.ksrc * 0x9e3779b1) lxor (k.kdst * 0x85ebca6b) lxor k.kproto in
+    let h = (h lxor (h lsr 29)) * 0xbf58476d1ce4e5b in
+    (h lxor (h lsr 32)) land max_int
 end
 
 module Bucket_table = Hashtbl.Make (Key)
@@ -74,7 +83,10 @@ let key_of_packet_rev tuple (t5 : Five_tuple.t) =
     kproto = (if tuple.has_proto then proto_code t5.Five_tuple.proto else -1);
   }
 
-let add t rule =
+(* [order] overrides the insertion sequence number: the learned
+   classifier keeps its remainder set here and needs remainder entries
+   to share one global match order with its model-indexed entries. *)
+let add ?order t rule =
   let tuple = tuple_of_rule rule in
   let space =
     match List.find_opt (fun s -> s.tuple = tuple) t.spaces with
@@ -85,8 +97,9 @@ let add t rule =
       s
   in
   let key = key_of_rule tuple rule in
-  let entry = { rule; order = t.next_order } in
-  t.next_order <- t.next_order + 1;
+  let seq = match order with Some o -> o | None -> t.next_order in
+  let entry = { rule; order = seq } in
+  t.next_order <- max t.next_order (seq + 1);
   (match Bucket_table.find_opt space.buckets key with
   | Some cell -> cell := entry :: !cell
   | None -> Bucket_table.replace space.buckets key (ref [ entry ]));
@@ -117,6 +130,7 @@ type verdict = {
   tuples_probed : int;
   bucket_scans : int;
   matched : Acl.rule option;
+  matched_order : int; (* insertion order of [matched]; -1 when none *)
 }
 
 (* Matching (Acl.matches) still verifies the full rule: the hash probe
@@ -150,9 +164,10 @@ let lookup_gen t t5 ~rev =
   match !best with
   | Some e ->
     { action = e.rule.Acl.action; tuples_probed = !probes; bucket_scans = !scans;
-      matched = Some e.rule }
+      matched = Some e.rule; matched_order = e.order }
   | None ->
-    { action = t.default; tuples_probed = !probes; bucket_scans = !scans; matched = None }
+    { action = t.default; tuples_probed = !probes; bucket_scans = !scans; matched = None;
+      matched_order = -1 }
 
 let lookup t t5 = lookup_gen t t5 ~rev:false
 let lookup_reverse t t5 = lookup_gen t t5 ~rev:true

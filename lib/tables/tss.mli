@@ -18,9 +18,12 @@ type t
 
 val create : ?default:Acl.action -> unit -> t
 
-val add : t -> Acl.rule -> unit
+val add : ?order:int -> t -> Acl.rule -> unit
 (** Port-range rules are supported by treating range presence as part of
-    the tuple and scanning within the (small) bucket on hash hit. *)
+    the tuple and scanning within the (small) bucket on hash hit.
+    [order] (default: next in sequence) sets the entry's tie-break rank —
+    {!Learned} stores its remainder set here and needs remainder entries
+    ranked against its model-indexed entries in one global match order. *)
 
 val remove : t -> priority:int -> bool
 val clear : t -> unit
@@ -30,6 +33,7 @@ type verdict = {
   tuples_probed : int;  (** hash tables visited *)
   bucket_scans : int;  (** rules examined inside matching buckets *)
   matched : Acl.rule option;
+  matched_order : int;  (** insertion order of [matched]; -1 when none *)
 }
 
 val lookup : t -> Five_tuple.t -> verdict

@@ -84,7 +84,12 @@ val with_mem_scale : float -> t -> t
 
 val rule_lookup_cycles : t -> acl_rules_scanned:int -> lpm_depth:int -> tables:int -> int
 (** Slow-path cycles for one rule-table pipeline execution over [tables]
-    tables (≥5 normally, up to 12 with advanced features, §2.2.2). *)
+    tables (≥5 normally, up to 12 with advanced features, §2.2.2).
+    [acl_rules_scanned] is the classifier backend's own work measure —
+    rules examined (linear), hash probes + bucket entries (tuple space),
+    or model evaluations + window-search steps + remainder probes
+    (learned) — so the log2(1+work) charge stays meaningful whichever
+    backend the selection policy picked. *)
 
 val packet_cycles : t -> wire_bytes:int -> int
 (** Per-byte move cost for getting the packet into the vSwitch. *)

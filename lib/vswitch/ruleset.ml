@@ -54,13 +54,13 @@ let mega_entry_bytes = 56 (* masked key + boxed pre-action pointer + bucket slot
 
 let exact_mask = { mask_src_len = 32; mask_ports = true; mask_proto = true }
 
-let create ~vni ?acl ?backend ?rate_limit_bps ?(stats_rules = []) ?(stateful_decap = false)
-    ?(mirror = false) ?(extra_tables = 0) ?(fixed_overhead_bytes = 2 * 1024 * 1024)
-    ?(lookup_extra_cycles = 0) () =
+let create ~vni ?acl ?policy ?backend ?rate_limit_bps ?(stats_rules = [])
+    ?(stateful_decap = false) ?(mirror = false) ?(extra_tables = 0)
+    ?(fixed_overhead_bytes = 2 * 1024 * 1024) ?(lookup_extra_cycles = 0) () =
   let classifier =
     match acl with
-    | Some acl -> Classifier.of_acl ?backend acl
-    | None -> Classifier.create ?backend ()
+    | Some acl -> Classifier.of_acl ?policy ?backend acl
+    | None -> Classifier.create ?policy ?backend ()
   in
   {
     vni;
@@ -235,6 +235,8 @@ let megaflow_hits t = Stats.Counter.value t.mega_hits
 let megaflow_misses t = Stats.Counter.value t.mega_misses
 let megaflow_entries t = Mega.length t.mega
 let classifier_tuples t = Classifier.tuple_count t.classifier
+let classifier_backend t = Classifier.backend t.classifier
+let classifier_memory_bytes t = Classifier.memory_bytes t.classifier
 
 let extra_target_bytes = 8
 

@@ -9,8 +9,11 @@
 
     Two accelerations sit in front of the pipeline walk:
 
-    - the ACL is served by a {!Classifier} (tuple-space search by
-      default; linear scan available as the reference backend);
+    - the ACL is served by a {!Classifier} whose backend is picked by a
+      selection policy ([Auto] by default: tuple-space search for small
+      or mask-diverse tables, the learned range index once the table is
+      large and mostly indexable; the linear scan stays available as the
+      reference backend);
     - results are memoized in an OVS-style megaflow cache under a
       conservatively-masked key, invalidated wholesale whenever
       {!generation} or the classifier revision moves. *)
@@ -23,6 +26,7 @@ type t
 val create :
   vni:int ->
   ?acl:Acl.t ->
+  ?policy:Classifier.policy ->
   ?backend:Classifier.backend ->
   ?rate_limit_bps:int ->
   ?stats_rules:(Ipv4.Prefix.t * Pre_action.stats_spec) list ->
@@ -33,7 +37,11 @@ val create :
   ?lookup_extra_cycles:int ->
   unit ->
   t
-(** [extra_tables] models advanced features (policy routing, mirroring,
+(** [policy] (default [Auto]) selects the classifier backend from the
+    ruleset's shape at every resync; [backend] is the deprecated
+    pre-policy spelling, equivalent to [~policy:(Fixed backend)] and
+    ignored when [policy] is given.  [extra_tables] models advanced
+    features (policy routing, mirroring,
     flow logging) that add lookup stages.  [fixed_overhead_bytes]
     (default 2 MB, the production minimum of §6.2.1) is the footprint of
     the table scaffolding itself.  [lookup_extra_cycles] (default 0) is a
@@ -101,7 +109,17 @@ val megaflow_misses : t -> int
 val megaflow_entries : t -> int
 
 val classifier_tuples : t -> int
-(** Distinct mask shapes in the TSS index (0 under the linear backend). *)
+(** Mask shapes the classifier still searches hash-style (0 under the
+    linear backend; the remainder set under the learned backend). *)
+
+val classifier_backend : t -> Classifier.backend
+(** The backend currently serving ACL lookups — under the [Auto] policy
+    this is a decision, not a configuration, so telemetry surfaces it
+    per vNIC. *)
+
+val classifier_memory_bytes : t -> int
+(** Memory charged to the classifier index alone (also included in
+    {!memory_bytes}). *)
 
 val memory_bytes : t -> int
 

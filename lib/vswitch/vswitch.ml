@@ -81,6 +81,9 @@ type t = {
      persisted item), so a revived stale controller can never win. *)
   mutable epoch : int;
   mutable epoch_rejections : int;
+  (* Saved by [register_telemetry] so vNICs added later still get their
+     per-vNIC instruments (and removed vNICs drop theirs). *)
+  mutable telemetry : Nezha_telemetry.Telemetry.t option;
 }
 
 let make_counters () =
@@ -131,6 +134,7 @@ let create ~sim ~params ~name ~underlay_ip ~gateway () =
       tracer = None;
       epoch = 0;
       epoch_rejections = 0;
+      telemetry = None;
     }
   in
   (* Aging pump: sweep session tables a few times per aging period. *)
@@ -231,6 +235,25 @@ let new_sessions t =
     ~value_bytes:(fun s -> session_bytes t.params s)
     ~default_aging:t.params.Params.flow_aging ()
 
+let vnic_telemetry_prefix t vid =
+  "vswitch/" ^ t.name ^ "/vnic/" ^ string_of_int (Vnic.id_to_int vid) ^ "/"
+
+(* Per-vNIC classifier instruments.  Under the [Auto] policy the backend
+   is a decision the classifier makes from the ruleset's shape, not a
+   configuration — so the gauge reports which engine is actually serving
+   the tenant's ACL (0 = linear, 1 = tss, 2 = learned) together with the
+   index's memory footprint. *)
+let register_vnic_telemetry t reg vid ruleset =
+  let module T = Nezha_telemetry.Telemetry in
+  let prefix = vnic_telemetry_prefix t vid in
+  T.register_gauge reg
+    ~name:(prefix ^ "classifier_backend")
+    (fun () ->
+      float_of_int (Classifier.backend_code (Ruleset.classifier_backend ruleset)));
+  T.register_gauge reg
+    ~name:(prefix ^ "classifier_memory_bytes")
+    (fun () -> float_of_int (Ruleset.classifier_memory_bytes ruleset))
+
 let add_vnic t vnic ruleset =
   let bytes = Ruleset.memory_bytes ruleset in
   if Smartnic.mem_reserve t.nic bytes then begin
@@ -248,6 +271,9 @@ let add_vnic t vnic ruleset =
     in
     Vnic.Id_table.replace t.vnics vnic.Vnic.id entry;
     Vnic.Addr.Table.replace t.by_addr (Vnic.addr vnic) vnic;
+    (match t.telemetry with
+    | Some reg -> register_vnic_telemetry t reg vnic.Vnic.id ruleset
+    | None -> ());
     Admission.ok
   end
   else Admission.no_memory
@@ -310,7 +336,11 @@ let remove_vnic t vid =
     release_sessions t e;
     Smartnic.mem_release t.nic (e.rule_bytes + e.residual_bytes);
     Vnic.Addr.Table.remove t.by_addr (Vnic.addr e.vnic);
-    Vnic.Id_table.remove t.vnics vid
+    Vnic.Id_table.remove t.vnics vid;
+    (match t.telemetry with
+    | Some reg ->
+      Nezha_telemetry.Telemetry.unregister_prefix reg ~prefix:(vnic_telemetry_prefix t vid)
+    | None -> ())
 
 let vnic_count t = Vnic.Id_table.length t.vnics
 let find_vnic t addr = Vnic.Addr.Table.find_opt t.by_addr addr
@@ -1143,6 +1173,9 @@ let clear_rate_limit t vid =
 let vnic_slow_execs t vid =
   match entry t vid with None -> 0 | Some e -> Stats.Counter.value e.slow_execs
 
+let vnic_classifier_backend t vid =
+  Option.map Ruleset.classifier_backend (Option.bind (entry t vid) (fun e -> e.ruleset))
+
 let vnic_memory_bytes t vid =
   match entry t vid with
   | None -> 0
@@ -1184,6 +1217,15 @@ let register_telemetry t reg =
       float_of_int (sum_rulesets Ruleset.megaflow_entries));
   T.register_gauge reg ~name:(prefix ^ "classifier_tuples") (fun () ->
       float_of_int (sum_rulesets Ruleset.classifier_tuples));
+  T.register_gauge reg ~name:(prefix ^ "classifier_memory_bytes") (fun () ->
+      float_of_int (sum_rulesets Ruleset.classifier_memory_bytes));
+  t.telemetry <- Some reg;
+  Vnic.Id_table.iter
+    (fun vid e ->
+      match e.ruleset with
+      | Some rs -> register_vnic_telemetry t reg vid rs
+      | None -> ())
+    t.vnics;
   T.register_counter reg ~name:(prefix ^ "flow_records") (fun () -> t.flow_records);
   T.register_counter reg ~name:(prefix ^ "packets_mirrored") (fun () -> t.mirrored);
   T.register_gauge reg ~name:(prefix ^ "vnics") (fun () ->

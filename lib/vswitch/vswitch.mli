@@ -256,6 +256,11 @@ val vnic_slow_execs : t -> Vnic.id -> int
 val vnic_memory_bytes : t -> Vnic.id -> int
 (** Rule tables + residual + session memory attributed to this vNIC. *)
 
+val vnic_classifier_backend : t -> Vnic.id -> Nezha_tables.Classifier.backend option
+(** The classifier backend currently serving this vNIC's ACL — under the
+    [Auto] policy a decision made from the ruleset's shape, also exported
+    as the [vnic/<id>/classifier_backend] telemetry gauge. *)
+
 (** {1 Primitives shared with the Nezha datapath} *)
 
 val charge : t -> cycles:int -> (Sim.t -> unit) -> unit
@@ -317,4 +322,8 @@ val trace_span :
 val register_telemetry : t -> Nezha_telemetry.Telemetry.t -> unit
 (** Publish every datapath counter (including per-reason drops) and
     vNIC/session gauges under [vswitch/<name>/...], and the SmartNIC's
-    instruments under [smartnic/<name>/...]. *)
+    instruments under [smartnic/<name>/...].  Each vNIC additionally
+    gets [vswitch/<name>/vnic/<id>/classifier_backend] (the backend
+    code serving its ACL: 0 = linear, 1 = tss, 2 = learned) and
+    [.../classifier_memory_bytes]; vNICs added after registration are
+    instrumented on arrival and removed vNICs drop their gauges. *)

@@ -506,19 +506,217 @@ let test_classifier_copy_independent () =
   check_bool "original unchanged" true
     ((Classifier.lookup c t5).Classifier.action = Acl.Deny)
 
+(* Matched-rule identity, not just equality: pre-actions hang off the
+   rule record, so all backends must surface the same physical rule. *)
+let same_match a b =
+  match (a, b) with
+  | None, None -> true
+  | Some ra, Some rb -> ra == rb
+  | _ -> false
+
+(* Three backends over one shared rule list: the rule records are
+   physically shared across the private ACL copies, so [same_match]
+   can compare across classifiers. *)
+let classifier_trio rules =
+  let mk b = Classifier.of_acl ~policy:(Classifier.Fixed b) (Acl.of_rules rules) in
+  (mk Classifier.Linear, mk Classifier.Tuple_space, mk Classifier.Learned)
+
 let prop_classifier_backends_equivalent =
-  QCheck.Test.make ~name:"linear and tuple-space backends agree" ~count:40
+  QCheck.Test.make ~name:"linear, tuple-space and learned backends agree" ~count:40
     QCheck.(make Gen.(pair (int_range 0 1000000) (int_range 1 60)))
     (fun (seed, nrules) ->
-      let rng, lin, tss = classifier_pair nrules ~seed in
+      let rng = Nezha_engine.Rng.create seed in
+      let rules = List.init nrules (fun i -> random_rule rng (i + 1)) in
+      let lin, tss, lrn = classifier_trio rules in
+      let agree t5 =
+        let a = Classifier.lookup lin t5
+        and b = Classifier.lookup tss t5
+        and c = Classifier.lookup lrn t5 in
+        a.Classifier.action = b.Classifier.action
+        && b.Classifier.action = c.Classifier.action
+        && same_match a.Classifier.matched b.Classifier.matched
+        && same_match b.Classifier.matched c.Classifier.matched
+        &&
+        let ar = Classifier.lookup_reverse lin t5
+        and cr = Classifier.lookup_reverse lrn t5 in
+        ar.Classifier.action = cr.Classifier.action
+        && same_match ar.Classifier.matched cr.Classifier.matched
+      in
       let ok = ref true in
-      for _ = 1 to 50 do
-        let t5 = random_tuple rng in
-        let a = Classifier.lookup lin t5 and b = Classifier.lookup tss t5 in
-        if a.Classifier.action <> b.Classifier.action then ok := false;
-        if a.Classifier.matched <> b.Classifier.matched then ok := false
+      for _ = 1 to 40 do
+        if not (agree (random_tuple rng)) then ok := false
+      done;
+      (* Facade adds land in the learned remainder set; the global
+         tie-break order must survive the model/remainder split. *)
+      for i = 1 to 8 do
+        let r = random_rule rng (1000 + i) in
+        Classifier.add lin r;
+        Classifier.add tss r;
+        Classifier.add lrn r
+      done;
+      for _ = 1 to 20 do
+        if not (agree (random_tuple rng)) then ok := false
       done;
       !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Learned backend: scale, auto-selection, resync *)
+
+(* The bench generator in miniature: [nlens] prefix lengths x proto x
+   port presence over distinct address blocks per length — indexable
+   enough that [Auto] picks the learned backend, diverse enough that
+   the TSS grows tuple shapes with scale. *)
+let scale_rules n =
+  let lens = if n <= 1_000 then [| 16; 24; 32 |] else Array.init 12 (fun i -> 20 + i) in
+  let nlens = Array.length lens in
+  let with_ports = n > 10_000 in
+  List.init n (fun i ->
+      let len = lens.(i mod nlens) in
+      let k = i / nlens in
+      let block = k * 2654435761 land ((1 lsl (len - 8)) - 1) in
+      let base = Int32.of_int ((172 lsl 24) lor (block lsl (32 - len))) in
+      Acl.rule ~priority:(i + 1)
+        ~src:(Ipv4.Prefix.make (Ipv4.of_int32 base) len)
+        ?proto:(if k land 1 = 0 then Some Five_tuple.Tcp else None)
+        ?dst_ports:(if with_ports && k land 2 = 0 then Some (1024, 65535) else None)
+        Acl.Deny)
+
+(* A packet inside [r]'s source block; TCP to dst port 2048 satisfies
+   any proto/port constraint [scale_rules] emits. *)
+let probe_of_rule (r : Acl.rule) ~salt =
+  let p = Option.get r.Acl.src in
+  let len = Ipv4.Prefix.length p in
+  let off = if len >= 32 then 0 else salt land ((1 lsl (32 - len)) - 1) in
+  let src =
+    Ipv4.of_int32 (Int32.add (Ipv4.to_int32 (Ipv4.Prefix.base p)) (Int32.of_int off))
+  in
+  Five_tuple.make ~src ~dst:(ip "203.0.113.9") ~src_port:4000 ~dst_port:2048
+    ~proto:Five_tuple.Tcp
+
+let test_learned_index_shape () =
+  let rules = scale_rules 10_000 in
+  let acl = Acl.of_rules rules in
+  let l = Learned.create () in
+  Learned.build l acl;
+  check_bool "isets built" true (Learned.iset_count l > 0);
+  check_int "nothing lost" 10_000 (Learned.rule_count l);
+  check_int "indexed + remainder = all" 10_000
+    (Learned.indexed_rules l + Learned.remainder_rules l);
+  check_bool "most rules indexed" true (Learned.remainder_fraction l < 0.25);
+  let err = Learned.max_error l in
+  check_bool "bounded leaf error" true (err >= 0 && err < 64);
+  check_bool "memory accounted" true (Learned.memory_bytes l > 0);
+  (* The error-window contract in action: per-lookup work stays a
+     handful of model evals plus window steps, never O(n). *)
+  let worst = ref 0 in
+  List.iteri
+    (fun i r ->
+      if i mod 101 = 0 then begin
+        let v = Learned.lookup l (probe_of_rule r ~salt:i) in
+        (match v.Learned.matched with
+        | Some m -> check_bool "hit at least the probed rule" true (m.Acl.priority <= r.Acl.priority)
+        | None -> Alcotest.fail "indexable probe missed");
+        let work = v.Learned.model_evals + v.Learned.window_scans + v.Learned.remainder_probes in
+        if work > !worst then worst := work
+      end)
+    rules;
+  check_bool "sublinear lookup work" true (!worst * 50 < 10_000)
+
+let test_classifier_auto_selection () =
+  (* Below the rule threshold Auto stays with tuple space. *)
+  let small = Classifier.of_acl (Acl.of_rules (scale_rules 512)) in
+  check_bool "auto policy" true (Classifier.policy small = Classifier.Auto);
+  check_bool "small stays tss" true (Classifier.backend small = Classifier.Tuple_space);
+  (* Large and indexable: Auto upgrades to the learned index. *)
+  let big = Classifier.of_acl (Acl.of_rules (scale_rules 5_000)) in
+  check_bool "big goes learned" true (Classifier.backend big = Classifier.Learned);
+  (* Large but wildcard in both address fields: the model could index
+     nothing, so Auto must refuse the learned backend. *)
+  let wild =
+    Classifier.of_acl
+      (Acl.of_rules
+         (List.init 5_000 (fun i ->
+              let lo = i mod 60_000 in
+              Acl.rule ~priority:(i + 1) ~dst_ports:(lo, lo + 10) Acl.Deny)))
+  in
+  check_bool "wildcards stay tss" true (Classifier.backend wild = Classifier.Tuple_space);
+  (* Growing through the facade across the threshold: the add fast path
+     only flags the crossing; the next sync re-selects. *)
+  let grow = Classifier.create () in
+  List.iter (Classifier.add grow) (scale_rules (Classifier.auto_rule_threshold + 64));
+  check_bool "grew into learned" true (Classifier.backend grow = Classifier.Learned);
+  (* A pinned backend never re-selects, whatever the scale. *)
+  let pinned =
+    Classifier.of_acl ~policy:(Classifier.Fixed Classifier.Linear)
+      (Acl.of_rules (scale_rules 5_000))
+  in
+  check_bool "fixed stays put" true (Classifier.backend pinned = Classifier.Linear)
+
+let test_learned_revision_resync () =
+  let rules = scale_rules 1_000 in
+  let c = Classifier.of_acl ~policy:(Classifier.Fixed Classifier.Learned) (Acl.of_rules rules) in
+  let t5 = probe_of_rule (List.hd rules) ~salt:0 in
+  check_bool "deny from model" true ((Classifier.lookup c t5).Classifier.action = Acl.Deny);
+  (* Facade add: absorbed into the remainder set, visible immediately,
+     and its lower priority number must beat the model's rule. *)
+  Classifier.add c (Acl.rule ~priority:0 ~src:(pfx "172.0.0.0/8") Acl.Permit);
+  check_bool "permit from remainder" true
+    ((Classifier.lookup c t5).Classifier.action = Acl.Permit);
+  (* Removal can't patch immutable model arrays: the backend refuses the
+     incremental path and the next lookup rebuilds. *)
+  check_bool "removed" true (Classifier.remove c ~priority:0);
+  check_bool "deny after rebuild" true ((Classifier.lookup c t5).Classifier.action = Acl.Deny);
+  (* Mutation through the raw ACL handle: the revision bump alone must
+     trigger the rebuild before the next lookup. *)
+  Acl.add (Classifier.acl c) (Acl.rule ~priority:0 ~src:(pfx "172.0.0.0/8") Acl.Permit);
+  check_bool "permit after direct add" true
+    ((Classifier.lookup c t5).Classifier.action = Acl.Permit);
+  ignore (Acl.remove (Classifier.acl c) ~priority:0 : bool);
+  check_bool "deny after direct remove" true
+    ((Classifier.lookup c t5).Classifier.action = Acl.Deny)
+
+let test_classifier_scale_10k_exhaustive () =
+  let rules = scale_rules 10_000 in
+  let lin, tss, lrn = classifier_trio rules in
+  check_bool "learned pinned" true (Classifier.backend lrn = Classifier.Learned);
+  List.iteri
+    (fun i r ->
+      let t5 = probe_of_rule r ~salt:i in
+      let b = Classifier.lookup tss t5 and c = Classifier.lookup lrn t5 in
+      if b.Classifier.action <> c.Classifier.action
+         || not (same_match b.Classifier.matched c.Classifier.matched)
+      then Alcotest.failf "tss/learned diverge probing rule %d" r.Acl.priority;
+      (* The linear oracle is O(n) per probe; sample it. *)
+      if i mod 37 = 0 then begin
+        let a = Classifier.lookup lin t5 in
+        if a.Classifier.action <> c.Classifier.action
+           || not (same_match a.Classifier.matched c.Classifier.matched)
+        then Alcotest.failf "linear/learned diverge probing rule %d" r.Acl.priority
+      end)
+    rules
+
+let test_classifier_scale_100k_sampled () =
+  let n = 100_000 in
+  let rules = scale_rules n in
+  let arr = Array.of_list rules in
+  let lin, tss, lrn = classifier_trio rules in
+  check_bool "learned memory below tss" true
+    (Classifier.memory_bytes lrn < Classifier.memory_bytes tss);
+  let rng = Nezha_engine.Rng.create 424242 in
+  for i = 1 to 300 do
+    let t5 =
+      if i land 1 = 0 then probe_of_rule arr.(Nezha_engine.Rng.int rng n) ~salt:i
+      else random_tuple rng
+    in
+    let a = Classifier.lookup lin t5
+    and b = Classifier.lookup tss t5
+    and c = Classifier.lookup lrn t5 in
+    check_bool "same action" true
+      (a.Classifier.action = b.Classifier.action && b.Classifier.action = c.Classifier.action);
+    check_bool "same matched rule" true
+      (same_match a.Classifier.matched b.Classifier.matched
+      && same_match b.Classifier.matched c.Classifier.matched)
+  done
 
 (* ------------------------------------------------------------------ *)
 
@@ -565,6 +763,14 @@ let () =
           Alcotest.test_case "copy is independent" `Quick test_classifier_copy_independent;
         ]
         @ qsuite [ prop_classifier_backends_equivalent ] );
+      ( "learned",
+        [
+          Alcotest.test_case "index shape and error window" `Quick test_learned_index_shape;
+          Alcotest.test_case "auto selection" `Quick test_classifier_auto_selection;
+          Alcotest.test_case "revision resync" `Quick test_learned_revision_resync;
+          Alcotest.test_case "10k exhaustive vs oracle" `Slow test_classifier_scale_10k_exhaustive;
+          Alcotest.test_case "100k sampled vs oracle" `Slow test_classifier_scale_100k_sampled;
+        ] );
       ( "flow_table",
         [
           Alcotest.test_case "insert and find" `Quick test_ft_insert_find;

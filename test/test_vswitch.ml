@@ -772,6 +772,27 @@ let test_vs_iter_sessions_and_version () =
       check_bool "entries carry pre-actions" true (session.Vswitch.pre <> None));
   check_int "iterated all sessions" 5 !seen
 
+let test_vs_vnic_classifier_gauges () =
+  let module T = Nezha_telemetry.Telemetry in
+  let w = make_world () in
+  let reg = T.create () in
+  Vswitch.register_telemetry w.vs reg;
+  let prefix = "vswitch/vs0/vnic/1/" in
+  (* The seed ruleset is small, so the Auto policy serves it from the
+     tuple-space backend; the gauge reports that decision. *)
+  check_bool "backend gauge reports tss" true
+    (T.read_gauge reg (prefix ^ "classifier_backend")
+    = Some (float_of_int (Classifier.backend_code Classifier.Tuple_space)));
+  (match T.read_gauge reg (prefix ^ "classifier_memory_bytes") with
+  | Some b -> check_bool "memory gauge positive" true (b >= 0.0)
+  | None -> Alcotest.fail "memory gauge missing");
+  check_bool "accessor agrees" true
+    (Vswitch.vnic_classifier_backend w.vs vnic_a.Vnic.id = Some Classifier.Tuple_space);
+  (* Removing the vNIC unregisters its whole gauge prefix. *)
+  Vswitch.remove_vnic w.vs vnic_a.Vnic.id;
+  check_bool "gauges gone after removal" true
+    (T.read_gauge reg (prefix ^ "classifier_backend") = None)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -847,5 +868,6 @@ let () =
           Alcotest.test_case "flow logging" `Quick test_vs_flow_logging;
           Alcotest.test_case "traffic mirroring" `Quick test_vs_mirroring;
           Alcotest.test_case "session iteration and version" `Quick test_vs_iter_sessions_and_version;
+          Alcotest.test_case "per-vnic classifier gauges" `Quick test_vs_vnic_classifier_gauges;
         ] );
     ]
