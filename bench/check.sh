@@ -4,9 +4,88 @@
 # sections the schema promises.
 #
 #   bench/check.sh [OUT.json]      (default /tmp/nezha_bench_check.json)
+#   bench/check.sh --smoke         quick mode: build + the SLO elastic
+#                                  control-plane gate at reduced scale
+#                                  (tier-1 time budget; same assertions
+#                                  as the full macro SLO gate)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# SLO elastic-control-plane gate (ROADMAP item 4), shared by the full
+# macro run and the --smoke target.  Asserts: the offered load really
+# ramped x10; the pool followed it up AND back down; P99 stayed within
+# the hysteresis budget for most post-warmup ticks; no decision
+# oscillations; and under the injected rack partition the Sec C.2
+# suppression window froze the pool (zero moves) while visibly engaged.
+#   $1 = json file   $2 = experiment key holding the "slo" object
+#   $3 = min clean within-budget fraction   $4 = min chaos fraction
+slo_gate() {
+  python3 - "$1" "$2" "$3" "$4" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+slo = doc["experiments"][sys.argv[2]]["slo"]
+min_clean, min_chaos = float(sys.argv[3]), float(sys.argv[4])
+clean, chaos = slo["clean"], slo["chaos"]
+assert clean["offered_ratio"] >= 9.9, \
+    "offered load ramped %.2fx < 9.9x" % clean["offered_ratio"]
+assert clean["pool_max"] >= 5 * clean["pool_min"], \
+    "pool did not follow the ramp up: max %d < 5 x min %d" \
+    % (clean["pool_max"], clean["pool_min"])
+assert clean["pool_at_peak"] >= 3 * clean["pool_min"], \
+    "pool at load peak %d < 3 x min %d" % (clean["pool_at_peak"], clean["pool_min"])
+assert clean["pool_at_end"] <= clean["pool_min"] + 1, \
+    "pool did not scale back in: end %d > min %d + 1" \
+    % (clean["pool_at_end"], clean["pool_min"])
+assert clean["scale_outs"] > 0 and clean["scale_ins"] > 0, \
+    "loop inert: %d scale-outs, %d scale-ins" \
+    % (clean["scale_outs"], clean["scale_ins"])
+assert clean["within_budget_fraction"] >= min_clean, \
+    "P99 within budget only %.1f%% of ticks (gate >= %.0f%%)" \
+    % (100 * clean["within_budget_fraction"], 100 * min_clean)
+assert clean["oscillations"] == 0, \
+    "%d decision oscillation(s) in the clean ramp" % clean["oscillations"]
+assert chaos["pool_moves_in_partition"] == 0, \
+    "pool flapped under the rack partition: %d move(s) inside the window" \
+    % chaos["pool_moves_in_partition"]
+assert chaos["oscillations"] == 0, \
+    "%d decision oscillation(s) in the chaos run" % chaos["oscillations"]
+assert chaos["suppressed_ticks"] > 0 and chaos["partition_suspects_max"] > 0, \
+    "suppression never engaged: %d suppressed ticks, %d max suspects" \
+    % (chaos["suppressed_ticks"], chaos["partition_suspects_max"])
+assert chaos["within_budget_fraction"] >= min_chaos, \
+    "chaos P99 within budget only %.1f%% of ticks (gate >= %.0f%%)" \
+    % (100 * chaos["within_budget_fraction"], 100 * min_chaos)
+assert slo["deterministic"] is True, \
+    "same-seed SLO rerun diverged: digest %d vs rerun %d" \
+    % (clean["digest"], slo["rerun_digest"])
+print("ok: ramp x%.1f, pool %d..%d (peak %d, back to %d); within budget "
+      "%.1f%% clean / %.1f%% chaos; oscillations 0; partition froze the pool "
+      "(%d suppressed ticks, %d suspects)"
+      % (clean["offered_ratio"], clean["pool_min"], clean["pool_max"],
+         clean["pool_at_peak"], clean["pool_at_end"],
+         100 * clean["within_budget_fraction"],
+         100 * chaos["within_budget_fraction"],
+         chaos["suppressed_ticks"], chaos["partition_suspects_max"]))
+PY
+}
+
+if [ "${1:-}" = "--smoke" ]; then
+  echo "== dune build"
+  dune build
+  smoke_out=/tmp/nezha_slo_smoke.json
+  echo "== bench slo_smoke --json ($smoke_out)"
+  dune exec --no-build bench/main.exe -- slo_smoke --json "$smoke_out"
+  echo "== SLO elastic control-plane gate (reduced scale)"
+  if command -v python3 >/dev/null 2>&1; then
+    slo_gate "$smoke_out" slo_smoke 0.75 0.60
+  else
+    echo "python3 not found; relying on the bench's built-in round-trip check"
+  fi
+  echo "== smoke checks passed"
+  exit 0
+fi
+
 out="${1:-/tmp/nezha_bench_check.json}"
 
 echo "== dune build"
@@ -28,11 +107,13 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "nezha-bench/1", doc.get("schema")
 fig9 = doc["experiments"]["fig9"]
-assert len(fig9["gains"]) >= 1
+assert len(fig9["gains"]) >= 1, \
+    "expected >= 1 gain row, got %d" % len(fig9["gains"])
 for side in ("without", "with"):
     s = fig9["latency_us"][side]
     for k in ("count", "p50", "p99", "p9999"):
-        assert k in s, (side, k)
+        assert k in s, \
+            "latency_us[%s] missing %r (has %s)" % (side, k, sorted(s))
 print("ok:", len(fig9["gains"]), "gain rows; latency summaries present")
 PY
 else
@@ -52,7 +133,8 @@ micro = doc["experiments"]["micro"]
 ns = micro["ns_per_op"]
 for k in ("acl_linear_1k", "acl_tss_1k", "acl_cached_1k", "five_tuple_hash",
           "lpm_lookup_1k", "flow_table_insert", "flow_table_find"):
-    assert k in ns and ns[k] == ns[k] and ns[k] > 0.0, k  # present, not NaN
+    assert k in ns and ns[k] == ns[k] and ns[k] > 0.0, \
+        "%s not a positive ns/op: %r" % (k, ns.get(k))  # present, not NaN
 # The whole point of the classifier backends: TSS and the megaflow
 # cache must beat the linear scan at 1k rules.
 assert ns["acl_tss_1k"] < ns["acl_linear_1k"], (ns["acl_tss_1k"], ns["acl_linear_1k"])
@@ -80,8 +162,10 @@ assert scales == [1000, 10000, 100000], scales
 for backend in ("linear", "tss", "learned"):
     for scale in ("1k", "10k", "100k"):
         k = "acl_%s_%s" % (backend, scale)
-        assert k in ns and ns[k] == ns[k] and ns[k] > 0.0, k
-        assert k in mem and mem[k] > 0, k
+        assert k in ns and ns[k] == ns[k] and ns[k] > 0.0, \
+            "%s not a positive ns/op: %r" % (k, ns.get(k))
+        assert k in mem and mem[k] > 0, \
+            "%s not a positive memory_bytes: %r" % (k, mem.get(k))
 for scale in ("10k", "100k"):
     t, l = ns["acl_tss_" + scale], ns["acl_learned_" + scale]
     assert l < t, "learned lost to tss at %s: %.1f >= %.1f ns" % (scale, l, t)
@@ -106,7 +190,8 @@ assert set(sweep) == {"cached", "tss", "flow_table"}, sorted(sweep)
 ratios = []
 for path, pts in sorted(sweep.items()):
     for n in ("1", "8", "32", "128"):
-        assert n in pts and pts[n] == pts[n] and pts[n] > 0.0, (path, n)  # present, not NaN
+        assert n in pts and pts[n] == pts[n] and pts[n] > 0.0, \
+            "%s batch %s not a positive ns/packet: %r" % (path, n, pts.get(n))
     r = pts["1"] / pts["32"]
     print("  %-12s batch1 %7.1f -> batch32 %7.1f ns/packet (%.2fx)" % (path, pts["1"], pts["32"], r))
     ratios.append(r)
@@ -163,12 +248,20 @@ assert doc["schema"] == "nezha-bench/1", doc.get("schema")
 macro = doc["experiments"]["macro"]
 region = macro["region"]
 before, after = region["before"], region["after"]
-assert before["vswitches"] >= 2000, before["vswitches"]
-assert before["events"] >= 1_000_000, before["events"]
-assert after["overloads"] < before["overloads"], (before["overloads"], after["overloads"])
-assert after["activations"] > 0, "controller never activated an offload"
-assert macro["deterministic"] is True, "same-seed rerun diverged"
-assert macro["shard_equivalent"] is True, "digest depends on shard count"
+assert before["vswitches"] >= 2000, \
+    "region too small: %d vswitches < 2000" % before["vswitches"]
+assert before["events"] >= 1_000_000, \
+    "region too quiet: %d events < 1e6" % before["events"]
+assert after["overloads"] < before["overloads"], \
+    "controller did not reduce overloads: before %d, after %d" \
+    % (before["overloads"], after["overloads"])
+assert after["activations"] > 0, \
+    "controller never activated an offload: %d activations" % after["activations"]
+assert macro["deterministic"] is True, \
+    "same-seed rerun diverged: sweep digest vs region digest %d" % after["digest"]
+assert macro["shard_equivalent"] is True, \
+    "digest depends on shard count: %s" \
+    % {(p["shards"], p["engine"]): p["digest"] for p in macro["sweep"]}
 sweep = {(p["shards"], p["engine"]): p for p in macro["sweep"]}
 base = sweep[(1, "heap")]
 tuned = max((p for (s, e), p in sweep.items() if e == "wheel" and s > 1),
@@ -199,18 +292,27 @@ import json, sys
 macro = json.load(open(sys.argv[1]))["experiments"]["macro"]
 storm = macro["storm"]["storm"]
 assert storm["crashes"] > 20, "storm too small: %d crashes" % storm["crashes"]
-assert storm["restarts"] == storm["crashes"], (storm["restarts"], storm["crashes"])
-assert storm["ctl_takeovers"] == 1, storm["ctl_takeovers"]
+assert storm["restarts"] == storm["crashes"], \
+    "restart/crash mismatch: %d restarts vs %d crashes" \
+    % (storm["restarts"], storm["crashes"])
+assert storm["ctl_takeovers"] == 1, \
+    "expected exactly 1 controller takeover, got %d" % storm["ctl_takeovers"]
 assert storm["mttr_p99_s"] > 0.0 and storm["mttr_p99_s"] <= 2.0, \
     "MTTR P99 %.3f s out of (0, 2]" % storm["mttr_p99_s"]
 assert storm["late_blackholed"] == 0, \
     "%d blackholed ticks after convergence" % storm["late_blackholed"]
-assert macro["storm"]["deterministic"] is True, "same-seed storm rerun diverged"
+assert macro["storm"]["deterministic"] is True, \
+    "same-seed storm rerun diverged: digest %d vs rerun %d" \
+    % (macro["storm"]["storm"]["digest"], macro["storm"]["rerun_digest"])
 cc = macro["crash_cycles"]
-assert cc["cycles"] >= 100, cc["cycles"]
-assert cc["crashes"] >= 100 and cc["restarts"] == cc["crashes"], (cc["crashes"], cc["restarts"])
-assert cc["conservation_ok"] is True, "controller conservation invariant broken"
-assert cc["be_conservation_ok"] is True, "BE tracked-send conservation broken"
+assert cc["cycles"] >= 100, "expected >= 100 cycles, got %d" % cc["cycles"]
+assert cc["crashes"] >= 100 and cc["restarts"] == cc["crashes"], \
+    "cycle crash/restart mismatch: %d crashes vs %d restarts" \
+    % (cc["crashes"], cc["restarts"])
+assert cc["conservation_ok"] is True, \
+    "controller conservation invariant broken (conservation_ok=%r)" % cc["conservation_ok"]
+assert cc["be_conservation_ok"] is True, \
+    "BE tracked-send conservation broken (be_conservation_ok=%r)" % cc["be_conservation_ok"]
 assert cc["batches_leaked"] == 0, "%d Pbatch arena batches leaked" % cc["batches_leaked"]
 assert cc["final_cps"] > 0.0, "no traffic after the storm"
 print("ok: %d crashes, MTTR P50 %.3fs P99 %.3fs (gate <= 2s), late blackholes 0, "
@@ -220,6 +322,13 @@ print("ok: %d crashes, MTTR P50 %.3fs P99 %.3fs (gate <= 2s), late blackholes 0,
 PY
 else
   echo "python3 not found; relying on the bench's built-in checks"
+fi
+
+echo "== SLO elastic control-plane gate (P99 budget held across a x10 ramp, no flapping under partition)"
+if command -v python3 >/dev/null 2>&1; then
+  slo_gate BENCH_macro.json macro 0.90 0.80
+else
+  echo "python3 not found; relying on the bench's built-in round-trip check"
 fi
 
 echo "== chaos smoke (0.5% underlay loss + crash + partition)"
@@ -235,12 +344,20 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "nezha-chaos/1", doc.get("schema")
-assert doc["recovered"] is True
-assert doc["conservation_ok"] is True
+assert doc["recovered"] is True, \
+    "chaos run did not recover: end_loss %.4f" % doc["end_loss"]
+assert doc["conservation_ok"] is True, \
+    "BE conservation broken (conservation_ok=%r)" % doc["conservation_ok"]
 assert doc["tracked"] == (doc["acked"] + doc["local_fallbacks"]
-                          + doc["dropped"] + doc["outstanding_end"])
-assert doc["injected_drops"] > 0 and doc["partition_drops"] > 0
-assert len(doc["samples"]) > 40
+                          + doc["dropped"] + doc["outstanding_end"]), \
+    "tracked %d != acked %d + fallbacks %d + dropped %d + outstanding %d" \
+    % (doc["tracked"], doc["acked"], doc["local_fallbacks"],
+       doc["dropped"], doc["outstanding_end"])
+assert doc["injected_drops"] > 0 and doc["partition_drops"] > 0, \
+    "chaos injected nothing: %d loss drops, %d partition drops" \
+    % (doc["injected_drops"], doc["partition_drops"])
+assert len(doc["samples"]) > 40, \
+    "expected > 40 samples, got %d" % len(doc["samples"])
 print("ok: recovered (end loss %.4f), conservation holds over %d tracked sends"
       % (doc["end_loss"], doc["tracked"]))
 PY

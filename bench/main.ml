@@ -422,7 +422,23 @@ let macro () =
      BE conservation %b, batches leaked %d, final CPS %.0f"
     cc.Experiments.cycles cc.Experiments.cyc_reconciles cc.Experiments.cyc_repairs
     cc.Experiments.conservation_ok cc.Experiments.be_conservation_ok
-    cc.Experiments.batches_leaked cc.Experiments.final_cps
+    cc.Experiments.batches_leaked cc.Experiments.final_cps;
+  banner "Macro — SLO elastic control plane (ROADMAP item 4)";
+  let sr = Experiments.slo_ramp () in
+  let c = sr.Experiments.slo_clean and x = sr.Experiments.slo_chaos in
+  note
+    "ramp ×%.1f: pool %d..%d (peak %d, end %d); P99 within budget %.1f%% of ticks; \
+     %d out / %d in, %d oscillation(s); deterministic: %b"
+    c.Region_sim.offered_ratio c.Region_sim.pool_min c.Region_sim.pool_max
+    c.Region_sim.pool_at_peak c.Region_sim.pool_at_end
+    (100.0 *. c.Region_sim.within_budget_fraction)
+    c.Region_sim.slo_scale_outs c.Region_sim.slo_scale_ins
+    c.Region_sim.oscillations sr.Experiments.slo_deterministic;
+  note
+    "chaos (rack partition): %d suspect(s) at peak, %d suppressed tick(s), \
+     pool moves in partition %d, %d oscillation(s)"
+    x.Region_sim.partition_suspects_max x.Region_sim.slo_suppressed_ticks
+    x.Region_sim.pool_moves_in_partition x.Region_sim.oscillations
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures.
@@ -956,11 +972,28 @@ let json_macro () =
       ("shard_equivalent", Json.Bool shard_equivalent);
       ("storm", Experiments.json_of_region_mttr (Experiments.region_mttr ()));
       ("crash_cycles", Experiments.json_of_crash_cycles (Experiments.crash_cycles ()));
+      ("slo", Experiments.json_of_slo_ramp (Experiments.slo_ramp ()));
       ("peak_rss_bytes", Json.Int (peak_rss_bytes ()));
     ]
 
+(* The SLO ramp at reduced scale — same gates, tier-1 time budget
+   (bench/check.sh --smoke). *)
+let json_slo_smoke () =
+  Json.Obj
+    [
+      ( "slo",
+        Experiments.json_of_slo_ramp
+          (Experiments.slo_ramp ~cfg:Experiments.slo_smoke_config ()) );
+    ]
+
 let json_experiments =
-  [ ("fig9", json_fig9); ("table4", json_table4); ("micro", json_micro); ("macro", json_macro) ]
+  [
+    ("fig9", json_fig9);
+    ("table4", json_table4);
+    ("micro", json_micro);
+    ("macro", json_macro);
+    ("slo_smoke", json_slo_smoke);
+  ]
 
 let run_json ~path names =
   let names = if names = [] then List.map fst json_experiments else names in

@@ -991,6 +991,55 @@ let region_mttr ?(cfg = default_storm_config) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* SLO-tracking ramp (ROADMAP item 4): the Region_sim diurnal ×10
+   offered-load ramp driven by the real Slo decision core, run clean
+   and with the rack-partition chaos variant, plus a same-seed rerun
+   for the determinism gate.  The default partition window sits in the
+   hold phase (42.5%–52.5% of the day) so the suppression logic is hit
+   at peak pool. *)
+
+type slo_ramp = {
+  slo_clean : Region_sim.slo_result;
+  slo_chaos : Region_sim.slo_result;
+  slo_rerun_digest : int;
+  slo_deterministic : bool;  (** clean rerun digest identical *)
+}
+
+let slo_smoke_config =
+  let cfg = Region_sim.default_slo_config in
+  {
+    cfg with
+    Region_sim.slo_duration = 150.0;
+    slo =
+      {
+        cfg.Region_sim.slo with
+        Region_sim.Slo.cooldown = 2.0;
+        warmup = 3.0;
+        suppress_hold = 8.0;
+      };
+    flap_window = 15.0;
+  }
+
+let slo_ramp ?(cfg = Region_sim.default_slo_config) ?partition () =
+  let partition =
+    match partition with
+    | Some p -> p
+    | None ->
+      (cfg.Region_sim.slo_duration *. 0.425, cfg.Region_sim.slo_duration *. 0.10)
+  in
+  let clean = Region_sim.run_slo { cfg with Region_sim.slo_partition = None } in
+  let chaos =
+    Region_sim.run_slo { cfg with Region_sim.slo_partition = Some partition }
+  in
+  let rerun = Region_sim.run_slo { cfg with Region_sim.slo_partition = None } in
+  {
+    slo_clean = clean;
+    slo_chaos = chaos;
+    slo_rerun_digest = rerun.Region_sim.slo_digest;
+    slo_deterministic = clean.Region_sim.slo_digest = rerun.Region_sim.slo_digest;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Crash/restart endurance on the small testbed: [cycles] FE-host
    crash+reboot cycles against a live offload, traffic bursts
    interleaved, then the books are balanced — controller conservation
@@ -1264,4 +1313,33 @@ let json_of_region_overloads (r : region_overloads) =
       ("before", json_of_region_result r.region_before);
       ("after", json_of_region_result r.region_after);
       ("resolved_pct", Json.Float r.resolved_pct);
+    ]
+
+let json_of_slo_result (r : Region_sim.slo_result) =
+  Json.Obj
+    [
+      ("ticks", Json.Int r.Region_sim.slo_ticks);
+      ("offered_ratio", Json.Float r.Region_sim.offered_ratio);
+      ("pool_min", Json.Int r.Region_sim.pool_min);
+      ("pool_max", Json.Int r.Region_sim.pool_max);
+      ("pool_at_peak", Json.Int r.Region_sim.pool_at_peak);
+      ("pool_at_end", Json.Int r.Region_sim.pool_at_end);
+      ("p99_peak_s", Json.Float r.Region_sim.p99_peak);
+      ("within_budget_fraction", Json.Float r.Region_sim.within_budget_fraction);
+      ("scale_outs", Json.Int r.Region_sim.slo_scale_outs);
+      ("scale_ins", Json.Int r.Region_sim.slo_scale_ins);
+      ("oscillations", Json.Int r.Region_sim.oscillations);
+      ("suppressed_ticks", Json.Int r.Region_sim.slo_suppressed_ticks);
+      ("partition_suspects_max", Json.Int r.Region_sim.partition_suspects_max);
+      ("pool_moves_in_partition", Json.Int r.Region_sim.pool_moves_in_partition);
+      ("digest", Json.Int r.Region_sim.slo_digest);
+    ]
+
+let json_of_slo_ramp (r : slo_ramp) =
+  Json.Obj
+    [
+      ("clean", json_of_slo_result r.slo_clean);
+      ("chaos", json_of_slo_result r.slo_chaos);
+      ("rerun_digest", Json.Int r.slo_rerun_digest);
+      ("deterministic", Json.Bool r.slo_deterministic);
     ]

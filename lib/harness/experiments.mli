@@ -277,6 +277,34 @@ val default_storm_config : Nezha_workloads.Region_sim.config
 
 val region_mttr : ?cfg:Nezha_workloads.Region_sim.config -> unit -> region_mttr
 
+(** {1 SLO-tracking ramp (ROADMAP item 4)}
+
+    The {!Nezha_workloads.Region_sim.run_slo} diurnal ×10 offered-load
+    ramp driven by the real {!Nezha_core.Slo} decision core: run clean,
+    run with the rack-partition chaos variant (window in the hold phase
+    so suppression is hit at peak pool), and rerun clean with the same
+    seed for the determinism gate. *)
+
+type slo_ramp = {
+  slo_clean : Nezha_workloads.Region_sim.slo_result;
+  slo_chaos : Nezha_workloads.Region_sim.slo_result;
+  slo_rerun_digest : int;
+  slo_deterministic : bool;  (** clean rerun digest identical *)
+}
+
+val slo_smoke_config : Nezha_workloads.Region_sim.slo_config
+(** The default SLO config at reduced scale (150 s day, shorter
+    cooldown/warmup/suppress-hold) — fast enough for tier-1 and the
+    [bench/check.sh --smoke] target while exercising every gate. *)
+
+val slo_ramp :
+  ?cfg:Nezha_workloads.Region_sim.slo_config ->
+  ?partition:float * float ->
+  unit ->
+  slo_ramp
+(** Default [partition]: starts at 42.5% of the day and lasts 10% of
+    it. *)
+
 (** {1 Crash/restart endurance}
 
     [cycles] FE-host crash+reboot cycles against a live offload on the
@@ -330,3 +358,8 @@ val json_of_region_result :
 val json_of_region_overloads : region_overloads -> Nezha_telemetry.Json.t
 val json_of_region_mttr : region_mttr -> Nezha_telemetry.Json.t
 val json_of_crash_cycles : crash_cycles -> Nezha_telemetry.Json.t
+
+val json_of_slo_result :
+  Nezha_workloads.Region_sim.slo_result -> Nezha_telemetry.Json.t
+
+val json_of_slo_ramp : slo_ramp -> Nezha_telemetry.Json.t

@@ -52,9 +52,18 @@ type t = {
   wheel : int Timer_wheel.t;
   (* Consecutive hop timeouts per FE; reset on any ack from it. *)
   suspects : (Ipv4.t, int ref) Hashtbl.t;
+  (* Remote-hop latency (send → hop ack) — cumulative histogram for
+     telemetry plus a bounded window drained by the controller's SLO
+     tick.  [sent_at] is the last (re)transmission, so a retransmitted
+     offload reports the latency of the attempt that succeeded. *)
+  hop_hist : Stats.Histogram.t;
+  mutable hop_window : float list;
+  mutable hop_window_n : int;
   mutable closed : bool;
   counters : counters;
 }
+
+let hop_window_cap = 8192
 
 let pin_key t flow =
   Flow_key.of_packet_fields ~vpc:t.vnic.Vnic.vpc ~flow
@@ -308,6 +317,12 @@ let handle_ack t nsh =
       Hashtbl.remove t.outstanding seq;
       (match pd.timer with Some tm -> Timer_wheel.cancel tm | None -> ());
       Hashtbl.remove t.suspects pd.last_fe;
+      let lat = Sim.now (Vswitch.sim t.vs) -. pd.sent_at in
+      Stats.Histogram.record t.hop_hist lat;
+      if t.hop_window_n < hop_window_cap then begin
+        t.hop_window <- lat :: t.hop_window;
+        t.hop_window_n <- t.hop_window_n + 1
+      end;
       Stats.Counter.incr t.counters.offload_acked)
 
 let handle_tx t pkt =
@@ -572,6 +587,9 @@ let install ~vs ~vnic ~vni ~fes ?fallback_ruleset () =
       wheel =
         Timer_wheel.create ~tick:(p.Params.offload_retx_timeout /. 4.0) ~slots:64;
       suspects = Hashtbl.create 4;
+      hop_hist = Stats.Histogram.create ();
+      hop_window = [];
+      hop_window_n = 0;
       closed = false;
       counters =
         {
@@ -707,6 +725,14 @@ let pinned_count t = Flow_key.Table.length t.pins
 
 let outstanding t = Hashtbl.length t.outstanding
 
+let hop_latency_hist t = t.hop_hist
+
+let drain_hop_latencies t =
+  let samples = t.hop_window in
+  t.hop_window <- [];
+  t.hop_window_n <- 0;
+  samples
+
 let counters t = t.counters
 
 let register_telemetry t reg =
@@ -731,4 +757,5 @@ let register_telemetry t reg =
   T.register_gauge reg ~name:(prefix ^ "pinned_flows") (fun () ->
       float_of_int (pinned_count t));
   T.register_gauge reg ~name:(prefix ^ "outstanding_offloads") (fun () ->
-      float_of_int (outstanding t))
+      float_of_int (outstanding t));
+  T.register_histogram reg ~name:(prefix ^ "hop_latency_s") t.hop_hist

@@ -23,6 +23,10 @@ type config = {
   auto_scale : bool;
   auto_fallback : bool;
   fallback_idle_ticks : int;
+  placement : Placement.policy;
+  ewma_alpha : float;
+  fe_pressure_weight : float;
+  slo : Slo.config option;
 }
 
 let default_config =
@@ -46,6 +50,10 @@ let default_config =
     auto_scale = true;
     auto_fallback = false;
     fallback_idle_ticks = 5;
+    placement = Placement.Least_loaded;
+    ewma_alpha = 0.3;
+    fe_pressure_weight = 0.05;
+    slo = None;
   }
 
 type offload = {
@@ -128,6 +136,10 @@ type t = {
   mutable repairs : int;
   mutable telemetry : Nezha_telemetry.Telemetry.t option;
       (* propagated to FE services and BEs created after registration *)
+  load_ewma : (Topology.server_id, Placement.Ewma.t) Hashtbl.t;
+      (* smoothed reported CPU per server — the p2c load signal *)
+  slo_state : Slo.t option;
+  mutable slo_pool : int; (* distinct FE servers at the last SLO tick *)
 }
 
 let config t = t.cfg
@@ -209,6 +221,24 @@ let utilization_of t s =
 
 let last_cpu t s = fst (utilization_of t s)
 let last_mem t s = snd (utilization_of t s)
+
+(* The live load signal for power-of-two-choices placement: smoothed
+   reported CPU plus a pressure term for offloads already steering at
+   this server — a freshly-picked FE's CPU lags the decision by a
+   report interval, so raw reports alone herd every placement onto the
+   same momentarily-idle server. *)
+let load_signal t s =
+  let base =
+    match Hashtbl.find_opt t.load_ewma s with
+    | Some e -> Placement.Ewma.value e
+    | None -> last_cpu t s
+  in
+  let pressure =
+    match Hashtbl.find_opt t.fe_services s with
+    | Some fe -> t.cfg.fe_pressure_weight *. float_of_int (Fe.served_count fe)
+    | None -> 0.0
+  in
+  base +. pressure
 
 let fe_service t s = Hashtbl.find_opt t.fe_services s
 
@@ -299,10 +329,15 @@ let select_fe_candidates ?(version_filter = fun _ -> true) t ~be_server ~exclude
     let cpu, mem = utilization_of t s in
     cpu <= t.cfg.fe_cpu_max && mem <= t.cfg.fe_mem_max
   in
-  Placement.select ~eligible
-    ~same_rack:(fun s -> Topology.same_rack topo s be_server)
-    ~cpu:(last_cpu t) ~count
-    (servers_with_vswitch t)
+  let same_rack s = Topology.same_rack topo s be_server in
+  let servers = servers_with_vswitch t in
+  match t.cfg.placement with
+  | Placement.Least_loaded ->
+    Placement.select ~eligible ~same_rack ~cpu:(last_cpu t) ~count servers
+  | Placement.Power_of_two ->
+    Placement.select_p2c ~rng:t.rng ~eligible ~same_rack ~load:(load_signal t)
+      ~suspect:(fun s -> Monitor.is_suspect t.monitor ~key:s)
+      ~count servers
 
 (* ------------------------------------------------------------------ *)
 (* vNIC-server learning: after the gateway entry changes, every vSwitch
@@ -655,6 +690,116 @@ let scale_in_server t server =
             : Sim.handle))
       served;
     Monitor.unwatch t.monitor ~key:server
+
+(* ------------------------------------------------------------------ *)
+(* SLO-driven elasticity (ROADMAP item 4): targeted scale-in of one
+   offload — as opposed to [scale_in_server], which evicts a whole
+   server for *local* pressure — plus the per-report-tick loop feeding
+   observed P99 remote-hop latency into the {!Slo} decision core. *)
+
+let scale_in_offload t o ~remove =
+  if remove <= 0 || not o.active then 0
+  else if not (fenced t o.be_server) then 0
+  else begin
+    let remove = min remove (List.length o.fe_servers - t.cfg.min_fes) in
+    if remove <= 0 then 0
+    else begin
+      let topo = Fabric.topology t.fabric in
+      (* Evict cross-rack FEs first (App. B.1 preference in reverse),
+         then the most loaded — free the busiest servers for their own
+         local traffic. *)
+      let ranked =
+        List.sort
+          (fun a b ->
+            let rack s = if Topology.same_rack topo s o.be_server then 1 else 0 in
+            match compare (rack a) (rack b) with
+            | 0 -> Float.compare (load_signal t b) (load_signal t a)
+            | c -> c)
+          o.fe_servers
+      in
+      let victims = Placement.take remove ranked in
+      o.fe_servers <- List.filter (fun s -> not (List.mem s victims)) o.fe_servers;
+      ignore (update_routing t o : float);
+      registry_sync t o;
+      List.iter
+        (fun s ->
+          (* A short re-pick holdoff so the next scale-out doesn't
+             immediately re-provision the server just drained. *)
+          Hashtbl.replace t.scaled_in_until s
+            (Sim.now t.sim +. (5.0 *. t.cfg.report_interval));
+          match Hashtbl.find_opt t.fe_services s with
+          | None -> ()
+          | Some fe ->
+            if Fe.served_count fe <= 1 then Monitor.unwatch t.monitor ~key:s;
+            (* Retain the tables through the learning window so
+               in-flight packets still process, then release. *)
+            ignore
+              (Sim.schedule t.sim ~delay:(t.cfg.learning_interval +. t.cfg.rtt)
+                 (fun _ -> if t.alive then Fe.unserve fe (Vnic.addr o.vnic))
+                : Sim.handle))
+        victims;
+      List.length victims
+    end
+  end
+
+(* Distinct FE servers across active offloads — the pool the SLO loop
+   sizes. *)
+let slo_pool_servers t =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ o ->
+      if o.active then
+        List.iter (fun s -> Hashtbl.replace tbl s ()) o.fe_servers)
+    t.offload_tbl;
+  List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) tbl [])
+
+let slo_tick t =
+  match t.slo_state with
+  | None -> ()
+  | Some slo ->
+    let samples =
+      Hashtbl.fold
+        (fun _ o acc ->
+          if o.active then
+            match o.be with
+            | Some be when not (Be.closed be) ->
+              List.rev_append (Be.drain_hop_latencies be) acc
+            | Some _ | None -> acc
+          else acc)
+        t.offload_tbl []
+    in
+    let p99 =
+      match samples with
+      | [] -> None
+      | _ -> Some (Stats.percentile (Array.of_list samples) 99.0)
+    in
+    let pool = slo_pool_servers t in
+    let pool_n = List.length pool in
+    t.slo_pool <- pool_n;
+    if pool_n > 0 then begin
+      let suspects =
+        List.length
+          (List.filter (fun s -> Monitor.is_suspect t.monitor ~key:s) pool)
+      in
+      let by_fe_count asc a b =
+        let ca = List.length a.fe_servers and cb = List.length b.fe_servers in
+        match if asc then compare ca cb else compare cb ca with
+        | 0 -> compare a.key b.key
+        | c -> c
+      in
+      match Slo.observe slo ~now:(Sim.now t.sim) ~p99 ~pool:pool_n ~suspects with
+      | Slo.Hold _ -> ()
+      | Slo.Scale_out add -> (
+        (* Grow the thinnest offload — the likeliest tail contributor
+           (deterministic tie-break by key). *)
+        match List.sort (by_fe_count true) (List.filter (fun o -> o.active) t.offload_order) with
+        | o :: _ -> ignore (scale_out t o ~add : int)
+        | [] -> ())
+      | Slo.Scale_in remove -> (
+        match List.sort (by_fe_count false) (List.filter (fun o -> o.active) t.offload_order) with
+        | o :: _ -> ignore (scale_in_offload t o ~remove : int)
+        | [] -> ())
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Crash–restart reconciliation (DESIGN.md §13).
@@ -1026,6 +1171,12 @@ let report_tick t =
         let cpu = ref 0.0 and mem = ref 0.0 in
         Vswitch.utilization_report vs ~cpu ~mem;
         Hashtbl.replace t.reports s (!cpu, !mem);
+        (match Hashtbl.find_opt t.load_ewma s with
+        | Some e -> Placement.Ewma.observe e !cpu
+        | None ->
+          let e = Placement.Ewma.create ~alpha:t.cfg.ewma_alpha () in
+          Placement.Ewma.observe e !cpu;
+          Hashtbl.replace t.load_ewma s e);
         if !cpu > t.cfg.overload_level || !mem > t.cfg.overload_level then
           Hashtbl.replace t.overloads s
             (1 + Option.value (Hashtbl.find_opt t.overloads s) ~default:0);
@@ -1082,7 +1233,8 @@ let report_tick t =
      data-plane actual and repair divergence, piggybacked on the
      report interval. *)
   Hashtbl.iter (fun _ o -> repair_offload t o) t.offload_tbl;
-  consider_fallback t
+  consider_fallback t;
+  slo_tick t
 
 let start t =
   if not t.started then begin
@@ -1133,6 +1285,10 @@ let create ?(config = default_config) ~fabric ~rng () =
       reconciles = 0;
       repairs = 0;
       telemetry = None;
+      load_ewma = Hashtbl.create 64;
+      slo_state =
+        Option.map (fun c -> Slo.create ~config:c ~now:(Sim.now sim) ()) config.slo;
+      slo_pool = 0;
     }
   in
   Fabric.on_lifecycle fabric (fun ~server ev ->
@@ -1218,6 +1374,9 @@ let offload_be o =
 let offload_stage o = match o.be with Some be -> Be.stage be | None -> Be.Dual
 let offload_completed_at o = o.completed_at
 
+let slo t = t.slo_state
+let slo_pool_size t = List.length (slo_pool_servers t)
+
 let completion_times_ms t = t.completion_ms
 let offload_events t = t.offload_events
 let scale_out_events t = t.scale_out_events
@@ -1255,6 +1414,12 @@ let register_telemetry t reg =
   T.register_gauge reg ~name:"controller/active_offloads" (fun () ->
       float_of_int (List.length (offloads t)));
   T.register_histogram reg ~name:"controller/completion_ms" t.completion_ms;
+  (match t.slo_state with
+  | Some slo ->
+    Slo.register_telemetry slo ~prefix:"controller/slo" reg;
+    T.register_gauge reg ~name:"controller/slo/pool_size" (fun () ->
+        float_of_int t.slo_pool)
+  | None -> ());
   Monitor.register_telemetry t.monitor reg;
   (* Components the controller already spawned; later ones register at
      creation via [t.telemetry]. *)

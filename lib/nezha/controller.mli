@@ -38,6 +38,19 @@ type config = {
       (** consecutive reports with the FEs near-idle and the BE far below
           the safe level before falling back (§4.2.2: fallback only when
           the local vSwitch can clearly absorb the load again) *)
+  placement : Placement.policy;
+      (** FE candidate selection: the paper's least-loaded ordering, or
+          power-of-two-choices over the live load signal (ROADMAP
+          item 4) *)
+  ewma_alpha : float;  (** smoothing of the per-server CPU load signal *)
+  fe_pressure_weight : float;
+      (** load-signal weight per vNIC already steered at a server, so
+          placements don't herd onto one momentarily-idle server *)
+  slo : Slo.config option;
+      (** when set, an {!Slo} loop rides the report tick: observed P99
+          remote-hop latency (drained from every BE tracker) drives
+          pool scale-out/scale-in with hysteresis, cooldown and §C.2
+          suppression *)
 }
 
 val default_config : config
@@ -106,6 +119,12 @@ val scale_out : t -> ?avoid:Topology.server_id list -> offload -> add:int -> int
 val scale_in_server : t -> Topology.server_id -> unit
 (** Evict every FE on this server (local pressure or failover),
     replenishing any offload that falls below [min_fes]. *)
+
+val scale_in_offload : t -> offload -> remove:int -> int
+(** SLO-driven targeted scale-in: drop up to [remove] FEs from this
+    offload (never below [min_fes]), cross-rack and most-loaded victims
+    first; routing updates immediately, tables release after the
+    learning window.  Returns how many were removed. *)
 
 val update_tenant_rules : t -> offload -> (Ruleset.t -> unit) -> unit
 (** Apply a tenant configuration change to an offloaded vNIC: the
@@ -198,6 +217,17 @@ val fe_service : t -> Topology.server_id -> Fe.t option
 
 val last_cpu : t -> Topology.server_id -> float
 val last_mem : t -> Topology.server_id -> float
+
+val load_signal : t -> Topology.server_id -> float
+(** The p2c placement load signal: EWMA-smoothed reported CPU plus
+    [fe_pressure_weight] per vNIC already steered at the server. *)
+
+val slo : t -> Slo.t option
+(** The SLO decision state when [config.slo] is set. *)
+
+val slo_pool_size : t -> int
+(** Distinct FE servers across active offloads — the pool the SLO loop
+    sizes. *)
 
 (** {1 Experiment instrumentation} *)
 

@@ -54,6 +54,17 @@ let unwatch t ~key = Hashtbl.remove t.targets key
 
 let watched t = Hashtbl.length t.targets
 
+let is_suspect t ~key =
+  match Hashtbl.find_opt t.targets key with
+  | Some tgt -> tgt.misses >= 1
+  | None -> false
+
+let suspects t =
+  Hashtbl.fold
+    (fun key tgt acc -> if tgt.misses >= 1 then key :: acc else acc)
+    t.targets []
+  |> List.sort compare
+
 (* The deadline sweep for one round's probes.  A slot only counts if its
    target record is *physically* still the table binding: a re-watch
    between probe and collect replaced the record (misses reset to 0), and

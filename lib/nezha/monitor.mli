@@ -49,6 +49,15 @@ val watch : t -> key:int -> alive:(unit -> bool) -> on_fail:(key:int -> unit) ->
 val unwatch : t -> key:int -> unit
 val watched : t -> int
 
+val is_suspect : t -> key:int -> bool
+(** A watched target with at least one consecutive missed probe — not
+    yet declared failed, but not trusted either.  Placement avoids
+    suspects; the SLO loop feeds the suspect fraction into its §C.2
+    suppression window. *)
+
+val suspects : t -> int list
+(** All suspect keys, sorted (deterministic iteration for callers). *)
+
 val start : t -> unit
 (** Begin probing.  Idempotent. *)
 

@@ -1,7 +1,33 @@
 (* FE candidate ordering (§4.2.1, App. B.1), shared by the online
-   controller and the region-scale bridge: among eligible servers,
-   same-ToR-as-the-BE first, each tier ordered by reported CPU
-   (least-loaded first). *)
+   controller and the region-scale bridge.  Two policies: the paper's
+   least-loaded ordering with same-ToR preference, and
+   power-of-two-choices over a live load signal (ROADMAP item 4). *)
+
+open Nezha_engine
+
+type policy = Least_loaded | Power_of_two
+
+let policy_name = function
+  | Least_loaded -> "least_loaded"
+  | Power_of_two -> "p2c"
+
+module Ewma = struct
+  type t = { alpha : float; mutable value : float; mutable seeded : bool }
+
+  let create ?(alpha = 0.3) () =
+    if not (alpha > 0. && alpha <= 1.) then
+      invalid_arg "Placement.Ewma.create: alpha outside (0, 1]";
+    { alpha; value = 0.; seeded = false }
+
+  let observe t x =
+    if t.seeded then t.value <- t.value +. (t.alpha *. (x -. t.value))
+    else begin
+      t.value <- x;
+      t.seeded <- true
+    end
+
+  let value t = t.value
+end
 
 let rec take n = function
   | [] -> []
@@ -13,3 +39,58 @@ let select ~eligible ~same_rack ~cpu ~count servers =
   let near, far = List.partition same_rack candidates in
   let by_cpu l = List.sort (fun a b -> Float.compare (cpu a) (cpu b)) l in
   take count (by_cpu near @ by_cpu far)
+
+(* Power-of-two-choices: draw two distinct candidates, keep the less
+   loaded.  The classic result (Mitzenmacher) is that two random probes
+   get exponentially better max-load than one while staying O(1) per
+   decision — no global sort, no herd behaviour when every BE chases
+   the same least-loaded server. *)
+let p2c_pick ~rng ~load pool ~n =
+  if n = 1 then 0
+  else begin
+    let i = Rng.int rng n in
+    let j =
+      let j = Rng.int rng (n - 1) in
+      if j >= i then j + 1 else j
+    in
+    if load pool.(j) < load pool.(i) then j else i
+  end
+
+let drain ~rng ~load pool count =
+  (* Repeated p2c picks without replacement: swap the winner to the
+     tail and shrink the live prefix. *)
+  let pool = Array.of_list pool in
+  let live = ref (Array.length pool) in
+  let picked = ref [] in
+  let remaining = ref count in
+  while !remaining > 0 && !live > 0 do
+    let w = p2c_pick ~rng ~load pool ~n:!live in
+    picked := pool.(w) :: !picked;
+    live := !live - 1;
+    pool.(w) <- pool.(!live);
+    decr remaining
+  done;
+  List.rev !picked
+
+let select_p2c ~rng ~eligible ~same_rack ~load ?(suspect = fun _ -> false)
+    ?(load_band = 0.15) ~count servers =
+  let candidates = List.filter eligible servers in
+  let healthy, suspects = List.partition (fun s -> not (suspect s)) candidates in
+  let min_load =
+    List.fold_left (fun acc s -> Float.min acc (load s)) infinity healthy
+  in
+  (* App. B.1: stay in-rack while the local candidates are competitive;
+     an overloaded rack must not capture placement just by proximity. *)
+  let near, far =
+    List.partition
+      (fun s -> same_rack s && load s <= min_load +. load_band)
+      healthy
+  in
+  let rec fill acc count = function
+    | [] -> List.rev acc
+    | _ when count = 0 -> List.rev acc
+    | tier :: rest ->
+        let picked = drain ~rng ~load tier count in
+        fill (List.rev_append picked acc) (count - List.length picked) rest
+  in
+  fill [] count [ near; far; suspects ]

@@ -1,10 +1,41 @@
-(** FE candidate selection (§4.2.1, App. B.1) as a pure ordering,
-    shared by the online {!Controller} and the region-scale bridge
+(** FE candidate selection (§4.2.1, App. B.1) as pure orderings, shared
+    by the online {!Controller} and the region-scale bridge
     ([Nezha_workloads.Region_sim]).
 
-    The policy: filter to eligible servers (capacity ceilings, health,
-    cool-down — the caller's predicate), prefer servers in the BE's own
-    rack, and within each tier pick the least-loaded by reported CPU. *)
+    Two policies coexist (selectable per controller):
+
+    - {!select} — the paper's ordering: filter to eligible servers
+      (capacity ceilings, health, cool-down — the caller's predicate),
+      prefer servers in the BE's own rack, within each tier pick the
+      least-loaded by reported CPU.
+    - {!select_p2c} — power-of-two-choices over a live load signal
+      (EWMA of reported utilization plus outstanding offloads): draw
+      two distinct candidates, keep the less loaded, repeat.  Same-rack
+      candidates are preferred while their load stays within
+      [load_band] of the global minimum; suspect servers are only ever
+      drawn when no healthy candidate remains. *)
+
+open Nezha_engine
+
+type policy = Least_loaded | Power_of_two
+
+val policy_name : policy -> string
+(** ["least_loaded"] / ["p2c"]. *)
+
+(** Exponentially-weighted moving average — the live load signal fed to
+    {!select_p2c}.  [observe] folds a new sample in with weight
+    [alpha]; the first sample seeds the average directly. *)
+module Ewma : sig
+  type t
+
+  val create : ?alpha:float -> unit -> t
+  (** Default [alpha] 0.3.  @raise Invalid_argument unless
+      [0 < alpha <= 1]. *)
+
+  val observe : t -> float -> unit
+  val value : t -> float
+  (** 0.0 before the first observation. *)
+end
 
 val select :
   eligible:('a -> bool) ->
@@ -16,6 +47,27 @@ val select :
 (** [select ~eligible ~same_rack ~cpu ~count servers] returns up to
     [count] servers: eligible ones in the BE's rack ordered by [cpu]
     ascending, then eligible others likewise. *)
+
+val select_p2c :
+  rng:Rng.t ->
+  eligible:('a -> bool) ->
+  same_rack:('a -> bool) ->
+  load:('a -> float) ->
+  ?suspect:('a -> bool) ->
+  ?load_band:float ->
+  count:int ->
+  'a list ->
+  'a list
+(** [select_p2c ~rng ~eligible ~same_rack ~load ~count servers] picks up
+    to [count] distinct servers by power-of-two-choices over [load].
+    The draw pool is tiered: same-rack healthy candidates whose load is
+    within [load_band] (default 0.15) of the lowest load among healthy
+    candidates come first, then all remaining healthy candidates, and
+    suspect servers ([suspect], default none) only when both tiers are
+    exhausted — a suspect is never chosen while a healthy candidate
+    exists.  Each pick draws two distinct candidates from the current
+    tier and keeps the less loaded (ties: the first drawn), then removes
+    it from the pool.  Deterministic for a given [rng] state. *)
 
 val take : int -> 'a list -> 'a list
 (** First [n] elements (all of them if fewer). *)

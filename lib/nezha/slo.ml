@@ -1,0 +1,179 @@
+(* Latency-SLO autoscaling decision core.  Pure state machine over the
+   observed P99 — see slo.mli for the rule set and the rationale. *)
+
+type config = {
+  target_p99 : float;
+  band : float;
+  cooldown : float;
+  warmup : float;
+  min_pool : int;
+  max_pool : int;
+  max_step : int;
+  suppress_fraction : float;
+  suppress_hold : float;
+}
+
+let default_config =
+  {
+    target_p99 = 0.005;
+    band = 0.20;
+    cooldown = 10.0;
+    warmup = 5.0;
+    min_pool = 2;
+    max_pool = 64;
+    max_step = 2;
+    suppress_fraction = 0.30;
+    suppress_hold = 30.0;
+  }
+
+type reason =
+  | Within_band
+  | Above_target
+  | Below_target
+  | Cooling_down
+  | Warming_up
+  | No_signal
+  | Suppressed
+  | At_min
+  | At_max
+
+type decision = Scale_out of int | Scale_in of int | Hold of reason
+
+let reason_code = function
+  | Within_band -> 0
+  | Above_target -> 1
+  | Below_target -> 2
+  | Cooling_down -> 3
+  | Warming_up -> 4
+  | No_signal -> 5
+  | Suppressed -> 6
+  | At_min -> 7
+  | At_max -> 8
+
+let decision_code = function Scale_out _ -> 1 | Scale_in _ -> -1 | Hold _ -> 0
+
+let reason_of_decision = function
+  | Scale_out _ -> Above_target
+  | Scale_in _ -> Below_target
+  | Hold r -> r
+
+let pp_reason ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Within_band -> "within-band"
+    | Above_target -> "above-target"
+    | Below_target -> "below-target"
+    | Cooling_down -> "cooling-down"
+    | Warming_up -> "warming-up"
+    | No_signal -> "no-signal"
+    | Suppressed -> "suppressed"
+    | At_min -> "at-min"
+    | At_max -> "at-max")
+
+let pp_decision ppf = function
+  | Scale_out n -> Format.fprintf ppf "scale-out+%d" n
+  | Scale_in n -> Format.fprintf ppf "scale-in-%d" n
+  | Hold r -> Format.fprintf ppf "hold(%a)" pp_reason r
+
+type t = {
+  config : config;
+  born : float;
+  mutable cooldown_until : float;
+  mutable suppressed_until : float;
+  mutable last_decision : decision option;
+  mutable last_p99 : float option;
+  mutable scale_outs : int;
+  mutable scale_ins : int;
+  mutable suppressed_ticks : int;
+}
+
+let validate c =
+  if c.target_p99 <= 0. then invalid_arg "Slo.create: target_p99 <= 0";
+  if c.band < 0. then invalid_arg "Slo.create: band < 0";
+  if c.min_pool < 1 then invalid_arg "Slo.create: min_pool < 1";
+  if c.max_pool < c.min_pool then invalid_arg "Slo.create: max_pool < min_pool";
+  if c.max_step < 1 then invalid_arg "Slo.create: max_step < 1"
+
+let create ?(config = default_config) ~now () =
+  validate config;
+  {
+    config;
+    born = now;
+    cooldown_until = neg_infinity;
+    suppressed_until = neg_infinity;
+    last_decision = None;
+    last_p99 = None;
+    scale_outs = 0;
+    scale_ins = 0;
+    suppressed_ticks = 0;
+  }
+
+let config t = t.config
+let last_decision t = t.last_decision
+let last_p99 t = t.last_p99
+let scale_outs t = t.scale_outs
+let scale_ins t = t.scale_ins
+let suppressed_ticks t = t.suppressed_ticks
+let in_suppression t ~now = now < t.suppressed_until
+
+let observe t ~now ~p99 ~pool ~suspects =
+  let c = t.config in
+  (match p99 with Some _ -> t.last_p99 <- p99 | None -> ());
+  (* §C.2: a mostly-suspect pool means the latency signal reflects the
+     failure, not demand — open (or extend) a suppression window. *)
+  (if pool > 0 then
+     let fraction = float_of_int suspects /. float_of_int pool in
+     if fraction > c.suppress_fraction then
+       t.suppressed_until <- now +. c.suppress_hold);
+  let decide () =
+    if now < t.suppressed_until then (
+      t.suppressed_ticks <- t.suppressed_ticks + 1;
+      Hold Suppressed)
+    else if now -. t.born < c.warmup then Hold Warming_up
+    else
+      match p99 with
+      | None -> Hold No_signal
+      | Some p ->
+          if now < t.cooldown_until then Hold Cooling_down
+          else if p > c.target_p99 *. (1. +. c.band) then
+            if pool >= c.max_pool then Hold At_max
+            else begin
+              let add = min c.max_step (c.max_pool - pool) in
+              t.cooldown_until <- now +. c.cooldown;
+              t.scale_outs <- t.scale_outs + 1;
+              Scale_out add
+            end
+          else if p < c.target_p99 *. (1. -. c.band) then
+            if pool <= c.min_pool then Hold At_min
+            else begin
+              let remove = min c.max_step (pool - c.min_pool) in
+              t.cooldown_until <- now +. c.cooldown;
+              t.scale_ins <- t.scale_ins + 1;
+              Scale_in remove
+            end
+          else Hold Within_band
+  in
+  let d = decide () in
+  t.last_decision <- Some d;
+  d
+
+let register_telemetry t ~prefix reg =
+  let open Nezha_telemetry in
+  let gauge name f = Telemetry.register_gauge reg ~name:(prefix ^ "/" ^ name) f in
+  let counter name f =
+    Telemetry.register_counter reg ~name:(prefix ^ "/" ^ name) f
+  in
+  gauge "target_p99_s" (fun () -> t.config.target_p99);
+  gauge "observed_p99_s" (fun () ->
+      match t.last_p99 with Some p -> p | None -> Float.nan);
+  gauge "last_decision" (fun () ->
+      match t.last_decision with
+      | Some d -> float_of_int (decision_code d)
+      | None -> Float.nan);
+  gauge "last_reason" (fun () ->
+      match t.last_decision with
+      | Some d -> float_of_int (reason_code (reason_of_decision d))
+      | None -> Float.nan);
+  counter "scale_outs" (fun () -> t.scale_outs);
+  counter "scale_ins" (fun () -> t.scale_ins);
+  counter "suppressed_ticks" (fun () -> t.suppressed_ticks)

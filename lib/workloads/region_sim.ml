@@ -644,3 +644,248 @@ let before_after cfg =
   let before = run { cfg with nezha = false } in
   let after = run { cfg with nezha = true } in
   { before; after }
+
+(* ------------------------------------------------------------------ *)
+(* SLO-tracking run (ROADMAP item 4): a diurnal offered-load ramp (×10
+   trough->peak) served by an elastic FE pool whose size is driven by
+   the real {!Nezha_core.Slo} decision core over a modeled remote-hop
+   P99, with FE placement through the real power-of-two-choices policy
+   ({!Placement.select_p2c}).  The latency model is the standard
+   queueing shape — hop P99 grows as util/(1-util) on the pool's
+   per-FE utilization — so holding the latency budget *requires* the
+   pool to track the ramp in both directions.
+
+   The chaos variant cuts the BE rack's uplink for a window: every
+   cross-rack pool member turns suspect at once and half the serving
+   capacity vanishes.  The observed P99 explodes, which is exactly the
+   bait — a naive loop would scale out into the partition and then mass
+   scale-in after the heal.  The §C.2 suppression window must keep the
+   pool size frozen instead ([pool_moves_in_partition] = 0).
+
+   Deterministic by construction: one seeded rng, one synchronous tick
+   loop, no wall clock. *)
+
+module Slo = Nezha_core.Slo
+
+type slo_config = {
+  slo_seed : int;
+  slo_duration : float;  (** one compressed "day", sim seconds *)
+  slo_tick : float;  (** report/decision period *)
+  slo_racks : int;
+  slo_servers_per_rack : int;
+  base_offered : float;  (** trough offered load, FE-capacity units *)
+  ramp_ratio : float;  (** peak/trough offered ratio (×10) *)
+  fe_capacity : float;  (** offered units one FE serves at util 1.0 *)
+  base_hop : float;  (** remote-hop latency at zero utilization, s *)
+  hop_noise_sigma : float;  (** lognormal sigma on the observed P99 *)
+  slo : Slo.config;  (** the decision core's knobs *)
+  flap_window : float;  (** reversal horizon for oscillation counting *)
+  slo_partition : (float * float) option;  (** chaos: (start, duration) *)
+}
+
+let default_slo_config =
+  {
+    slo_seed = 42;
+    slo_duration = 600.0;
+    slo_tick = 1.0;
+    slo_racks = 6;
+    slo_servers_per_rack = 16;
+    base_offered = 1.6;
+    ramp_ratio = 10.0;
+    fe_capacity = 1.0;
+    base_hop = 0.001;
+    hop_noise_sigma = 0.04;
+    slo =
+      {
+        Slo.target_p99 = 0.005;
+        band = 0.30;
+        cooldown = 5.0;
+        warmup = 5.0;
+        min_pool = 4;
+        max_pool = 48;
+        max_step = 1;
+        suppress_fraction = 0.15;
+        suppress_hold = 20.0;
+      };
+    flap_window = 45.0;
+    slo_partition = None;
+  }
+
+type slo_result = {
+  slo_ticks : int;
+  offered_ratio : float;  (** max/min offered actually swept *)
+  pool_min : int;
+  pool_max : int;
+  pool_at_peak : int;  (** pool size at the middle of the hold phase *)
+  pool_at_end : int;
+  p99_peak : float;
+  within_budget_fraction : float;
+      (** post-warmup ticks with P99 <= target×(1+band) *)
+  slo_scale_outs : int;
+  slo_scale_ins : int;
+  oscillations : int;
+      (** direction reversals within [flap_window] of each other *)
+  slo_suppressed_ticks : int;
+  partition_suspects_max : int;
+  pool_moves_in_partition : int;  (** must be 0: no flapping under §C.2 *)
+  slo_digest : int;
+}
+
+(* Diurnal shape on [0,1]: smooth ramp up over the first 35%, hold the
+   peak for 25%, symmetric ramp down, then trough. *)
+let diurnal u =
+  let smoothstep x = x *. x *. (3.0 -. (2.0 *. x)) in
+  if u < 0.35 then smoothstep (u /. 0.35)
+  else if u < 0.60 then 1.0
+  else if u < 0.95 then smoothstep ((0.95 -. u) /. 0.35)
+  else 0.0
+
+let run_slo cfg =
+  if cfg.ramp_ratio < 1.0 then invalid_arg "Region_sim.run_slo: ramp_ratio < 1";
+  if cfg.slo_tick <= 0.0 then invalid_arg "Region_sim.run_slo: tick <= 0";
+  let n = cfg.slo_racks * cfg.slo_servers_per_rack in
+  let rng = Rng.create cfg.slo_seed in
+  let rack_of sid = sid / cfg.slo_servers_per_rack in
+  let be = 0 in
+  let be_rack = rack_of be in
+  let in_pool = Array.make n false in
+  (* Static background load per server — the diversity the p2c draws
+     discriminate on. *)
+  let jitter = Array.init n (fun _ -> Rng.float rng 0.05) in
+  let slo = Slo.create ~config:cfg.slo ~now:0.0 () in
+  let pool_size = ref 0 in
+  let members () =
+    let acc = ref [] in
+    for sid = n - 1 downto 0 do
+      if in_pool.(sid) then acc := sid :: !acc
+    done;
+    !acc
+  in
+  (* The chaos partition severs the BE rack's ToR uplink: every pool
+     member OUTSIDE the BE's rack is unreachable (suspect, serving
+     nothing) until the heal. *)
+  let partition_active now =
+    match cfg.slo_partition with
+    | Some (t0, d) -> now >= t0 && now < t0 +. d
+    | None -> false
+  in
+  let cut now sid = partition_active now && rack_of sid <> be_rack in
+  let util = ref 0.0 in
+  let load sid = if in_pool.(sid) then !util +. jitter.(sid) else jitter.(sid) in
+  let grow now count =
+    let picked =
+      Placement.select_p2c ~rng
+        ~eligible:(fun sid -> sid <> be && not in_pool.(sid))
+        ~same_rack:(fun sid -> rack_of sid = be_rack)
+        ~load
+        ~suspect:(fun sid -> cut now sid)
+        ~count
+        (List.init n (fun sid -> sid))
+    in
+    List.iter (fun sid -> in_pool.(sid) <- true) picked;
+    pool_size := !pool_size + List.length picked;
+    List.length picked
+  in
+  let shrink _now count =
+    (* Mirror the controller's victim ranking: cross-rack first, then
+       the highest background load. *)
+    let ranked =
+      List.sort
+        (fun a b ->
+          let rack s = if rack_of s = be_rack then 1 else 0 in
+          match compare (rack a) (rack b) with
+          | 0 -> Float.compare (load b) (load a)
+          | c -> c)
+        (members ())
+    in
+    let victims = Placement.take count ranked in
+    List.iter (fun sid -> in_pool.(sid) <- false) victims;
+    pool_size := !pool_size - List.length victims;
+    List.length victims
+  in
+  ignore (grow 0.0 cfg.slo.Slo.min_pool : int);
+  let hop_p99 u =
+    cfg.base_hop
+    *. (1.0 +. (2.0 *. u /. Float.max 0.03 (1.0 -. Float.min u 0.97)))
+  in
+  let budget = cfg.slo.Slo.target_p99 *. (1.0 +. cfg.slo.Slo.band) in
+  let ticks = int_of_float (cfg.slo_duration /. cfg.slo_tick) in
+  let mix h x = (h * 1000003) lxor x in
+  let f32 x = Int64.to_int (Int64.logand (Int64.bits_of_float x) 0xffffffffL) in
+  let digest = ref 17 in
+  let pool_min = ref max_int
+  and pool_max = ref 0
+  and pool_at_peak = ref 0
+  and p99_peak = ref 0.0
+  and within = ref 0
+  and judged = ref 0
+  and oscillations = ref 0
+  and suspects_max = ref 0
+  and moves_in_partition = ref 0
+  and last_dir = ref 0
+  and last_dir_t = ref neg_infinity
+  and offered_min = ref infinity
+  and offered_max = ref 0.0 in
+  let peak_tick = int_of_float (0.475 *. float_of_int ticks) in
+  for i = 0 to ticks - 1 do
+    let now = float_of_int i *. cfg.slo_tick in
+    let offered =
+      cfg.base_offered
+      *. (1.0 +. ((cfg.ramp_ratio -. 1.0) *. diurnal (now /. cfg.slo_duration)))
+    in
+    offered_min := Float.min !offered_min offered;
+    offered_max := Float.max !offered_max offered;
+    let ms = members () in
+    let suspects = List.length (List.filter (cut now) ms) in
+    suspects_max := max !suspects_max suspects;
+    let effective = max 1 (List.length ms - suspects) in
+    util := offered /. (float_of_int effective *. cfg.fe_capacity);
+    let p99 =
+      hop_p99 !util *. Rng.lognormal rng ~mu:0.0 ~sigma:cfg.hop_noise_sigma
+    in
+    p99_peak := Float.max !p99_peak p99;
+    if now >= cfg.slo.Slo.warmup then begin
+      incr judged;
+      if p99 <= budget then incr within
+    end;
+    let pool = !pool_size in
+    let dir =
+      match Slo.observe slo ~now ~p99:(Some p99) ~pool ~suspects with
+      | Slo.Scale_out add -> if grow now add > 0 then 1 else 0
+      | Slo.Scale_in remove -> if shrink now remove > 0 then -1 else 0
+      | Slo.Hold _ -> 0
+    in
+    if dir <> 0 then begin
+      if partition_active now then incr moves_in_partition;
+      if !last_dir <> 0 && dir <> !last_dir && now -. !last_dir_t <= cfg.flap_window
+      then incr oscillations;
+      last_dir := dir;
+      last_dir_t := now
+    end;
+    pool_min := min !pool_min !pool_size;
+    pool_max := max !pool_max !pool_size;
+    if i = peak_tick then pool_at_peak := !pool_size;
+    digest := mix !digest !pool_size;
+    digest := mix !digest (f32 p99);
+    digest := mix !digest dir
+  done;
+  digest := mix !digest (Slo.scale_outs slo);
+  digest := mix !digest (Slo.scale_ins slo);
+  {
+    slo_ticks = ticks;
+    offered_ratio = !offered_max /. Float.max 1e-9 !offered_min;
+    pool_min = !pool_min;
+    pool_max = !pool_max;
+    pool_at_peak = !pool_at_peak;
+    pool_at_end = !pool_size;
+    p99_peak = !p99_peak;
+    within_budget_fraction =
+      (if !judged = 0 then 1.0 else float_of_int !within /. float_of_int !judged);
+    slo_scale_outs = Slo.scale_outs slo;
+    slo_scale_ins = Slo.scale_ins slo;
+    oscillations = !oscillations;
+    slo_suppressed_ticks = Slo.suppressed_ticks slo;
+    partition_suspects_max = !suspects_max;
+    pool_moves_in_partition = !moves_in_partition;
+    slo_digest = !digest;
+  }

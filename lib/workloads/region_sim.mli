@@ -105,3 +105,62 @@ val before_after : config -> before_after
 (** The same seeded region, controller off then on.  Both runs schedule
     the identical report/scan cadence (the "before" scan is a no-op), so
     event counts stay comparable. *)
+
+(** {1 SLO-tracking run (ROADMAP item 4)}
+
+    A diurnal offered-load ramp (×[ramp_ratio] trough→peak) served by an
+    elastic FE pool sized by the {e real} {!Nezha_core.Slo} decision
+    core over a modeled remote-hop P99, with placement through the real
+    power-of-two-choices policy ({!Nezha_core.Placement.select_p2c}).
+    Hop P99 grows as util/(1−util) on per-FE utilization, so holding
+    the budget requires the pool to track the ramp in both directions.
+
+    The chaos variant ([slo_partition]) severs the BE rack's uplink for
+    a window: every cross-rack pool member turns suspect at once and
+    its capacity vanishes — observed P99 explodes, which is the bait.
+    The §C.2 suppression window must freeze the pool instead:
+    [pool_moves_in_partition] = 0 is the no-flapping gate. *)
+
+module Slo = Nezha_core.Slo
+
+type slo_config = {
+  slo_seed : int;
+  slo_duration : float;  (** one compressed "day", sim seconds *)
+  slo_tick : float;  (** report/decision period *)
+  slo_racks : int;
+  slo_servers_per_rack : int;
+  base_offered : float;  (** trough offered load, FE-capacity units *)
+  ramp_ratio : float;  (** peak/trough offered ratio (×10) *)
+  fe_capacity : float;  (** offered units one FE serves at util 1.0 *)
+  base_hop : float;  (** remote-hop latency at zero utilization, s *)
+  hop_noise_sigma : float;  (** lognormal sigma on the observed P99 *)
+  slo : Slo.config;  (** the decision core's knobs *)
+  flap_window : float;  (** reversal horizon for oscillation counting *)
+  slo_partition : (float * float) option;  (** chaos: (start, duration) *)
+}
+
+val default_slo_config : slo_config
+(** 96 servers in 6 racks, 600 s day, ×10 ramp, 5 ms target P99 with a
+    30% hysteresis band, pool 4..48, no partition. *)
+
+type slo_result = {
+  slo_ticks : int;
+  offered_ratio : float;  (** max/min offered actually swept *)
+  pool_min : int;
+  pool_max : int;
+  pool_at_peak : int;  (** pool size at the middle of the hold phase *)
+  pool_at_end : int;
+  p99_peak : float;
+  within_budget_fraction : float;
+      (** post-warmup ticks with P99 <= target×(1+band) *)
+  slo_scale_outs : int;
+  slo_scale_ins : int;
+  oscillations : int;
+      (** direction reversals within [flap_window] of each other *)
+  slo_suppressed_ticks : int;
+  partition_suspects_max : int;
+  pool_moves_in_partition : int;  (** must be 0: no flapping under §C.2 *)
+  slo_digest : int;  (** per-tick fingerprint (pool, P99, decision) *)
+}
+
+val run_slo : slo_config -> slo_result

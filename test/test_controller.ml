@@ -168,6 +168,84 @@ let test_update_rules_during_dual_running () =
         | None -> ())
       (Controller.offload_fe_servers o)
 
+(* ------------------------------------------------------------------ *)
+(* p2c placement policy and the SLO loop (ROADMAP item 4) *)
+
+let test_p2c_policy_places_offload () =
+  let cfg =
+    { Controller.default_config with Controller.placement = Placement.Power_of_two }
+  in
+  let t = Testbed.create ~controller_config:cfg () in
+  Controller.start t.Testbed.ctl;
+  let o = Testbed.offload t () in
+  let fes = Controller.offload_fe_servers o in
+  check_int "four FEs" 4 (List.length fes);
+  check_int "distinct FEs" 4 (List.length (List.sort_uniq compare fes));
+  check_bool "BE is not an FE" true (not (List.mem t.Testbed.heavy_server fes));
+  List.iter
+    (fun s ->
+      check_bool "load signal non-negative" true
+        (Controller.load_signal t.Testbed.ctl s >= 0.0))
+    fes;
+  (* Same seed, same draw: p2c placement is deterministic. *)
+  let t2 = Testbed.create ~controller_config:cfg () in
+  Controller.start t2.Testbed.ctl;
+  let o2 = Testbed.offload t2 () in
+  Alcotest.(check (list int)) "seed-deterministic placement" fes
+    (Controller.offload_fe_servers o2)
+
+let test_slo_loop_scales_out_on_tight_budget () =
+  (* A 1 µs budget no real hop can meet: every post-warmup tick wants
+     capacity, so the pool must climb to the candidate supply. *)
+  let slo =
+    {
+      Slo.default_config with
+      Slo.target_p99 = 1e-6;
+      cooldown = 2.0;
+      warmup = 1.0;
+      min_pool = 2;
+      max_pool = 7;
+      max_step = 1;
+    }
+  in
+  let cfg = { Controller.default_config with Controller.slo = Some slo } in
+  let t = Testbed.create ~racks:2 ~servers_per_rack:4 ~clients:2 ~controller_config:cfg () in
+  Controller.start t.Testbed.ctl;
+  let o = Testbed.offload t () in
+  ignore (Testbed.run_crr t ~rate:200.0 ~duration:12.0 () : Nezha_workloads.Tcp_crr.t);
+  let slo_state = Option.get (Controller.slo t.Testbed.ctl) in
+  check_bool "scale-outs happened" true (Slo.scale_outs slo_state > 0);
+  check_bool "pool grew beyond the initial four" true
+    (List.length (Controller.offload_fe_servers o) > 4);
+  check_bool "pool gauge agrees" true (Controller.slo_pool_size t.Testbed.ctl > 4)
+
+let test_slo_loop_scales_in_to_the_floor () =
+  (* A 10 s budget every hop beats: the loop must drain the pool, and
+     stop exactly at the serving minimum. *)
+  let slo =
+    {
+      Slo.default_config with
+      Slo.target_p99 = 10.0;
+      cooldown = 2.0;
+      warmup = 1.0;
+      min_pool = 2;
+      max_pool = 8;
+      max_step = 1;
+    }
+  in
+  let cfg =
+    { Controller.default_config with Controller.slo = Some slo; min_fes = 2 }
+  in
+  let t = Testbed.create ~controller_config:cfg () in
+  Controller.start t.Testbed.ctl;
+  let o = Testbed.offload t () in
+  check_int "starts at four FEs" 4 (List.length (Controller.offload_fe_servers o));
+  ignore (Testbed.run_crr t ~rate:200.0 ~duration:15.0 () : Nezha_workloads.Tcp_crr.t);
+  let slo_state = Option.get (Controller.slo t.Testbed.ctl) in
+  check_bool "scale-ins happened" true (Slo.scale_ins slo_state > 0);
+  check_int "drained exactly to the serving minimum" 2
+    (List.length (Controller.offload_fe_servers o))
+
 let () =
   Alcotest.run "controller"
     [
@@ -191,5 +269,14 @@ let () =
           Alcotest.test_case "utilization views" `Quick test_utilization_views_sane;
           Alcotest.test_case "rule update during dual-running" `Quick
             test_update_rules_during_dual_running;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "p2c policy places offloads" `Quick
+            test_p2c_policy_places_offload;
+          Alcotest.test_case "tight budget scales the pool out" `Quick
+            test_slo_loop_scales_out_on_tight_budget;
+          Alcotest.test_case "loose budget scales in to the floor" `Quick
+            test_slo_loop_scales_in_to_the_floor;
         ] );
     ]

@@ -1,0 +1,180 @@
+(* Table-driven unit tests for the pure SLO decision core (slo.mli):
+   hysteresis band, cooldown, warmup, mass-failure suppression and the
+   serving floor/ceiling — synthetic P99 series only, no simulation. *)
+
+open Nezha_core
+
+let decision : Slo.decision Alcotest.testable =
+  Alcotest.testable Slo.pp_decision ( = )
+
+(* Out above 6 ms, in below 4 ms; pool 2..8, 2 per step. *)
+let cfg =
+  {
+    Slo.target_p99 = 0.005;
+    band = 0.20;
+    cooldown = 10.0;
+    warmup = 5.0;
+    min_pool = 2;
+    max_pool = 8;
+    max_step = 2;
+    suppress_fraction = 0.30;
+    suppress_hold = 30.0;
+  }
+
+let fresh () = Slo.create ~config:cfg ~now:0.0 ()
+
+(* Each row is an independent post-warmup observation against a fresh
+   state machine, so the table reads as the decision function itself. *)
+let test_decision_table () =
+  let rows =
+    [
+      ("at target", Some 0.005, 4, Slo.Hold Slo.Within_band);
+      ("upper band edge holds", Some 0.006, 4, Slo.Hold Slo.Within_band);
+      ("lower band edge holds", Some 0.004, 4, Slo.Hold Slo.Within_band);
+      ("above the band scales out", Some 0.0061, 4, Slo.Scale_out 2);
+      ("below the band scales in", Some 0.0039, 4, Slo.Scale_in 2);
+      ("no sample holds", None, 4, Slo.Hold Slo.No_signal);
+      ("ceiling clamps the step", Some 0.02, 7, Slo.Scale_out 1);
+      ("at the ceiling holds", Some 0.02, 8, Slo.Hold Slo.At_max);
+      ("floor clamps the step", Some 0.0005, 3, Slo.Scale_in 1);
+      ("at the floor holds", Some 0.0005, 2, Slo.Hold Slo.At_min);
+    ]
+  in
+  List.iter
+    (fun (name, p99, pool, expected) ->
+      let t = fresh () in
+      Alcotest.check decision name expected
+        (Slo.observe t ~now:10.0 ~p99 ~pool ~suspects:0))
+    rows
+
+let test_warmup_blocks_first_decisions () =
+  let t = fresh () in
+  Alcotest.check decision "cold start holds" (Slo.Hold Slo.Warming_up)
+    (Slo.observe t ~now:1.0 ~p99:(Some 0.05) ~pool:4 ~suspects:0);
+  Alcotest.check decision "still inside warmup" (Slo.Hold Slo.Warming_up)
+    (Slo.observe t ~now:4.9 ~p99:(Some 0.05) ~pool:4 ~suspects:0);
+  Alcotest.check decision "first tick past warmup acts" (Slo.Scale_out 2)
+    (Slo.observe t ~now:5.0 ~p99:(Some 0.05) ~pool:4 ~suspects:0)
+
+let test_cooldown_spaces_resizes () =
+  let t = fresh () in
+  Alcotest.check decision "initial scale-out" (Slo.Scale_out 2)
+    (Slo.observe t ~now:10.0 ~p99:(Some 0.02) ~pool:4 ~suspects:0);
+  Alcotest.check decision "held while settling" (Slo.Hold Slo.Cooling_down)
+    (Slo.observe t ~now:15.0 ~p99:(Some 0.02) ~pool:6 ~suspects:0);
+  Alcotest.check decision "held to the last instant" (Slo.Hold Slo.Cooling_down)
+    (Slo.observe t ~now:19.99 ~p99:(Some 0.02) ~pool:6 ~suspects:0);
+  Alcotest.check decision "acts once the cooldown expires" (Slo.Scale_out 2)
+    (Slo.observe t ~now:20.0 ~p99:(Some 0.02) ~pool:6 ~suspects:0);
+  (* A scale-in arms the same cooldown. *)
+  Alcotest.check decision "scale-in after its own cooldown" (Slo.Scale_in 2)
+    (Slo.observe t ~now:30.0 ~p99:(Some 0.001) ~pool:8 ~suspects:0);
+  Alcotest.check decision "scale-in also cools down" (Slo.Hold Slo.Cooling_down)
+    (Slo.observe t ~now:35.0 ~p99:(Some 0.001) ~pool:6 ~suspects:0);
+  Alcotest.(check int) "two scale-outs counted" 2 (Slo.scale_outs t);
+  Alcotest.(check int) "one scale-in counted" 1 (Slo.scale_ins t)
+
+let test_suppression_window () =
+  let t = fresh () in
+  (* 4/10 suspects > 30%: open a 30 s window — the exploding P99 is the
+     failure talking, not demand. *)
+  Alcotest.check decision "mass failure suppresses" (Slo.Hold Slo.Suppressed)
+    (Slo.observe t ~now:10.0 ~p99:(Some 0.5) ~pool:10 ~suspects:4);
+  Alcotest.(check bool) "window reported open" true
+    (Slo.in_suppression t ~now:11.0);
+  (* Suspects recovered, but the window still holds. *)
+  Alcotest.check decision "window outlives the suspects" (Slo.Hold Slo.Suppressed)
+    (Slo.observe t ~now:39.9 ~p99:(Some 0.5) ~pool:10 ~suspects:0);
+  Alcotest.check decision "acts once the window closes" (Slo.Hold Slo.At_max)
+    (Slo.observe t ~now:40.0 ~p99:(Some 0.5) ~pool:10 ~suspects:0);
+  Alcotest.(check int) "suppressed ticks counted" 2 (Slo.suppressed_ticks t)
+
+let test_suppression_threshold_is_strict () =
+  let t = fresh () in
+  (* Exactly the fraction (3/10 = 30%) does not suppress. *)
+  Alcotest.check decision "at the fraction still acts" (Slo.Scale_out 2)
+    (Slo.observe t ~now:10.0 ~p99:(Some 0.5) ~pool:4 ~suspects:1);
+  let t = fresh () in
+  ignore (Slo.observe t ~now:10.0 ~p99:(Some 0.5) ~pool:10 ~suspects:4);
+  (* A fresh burst of suspects extends the window from its tick. *)
+  ignore (Slo.observe t ~now:25.0 ~p99:(Some 0.5) ~pool:10 ~suspects:4);
+  Alcotest.(check bool) "window extended by the second burst" true
+    (Slo.in_suppression t ~now:54.9)
+
+(* A monotone low-P99 series drains the pool to the serving minimum and
+   never through it, whatever the cadence. *)
+let test_series_never_below_serving_minimum () =
+  let c = { cfg with Slo.cooldown = 1.0 } in
+  let t = Slo.create ~config:c ~now:0.0 () in
+  let pool = ref 8 in
+  for i = 5 to 30 do
+    (match
+       Slo.observe t ~now:(float_of_int i) ~p99:(Some 0.001) ~pool:!pool
+         ~suspects:0
+     with
+    | Slo.Scale_in n -> pool := !pool - n
+    | Slo.Scale_out n -> pool := !pool + n
+    | Slo.Hold _ -> ());
+    if !pool < c.Slo.min_pool then
+      Alcotest.failf "pool %d fell below serving minimum %d at t=%d" !pool
+        c.Slo.min_pool i
+  done;
+  Alcotest.(check int) "drained exactly to the floor" c.Slo.min_pool !pool;
+  Alcotest.(check bool) "multiple scale-ins happened" true (Slo.scale_ins t >= 3)
+
+let test_introspection_and_signal_retention () =
+  let t = fresh () in
+  ignore (Slo.observe t ~now:10.0 ~p99:(Some 0.0071) ~pool:4 ~suspects:0);
+  Alcotest.(check (option (float 1e-9))) "last p99 recorded" (Some 0.0071)
+    (Slo.last_p99 t);
+  (* A None tick keeps the last real sample for telemetry. *)
+  ignore (Slo.observe t ~now:11.0 ~p99:None ~pool:6 ~suspects:0);
+  Alcotest.(check (option (float 1e-9))) "last p99 survives a gap" (Some 0.0071)
+    (Slo.last_p99 t);
+  (match Slo.last_decision t with
+  | Some (Slo.Hold Slo.No_signal) -> ()
+  | d ->
+      Alcotest.failf "expected hold(no-signal), got %s"
+        (match d with
+        | None -> "none"
+        | Some d -> Format.asprintf "%a" Slo.pp_decision d));
+  Alcotest.(check int) "decision codes are the telemetry contract" 1
+    (Slo.decision_code (Slo.Scale_out 2));
+  Alcotest.(check int) "hold encodes as 0" 0
+    (Slo.decision_code (Slo.Hold Slo.Within_band))
+
+let test_create_validates_config () =
+  let raises name bad =
+    match Slo.create ~config:bad ~now:0.0 () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" name
+  in
+  raises "non-positive target" { cfg with Slo.target_p99 = 0.0 };
+  raises "negative band" { cfg with Slo.band = -0.1 };
+  raises "zero min pool" { cfg with Slo.min_pool = 0 };
+  raises "inverted pool bounds" { cfg with Slo.max_pool = 1 };
+  raises "zero step" { cfg with Slo.max_step = 0 }
+
+let () =
+  Alcotest.run "slo"
+    [
+      ( "decision-core",
+        [
+          Alcotest.test_case "hysteresis/floor/ceiling table" `Quick
+            test_decision_table;
+          Alcotest.test_case "warmup blocks first decisions" `Quick
+            test_warmup_blocks_first_decisions;
+          Alcotest.test_case "cooldown spaces resizes" `Quick
+            test_cooldown_spaces_resizes;
+          Alcotest.test_case "mass-failure suppression window" `Quick
+            test_suppression_window;
+          Alcotest.test_case "suppression threshold strict + extension" `Quick
+            test_suppression_threshold_is_strict;
+          Alcotest.test_case "series never dips below serving minimum" `Quick
+            test_series_never_below_serving_minimum;
+          Alcotest.test_case "introspection and signal retention" `Quick
+            test_introspection_and_signal_retention;
+          Alcotest.test_case "create validates config" `Quick
+            test_create_validates_config;
+        ] );
+    ]

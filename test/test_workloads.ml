@@ -286,6 +286,55 @@ let test_sirius_requires_even_cards () =
       ignore (Sirius.create ~fabric:d.fabric ~cards:[ 4; 5; 6 ] () : Sirius.t))
 
 (* ------------------------------------------------------------------ *)
+(* SLO-tracking ramp (ROADMAP item 4), at the check.sh --smoke scale so
+   it fits the tier-1 budget. *)
+
+let slo_smoke_cfg =
+  let base = Region_sim.default_slo_config in
+  {
+    base with
+    Region_sim.slo_duration = 150.0;
+    slo =
+      {
+        base.Region_sim.slo with
+        Region_sim.Slo.cooldown = 2.0;
+        warmup = 3.0;
+        suppress_hold = 8.0;
+      };
+    flap_window = 15.0;
+  }
+
+let test_slo_ramp_tracks_load () =
+  let r = Region_sim.run_slo slo_smoke_cfg in
+  check_bool "offered load really ramped x10" true (r.Region_sim.offered_ratio >= 9.9);
+  check_bool "pool followed the ramp up" true
+    (r.Region_sim.pool_max >= 3 * r.Region_sim.pool_min);
+  check_bool "pool scaled back in" true
+    (r.Region_sim.pool_at_end <= r.Region_sim.pool_min + 1);
+  check_bool "both directions exercised" true
+    (r.Region_sim.slo_scale_outs > 0 && r.Region_sim.slo_scale_ins > 0);
+  check_int "no decision oscillations" 0 r.Region_sim.oscillations;
+  check_bool "P99 mostly within budget" true
+    (r.Region_sim.within_budget_fraction >= 0.7)
+
+let test_slo_partition_does_not_flap () =
+  let cfg =
+    { slo_smoke_cfg with Region_sim.slo_partition = Some (63.75, 15.0) }
+  in
+  let r = Region_sim.run_slo cfg in
+  check_bool "partition made pool members suspect" true
+    (r.Region_sim.partition_suspects_max > 0);
+  check_bool "suppression window engaged" true (r.Region_sim.slo_suppressed_ticks > 0);
+  check_int "pool frozen through the partition" 0
+    r.Region_sim.pool_moves_in_partition;
+  check_int "no oscillations under chaos" 0 r.Region_sim.oscillations
+
+let test_slo_run_deterministic () =
+  let a = Region_sim.run_slo slo_smoke_cfg in
+  let b = Region_sim.run_slo slo_smoke_cfg in
+  check_int "same seed, same digest" a.Region_sim.slo_digest b.Region_sim.slo_digest
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "workloads"
@@ -312,6 +361,15 @@ let () =
           Alcotest.test_case "state sizes" `Quick test_region_state_sizes;
           Alcotest.test_case "high-cps vms" `Quick test_region_high_cps_vms;
           Alcotest.test_case "migration model" `Quick test_region_migration_model;
+        ] );
+      ( "slo_ramp",
+        [
+          Alcotest.test_case "pool tracks a x10 diurnal ramp" `Quick
+            test_slo_ramp_tracks_load;
+          Alcotest.test_case "rack partition does not flap the pool" `Quick
+            test_slo_partition_does_not_flap;
+          Alcotest.test_case "same seed same digest" `Quick
+            test_slo_run_deterministic;
         ] );
       ( "sirius",
         [
